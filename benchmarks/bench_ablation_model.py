@@ -1,0 +1,100 @@
+"""Model sensitivity ablations: which parameters drive the paper's shapes.
+
+DESIGN.md calls out the crossovers as *emergent* from cost structure, not
+fitted point by point; these sweeps demonstrate it:
+
+* the core count where bitmaps overtake full data, as a function of disk
+  bandwidth (faster disks push the crossover right -- with no I/O pressure
+  the extra bitmap build never pays);
+* total-time speedup at 32 cores as a function of the bitmap size
+  fraction (the only "compression quality" knob);
+* encoder ablation: range-encoded vs equality-encoded index sizes on real
+  simulation output.
+"""
+
+import numpy as np
+import pytest
+
+from _tables import format_table, save_table
+from repro.bitmap import BitmapIndex, EqualWidthBinning
+from repro.bitmap.range_index import RangeBitmapIndex
+from repro.perfmodel import XEON32, InSituScenario, model_bitmaps, model_full_data
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.rates import HEAT3D_RATES
+from repro.sims import Heat3D
+
+
+def _crossover_cores(sc: InSituScenario) -> int:
+    """First core count at which bitmaps win (33 = never)."""
+    for cores in range(1, 33):
+        if model_bitmaps(sc, cores).total < model_full_data(sc, cores).total:
+            return cores
+    return 33
+
+
+def test_crossover_vs_disk_bandwidth(benchmark):
+    def sweep():
+        rows = []
+        for bw in (100e6, 200e6, 400e6, 800e6, 1600e6, 6400e6):
+            machine = MachineSpec(
+                "xeon-variant", 32, 1.0, 1e12, bw, 100e6
+            )
+            sc = InSituScenario(machine, HEAT3D_RATES, 800e6)
+            rows.append([f"{bw / 1e6:.0f}MB/s", _crossover_cores(sc)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation -- bitmaps-win crossover core count vs disk bandwidth",
+        ["disk_bw", "crossover_cores"],
+        rows,
+    )
+    save_table("ablation_crossover_disk", text)
+    crossings = [r[1] for r in rows]
+    # Slower disks favour bitmaps earlier; fast enough disks, never.
+    assert crossings == sorted(crossings)
+    assert crossings[0] <= 4
+    assert crossings[-1] == 33
+
+
+def test_speedup_vs_size_fraction(benchmark):
+    def sweep():
+        rows = []
+        for frac in (0.05, 0.147, 0.30, 0.50, 0.80):
+            rates = HEAT3D_RATES.scaled(bitmap_size_fraction=frac)
+            sc = InSituScenario(XEON32, rates, 800e6)
+            speedup = model_full_data(sc, 32).total / model_bitmaps(sc, 32).total
+            rows.append([frac, speedup])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation -- 32-core speedup vs bitmap size fraction",
+        ["size_fraction", "speedup"],
+        rows,
+    )
+    save_table("ablation_size_fraction", text)
+    speedups = [r[1] for r in rows]
+    assert speedups == sorted(speedups, reverse=True)  # smaller is better
+    assert speedups[0] > 2.0
+
+
+def test_range_vs_equality_encoding(benchmark):
+    def measure():
+        sim = Heat3D((12, 16, 64), seed=6)
+        for _ in range(30):
+            step = sim.advance()
+        data = step.fields["temperature"]
+        binning = EqualWidthBinning.from_data(data, 48)
+        eq = BitmapIndex.build(data, binning)
+        rg = RangeBitmapIndex.build(data, binning)
+        return eq.nbytes, rg.nbytes
+
+    eq_bytes, rg_bytes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation -- equality vs range encoding on Heat3D output (bytes)",
+        ["encoding", "bytes"],
+        [["equality", eq_bytes], ["range (cumulative)", rg_bytes]],
+    )
+    save_table("ablation_encoding", text)
+    assert 0.3 < rg_bytes / eq_bytes < 3.0  # comparable under WAH

@@ -1,0 +1,137 @@
+"""Ablations around time-step selection (the §3.1 design choices).
+
+* greedy vs dynamic programming: chain-objective quality and evaluation
+  counts (DESIGN.md ablation 'greedy vs DP');
+* fixed-length vs information-volume partitioning under a bursty
+  importance profile;
+* full-data vs bitmap back-end kernel timings for the conditional-entropy
+  metric (the Heat3D selection of §5.1).
+"""
+
+import numpy as np
+import pytest
+
+from _tables import format_table, save_table
+from repro.bitmap import BitmapIndex, common_binning
+from repro.selection import (
+    CONDITIONAL_ENTROPY,
+    EMD_COUNT,
+    select_timesteps_bitmap,
+    select_timesteps_full,
+)
+from repro.selection.dp import select_timesteps_dp_bitmap
+from repro.sims import Heat3D
+
+
+@pytest.fixture(scope="module")
+def heat():
+    sim = Heat3D((10, 10, 24), seed=8)
+    steps = [s.fields["temperature"] for s in sim.run(24)]
+    binning = common_binning(steps, bins=48)
+    indices = [BitmapIndex.build(s, binning) for s in steps]
+    return steps, binning, indices
+
+
+def _chain_score(indices, selected, metric):
+    return sum(
+        metric.bitmap(indices[a], indices[b])
+        for a, b in zip(selected, selected[1:])
+    )
+
+
+def test_greedy_vs_dp(benchmark, heat):
+    steps, binning, indices = heat
+    k = 6
+
+    def run():
+        greedy = select_timesteps_bitmap(indices, k, EMD_COUNT)
+        dp = select_timesteps_dp_bitmap(indices, k, EMD_COUNT)
+        return greedy, dp
+
+    greedy, dp = benchmark.pedantic(run, rounds=1, iterations=1)
+    g_score = _chain_score(indices, greedy.selected, EMD_COUNT)
+    d_score = _chain_score(indices, dp.selected, EMD_COUNT)
+    text = format_table(
+        "Ablation -- greedy vs dynamic-programming selection (k=6 of 24)",
+        ["method", "chain_score", "pairwise_evals", "selected"],
+        [
+            ["greedy", g_score, greedy.n_evaluations, str(greedy.selected)],
+            ["dp", d_score, dp.n_evaluations, str(dp.selected)],
+        ],
+    )
+    save_table("ablation_greedy_vs_dp", text)
+    assert d_score >= g_score - 1e-9  # DP optimises the chain objective
+    assert greedy.n_evaluations < dp.n_evaluations  # greedy is cheaper
+
+
+def test_partitioning_ablation(benchmark, heat):
+    steps, binning, indices = heat
+
+    def run():
+        fixed = select_timesteps_bitmap(indices, 6, CONDITIONAL_ENTROPY)
+        info = select_timesteps_bitmap(
+            indices, 6, CONDITIONAL_ENTROPY, partitioning="info_volume"
+        )
+        return fixed, info
+
+    fixed, info = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation -- fixed-length vs information-volume partitioning",
+        ["partitioning", "selected"],
+        [
+            ["fixed", str(fixed.selected)],
+            ["info_volume", str(info.selected)],
+        ],
+    )
+    save_table("ablation_partitioning", text)
+    assert fixed.selected[0] == info.selected[0] == 0
+
+
+def test_greedy_vs_dtw(benchmark, heat):
+    """Third selector family: Tong et al.'s DTW-style representation
+    objective vs greedy's novelty objective."""
+    from repro.selection.dtw import (
+        representation_cost,
+        select_timesteps_dtw_bitmap,
+        step_signatures_bitmap,
+    )
+
+    steps, binning, indices = heat
+    k = 6
+
+    def run():
+        greedy = select_timesteps_bitmap(indices, k, EMD_COUNT)
+        dtw = select_timesteps_dtw_bitmap(indices, k)
+        sig = step_signatures_bitmap(indices)
+        return (
+            greedy.selected,
+            dtw.selected,
+            representation_cost(sig, greedy.selected),
+            representation_cost(sig, dtw.selected),
+        )
+
+    g_sel, d_sel, g_cost, d_cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation -- greedy vs DTW selection (representation cost, lower better)",
+        ["method", "selected", "repr_cost"],
+        [["greedy", str(g_sel), g_cost], ["dtw", str(d_sel), d_cost]],
+    )
+    save_table("ablation_greedy_vs_dtw", text)
+    assert d_cost <= g_cost + 1e-9  # DTW optimises exactly this objective
+
+
+def test_kernel_selection_fulldata(benchmark, heat):
+    steps, binning, _ = heat
+    benchmark(
+        lambda: select_timesteps_full(steps, 6, CONDITIONAL_ENTROPY, binning)
+    )
+
+
+def test_kernel_selection_bitmap(benchmark, heat):
+    steps, binning, indices = heat
+    result = benchmark(
+        lambda: select_timesteps_bitmap(indices, 6, CONDITIONAL_ENTROPY)
+    )
+    assert result.selected == select_timesteps_full(
+        steps, 6, CONDITIONAL_ENTROPY, binning
+    ).selected

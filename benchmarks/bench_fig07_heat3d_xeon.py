@@ -1,0 +1,108 @@
+"""Figure 7: Heat3D on the 32-core Xeon -- full data vs bitmaps, 1..32 cores.
+
+Paper: selecting 25 of 100 time-steps (conditional entropy, fixed-length
+partitioning) on 6.4 GB steps; total-time speedup 0.79x at low core counts
+rising to 2.37x at 32 cores; write time 6.78x smaller with bitmaps; "the
+data writing time becomes the major bottleneck after we use 4 cores".
+
+Here: the hardware axis comes from the calibrated model (DESIGN.md
+substitution); the micro-benchmark times the *real* per-step kernels
+(Heat3D step, bitmap build, bitmap conditional-entropy evaluation) at
+laptop scale.
+"""
+
+import numpy as np
+import pytest
+
+from _tables import format_table, save_table
+from repro.bitmap import BitmapIndex, PrecisionBinning
+from repro.metrics import conditional_entropy_bitmap
+from repro.perfmodel import (
+    XEON32,
+    InSituScenario,
+    model_bitmaps,
+    model_full_data,
+    speedup_over_cores,
+)
+from repro.perfmodel.rates import HEAT3D_RATES
+from repro.sims import Heat3D
+
+CORES = [1, 2, 4, 8, 16, 32]
+SCENARIO = InSituScenario(XEON32, HEAT3D_RATES, 800e6)  # 6.4 GB steps
+
+
+def generate_table() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for cores, full, bm, speedup in speedup_over_cores(SCENARIO, CORES):
+        rows.append(
+            [
+                cores,
+                full.simulate, full.select, full.output, full.total,
+                bm.simulate, bm.reduce, bm.select, bm.output, bm.total,
+                speedup,
+            ]
+        )
+    return rows
+
+
+def test_figure7_table(benchmark):
+    rows = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 7 -- Heat3D, Xeon, 100 steps -> 25 (seconds, modelled)",
+        ["cores",
+         "fd:sim", "fd:select", "fd:write", "fd:total",
+         "bm:sim", "bm:build", "bm:select", "bm:write", "bm:total",
+         "speedup"],
+        rows,
+    )
+    save_table("fig07_heat3d_xeon", text)
+    speedups = [r[-1] for r in rows]
+    # Paper band: 0.79x .. 2.37x with a crossover as cores grow.
+    assert speedups[0] < 1.0
+    assert speedups[-1] == pytest.approx(2.37, abs=0.25)
+    assert speedups == sorted(speedups)
+
+
+def test_write_bottleneck_after_4_cores(benchmark):
+    def check():
+        for cores in (8, 16, 32):
+            t = model_full_data(SCENARIO, cores)
+            assert t.output > max(t.simulate, t.select)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_write_speedup_678(benchmark):
+    ratio = benchmark.pedantic(
+        lambda: model_full_data(SCENARIO, 8).output / model_bitmaps(SCENARIO, 8).output,
+        rounds=1,
+        iterations=1,
+    )
+    assert ratio == pytest.approx(6.78, abs=0.5)
+
+
+# ------------------------------------------------------ measured kernels
+@pytest.fixture(scope="module")
+def heat_steps():
+    sim = Heat3D((16, 16, 64), seed=1)
+    steps = [s.fields["temperature"] for s in sim.run(6)]
+    binning = PrecisionBinning(19.0, 101.0, digits=1)
+    return sim, steps, binning
+
+
+def test_kernel_simulation_step(benchmark, heat_steps):
+    sim, _, _ = heat_steps
+    benchmark(sim.advance)
+
+
+def test_kernel_bitmap_build(benchmark, heat_steps):
+    _, steps, binning = heat_steps
+    benchmark(lambda: BitmapIndex.build(steps[-1], binning))
+
+
+def test_kernel_bitmap_selection_eval(benchmark, heat_steps):
+    _, steps, binning = heat_steps
+    ia = BitmapIndex.build(steps[0], binning)
+    ib = BitmapIndex.build(steps[-1], binning)
+    result = benchmark(lambda: conditional_entropy_bitmap(ib, ia))
+    assert np.isfinite(result)

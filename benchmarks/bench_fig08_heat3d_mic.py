@@ -1,0 +1,51 @@
+"""Figure 8: Heat3D on the Intel MIC -- full data vs bitmaps, 1..56 cores.
+
+Paper: the MIC has many slow cores and even lower I/O bandwidth; the same
+experiment as Figure 7 (1.6 GB steps due to the 8 GB node memory) reaches
+a *higher* bitmap advantage: 0.81x at 1 core up to 3.28x at full width.
+"""
+
+import pytest
+
+from _tables import format_table, save_table
+from repro.perfmodel import MIC60, InSituScenario, speedup_over_cores
+from repro.perfmodel.rates import HEAT3D_RATES
+
+CORES = [1, 2, 4, 8, 16, 32, 56]
+SCENARIO = InSituScenario(MIC60, HEAT3D_RATES, 200e6)  # 1.6 GB steps
+
+
+def generate_table() -> list[list[object]]:
+    return [
+        [cores, full.total, bm.total, speedup]
+        for cores, full, bm, speedup in speedup_over_cores(SCENARIO, CORES)
+    ]
+
+
+def test_figure8_table(benchmark):
+    rows = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 8 -- Heat3D, Intel MIC, 100 steps -> 25 (seconds, modelled)",
+        ["cores", "fulldata", "bitmaps", "speedup"],
+        rows,
+    )
+    save_table("fig08_heat3d_mic", text)
+    speedups = [r[-1] for r in rows]
+    # Paper band: 0.81x .. 3.28x.
+    assert speedups[0] == pytest.approx(0.81, abs=0.1)
+    assert speedups[-1] == pytest.approx(3.28, abs=0.35)
+    assert speedups == sorted(speedups)
+
+
+def test_mic_beats_xeon_ceiling(benchmark):
+    """The I/O-starved MIC rewards bitmaps more than the Xeon."""
+    from repro.perfmodel import XEON32
+
+    def ceilings():
+        xeon = InSituScenario(XEON32, HEAT3D_RATES, 800e6)
+        (_, _, _, xeon_sp), = speedup_over_cores(xeon, [32])
+        (_, _, _, mic_sp), = speedup_over_cores(SCENARIO, [56])
+        return xeon_sp, mic_sp
+
+    xeon_sp, mic_sp = benchmark.pedantic(ceilings, rounds=1, iterations=1)
+    assert mic_sp > xeon_sp

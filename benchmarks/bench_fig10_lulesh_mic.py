@@ -1,0 +1,37 @@
+"""Figure 10: Lulesh on the Intel MIC (768 MB steps, 8 GB node memory).
+
+Paper: speedup band 0.92x .. 2.62x -- between Figure 9's (heavy compute)
+and Figure 8's (weak I/O) regimes.
+"""
+
+import pytest
+
+from _tables import format_table, save_table
+from repro.perfmodel import MIC60, InSituScenario, speedup_over_cores
+from repro.perfmodel.rates import LULESH_RATES
+
+CORES = [1, 2, 4, 8, 16, 32, 56]
+SCENARIO = InSituScenario(MIC60, LULESH_RATES, 0.768e9 / 8)
+
+
+def generate_table() -> list[list[object]]:
+    return [
+        [cores, full.total, bm.total, speedup]
+        for cores, full, bm, speedup in speedup_over_cores(SCENARIO, CORES)
+    ]
+
+
+def test_figure10_table(benchmark):
+    rows = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 10 -- Lulesh, Intel MIC, 100 steps -> 25 (seconds, modelled)",
+        ["cores", "fulldata", "bitmaps", "speedup"],
+        rows,
+    )
+    save_table("fig10_lulesh_mic", text)
+    speedups = [r[-1] for r in rows]
+    # Paper band: 0.92x .. 2.62x (we land slightly shallower at the top;
+    # ordering and crossover match -- see EXPERIMENTS.md).
+    assert 0.8 < speedups[0] < 1.05
+    assert speedups[-1] > 1.8
+    assert speedups == sorted(speedups)

@@ -1,0 +1,107 @@
+"""Figure 11: peak memory, full data vs bitmaps, 10-step window.
+
+Paper values (bitmaps advantage): Heat3D 3.59x (6.4 GB steps) and 3.39x
+(1.6 GB); Lulesh 2.02x (6.14 GB) and 1.99x (0.768 GB) -- Lulesh is diluted
+by the mesh-edge memory both methods pay.
+
+Two parts here:
+
+* the closed-form Figure 11 resident-set model at paper scale, fed with
+  bitmap size fractions *measured* from our real indices on the scaled
+  workloads;
+* a real measured comparison: the pipeline's MemoryTracker peaks for both
+  modes on a laptop-scale Heat3D run.
+"""
+
+import pytest
+
+from _tables import format_table, save_table
+from repro.bitmap import BitmapIndex, PrecisionBinning, common_binning
+from repro.insitu import InSituPipeline
+from repro.insitu.memory import bitmap_resident_model, fulldata_resident_model
+from repro.selection import CONDITIONAL_ENTROPY, EMD_SPATIAL
+from repro.sims import Heat3D, LuleshProxy
+
+WINDOW = 10  # "we kept 10 time-steps in memory for selection"
+
+
+def _measured_fraction_heat3d() -> float:
+    # Mid-simulation field: enough temperature structure to be
+    # representative (the first steps are near-constant and compress to
+    # almost nothing, which would flatter the ratio).
+    sim = Heat3D((16, 16, 64), seed=1)
+    for _ in range(60):
+        step = sim.advance()
+    t = step.fields["temperature"]
+    index = BitmapIndex.build(t, PrecisionBinning.from_data(t, digits=1))
+    return index.nbytes / t.nbytes
+
+
+def _measured_fraction_lulesh() -> float:
+    # Mid-blast state: the 12 arrays carry a developed shock structure.
+    sim = LuleshProxy((10, 10, 10), seed=1)
+    for _ in range(50):
+        step = sim.advance()
+    payload = step.concatenated()
+    index = BitmapIndex.build(payload, common_binning([payload], bins=96))
+    return index.nbytes / payload.nbytes
+
+
+def generate_table() -> list[list[object]]:
+    frac_h = _measured_fraction_heat3d()
+    frac_l = _measured_fraction_lulesh()
+    configs = [
+        ("heat3d-6.4GB", 6.4e9, frac_h, 6.4e9, 0.0),
+        ("heat3d-1.6GB", 1.6e9, frac_h, 1.6e9, 0.0),
+        # Lulesh: intermediate = 1 step; substrate = edge arrays (~2x nodes)
+        ("lulesh-6.14GB", 6.14e9, frac_l, 6.14e9, 2.0 * 6.14e9),
+        ("lulesh-0.77GB", 0.768e9, frac_l, 0.768e9, 2.0 * 0.768e9),
+    ]
+    rows: list[list[object]] = []
+    for name, step_bytes, frac, intermediate, substrate in configs:
+        full = fulldata_resident_model(step_bytes, WINDOW, intermediate, substrate)
+        bm = bitmap_resident_model(
+            step_bytes, frac * step_bytes, WINDOW, intermediate, substrate
+        )
+        rows.append(
+            [name, full / 2**30, bm / 2**30, frac, full / bm]
+        )
+    return rows
+
+
+def test_figure11_table(benchmark):
+    rows = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 11 -- peak resident memory, 10-step window "
+        "(GiB; bitmap fraction measured from real indices)",
+        ["config", "fulldata_GiB", "bitmaps_GiB", "bm_fraction", "ratio"],
+        rows,
+    )
+    save_table("fig11_memory", text)
+    by_name = {r[0]: r[-1] for r in rows}
+    # Paper: 3.59x / 3.39x for Heat3D, 2.02x / 1.99x for Lulesh.  The exact
+    # ratio tracks the measured compression fraction, which at laptop scale
+    # is somewhat better than the paper's (shorter value ranges per step),
+    # so the band is generous on the high side.
+    assert 2.5 < by_name["heat3d-6.4GB"] < 5.5
+    assert 1.4 < by_name["lulesh-6.14GB"] < 2.8
+    # Lulesh's substrate memory dilutes the advantage below Heat3D's.
+    assert by_name["lulesh-6.14GB"] < by_name["heat3d-6.4GB"]
+
+
+def test_measured_pipeline_peaks(benchmark):
+    """Real MemoryTracker peaks: bitmap mode resident << full-data mode."""
+
+    def run():
+        peaks = {}
+        for mode in ("bitmap", "fulldata"):
+            sim = Heat3D((12, 12, 48), seed=3)
+            pipe = InSituPipeline(
+                sim, PrecisionBinning(19.0, 101.0, digits=1),
+                CONDITIONAL_ENTROPY, mode=mode,
+            )
+            peaks[mode] = pipe.run(WINDOW, 3).memory.peak_bytes
+        return peaks
+
+    peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert peaks["bitmap"] < 0.6 * peaks["fulldata"]

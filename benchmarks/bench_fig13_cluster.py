@@ -1,0 +1,74 @@
+"""Figure 13: cluster scalability, 1..32 Oakley nodes, local vs remote.
+
+Paper: Heat3D (6.4 GB), 8 cores/node; bitmaps achieve 1.24x-1.29x over
+full data when writing to node-local disks, and 1.24x-3.79x when all nodes
+ship output to a single ~100 MB/s remote data server (the server
+serialises transfers, so the full-data volume hurts more at scale).
+"""
+
+import pytest
+
+from _tables import format_table, save_table
+from repro.perfmodel import (
+    OAKLEY_NODE,
+    ClusterScenario,
+    InSituScenario,
+    model_cluster,
+    scalability_series,
+)
+from repro.perfmodel.rates import HEAT3D_CLUSTER_RATES
+
+NODES = [1, 2, 4, 8, 16, 32]
+SCENARIO = ClusterScenario(
+    OAKLEY_NODE, InSituScenario(OAKLEY_NODE, HEAT3D_CLUSTER_RATES, 800e6)
+)
+
+
+def generate_table() -> list[dict[str, float]]:
+    return scalability_series(SCENARIO, NODES)
+
+
+def test_figure13_table(benchmark):
+    series = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    rows = [
+        [
+            int(r["nodes"]),
+            r["full_local"], r["bitmap_local"], r["speedup_local"],
+            r["full_remote"], r["bitmap_remote"], r["speedup_remote"],
+        ]
+        for r in series
+    ]
+    text = format_table(
+        "Figure 13 -- Heat3D cluster, 8 cores/node (seconds, modelled)",
+        ["nodes", "fd:local", "bm:local", "speedup",
+         "fd:remote", "bm:remote", "speedup"],
+        rows,
+    )
+    save_table("fig13_cluster", text)
+    # Paper bands: local 1.24x-1.29x flat; remote 1.24x..3.79x growing.
+    for r in series:
+        assert 1.15 < r["speedup_local"] < 1.35
+    remote = [r["speedup_remote"] for r in series]
+    assert remote == sorted(remote)
+    assert remote[0] < 1.6 and remote[-1] > 3.0
+
+
+def test_remote_server_is_the_bottleneck(benchmark):
+    def outputs():
+        return (
+            model_cluster(SCENARIO, 32, method="full", remote=True).output,
+            model_cluster(SCENARIO, 32, method="bitmap", remote=True).output,
+        )
+
+    full_out, bm_out = benchmark.pedantic(outputs, rounds=1, iterations=1)
+    # Transfer volume ratio == size fraction (the point of shipping bitmaps).
+    assert full_out / bm_out == pytest.approx(
+        1.0 / HEAT3D_CLUSTER_RATES.bitmap_size_fraction, rel=0.05
+    )
+
+
+def test_kernel_des_remote_server(benchmark):
+    """Micro-benchmark: the FIFO-resource remote-write simulation."""
+    benchmark(
+        lambda: model_cluster(SCENARIO, 32, method="full", remote=True)
+    )

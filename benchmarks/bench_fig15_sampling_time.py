@@ -1,0 +1,69 @@
+"""Figure 15: execution time, bitmaps vs in-situ sampling (Heat3D, 32 cores).
+
+Paper: sampling produces its reduced form much faster than bitmap
+generation, but at 32 cores disk I/O still dominates, so bitmaps beat even
+the 30% sample overall; only tiny samples (with severe information loss,
+Figure 16) run faster.
+"""
+
+import pytest
+
+from _tables import format_table, save_table
+from repro.insitu import Sampler
+from repro.perfmodel import (
+    XEON32,
+    InSituScenario,
+    model_bitmaps,
+    model_sampling,
+)
+from repro.perfmodel.rates import HEAT3D_RATES
+
+SCENARIO = InSituScenario(XEON32, HEAT3D_RATES, 800e6)
+CORES = 32
+FRACTIONS = [0.30, 0.15, 0.05, 0.01]
+
+
+def generate_table() -> list[list[object]]:
+    bm = model_bitmaps(SCENARIO, CORES)
+    rows: list[list[object]] = [
+        ["bitmaps", bm.simulate, bm.reduce, bm.select, bm.output, bm.total]
+    ]
+    for frac in FRACTIONS:
+        s = model_sampling(SCENARIO, CORES, frac)
+        rows.append(
+            [f"sample-{frac:.0%}", s.simulate, s.reduce, s.select, s.output, s.total]
+        )
+    return rows
+
+
+def test_figure15_table(benchmark):
+    rows = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 15 -- Heat3D, 32 cores: bitmaps vs sampling (seconds, modelled)",
+        ["method", "simulate", "reduce", "select", "output", "total"],
+        rows,
+    )
+    save_table("fig15_sampling_time", text)
+    totals = {r[0]: r[-1] for r in rows}
+    # Paper: bitmaps beat the 30% sample; tiny samples win on raw time.
+    assert totals["bitmaps"] < totals["sample-30%"]
+    assert totals["sample-1%"] < totals["bitmaps"]
+
+
+def test_sampling_reduce_cheaper_than_bitmap_gen(benchmark):
+    def delta():
+        return (
+            model_bitmaps(SCENARIO, CORES).reduce
+            - model_sampling(SCENARIO, CORES, 0.30).reduce
+        )
+
+    assert benchmark.pedantic(delta, rounds=1, iterations=1) > 0
+
+
+def test_kernel_sampler(benchmark, rng_data=None):
+    """Micro-benchmark the real down-sampling kernel."""
+    import numpy as np
+
+    data = np.random.default_rng(0).random(500_000)
+    sampler = Sampler(0.15)
+    benchmark(lambda: sampler.sample(data))

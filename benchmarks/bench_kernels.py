@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the compressed bitwise kernels (§3.2's fast ops).
+
+Ablations:
+
+* fast (group-expansion) vs streaming (word-merge) logical ops;
+* compressed AND+popcount vs the equivalent numpy boolean kernel on the
+  decompressed data (what "hardware-supported bitwise ops" buys);
+* count-only kernels vs materialising the result vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import WAHBitVector
+from repro.bitmap.ops import (
+    and_count,
+    logical_and,
+    logical_op_streaming,
+    logical_xor,
+    xor_count,
+)
+
+N = 31 * 40_000  # 1.24M bits
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(1)
+    # Run-structured bits, the regime WAH is built for.
+    a = np.repeat(rng.random(N // 200) < 0.3, 200)[:N]
+    b = np.repeat(rng.random(N // 150) < 0.3, 150)[:N]
+    a, b = np.resize(a, N), np.resize(b, N)
+    return a, b, WAHBitVector.from_bools(a), WAHBitVector.from_bools(b)
+
+
+def test_kernel_and_fast(benchmark, vectors):
+    _, _, va, vb = vectors
+    benchmark(lambda: logical_and(va, vb))
+
+
+def test_kernel_and_streaming(benchmark, vectors):
+    _, _, va, vb = vectors
+    out = benchmark(lambda: logical_op_streaming(va, vb, "and"))
+    assert out == logical_and(va, vb)
+
+
+def test_kernel_and_count_only(benchmark, vectors):
+    a, b, va, vb = vectors
+    count = benchmark(lambda: and_count(va, vb))
+    assert count == int((a & b).sum())
+
+
+def test_kernel_xor_count_only(benchmark, vectors):
+    a, b, va, vb = vectors
+    count = benchmark(lambda: xor_count(va, vb))
+    assert count == int((a ^ b).sum())
+
+
+def test_kernel_numpy_bool_baseline(benchmark, vectors):
+    a, b, _, _ = vectors
+    benchmark(lambda: int((a & b).sum()))
+
+
+def test_kernel_xor_materialised(benchmark, vectors):
+    _, _, va, vb = vectors
+    benchmark(lambda: logical_xor(va, vb).count())
+
+
+def test_kernel_popcount(benchmark, vectors):
+    _, _, va, _ = vectors
+    benchmark(va.count)
+
+
+def test_kernel_compression(benchmark, vectors):
+    a, _, _, _ = vectors
+    benchmark(lambda: WAHBitVector.from_bools(a))
+
+
+def test_kernel_decompression(benchmark, vectors):
+    _, _, va, _ = vectors
+    benchmark(va.to_bools)

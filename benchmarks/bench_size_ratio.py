@@ -1,0 +1,53 @@
+"""§2.2's size claim: "the size of bitmaps is less than 30% ... in most
+of the cases", measured on all three workloads with their paper binnings.
+"""
+
+import pytest
+
+from _tables import format_table, save_table
+from repro.bitmap import BitmapIndex, EqualWidthBinning, PrecisionBinning, ZOrderLayout
+from repro.sims import Heat3D, LuleshProxy, OceanDataGenerator
+
+
+def generate_table() -> list[list[object]]:
+    rows: list[list[object]] = []
+
+    sim = Heat3D((16, 16, 128), seed=1)
+    for _ in range(20):
+        step = sim.advance()
+    t = step.fields["temperature"]
+    binning = PrecisionBinning.from_data(t, digits=1)
+    idx = BitmapIndex.build(t, binning)
+    rows.append(["heat3d (1-digit bins)", binning.n_bins, idx.size_ratio(8)])
+
+    lsim = LuleshProxy((12, 12, 12), seed=1)
+    for _ in range(15):
+        lstep = lsim.advance()
+    payload = lstep.concatenated()
+    lbin = EqualWidthBinning.from_data(payload, 128)
+    lidx = BitmapIndex.build(payload, lbin)
+    rows.append(["lulesh (12 arrays)", lbin.n_bins, lidx.size_ratio(8)])
+
+    gen = OceanDataGenerator((8, 48, 96), seed=13)
+    snap = gen.advance()
+    temp = snap.fields["temperature"]
+    layout = ZOrderLayout.for_shape(temp.shape)
+    tz = layout.flatten(temp)
+    obin = EqualWidthBinning.from_data(tz, 16)
+    oidx = BitmapIndex.build(tz, obin)
+    rows.append(["ocean temperature (z-order)", obin.n_bins, oidx.size_ratio(8)])
+
+    return rows
+
+
+def test_size_ratios(benchmark):
+    rows = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    text = format_table(
+        "Bitmap size as a fraction of raw data (paper claim: <30% mostly)",
+        ["workload", "bins", "size_ratio"],
+        rows,
+    )
+    save_table("size_ratio", text)
+    ratios = [r[-1] for r in rows]
+    assert sum(r < 0.50 for r in ratios) == len(ratios)
+    assert sum(r < 0.30 for r in ratios) >= 2  # "in most of the cases"

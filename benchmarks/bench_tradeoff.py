@@ -1,0 +1,80 @@
+"""Deployment trade-off tables from the closed-form analysis.
+
+The inverse questions a deployment would ask before choosing a strategy,
+computed by :mod:`repro.perfmodel.tradeoff` over the calibrated model:
+
+* on each machine, from how many cores do bitmaps win?
+* how fast would the disk have to be for full data to stay competitive?
+* how many time-steps fit in the selection window under each method
+  (the Figure 11 motivation, inverted)?
+"""
+
+import pytest
+
+from _tables import format_table, save_table
+from repro.perfmodel import (
+    MIC60,
+    XEON32,
+    InSituScenario,
+)
+from repro.perfmodel.rates import HEAT3D_RATES, LULESH_RATES
+from repro.perfmodel.tradeoff import (
+    breakeven_size_fraction,
+    crossover_cores,
+    io_bound_fraction,
+    max_window_steps,
+    min_disk_bw_for_fulldata,
+)
+
+SCENARIOS = {
+    "heat3d@xeon32": InSituScenario(XEON32, HEAT3D_RATES, 800e6),
+    "heat3d@mic60": InSituScenario(MIC60, HEAT3D_RATES, 200e6),
+    "lulesh@xeon32": InSituScenario(XEON32, LULESH_RATES, 6.14e9 / 8),
+    "lulesh@mic60": InSituScenario(MIC60, LULESH_RATES, 0.768e9 / 8),
+}
+
+
+def generate_table() -> list[list[object]]:
+    rows = []
+    for name, sc in SCENARIOS.items():
+        cores = sc.machine.n_cores
+        cross = crossover_cores(sc)
+        bw = min_disk_bw_for_fulldata(sc, cores)
+        frac = breakeven_size_fraction(sc, cores)
+        rows.append(
+            [
+                name,
+                cross if cross is not None else "never",
+                f"{bw / 1e6:.0f}MB/s" if bw != float("inf") else "inf",
+                f"{frac:.2f}" if frac is not None else "-",
+                max_window_steps(sc, method="full"),
+                max_window_steps(sc, method="bitmap"),
+                io_bound_fraction(sc, cores, method="full"),
+            ]
+        )
+    return rows
+
+
+def test_tradeoff_table(benchmark):
+    rows = benchmark.pedantic(generate_table, rounds=1, iterations=1)
+    text = format_table(
+        "Deployment trade-offs (closed-form over the calibrated model)",
+        ["scenario", "crossover_cores", "fd_breakeven_disk",
+         "bm_breakeven_frac", "window_full", "window_bitmap", "fd_io_frac@max"],
+        rows,
+    )
+    save_table("tradeoff", text)
+    by_name = {r[0]: r for r in rows}
+    # Figure 11's motivation: the MIC cannot hold a 10-step raw window.
+    assert by_name["heat3d@mic60"][4] < 10 <= by_name["heat3d@mic60"][5]
+    # Heat3D crossovers come early on both machines.
+    assert by_name["heat3d@xeon32"][1] <= 4
+    assert by_name["heat3d@mic60"][1] <= 4
+    # Full data at max cores is I/O bound for Heat3D, not for Lulesh.
+    assert by_name["heat3d@xeon32"][6] > 0.5
+    assert by_name["lulesh@xeon32"][6] < 0.6
+
+
+def test_kernel_crossover_scan(benchmark):
+    sc = SCENARIOS["heat3d@xeon32"]
+    benchmark(lambda: crossover_cores(sc))

@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_figXX`` module both (a) micro-benchmarks the real kernels
+behind that figure with pytest-benchmark and (b) regenerates the figure's
+table (modelled or measured per DESIGN.md) into ``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `_tables` importable regardless of pytest rootdir handling.
+sys.path.insert(0, str(Path(__file__).parent))

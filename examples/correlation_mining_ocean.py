@@ -1,0 +1,89 @@
+"""Correlation mining on POP-like ocean data (§4 / Figure 14's workload).
+
+Generates a temperature/salinity snapshot with one *planted* correlated
+region, Z-orders both fields, and runs Algorithm 2 three ways:
+
+  * bitmap mining (the paper's method);
+  * exhaustive full-data mining (identical hits, slower);
+  * multi-level top-down mining (same hits on strong signal, fewer pairs).
+
+Finally it scores the mined spatial units against the planted ground
+truth.
+
+Run:  python examples/correlation_mining_ocean.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import BitmapIndex, EqualWidthBinning, OceanDataGenerator, ZOrderLayout
+from repro.bitmap import LevelSpec, MultiLevelBitmapIndex
+from repro.mining import (
+    correlation_mining,
+    correlation_mining_fulldata,
+    correlation_mining_multilevel,
+    suggest_value_threshold,
+)
+
+SHAPE = (8, 48, 96)
+UNIT_BITS = 512
+N_BINS = 16
+
+
+def main() -> None:
+    gen = OceanDataGenerator(SHAPE, seed=13)
+    snap = gen.advance()
+    temp, salt = snap.fields["temperature"], snap.fields["salinity"]
+    print(f"ocean snapshot: {SHAPE} = {temp.size} cells per variable")
+
+    layout = ZOrderLayout.for_shape(SHAPE)
+    tz, sz = layout.flatten(temp), layout.flatten(salt)
+    bt = EqualWidthBinning.from_data(tz, N_BINS)
+    bs = EqualWidthBinning.from_data(sz, N_BINS)
+    index_t = BitmapIndex.build(tz, bt)
+    index_s = BitmapIndex.build(sz, bs)
+
+    # The paper's same-unit rule gives an upper bound for T; with planted
+    # correlations covering ~10% of the domain the working threshold sits
+    # well below it.
+    t_upper = suggest_value_threshold(index_t, index_s, UNIT_BITS)
+    kw = dict(value_threshold=0.002, spatial_threshold=0.05, unit_bits=UNIT_BITS)
+    print(f"value threshold T={kw['value_threshold']} "
+          f"(same-unit-rule upper bound {t_upper:.4f}), "
+          f"spatial threshold T'={kw['spatial_threshold']}")
+
+    t0 = time.perf_counter()
+    bm = correlation_mining(index_t, index_s, **kw)
+    t_bm = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fd = correlation_mining_fulldata(tz, sz, bt, bs, **kw)
+    t_fd = time.perf_counter() - t0
+    print(f"\nbitmap mining   : {bm} in {t_bm:.3f}s")
+    print(f"full-data mining: {fd} in {t_fd:.3f}s  "
+          f"(speedup {t_fd / t_bm:.2f}x, identical hits: "
+          f"{ {(h.a_bin, h.b_bin) for h in bm.value_hits} == {(h.a_bin, h.b_bin) for h in fd.value_hits} })")
+
+    ml_t = MultiLevelBitmapIndex.build(tz, bt, [LevelSpec(4)])
+    ml_s = MultiLevelBitmapIndex.build(sz, bs, [LevelSpec(4)])
+    ml, stats = correlation_mining_multilevel(ml_t, ml_s, **kw)
+    print(f"multi-level     : {ml}; low-level pairs evaluated "
+          f"{stats.low_pairs_evaluated}/{index_t.n_bins * index_s.n_bins} "
+          f"(pruned {stats.low_pairs_skipped})")
+
+    # Score against the planted ground truth.
+    region = gen.planted_regions()[0]
+    grid_mask = np.zeros(SHAPE, dtype=bool)
+    grid_mask[region.slices()] = True
+    planted_units = set(
+        (np.flatnonzero(layout.flatten(grid_mask)) // UNIT_BITS).tolist()
+    )
+    mined = bm.spatial_units()
+    tp = len(mined & planted_units)
+    print(f"\nplanted region spans {len(planted_units)} Z-order units; mined "
+          f"{len(mined)} units; precision {tp / max(len(mined), 1):.0%}, "
+          f"recall {tp / len(planted_units):.0%}")
+
+
+if __name__ == "__main__":
+    main()

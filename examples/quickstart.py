@@ -1,0 +1,70 @@
+"""Quickstart: build a bitmap index, analyse without the raw data.
+
+Demonstrates the core promise of the paper in ~60 lines: index two
+time-steps, throw the raw arrays away, and compute the same analysis
+results from the bitmaps alone.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BitmapIndex,
+    common_binning,
+    conditional_entropy,
+    conditional_entropy_bitmap,
+    emd_spatial,
+    emd_spatial_bitmap,
+    mutual_information,
+    mutual_information_bitmap,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Two "time-steps" of a drifting field.  Simulation output is spatially
+    # coherent (neighbouring cells carry similar values) -- exactly what
+    # run-length bitmap compression feeds on -- so we smooth the noise.
+    from scipy.ndimage import gaussian_filter
+
+    base = gaussian_filter(rng.normal(0.0, 1.0, 50_000), sigma=40.0)
+    step_a = 20.0 + 30.0 * base
+    step_b = step_a + 0.8 + gaussian_filter(rng.normal(0.0, 0.3, 50_000), sigma=10.0)
+
+    # One shared binning scale -- the precondition for exact bitmap analysis.
+    binning = common_binning([step_a, step_b], bins=64)
+
+    # Build compressed bitmap indices (this is what in-situ code would keep).
+    index_a = BitmapIndex.build(step_a, binning)
+    index_b = BitmapIndex.build(step_b, binning)
+    raw_bytes = step_a.nbytes
+    print(f"raw step size:      {raw_bytes / 1024:8.1f} KiB")
+    print(f"bitmap index size:  {index_a.nbytes / 1024:8.1f} KiB "
+          f"({index_a.size_ratio(8):.1%} of raw)")
+
+    # --- full-data analysis (requires the raw arrays) -------------------
+    h_full = conditional_entropy(step_b, step_a, binning, binning)
+    mi_full = mutual_information(step_a, step_b, binning, binning)
+    emd_full = emd_spatial(step_a, step_b, binning)
+
+    # --- bitmap-only analysis (raw arrays could be freed by now) --------
+    h_bm = conditional_entropy_bitmap(index_b, index_a)
+    mi_bm = mutual_information_bitmap(index_a, index_b)
+    emd_bm = emd_spatial_bitmap(index_a, index_b)
+
+    print(f"\n{'metric':<28}{'full data':>12}{'bitmaps':>12}")
+    print(f"{'conditional entropy H(B|A)':<28}{h_full:12.6f}{h_bm:12.6f}")
+    print(f"{'mutual information':<28}{mi_full:12.6f}{mi_bm:12.6f}")
+    print(f"{'spatial EMD':<28}{emd_full:12.1f}{emd_bm:12.1f}")
+
+    assert abs(h_full - h_bm) < 1e-9
+    assert abs(mi_full - mi_bm) < 1e-9
+    assert emd_full == emd_bm
+    print("\nbitmap results are exact at the shared binning scale -- "
+          "the paper's central claim.")
+
+
+if __name__ == "__main__":
+    main()

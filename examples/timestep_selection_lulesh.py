@@ -1,0 +1,77 @@
+"""Time-step selection on the LULESH-like proxy (the §5.1 Lulesh setup).
+
+Each Lulesh time-step emits 12 node arrays (coordinates / velocity /
+acceleration / force x XYZ); selection treats them as one payload and uses
+the spatial Earth Mover's Distance -- the metric the paper accelerates to
+3.45x-3.81x with per-bin XOR popcounts.
+
+The script compares:
+  * greedy selection, fixed-length vs information-volume partitioning;
+  * greedy vs dynamic-programming selection (Tong et al.);
+  * full-data vs bitmap back ends (identical answers, different costs).
+
+Run:  python examples/timestep_selection_lulesh.py
+"""
+
+import time
+
+from repro import BitmapIndex, LuleshProxy, common_binning
+from repro.selection import (
+    EMD_SPATIAL,
+    select_timesteps_bitmap,
+    select_timesteps_full,
+)
+from repro.selection.dp import select_timesteps_dp_bitmap
+
+N_STEPS, SELECT_K = 30, 8
+NODE_SHAPE = (10, 10, 10)
+
+
+def main() -> None:
+    print(f"simulating {N_STEPS} Lulesh steps on a {NODE_SHAPE} node mesh ...")
+    sim = LuleshProxy(NODE_SHAPE, seed=3)
+    steps = [s.concatenated() for s in sim.run(N_STEPS)]
+    print(f"payload per step: {steps[0].size} values "
+          f"({steps[0].nbytes / 1024:.0f} KiB, 12 arrays)")
+
+    binning = common_binning(steps, bins=96)
+    t0 = time.perf_counter()
+    indices = [BitmapIndex.build(s, binning) for s in steps]
+    t_build = time.perf_counter() - t0
+    ratio = indices[0].nbytes / steps[0].nbytes
+    print(f"bitmap build: {t_build:.2f}s, size ratio {ratio:.1%}")
+
+    t0 = time.perf_counter()
+    full = select_timesteps_full(steps, SELECT_K, EMD_SPATIAL, binning)
+    t_full = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    bitmap = select_timesteps_bitmap(indices, SELECT_K, EMD_SPATIAL)
+    t_bitmap = time.perf_counter() - t0
+
+    print(f"\ngreedy, fixed-length partitions, k={SELECT_K}:")
+    print(f"  full data : {full.selected}   ({t_full:.3f}s)")
+    print(f"  bitmaps   : {bitmap.selected}   ({t_bitmap:.3f}s)")
+    assert full.selected == bitmap.selected, "back ends must agree"
+
+    info = select_timesteps_bitmap(
+        indices, SELECT_K, EMD_SPATIAL, partitioning="info_volume"
+    )
+    print(f"  info-volume partitions: {info.selected}")
+
+    dp = select_timesteps_dp_bitmap(indices, SELECT_K, EMD_SPATIAL)
+    print(f"  dynamic programming   : {dp.selected} "
+          f"({dp.n_evaluations} pairwise evaluations vs {bitmap.n_evaluations})")
+
+    def chain_score(sel):
+        return sum(
+            EMD_SPATIAL.bitmap(indices[a], indices[b])
+            for a, b in zip(sel, sel[1:])
+        )
+
+    print(f"\nchain distinctness: greedy={chain_score(bitmap.selected):.0f}  "
+          f"dp={chain_score(dp.selected):.0f} (dp >= greedy by construction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro: reproduction of "In-Situ Bitmaps Generation and Efficient Data
+Analysis based on Bitmaps" (Su, Wang, Agrawal -- HPDC 2015).
+
+The package builds the paper's full stack from scratch:
+
+* :mod:`repro.bitmap` -- WAH-compressed bitmap indices with the paper's
+  exact word layout, Algorithm 1's single-scan in-situ builder, compressed
+  bitwise operations, multi-level indices, Z-order layout, on-disk format;
+* :mod:`repro.metrics` -- Equations 3-6 (EMD, Shannon entropy, mutual
+  information, conditional entropy) with exact-at-equal-binning full-data
+  and bitmap-only back ends;
+* :mod:`repro.selection` -- greedy (Wang et al.) and DP (Tong et al.)
+  time-step selection over either back end;
+* :mod:`repro.mining` -- Algorithm 2 correlation mining, multi-level
+  top-down pruning, and the exhaustive full-data baseline;
+* :mod:`repro.analysis` -- subset queries, approximate aggregation, CFP
+  accuracy curves;
+* :mod:`repro.sims` -- Heat3D, a LULESH-like hydro proxy, and a POP-like
+  ocean data generator (the paper's three workloads);
+* :mod:`repro.insitu` -- the reduce-select-write pipeline, Shared/Separate
+  core allocation, bounded data queue, memory accounting, sampling
+  baseline;
+* :mod:`repro.perfmodel` -- calibrated machine/cluster performance models
+  regenerating the hardware axes of Figures 7-13;
+* :mod:`repro.io` -- dataset container and simulated storage.
+
+See DESIGN.md for the full inventory and EXPERIMENTS.md for the
+figure-by-figure reproduction record.
+"""
+
+from repro.bitmap import (
+    BitmapIndex,
+    Binning,
+    DistinctValueBinning,
+    EqualWidthBinning,
+    ExplicitBinning,
+    MultiLevelBitmapIndex,
+    OnlineBitmapBuilder,
+    PrecisionBinning,
+    WAHBitVector,
+    ZOrderLayout,
+    common_binning,
+    load_index,
+    save_index,
+)
+from repro.insitu import InSituPipeline, OutputWriter, Sampler
+from repro.metrics import (
+    conditional_entropy,
+    conditional_entropy_bitmap,
+    emd_count_based,
+    emd_count_bitmap,
+    emd_spatial,
+    emd_spatial_bitmap,
+    mutual_information,
+    mutual_information_bitmap,
+    shannon_entropy,
+    shannon_entropy_bitmap,
+)
+from repro.mining import correlation_mining, correlation_mining_fulldata
+from repro.selection import (
+    CONDITIONAL_ENTROPY,
+    EMD_COUNT,
+    EMD_SPATIAL,
+    select_timesteps_bitmap,
+    select_timesteps_full,
+)
+from repro.sims import Heat3D, LuleshProxy, OceanDataGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitmapIndex",
+    "Binning",
+    "DistinctValueBinning",
+    "EqualWidthBinning",
+    "ExplicitBinning",
+    "MultiLevelBitmapIndex",
+    "OnlineBitmapBuilder",
+    "PrecisionBinning",
+    "WAHBitVector",
+    "ZOrderLayout",
+    "common_binning",
+    "load_index",
+    "save_index",
+    "InSituPipeline",
+    "OutputWriter",
+    "Sampler",
+    "conditional_entropy",
+    "conditional_entropy_bitmap",
+    "emd_count_based",
+    "emd_count_bitmap",
+    "emd_spatial",
+    "emd_spatial_bitmap",
+    "mutual_information",
+    "mutual_information_bitmap",
+    "shannon_entropy",
+    "shannon_entropy_bitmap",
+    "correlation_mining",
+    "correlation_mining_fulldata",
+    "CONDITIONAL_ENTROPY",
+    "EMD_COUNT",
+    "EMD_SPATIAL",
+    "select_timesteps_bitmap",
+    "select_timesteps_full",
+    "Heat3D",
+    "LuleshProxy",
+    "OceanDataGenerator",
+    "__version__",
+]

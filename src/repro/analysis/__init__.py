@@ -1,0 +1,95 @@
+"""Offline analysis substrate (S12): subset queries, aggregation, CFP,
+spatial join, missing-value imputation, subgroup discovery."""
+
+from repro.analysis.aggregation import (
+    ApproximateValue,
+    approximate_count,
+    approximate_max,
+    approximate_mean,
+    approximate_min,
+    approximate_sum,
+)
+from repro.analysis.cfp import (
+    CFPCurve,
+    absolute_differences,
+    cfp_curve,
+    mean_relative_loss,
+)
+from repro.analysis.incomplete import (
+    completeness_by_unit,
+    coverage,
+    masked_bin_counts,
+    masked_conditional_entropy,
+    masked_entropy,
+    masked_mutual_information,
+    observed_mask,
+    pairwise_complete_mask,
+)
+from repro.analysis.imputation import (
+    ImputationModel,
+    fit_imputation,
+    impute_array,
+    impute_missing,
+)
+from repro.analysis.queries import (
+    FlatRange,
+    SpatialSubset,
+    ValueSubset,
+    correlation_query,
+    restricted_joint_counts,
+    spatial_subset_mask,
+    value_subset_mask,
+)
+from repro.analysis.spatial_join import (
+    JoinUnit,
+    join_count,
+    join_mask,
+    join_pairs_table,
+    join_units,
+)
+from repro.analysis.sql import Query, QueryError, execute_query, parse_query, query
+from repro.analysis.subgroup import Subgroup, discover_subgroups
+
+__all__ = [
+    "completeness_by_unit",
+    "coverage",
+    "masked_bin_counts",
+    "masked_conditional_entropy",
+    "masked_entropy",
+    "masked_mutual_information",
+    "observed_mask",
+    "pairwise_complete_mask",
+    "Query",
+    "QueryError",
+    "execute_query",
+    "parse_query",
+    "query",
+    "ImputationModel",
+    "fit_imputation",
+    "impute_array",
+    "impute_missing",
+    "JoinUnit",
+    "join_count",
+    "join_mask",
+    "join_pairs_table",
+    "join_units",
+    "Subgroup",
+    "discover_subgroups",
+    "ApproximateValue",
+    "approximate_count",
+    "approximate_max",
+    "approximate_mean",
+    "approximate_min",
+    "approximate_sum",
+    "CFPCurve",
+    "absolute_differences",
+    "cfp_curve",
+    "mean_relative_loss",
+    "FlatRange",
+    "SpatialSubset",
+    "ValueSubset",
+    "correlation_query",
+    "restricted_joint_counts",
+    "spatial_subset_mask",
+    "value_subset_mask",
+]

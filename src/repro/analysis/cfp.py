@@ -1,0 +1,80 @@
+"""Cumulative Frequency Plots and accuracy-loss scoring (§5.5).
+
+Figures 16 and 17 report sampling accuracy as a CFP: "a point (x, y)
+indicates that the fraction y of all calculated value differences are less
+than x", plus a mean *relative* loss
+``(original - sample) / original`` averaged over all pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_same_length, ensure_1d
+
+
+@dataclass(frozen=True)
+class CFPCurve:
+    """A cumulative frequency curve over non-negative differences."""
+
+    x: np.ndarray  # sorted difference values
+    y: np.ndarray  # fraction of differences <= x
+
+    @property
+    def n(self) -> int:
+        return int(self.x.size)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of differences strictly below ``threshold``."""
+        if self.n == 0:
+            return 0.0
+        return float(np.searchsorted(self.x, threshold, side="left") / self.n)
+
+    def quantile(self, q: float) -> float:
+        """Difference value below which fraction ``q`` of points fall."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.n == 0:
+            raise ValueError("empty curve")
+        return float(np.quantile(self.x, q))
+
+    def dominates(self, other: "CFPCurve") -> bool:
+        """True if this curve is (weakly) left of ``other`` at every decile.
+
+        "A method with the curve to the left has a better accuracy."
+        """
+        qs = np.linspace(0.1, 0.9, 9)
+        mine = np.quantile(self.x, qs) if self.n else np.zeros(9)
+        theirs = np.quantile(other.x, qs) if other.n else np.zeros(9)
+        return bool(np.all(mine <= theirs + 1e-12))
+
+
+def cfp_curve(differences: np.ndarray) -> CFPCurve:
+    """Build a CFP from absolute differences (negatives are |.|-folded)."""
+    diffs = np.abs(ensure_1d("differences", differences, dtype=np.float64))
+    x = np.sort(diffs)
+    y = np.arange(1, x.size + 1, dtype=np.float64) / max(x.size, 1)
+    return CFPCurve(x, y)
+
+
+def absolute_differences(original: np.ndarray, approx: np.ndarray) -> np.ndarray:
+    """``|original - approx|`` per pair (Figures 16-17's x axis)."""
+    original = ensure_1d("original", original, dtype=np.float64)
+    approx = ensure_1d("approx", approx, dtype=np.float64)
+    check_same_length("original", original, "approx", approx)
+    return np.abs(original - approx)
+
+
+def mean_relative_loss(original: np.ndarray, approx: np.ndarray) -> float:
+    """Mean of ``|original - approx| / |original|`` over pairs with
+    ``original != 0`` -- the paper's "average information loss"."""
+    original = ensure_1d("original", original, dtype=np.float64)
+    approx = ensure_1d("approx", approx, dtype=np.float64)
+    check_same_length("original", original, "approx", approx)
+    ok = original != 0
+    if not np.any(ok):
+        return 0.0
+    rel = np.abs(original[ok] - approx[ok]) / np.abs(original[ok])
+    return float(rel.mean())

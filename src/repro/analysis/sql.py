@@ -1,0 +1,231 @@
+"""A restricted SQL-ish query language for correlation analysis (§4.1).
+
+The authors' interactive framework [30] let scientists "submit different
+SQL queries to specify the data subsets (either value-based or
+dimension-based subsets) they are interested in for correlation analysis".
+This module provides that front end over the bitmap machinery:
+
+    SELECT MI FROM temperature, salinity
+        WHERE temperature BETWEEN 2.5 AND 9
+          AND salinity >= 34
+          AND REGION(0:4, 10:20, 0:48)
+
+Grammar (case-insensitive keywords):
+
+* ``SELECT <metric>`` -- one of ``MI`` (mutual information), ``CE``
+  (conditional entropy of var1 given var2), ``EMD`` (count-based EMD,
+  requires a shared binning scale), ``COUNT`` (join cardinality);
+* ``FROM a, b`` -- two variable names resolved against a dict of indices;
+* ``WHERE`` clauses joined by ``AND``:
+  - ``<var> BETWEEN x AND y``,
+  - ``<var> >= x`` / ``<var> <= x``,
+  - ``REGION(lo:hi, lo:hi, ...)`` -- a grid box (needs a Z-order layout).
+
+All predicates compile to bitvector masks (bin-granular, like the rest of
+the system); evaluation never touches raw data.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.queries import (
+    SpatialSubset,
+    ValueSubset,
+    restricted_joint_counts,
+    spatial_subset_mask,
+    value_subset_mask,
+)
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.ops import logical_and
+from repro.bitmap.wah import WAHBitVector
+from repro.bitmap.zorder import ZOrderLayout
+from repro.metrics.entropy import (
+    conditional_entropy_from_joint,
+    mutual_information_from_joint,
+)
+from repro.metrics.emd import emd_from_counts
+
+_METRICS = ("MI", "CE", "EMD", "COUNT")
+
+
+class QueryError(ValueError):
+    """Raised for malformed query text."""
+
+
+@dataclass
+class Query:
+    """A parsed query, ready to evaluate against named indices."""
+
+    metric: str
+    var_a: str
+    var_b: str
+    value_predicates: dict[str, ValueSubset] = field(default_factory=dict)
+    region: SpatialSubset | None = None
+    text: str = ""
+
+    def __repr__(self) -> str:
+        return f"Query({self.text!r})"
+
+
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+(?P<metric>\w+)\s+FROM\s+(?P<a>\w+)\s*,\s*(?P<b>\w+)"
+    r"(?:\s+WHERE\s+(?P<where>.*))?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_BETWEEN_RE = re.compile(
+    r"^(?P<var>\w+)\s+BETWEEN\s+(?P<lo>-?[\d.eE+]+)\s+AND\s+(?P<hi>-?[\d.eE+]+)$",
+    re.IGNORECASE,
+)
+_CMP_RE = re.compile(
+    r"^(?P<var>\w+)\s*(?P<op>>=|<=)\s*(?P<val>-?[\d.eE+]+)$"
+)
+_REGION_RE = re.compile(r"^REGION\s*\((?P<body>[^)]*)\)$", re.IGNORECASE)
+
+
+def _split_where(text: str) -> list[str]:
+    """Split WHERE clauses on AND, but not the AND inside BETWEEN."""
+    parts: list[str] = []
+    tokens = re.split(r"\s+AND\s+", text, flags=re.IGNORECASE)
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if re.search(r"\bBETWEEN\s+[-\d.eE+]+$", token, re.IGNORECASE):
+            if i + 1 >= len(tokens):
+                raise QueryError(f"dangling BETWEEN in {token!r}")
+            token = f"{token} AND {tokens[i + 1]}"
+            i += 1
+        parts.append(token.strip())
+        i += 1
+    return [p for p in parts if p]
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text; raises :class:`QueryError` with a useful message."""
+    m = _SELECT_RE.match(text)
+    if not m:
+        raise QueryError(
+            f"cannot parse {text!r}: expected "
+            "'SELECT <metric> FROM <a>, <b> [WHERE ...]'"
+        )
+    metric = m.group("metric").upper()
+    if metric not in _METRICS:
+        raise QueryError(f"unknown metric {metric!r}; supported: {_METRICS}")
+    query = Query(metric, m.group("a"), m.group("b"), text=text.strip())
+
+    where = m.group("where")
+    if where:
+        for clause in _split_where(where):
+            if bm := _BETWEEN_RE.match(clause):
+                lo, hi = float(bm.group("lo")), float(bm.group("hi"))
+                _merge_predicate(query, bm.group("var"), ValueSubset(lo, hi))
+            elif cm := _CMP_RE.match(clause):
+                val = float(cm.group("val"))
+                subset = (
+                    ValueSubset(val, float("inf"))
+                    if cm.group("op") == ">="
+                    else ValueSubset(float("-inf"), val)
+                )
+                _merge_predicate(query, cm.group("var"), subset)
+            elif rm := _REGION_RE.match(clause):
+                if query.region is not None:
+                    raise QueryError("multiple REGION clauses")
+                query.region = _parse_region(rm.group("body"))
+            else:
+                raise QueryError(f"cannot parse WHERE clause {clause!r}")
+    return query
+
+
+def _merge_predicate(query: Query, var: str, subset: ValueSubset) -> None:
+    existing = query.value_predicates.get(var)
+    if existing is None:
+        query.value_predicates[var] = subset
+        return
+    lo = max(existing.lo, subset.lo)
+    hi = min(existing.hi, subset.hi)
+    if hi < lo:
+        raise QueryError(f"contradictory predicates on {var!r}")
+    query.value_predicates[var] = ValueSubset(lo, hi)
+
+
+def _parse_region(body: str) -> SpatialSubset:
+    lo: list[int] = []
+    hi: list[int] = []
+    for dim in body.split(","):
+        dim = dim.strip()
+        m = re.match(r"^(\d+)\s*:\s*(\d+)$", dim)
+        if not m:
+            raise QueryError(f"bad REGION dimension {dim!r}; expected lo:hi")
+        lo.append(int(m.group(1)))
+        hi.append(int(m.group(2)))
+    return SpatialSubset(tuple(lo), tuple(hi))
+
+
+def _clamped(subset: ValueSubset, index: BitmapIndex) -> ValueSubset:
+    """Replace +-inf bounds with the binning's extremes."""
+    edges = getattr(index.binning, "edges", None)
+    if edges is None:
+        values = getattr(index.binning, "values", None)
+        domain_lo, domain_hi = float(values[0]), float(values[-1])
+    else:
+        domain_lo, domain_hi = float(edges[0]), float(edges[-1])
+    lo = domain_lo if np.isneginf(subset.lo) else subset.lo
+    hi = domain_hi if np.isposinf(subset.hi) else subset.hi
+    return ValueSubset(min(lo, hi), max(lo, hi))
+
+
+def execute_query(
+    query: Query,
+    indices: dict[str, BitmapIndex],
+    *,
+    layout: ZOrderLayout | None = None,
+) -> float:
+    """Evaluate a parsed query against named bitmap indices."""
+    try:
+        index_a = indices[query.var_a]
+        index_b = indices[query.var_b]
+    except KeyError as exc:
+        raise QueryError(
+            f"unknown variable {exc.args[0]!r}; available: {sorted(indices)}"
+        ) from None
+    n = index_a.n_elements
+    if index_b.n_elements != n:
+        raise QueryError("FROM variables cover different element sets")
+
+    mask = WAHBitVector.ones(n)
+    for var, subset in query.value_predicates.items():
+        if var not in (query.var_a, query.var_b):
+            raise QueryError(
+                f"predicate on {var!r}, which is not in the FROM clause"
+            )
+        index = index_a if var == query.var_a else index_b
+        mask = logical_and(mask, value_subset_mask(index, _clamped(subset, index)))
+    if query.region is not None:
+        if layout is None:
+            raise QueryError("REGION clause requires a ZOrderLayout")
+        mask = logical_and(mask, spatial_subset_mask(n, query.region, layout))
+
+    joint = restricted_joint_counts(index_a, index_b, mask)
+    if query.metric == "MI":
+        return mutual_information_from_joint(joint)
+    if query.metric == "CE":
+        return conditional_entropy_from_joint(joint)
+    if query.metric == "COUNT":
+        return float(joint.sum())
+    # EMD over the restricted marginals (requires one binning scale).
+    if index_a.binning != index_b.binning:
+        raise QueryError("EMD requires both variables on one binning scale")
+    return emd_from_counts(joint.sum(axis=1), joint.sum(axis=0))
+
+
+def query(
+    text: str,
+    indices: dict[str, BitmapIndex],
+    *,
+    layout: ZOrderLayout | None = None,
+) -> float:
+    """Parse and execute in one call."""
+    return execute_query(parse_query(text), indices, layout=layout)

@@ -1,0 +1,166 @@
+"""Bitmap-based subgroup discovery -- the SciSD prior-work analysis [39].
+
+"SciSD: novel subgroup discovery over scientific datasets using bitmap
+indices" (Wang, Su, Agrawal, Liu): find *subgroups* -- conjunctions of a
+value predicate on an explanatory variable and/or a spatial unit -- where
+a target variable's mean deviates most from the global mean.
+
+With bitmaps the search needs no raw data:
+
+* a candidate subgroup is a bitvector (bin, bin range, Z-order unit, or
+  their AND);
+* the target's mean over the subgroup comes from AND counts against the
+  target's bins and the bin representatives (the approximate-aggregation
+  machinery);
+* quality uses the standard mean-shift function
+  ``q = n^alpha * |mean(subgroup) - mean(global)|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.aggregation import _bin_geometry
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.units import n_units, unit_popcounts
+from repro.bitmap.wah import WAHBitVector
+from repro.util.bits import last_group_mask
+
+
+@dataclass(frozen=True)
+class Subgroup:
+    """A discovered subgroup and its statistics."""
+
+    description: str
+    size: int
+    mean: float
+    quality: float
+
+    def __repr__(self) -> str:
+        return (
+            f"Subgroup({self.description!r}, n={self.size}, "
+            f"mean={self.mean:.4g}, q={self.quality:.4g})"
+        )
+
+
+def _target_unit_matrix(target: BitmapIndex, unit_bits: int) -> np.ndarray:
+    """Counts[target_bin, unit]: the target's value distribution per unit."""
+    rows = [unit_popcounts(v, unit_bits) for v in target.bitvectors]
+    return np.vstack(rows) if rows else np.empty((0, 0), dtype=np.int64)
+
+
+def discover_subgroups(
+    explain: BitmapIndex,
+    target: BitmapIndex,
+    *,
+    unit_bits: int,
+    top_k: int = 10,
+    min_size: int = 30,
+    alpha: float = 0.5,
+    max_range_width: int = 3,
+) -> list[Subgroup]:
+    """Top-k mean-shift subgroups over value bins, bin ranges and units.
+
+    Candidates:
+
+    * ``explain in bin-range`` for every contiguous run of up to
+      ``max_range_width`` explanatory bins;
+    * ``unit u`` for every spatial unit;
+    * the conjunction of the best value candidates with every unit they
+      overlap (refinement step).
+    """
+    if explain.n_elements != target.n_elements:
+        raise ValueError("explain/target cover different element sets")
+    n = target.n_elements
+    _, _, mids = _bin_geometry(target)
+    global_counts = target.bin_counts().astype(np.float64)
+    total = global_counts.sum()
+    if total == 0:
+        raise ValueError("empty target index")
+    global_mean = float(global_counts @ mids / total)
+
+    results: list[Subgroup] = []
+
+    def score(desc: str, counts_per_target_bin: np.ndarray) -> None:
+        size = int(counts_per_target_bin.sum())
+        if size < min_size:
+            return
+        mean = float(counts_per_target_bin @ mids / size)
+        quality = size**alpha * abs(mean - global_mean)
+        results.append(Subgroup(desc, size, mean, quality))
+
+    # --- value-range candidates (counts via joint AND counts) -----------
+    from repro.metrics.bitmap_metrics import joint_counts
+
+    joint = joint_counts(explain, target)  # explain-bin x target-bin
+    for width in range(1, max_range_width + 1):
+        for start in range(0, explain.n_bins - width + 1):
+            counts = joint[start : start + width].sum(axis=0)
+            label = (
+                f"explain in {explain.binning.bin_label(start)}"
+                if width == 1
+                else f"explain in bins[{start}:{start + width}]"
+            )
+            score(label, counts)
+
+    # --- spatial-unit candidates ----------------------------------------
+    per_unit = _target_unit_matrix(target, unit_bits)  # target-bin x unit
+    for unit in range(n_units(n, unit_bits)):
+        score(f"unit {unit}", per_unit[:, unit])
+
+    # --- refinement: best value candidate x each unit --------------------
+    results.sort(key=lambda s: -s.quality)
+    best_values = [s for s in results if s.description.startswith("explain")][:3]
+    for vs in best_values:
+        mask = _mask_for_description(explain, vs.description)
+        masked_units = _masked_target_units(target, mask, unit_bits)
+        for unit in range(masked_units.shape[1]):
+            score(f"{vs.description} AND unit {unit}", masked_units[:, unit])
+
+    results.sort(key=lambda s: (-s.quality, s.description))
+    return results[:top_k]
+
+
+def _mask_for_description(explain: BitmapIndex, description: str) -> WAHBitVector:
+    """Rebuild the bitvector of a value candidate from its label."""
+    if "bins[" in description:
+        inner = description.split("bins[")[1].rstrip("]")
+        start, stop = (int(x) for x in inner.split(":"))
+        bins = np.arange(start, stop)
+    else:
+        label = description.removeprefix("explain in ")
+        bins = np.asarray(
+            [
+                b
+                for b in range(explain.n_bins)
+                if explain.binning.bin_label(b) == label
+            ]
+        )
+    return explain.query_bins(bins)
+
+
+def _masked_target_units(
+    target: BitmapIndex, mask: WAHBitVector, unit_bits: int
+) -> np.ndarray:
+    """Counts[target_bin, unit] restricted to ``mask`` positions."""
+    mg = mask.to_groups().copy()
+    if mg.size and target.n_elements:
+        mg[-1] &= last_group_mask(target.n_elements)
+    rows = []
+    from repro.bitmap.units import unit_popcounts_groups
+
+    aligned = unit_bits % 31 == 0
+    for v in target.bitvectors:
+        joint = v.to_groups() & mg
+        if aligned:
+            rows.append(unit_popcounts_groups(joint, target.n_elements, unit_bits))
+        else:
+            from repro.bitmap.wah import WAHBitVector as _W
+            from repro.bitmap.wah import compress_groups
+
+            rows.append(
+                unit_popcounts(_W(compress_groups(joint), target.n_elements), unit_bits)
+            )
+    return np.vstack(rows)

@@ -1,0 +1,124 @@
+"""Per-time-step adaptive binning with tick-aligned comparability.
+
+§5.1: "The number of bitvectors (bins) we used ranged from 64 to 206,
+depending on the temperature range of different time-steps.  The binning
+scale is set to retain 1 digit after the decimal point."
+
+That is: each step gets its *own* bin count (its own value range), but all
+steps share one absolute scale -- every bin is a fixed-width tick interval
+anchored at multiples of ``10**-digits``.  Two steps' bitmaps are then
+comparable by *aligning ticks*, not by sharing one pre-declared binning:
+
+* :class:`AdaptivePrecisionIndexer` builds a minimal
+  :class:`~repro.bitmap.binning.PrecisionBinning` per step;
+* :func:`align_indices` pads two tick-aligned indices onto their union
+  range (inserted bins are all-zero bitvectors -- free), after which every
+  bitmap metric applies with the usual exactness guarantee;
+* :func:`aligned_metric` wraps a :class:`~repro.selection.metrics.SelectionMetric`
+  bitmap backend so greedy selection runs directly on per-step indices.
+
+This removes the pipeline's need to know the global value range up front
+-- the genuinely in-situ setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmap.binning import PrecisionBinning
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.wah import WAHBitVector
+
+
+@dataclass(frozen=True)
+class AdaptivePrecisionIndexer:
+    """Builds one tick-anchored precision index per time-step."""
+
+    digits: int = 1
+    method: str = "vectorized"
+
+    def binning_for(self, data: np.ndarray) -> PrecisionBinning:
+        """The minimal tick-aligned binning covering ``data``."""
+        return PrecisionBinning.from_data(np.asarray(data), digits=self.digits)
+
+    def index(self, data: np.ndarray) -> BitmapIndex:
+        """Index one step under its own minimal binning."""
+        flat = np.asarray(data).ravel()
+        return BitmapIndex.build(
+            flat, self.binning_for(flat), method=self.method  # type: ignore[arg-type]
+        )
+
+
+def _ticks(binning: PrecisionBinning) -> tuple[int, int, float]:
+    """(lo_tick, n_bins, scale) of a precision binning."""
+    return binning._lo_tick, binning.n_bins, binning._scale
+
+
+def union_binning(a: PrecisionBinning, b: PrecisionBinning) -> PrecisionBinning:
+    """The minimal precision binning covering both operands' ranges."""
+    if a.digits != b.digits:
+        raise ValueError(
+            f"cannot align binnings with different precision: "
+            f"{a.digits} vs {b.digits} digits"
+        )
+    lo = min(a.lo, b.lo)
+    hi = max(a.hi, b.hi)
+    return PrecisionBinning(lo, hi, a.digits)
+
+
+def pad_index(index: BitmapIndex, target: PrecisionBinning) -> BitmapIndex:
+    """Re-express a tick-aligned index under a wider tick-aligned binning.
+
+    Bins outside the original range receive all-zero bitvectors; bins
+    inside are reused verbatim (no recompression).  The result's counts
+    and bitwise behaviour are identical to having indexed the data under
+    ``target`` in the first place (tested).
+    """
+    binning = index.binning
+    if not isinstance(binning, PrecisionBinning):
+        raise TypeError("pad_index requires PrecisionBinning-indexed data")
+    lo_tick, n_bins, scale = _ticks(binning)
+    t_lo, t_bins, t_scale = _ticks(target)
+    if scale != t_scale:
+        raise ValueError("precision mismatch between index and target binning")
+    offset = lo_tick - t_lo
+    if offset < 0 or offset + n_bins > t_bins:
+        raise ValueError("target binning does not cover the index's range")
+    zero = WAHBitVector.zeros(index.n_elements)
+    vectors = (
+        [zero] * offset
+        + list(index.bitvectors)
+        + [zero] * (t_bins - offset - n_bins)
+    )
+    return BitmapIndex(target, vectors, index.n_elements)
+
+
+def align_indices(
+    index_a: BitmapIndex, index_b: BitmapIndex
+) -> tuple[BitmapIndex, BitmapIndex]:
+    """Pad two tick-aligned indices onto their shared union binning."""
+    if not isinstance(index_a.binning, PrecisionBinning) or not isinstance(
+        index_b.binning, PrecisionBinning
+    ):
+        raise TypeError("align_indices requires PrecisionBinning on both sides")
+    target = union_binning(index_a.binning, index_b.binning)
+    return pad_index(index_a, target), pad_index(index_b, target)
+
+
+def aligned_metric(metric):
+    """Wrap a SelectionMetric so its bitmap backend aligns ticks first.
+
+    Returns a new :class:`~repro.selection.metrics.SelectionMetric` whose
+    ``bitmap(prev, cand)`` pads both operands onto their union binning --
+    letting greedy/DP/streaming selection run over per-step adaptive
+    indices with unchanged semantics.
+    """
+    from repro.selection.metrics import SelectionMetric
+
+    def bitmap(prev: BitmapIndex, cand: BitmapIndex) -> float:
+        pa, pb = align_indices(prev, cand)
+        return metric.bitmap(pa, pb)
+
+    return SelectionMetric(f"{metric.name}@adaptive", metric.full, bitmap)

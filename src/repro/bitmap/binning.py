@@ -1,0 +1,241 @@
+"""Binning strategies: map raw values to bitvector (bin) ids.
+
+The paper builds one bitvector per *distinct value* for low-cardinality
+integer data (Figure 1) and one per *bin* for floating-point data (§2.1,
+citing Wu et al. [42]).  The Heat3D experiments use a fixed-precision
+binning ("retain 1 digit after the decimal point", §5.1), which yields
+64-206 bins depending on the per-time-step value range; Lulesh yields
+89-314 bins.
+
+Every strategy maps an array of values to integer bin ids in ``[0, n_bins)``
+via :meth:`Binning.assign`, and exposes the bin edges/labels needed to keep
+the binning scale *identical* between the full-data and bitmap analysis
+paths -- the precondition for the paper's "no accuracy loss" claim.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import ensure_1d
+
+
+class Binning(ABC):
+    """Maps values to contiguous integer bin ids."""
+
+    @property
+    @abstractmethod
+    def n_bins(self) -> int:
+        """Number of bins (== number of low-level bitvectors)."""
+
+    @abstractmethod
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        """Return an ``int64`` array of bin ids, same length as ``values``."""
+
+    @abstractmethod
+    def bin_label(self, bin_id: int) -> str:
+        """Human-readable label of one bin (a value or a value range)."""
+
+    def assign_checked(self, values: np.ndarray) -> np.ndarray:
+        """Like :meth:`assign` but raises if any value falls outside all bins.
+
+        NaNs are rejected explicitly: real datasets carry them (masked
+        ocean land cells, sensor dropouts) and they must be handled via
+        :mod:`repro.analysis.incomplete`'s missing masks, never silently
+        binned.
+        """
+        flat = np.asarray(values).ravel()
+        if np.issubdtype(flat.dtype, np.floating) and np.isnan(flat).any():
+            raise ValueError(
+                "values contain NaN; mask missing data explicitly "
+                "(see repro.analysis.incomplete) before indexing"
+            )
+        ids = self.assign(values)
+        bad = (ids < 0) | (ids >= self.n_bins)
+        if np.any(bad):
+            v = flat[np.flatnonzero(bad)[0]]
+            raise ValueError(f"value {v!r} outside binning domain")
+        return ids
+
+
+@dataclass(frozen=True)
+class DistinctValueBinning(Binning):
+    """One bin per distinct value -- the integer example of Figure 1."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        vals = np.unique(np.asarray(self.values))
+        object.__setattr__(self, "values", vals)
+
+    @classmethod
+    def from_data(cls, data: np.ndarray) -> "DistinctValueBinning":
+        return cls(np.unique(np.asarray(data).ravel()))
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.values.size)
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values).ravel()
+        ids = np.searchsorted(self.values, flat)
+        ids = np.clip(ids, 0, self.n_bins - 1)
+        miss = self.values[ids] != flat
+        out = ids.astype(np.int64)
+        out[miss] = -1
+        return out
+
+    def bin_label(self, bin_id: int) -> str:
+        return f"={self.values[bin_id]!r}"
+
+
+@dataclass(frozen=True)
+class EqualWidthBinning(Binning):
+    """``n_bins`` equal-width bins over [lo, hi]; hi maps into the last bin."""
+
+    lo: float
+    hi: float
+    bins: int
+
+    def __post_init__(self) -> None:
+        if not self.hi > self.lo:
+            raise ValueError(f"need hi > lo, got [{self.lo}, {self.hi}]")
+        if self.bins < 1:
+            raise ValueError(f"need >= 1 bin, got {self.bins}")
+
+    @classmethod
+    def from_data(cls, data: np.ndarray, bins: int) -> "EqualWidthBinning":
+        flat = np.asarray(data, dtype=np.float64).ravel()
+        lo, hi = float(flat.min()), float(flat.max())
+        if hi == lo:
+            hi = lo + 1.0
+        return cls(lo, hi, bins)
+
+    @property
+    def n_bins(self) -> int:
+        return self.bins
+
+    @property
+    def edges(self) -> np.ndarray:
+        return np.linspace(self.lo, self.hi, self.bins + 1)
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        width = (self.hi - self.lo) / self.bins
+        ids = np.floor((flat - self.lo) / width).astype(np.int64)
+        ids[flat == self.hi] = self.bins - 1
+        ids[(flat < self.lo) | (flat > self.hi)] = -1
+        return ids
+
+    def bin_label(self, bin_id: int) -> str:
+        e = self.edges
+        return f"[{e[bin_id]:.6g}, {e[bin_id + 1]:.6g})"
+
+
+@dataclass(frozen=True)
+class PrecisionBinning(Binning):
+    """Fixed-decimal-precision binning -- the Heat3D setting of §5.1.
+
+    ``digits=1`` buckets every value by ``round(v, 1)``: the bin width is
+    ``10**-digits`` and the number of bins follows the value range, exactly
+    how the paper gets 64-206 bins from varying temperature ranges.
+    """
+
+    lo: float
+    hi: float
+    digits: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.hi >= self.lo:
+            raise ValueError(f"need hi >= lo, got [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def from_data(cls, data: np.ndarray, digits: int = 1) -> "PrecisionBinning":
+        flat = np.asarray(data, dtype=np.float64).ravel()
+        return cls(float(flat.min()), float(flat.max()), digits)
+
+    @property
+    def _scale(self) -> float:
+        return 10.0 ** self.digits
+
+    @property
+    def _lo_tick(self) -> int:
+        return int(np.round(self.lo * self._scale))
+
+    @property
+    def n_bins(self) -> int:
+        hi_tick = int(np.round(self.hi * self._scale))
+        return hi_tick - self._lo_tick + 1
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Bin boundaries: bin k covers the half-open rounding interval
+        ``[(tick_k - 0.5)/scale, (tick_k + 0.5)/scale)``."""
+        ticks = self._lo_tick + np.arange(self.n_bins + 1, dtype=np.float64)
+        return (ticks - 0.5) / self._scale
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        ticks = np.round(flat * self._scale).astype(np.int64)
+        ids = ticks - self._lo_tick
+        ids[(ids < 0) | (ids >= self.n_bins)] = -1
+        return ids
+
+    def bin_label(self, bin_id: int) -> str:
+        return f"~{(self._lo_tick + bin_id) / self._scale:.{max(self.digits, 0)}f}"
+
+
+@dataclass(frozen=True)
+class ExplicitBinning(Binning):
+    """Arbitrary monotone bin edges (half-open; final edge closed)."""
+
+    bin_edges: np.ndarray = field()
+
+    def __post_init__(self) -> None:
+        edges = ensure_1d("edges", self.bin_edges, dtype=np.float64)
+        if edges.size < 2 or np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be strictly increasing with >= 2 entries")
+        object.__setattr__(self, "bin_edges", edges)
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.bin_edges.size - 1)
+
+    @property
+    def edges(self) -> np.ndarray:
+        return self.bin_edges
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        ids = np.searchsorted(self.bin_edges, flat, side="right") - 1
+        ids[flat == self.bin_edges[-1]] = self.n_bins - 1
+        ids[(flat < self.bin_edges[0]) | (flat > self.bin_edges[-1])] = -1
+        return ids.astype(np.int64)
+
+    def bin_label(self, bin_id: int) -> str:
+        e = self.bin_edges
+        close = "]" if bin_id == self.n_bins - 1 else ")"
+        return f"[{e[bin_id]:.6g}, {e[bin_id + 1]:.6g}{close}"
+
+
+def common_binning(
+    arrays: list[np.ndarray], *, bins: int | None = None, digits: int | None = None
+) -> Binning:
+    """Build a single binning covering all given arrays.
+
+    The paper requires "the binning range of different time-steps should be
+    the same" (§3.1, EMD) -- this helper produces that shared scale.  Pass
+    either ``bins`` (equal-width) or ``digits`` (fixed precision).
+    """
+    if (bins is None) == (digits is None):
+        raise ValueError("pass exactly one of bins= or digits=")
+    lo = min(float(np.asarray(a).min()) for a in arrays)
+    hi = max(float(np.asarray(a).max()) for a in arrays)
+    if digits is not None:
+        return PrecisionBinning(lo, hi, digits)
+    if hi == lo:
+        hi = lo + 1.0
+    return EqualWidthBinning(lo, hi, bins)

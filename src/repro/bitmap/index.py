@@ -1,0 +1,228 @@
+"""Bitmap indices: single-level and multi-level (Figure 1 of the paper).
+
+A :class:`BitmapIndex` holds one WAH bitvector per bin over ``n_elements``
+elements.  Because each bin's popcount *is* the bin's element count, the
+value distribution of the indexed data comes for free (§3.2: "the individual
+value distributions ... are already generated during the bitmaps generation
+process").
+
+A :class:`MultiLevelBitmapIndex` stacks a low-level index with one or more
+high-level indices whose bins are unions of consecutive low-level bins
+(Figure 1's interval bitvectors).  Correlation mining (§4.2) walks levels
+top-down to prune uncorrelated value subsets early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Literal
+
+import numpy as np
+
+from repro.bitmap.binning import Binning
+from repro.bitmap.builder import OnlineBitmapBuilder, build_bitvectors
+from repro.bitmap.ops import logical_or
+from repro.bitmap.wah import WAHBitVector
+
+BuildMethod = Literal["vectorized", "online"]
+
+
+@dataclass
+class BitmapIndex:
+    """A compressed bitmap index over one variable's data."""
+
+    binning: Binning
+    bitvectors: list[WAHBitVector]
+    n_elements: int
+    _counts: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.bitvectors) != self.binning.n_bins:
+            raise ValueError(
+                f"{len(self.bitvectors)} bitvectors != {self.binning.n_bins} bins"
+            )
+        for v in self.bitvectors:
+            if v.n_bits != self.n_elements:
+                raise ValueError(
+                    f"bitvector length {v.n_bits} != n_elements {self.n_elements}"
+                )
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        binning: Binning,
+        *,
+        method: BuildMethod = "vectorized",
+        chunk_elements: int = 1 << 20,
+    ) -> "BitmapIndex":
+        """Index ``data`` (any shape, flattened C-order) under ``binning``."""
+        flat = np.asarray(data).ravel()
+        if method == "vectorized":
+            vectors = build_bitvectors(flat, binning, chunk_elements=chunk_elements)
+        elif method == "online":
+            builder = OnlineBitmapBuilder(binning)
+            for start in range(0, flat.size, chunk_elements):
+                builder.push(flat[start : start + chunk_elements])
+            vectors = builder.finalize()
+        else:
+            raise ValueError(f"unknown build method {method!r}")
+        return cls(binning, vectors, flat.size)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def n_bins(self) -> int:
+        return self.binning.n_bins
+
+    def bin_counts(self) -> np.ndarray:
+        """Element count per bin (the value distribution), via popcounts."""
+        if self._counts is None:
+            self._counts = np.asarray(
+                [v.count() for v in self.bitvectors], dtype=np.int64
+            )
+        return self._counts
+
+    def distribution(self) -> np.ndarray:
+        """Normalised value distribution ``P(bin)``."""
+        counts = self.bin_counts()
+        total = counts.sum()
+        return counts / total if total else counts.astype(np.float64)
+
+    def query_bins(self, bin_ids: np.ndarray) -> WAHBitVector:
+        """OR of the chosen bins: elements whose value falls in any of them."""
+        ids = np.atleast_1d(np.asarray(bin_ids, dtype=np.int64))
+        if ids.size == 0:
+            return WAHBitVector.zeros(self.n_elements)
+        return reduce(logical_or, (self.bitvectors[int(i)] for i in ids))
+
+    def query_value_range(self, lo: float, hi: float) -> WAHBitVector:
+        """Elements whose *bin* overlaps [lo, hi] (bin-granular, like FastBit)."""
+        hits = [
+            b
+            for b in range(self.n_bins)
+            if _bin_overlaps(self.binning, b, lo, hi)
+        ]
+        return self.query_bins(np.asarray(hits, dtype=np.int64))
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def nbytes(self) -> int:
+        """Total compressed size in bytes."""
+        return sum(v.nbytes for v in self.bitvectors)
+
+    def size_ratio(self, element_bytes: int = 8) -> float:
+        """Index size relative to the raw data it summarises (§2.2 claim)."""
+        raw = self.n_elements * element_bytes
+        return self.nbytes / raw if raw else 0.0
+
+    def check_invariants(self) -> None:
+        """Every element is in exactly one bin: bitvectors partition the set."""
+        for v in self.bitvectors:
+            v.check_invariants()
+        assert int(self.bin_counts().sum()) == self.n_elements, (
+            "bin counts do not partition the element set"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BitmapIndex(n_elements={self.n_elements}, n_bins={self.n_bins}, "
+            f"nbytes={self.nbytes})"
+        )
+
+
+def _bin_overlaps(binning: Binning, bin_id: int, lo: float, hi: float) -> bool:
+    edges = getattr(binning, "edges", None)
+    if edges is not None:
+        # Bins are half-open [a, b): a bin overlaps [lo, hi] iff a <= hi, b > lo.
+        return bool(edges[bin_id] <= hi and edges[bin_id + 1] > lo)
+    values = getattr(binning, "values", None)
+    if values is not None:
+        return bool(lo <= values[bin_id] <= hi)
+    raise TypeError(f"binning {type(binning).__name__} exposes no edges/values")
+
+
+@dataclass
+class LevelSpec:
+    """One high level: consecutive low-level bins grouped ``fanout`` at a time."""
+
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if self.fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {self.fanout}")
+
+
+@dataclass
+class MultiLevelBitmapIndex:
+    """Low-level index plus derived high-level interval indices.
+
+    ``levels[0]`` is the low-level (finest) index; each subsequent level is
+    coarser.  :meth:`children` maps a high-level bin back to the bins of the
+    level below, which is what top-down correlation mining traverses.
+    """
+
+    levels: list[BitmapIndex]
+    fanouts: list[int]
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        binning: Binning,
+        level_specs: list[LevelSpec] | None = None,
+        **build_kwargs,
+    ) -> "MultiLevelBitmapIndex":
+        """Build the low level from data, then roll up by OR per level spec."""
+        low = BitmapIndex.build(data, binning, **build_kwargs)
+        specs = level_specs if level_specs is not None else [LevelSpec(4)]
+        levels = [low]
+        fanouts: list[int] = []
+        for spec in specs:
+            levels.append(_rollup(levels[-1], spec.fanout))
+            fanouts.append(spec.fanout)
+        return cls(levels, fanouts)
+
+    @property
+    def low(self) -> BitmapIndex:
+        return self.levels[0]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def children(self, level: int, bin_id: int) -> list[int]:
+        """Bins of ``level - 1`` covered by ``bin_id`` at ``level``."""
+        if level <= 0 or level >= self.n_levels:
+            raise ValueError(f"level must be in [1, {self.n_levels - 1}], got {level}")
+        fanout = self.fanouts[level - 1]
+        lo = bin_id * fanout
+        hi = min(lo + fanout, self.levels[level - 1].n_bins)
+        return list(range(lo, hi))
+
+    @property
+    def nbytes(self) -> int:
+        return sum(level.nbytes for level in self.levels)
+
+
+def _rollup(index: BitmapIndex, fanout: int) -> BitmapIndex:
+    """Build a coarser index by OR-ing ``fanout`` consecutive bins."""
+    from repro.bitmap.binning import ExplicitBinning
+
+    groups: list[WAHBitVector] = []
+    edges: list[float] = []
+    low_edges = getattr(index.binning, "edges", None)
+    for start in range(0, index.n_bins, fanout):
+        members = index.bitvectors[start : start + fanout]
+        groups.append(reduce(logical_or, members))
+        if low_edges is not None:
+            edges.append(float(low_edges[start]))
+    if low_edges is not None:
+        edges.append(float(low_edges[-1]))
+        binning: Binning = ExplicitBinning(np.asarray(edges))
+    else:
+        # Distinct-value binnings roll up to synthetic integer intervals.
+        n_high = len(groups)
+        binning = ExplicitBinning(np.arange(n_high + 1, dtype=np.float64))
+    return BitmapIndex(binning, groups, index.n_elements)

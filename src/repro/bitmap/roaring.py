@@ -1,0 +1,221 @@
+"""A Roaring-style two-level bitmap container (modern comparison codec).
+
+Roaring bitmaps (Chambi, Lemire et al., 2014 -- contemporaneous with the
+paper) partition the bit space into 2^16-bit *chunks* and store each chunk
+in whichever container is smaller:
+
+* **array container** -- sorted ``uint16`` positions, for sparse chunks
+  (< 4096 set bits);
+* **bitmap container** -- a packed 8 KiB bitset, for dense chunks.
+
+This simplified-but-faithful implementation exists for the codec ablation
+(`benchmarks/bench_ablation_codec.py`): WAH (the paper's choice) excels on
+*run-structured* data; Roaring adapts per region and wins when density
+varies without long runs.  Operations dispatch on container-type pairs,
+exactly like the real thing:
+
+* array x array  -- sorted intersection/union (numpy ``intersect1d``);
+* array x bitmap -- membership lookups;
+* bitmap x bitmap -- word-wise logical ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+CHUNK_BITS = 1 << 16  # 65536
+_ARRAY_MAX = 4096  # container flips to bitmap above this cardinality
+_WORDS_PER_CHUNK = CHUNK_BITS // 64
+
+
+@dataclass(frozen=True)
+class ArrayContainer:
+    """Sparse chunk: sorted uint16 offsets of the set bits."""
+
+    positions: np.ndarray  # uint16, sorted, unique
+
+    @property
+    def cardinality(self) -> int:
+        return int(self.positions.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.positions.nbytes)
+
+
+@dataclass(frozen=True)
+class BitmapContainer:
+    """Dense chunk: a fixed 1024-word (8 KiB) bitset."""
+
+    words: np.ndarray  # uint64, length 1024
+
+    @property
+    def cardinality(self) -> int:
+        return int(np.unpackbits(self.words.view(np.uint8)).sum())
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+
+Container = Union[ArrayContainer, BitmapContainer]
+
+
+def _make_container(offsets: np.ndarray) -> Container:
+    """Pick the cheaper container for a chunk's set-bit offsets."""
+    if offsets.size < _ARRAY_MAX:
+        return ArrayContainer(offsets.astype(np.uint16))
+    bits = np.zeros(CHUNK_BITS, dtype=np.uint8)
+    bits[offsets] = 1
+    words = np.packbits(bits, bitorder="little").view(np.uint64)
+    return BitmapContainer(words.copy())
+
+
+def _container_positions(c: Container) -> np.ndarray:
+    if isinstance(c, ArrayContainer):
+        return c.positions.astype(np.int64)
+    bits = np.unpackbits(c.words.view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class RoaringBitVector:
+    """A two-level compressed bitvector over ``n_bits`` positions."""
+
+    containers: dict[int, Container]  # chunk id -> container
+    n_bits: int
+
+    # ------------------------------------------------------------- builds
+    @classmethod
+    def from_indices(cls, indices: np.ndarray, n_bits: int) -> "RoaringBitVector":
+        idx = np.unique(np.asarray(indices, dtype=np.int64))
+        if idx.size and (idx[0] < 0 or idx[-1] >= n_bits):
+            raise ValueError("indices out of range")
+        containers: dict[int, Container] = {}
+        if idx.size:
+            chunk_ids = idx >> 16
+            for cid in np.unique(chunk_ids):
+                offsets = idx[chunk_ids == cid] & 0xFFFF
+                containers[int(cid)] = _make_container(offsets)
+        return cls(containers, n_bits)
+
+    @classmethod
+    def from_bools(cls, bits: np.ndarray) -> "RoaringBitVector":
+        bits = np.asarray(bits, dtype=bool).ravel()
+        return cls.from_indices(np.flatnonzero(bits), bits.size)
+
+    @classmethod
+    def zeros(cls, n_bits: int) -> "RoaringBitVector":
+        return cls({}, n_bits)
+
+    # ------------------------------------------------------------ content
+    def to_indices(self) -> np.ndarray:
+        parts = [
+            (cid << 16) + _container_positions(c)
+            for cid, c in sorted(self.containers.items())
+        ]
+        return (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+
+    def to_bools(self) -> np.ndarray:
+        out = np.zeros(self.n_bits, dtype=bool)
+        out[self.to_indices()] = True
+        return out
+
+    def count(self) -> int:
+        return sum(c.cardinality for c in self.containers.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes plus 8 bytes of key/offset bookkeeping per chunk."""
+        return sum(c.nbytes + 8 for c in self.containers.values())
+
+    def __contains__(self, position: int) -> bool:
+        if not 0 <= position < self.n_bits:
+            raise IndexError(position)
+        c = self.containers.get(position >> 16)
+        if c is None:
+            return False
+        offset = position & 0xFFFF
+        if isinstance(c, ArrayContainer):
+            i = int(np.searchsorted(c.positions, offset))
+            return i < c.positions.size and int(c.positions[i]) == offset
+        word = int(c.words[offset >> 6])
+        return bool((word >> (offset & 63)) & 1)
+
+    # ------------------------------------------------------------ algebra
+    def __and__(self, other: "RoaringBitVector") -> "RoaringBitVector":
+        self._check(other)
+        out: dict[int, Container] = {}
+        for cid in self.containers.keys() & other.containers.keys():
+            offsets = _intersect(self.containers[cid], other.containers[cid])
+            if offsets.size:
+                out[cid] = _make_container(offsets)
+        return RoaringBitVector(out, self.n_bits)
+
+    def __or__(self, other: "RoaringBitVector") -> "RoaringBitVector":
+        self._check(other)
+        out: dict[int, Container] = {}
+        for cid in self.containers.keys() | other.containers.keys():
+            a = self.containers.get(cid)
+            b = other.containers.get(cid)
+            if a is None:
+                out[cid] = b  # containers are immutable; sharing is safe
+            elif b is None:
+                out[cid] = a
+            else:
+                out[cid] = _make_container(_union(a, b))
+        return RoaringBitVector(out, self.n_bits)
+
+    def and_count(self, other: "RoaringBitVector") -> int:
+        self._check(other)
+        total = 0
+        for cid in self.containers.keys() & other.containers.keys():
+            total += _intersect(self.containers[cid], other.containers[cid]).size
+        return total
+
+    def _check(self, other: "RoaringBitVector") -> None:
+        if self.n_bits != other.n_bits:
+            raise ValueError(
+                f"operand length mismatch: {self.n_bits} != {other.n_bits}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoaringBitVector):
+            return NotImplemented
+        return self.n_bits == other.n_bits and np.array_equal(
+            self.to_indices(), other.to_indices()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_bits, self.to_indices().tobytes()))
+
+    def __repr__(self) -> str:
+        kinds = sum(isinstance(c, BitmapContainer) for c in self.containers.values())
+        return (
+            f"RoaringBitVector(n_bits={self.n_bits}, count={self.count()}, "
+            f"chunks={len(self.containers)} ({kinds} dense))"
+        )
+
+
+def _intersect(a: Container, b: Container) -> np.ndarray:
+    if isinstance(a, ArrayContainer) and isinstance(b, ArrayContainer):
+        return np.intersect1d(a.positions, b.positions).astype(np.int64)
+    if isinstance(a, BitmapContainer) and isinstance(b, BitmapContainer):
+        words = a.words & b.words
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits).astype(np.int64)
+    arr, bm = (a, b) if isinstance(a, ArrayContainer) else (b, a)
+    assert isinstance(bm, BitmapContainer)
+    pos = arr.positions.astype(np.int64)
+    words = bm.words[pos >> 6]
+    hit = (words >> (pos & 63).astype(np.uint64)) & np.uint64(1)
+    return pos[hit.astype(bool)]
+
+
+def _union(a: Container, b: Container) -> np.ndarray:
+    return np.union1d(_container_positions(a), _container_positions(b))

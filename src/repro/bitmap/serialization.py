@@ -1,0 +1,195 @@
+"""On-disk format for bitvectors and bitmap indices.
+
+The in-situ pipeline's whole point is that it writes *bitmaps*, not raw
+data, to persistent storage (§2.3 / Figures 7-10 "output" bars).  This
+module defines that byte format:
+
+* a bitvector record: ``n_bits`` + word count + the raw ``uint32`` words;
+* an index record: a magic header, the binning (self-describing, no
+  pickle), element count, and the bitvector records;
+* a per-time-step container used by :mod:`repro.insitu.writer`.
+
+All integers are little-endian.  The format is versioned so stored bitmaps
+outlive code changes.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.bitmap.binning import (
+    Binning,
+    DistinctValueBinning,
+    EqualWidthBinning,
+    ExplicitBinning,
+    PrecisionBinning,
+)
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.wah import WAHBitVector
+
+MAGIC = b"RBMP"
+VERSION = 1
+
+
+def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
+    """Read exactly ``n`` bytes or raise a clean ``EOFError``."""
+    raw = fh.read(n)
+    if len(raw) != n:
+        raise EOFError(f"truncated {what}: wanted {n} bytes, got {len(raw)}")
+    return raw
+
+_BINNING_TAGS: dict[type, int] = {
+    EqualWidthBinning: 1,
+    PrecisionBinning: 2,
+    ExplicitBinning: 3,
+    DistinctValueBinning: 4,
+}
+
+
+# ------------------------------------------------------------- bitvectors
+def write_bitvector(fh: BinaryIO, vector: WAHBitVector) -> int:
+    """Append one bitvector record; returns bytes written."""
+    header = struct.pack("<qi", vector.n_bits, vector.n_words)
+    fh.write(header)
+    payload = vector.words.astype("<u4").tobytes()
+    fh.write(payload)
+    return len(header) + len(payload)
+
+
+def read_bitvector(fh: BinaryIO) -> WAHBitVector:
+    """Read one bitvector record."""
+    header = _read_exact(fh, 12, "bitvector header")
+    n_bits, n_words = struct.unpack("<qi", header)
+    if n_bits < 0 or n_words < 0:
+        raise ValueError(f"corrupt bitvector header: n_bits={n_bits}, n_words={n_words}")
+    raw = _read_exact(fh, 4 * n_words, "bitvector payload")
+    words = np.frombuffer(raw, dtype="<u4").astype(np.uint32)
+    return WAHBitVector(words, n_bits)
+
+
+# ---------------------------------------------------------------- binning
+def write_binning(fh: BinaryIO, binning: Binning) -> None:
+    """Serialise a binning without pickle (each strategy is self-describing)."""
+    tag = _BINNING_TAGS.get(type(binning))
+    if tag is None:
+        raise TypeError(f"cannot serialise binning {type(binning).__name__}")
+    fh.write(struct.pack("<B", tag))
+    if isinstance(binning, EqualWidthBinning):
+        fh.write(struct.pack("<ddq", binning.lo, binning.hi, binning.bins))
+    elif isinstance(binning, PrecisionBinning):
+        fh.write(struct.pack("<ddq", binning.lo, binning.hi, binning.digits))
+    elif isinstance(binning, ExplicitBinning):
+        edges = binning.bin_edges.astype("<f8")
+        fh.write(struct.pack("<q", edges.size))
+        fh.write(edges.tobytes())
+    elif isinstance(binning, DistinctValueBinning):
+        values = np.asarray(binning.values, dtype="<f8")
+        fh.write(struct.pack("<q", values.size))
+        fh.write(values.tobytes())
+
+
+def read_binning(fh: BinaryIO) -> Binning:
+    """Inverse of :func:`write_binning`."""
+    (tag,) = struct.unpack("<B", _read_exact(fh, 1, "binning tag"))
+    if tag == 1:
+        lo, hi, bins = struct.unpack("<ddq", _read_exact(fh, 24, "binning header"))
+        return EqualWidthBinning(lo, hi, int(bins))
+    if tag == 2:
+        lo, hi, digits = struct.unpack("<ddq", _read_exact(fh, 24, "binning header"))
+        return PrecisionBinning(lo, hi, int(digits))
+    if tag == 3:
+        (n,) = struct.unpack("<q", _read_exact(fh, 8, "binning size"))
+        if n < 0:
+            raise ValueError(f"corrupt binning: negative edge count {n}")
+        edges = np.frombuffer(
+            _read_exact(fh, 8 * n, "binning edges"), dtype="<f8"
+        ).astype(np.float64)
+        return ExplicitBinning(edges)
+    if tag == 4:
+        (n,) = struct.unpack("<q", _read_exact(fh, 8, "binning size"))
+        if n < 0:
+            raise ValueError(f"corrupt binning: negative value count {n}")
+        values = np.frombuffer(
+            _read_exact(fh, 8 * n, "binning values"), dtype="<f8"
+        ).astype(np.float64)
+        return DistinctValueBinning(values)
+    raise ValueError(f"unknown binning tag {tag}")
+
+
+# ------------------------------------------------------------------ index
+def write_index(fh: BinaryIO, index: BitmapIndex) -> int:
+    """Serialise a full bitmap index; returns bytes written."""
+    start = fh.tell()
+    fh.write(MAGIC)
+    fh.write(struct.pack("<HH", VERSION, 0))
+    write_binning(fh, index.binning)
+    fh.write(struct.pack("<qi", index.n_elements, index.n_bins))
+    for vector in index.bitvectors:
+        write_bitvector(fh, vector)
+    return fh.tell() - start
+
+
+def read_index(fh: BinaryIO) -> BitmapIndex:
+    """Inverse of :func:`write_index`."""
+    magic = fh.read(4)
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r}; not a repro bitmap index")
+    version, _flags = struct.unpack("<HH", _read_exact(fh, 4, "index version"))
+    if version != VERSION:
+        raise ValueError(f"unsupported index version {version}")
+    binning = read_binning(fh)
+    n_elements, n_bins = struct.unpack("<qi", _read_exact(fh, 12, "index header"))
+    if n_elements < 0 or n_bins < 0:
+        raise ValueError(
+            f"corrupt index header: n_elements={n_elements}, n_bins={n_bins}"
+        )
+    vectors = [read_bitvector(fh) for _ in range(n_bins)]
+    return BitmapIndex(binning, vectors, n_elements)
+
+
+def index_to_bytes(index: BitmapIndex) -> bytes:
+    """Serialise an index to a bytes object."""
+    buf = io.BytesIO()
+    write_index(buf, index)
+    return buf.getvalue()
+
+
+def index_from_bytes(data: bytes) -> BitmapIndex:
+    """Deserialise an index from bytes."""
+    return read_index(io.BytesIO(data))
+
+
+def save_index(path, index: BitmapIndex) -> int:
+    """Write an index to ``path``; returns file size in bytes."""
+    with open(path, "wb") as fh:
+        return write_index(fh, index)
+
+
+def load_index(path) -> BitmapIndex:
+    """Read an index from ``path``."""
+    with open(path, "rb") as fh:
+        return read_index(fh)
+
+
+def serialized_size(index: BitmapIndex) -> int:
+    """Exact on-disk size without materialising the bytes."""
+    size = 4 + 4  # magic + version
+    size += _binning_size(index.binning)
+    size += 12  # n_elements + n_bins
+    for v in index.bitvectors:
+        size += 12 + 4 * v.n_words
+    return size
+
+
+def _binning_size(binning: Binning) -> int:
+    if isinstance(binning, (EqualWidthBinning, PrecisionBinning)):
+        return 1 + 24
+    if isinstance(binning, ExplicitBinning):
+        return 1 + 8 + 8 * binning.bin_edges.size
+    if isinstance(binning, DistinctValueBinning):
+        return 1 + 8 + 8 * np.asarray(binning.values).size
+    raise TypeError(type(binning).__name__)

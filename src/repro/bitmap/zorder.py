@@ -1,0 +1,163 @@
+"""Z-order (Morton) curve linearisation -- §4.2 optimisation 1.
+
+The paper iterates multi-dimensional data in Z-order while building bitmaps
+so that, when a joint bitvector is later partitioned into spatial units, a
+*contiguous bit range* corresponds to a compact spatial block ("the basic
+spatial unit is the size of the smallest unit of Z orders").
+
+Encoding is fully vectorised with the standard bit-interleaving magic
+numbers on ``uint64``; arbitrary (non power-of-two) grid shapes are handled
+by computing Morton codes over the bounding power-of-two box and arg-sorting
+-- the resulting permutation is cached by :class:`ZOrderLayout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _part1by1(x: np.ndarray) -> np.ndarray:
+    """Spread the low 32 bits of each value: bit i -> bit 2i."""
+    x = x.astype(np.uint64) & np.uint64(0xFFFFFFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x3333333333333333)
+    x = (x | (x << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return x
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each value: bit i -> bit 3i."""
+    x = x.astype(np.uint64) & np.uint64(0x1FFFFF)
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def morton_encode_2d(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Interleave two coordinate arrays into Morton codes (y gets odd bits)."""
+    return _part1by1(np.asarray(x)) | (_part1by1(np.asarray(y)) << np.uint64(1))
+
+
+def morton_encode_3d(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Interleave three coordinate arrays into Morton codes."""
+    return (
+        _part1by2(np.asarray(x))
+        | (_part1by2(np.asarray(y)) << np.uint64(1))
+        | (_part1by2(np.asarray(z)) << np.uint64(2))
+    )
+
+
+def _compact1by1(code: np.ndarray) -> np.ndarray:
+    x = code.astype(np.uint64) & np.uint64(0x5555555555555555)
+    x = (x | (x >> np.uint64(1))) & np.uint64(0x3333333333333333)
+    x = (x | (x >> np.uint64(2))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x >> np.uint64(4))) & np.uint64(0x00FF00FF00FF00FF)
+    x = (x | (x >> np.uint64(8))) & np.uint64(0x0000FFFF0000FFFF)
+    x = (x | (x >> np.uint64(16))) & np.uint64(0xFFFFFFFF)
+    return x
+
+
+def _compact1by2(code: np.ndarray) -> np.ndarray:
+    x = code.astype(np.uint64) & np.uint64(0x1249249249249249)
+    x = (x | (x >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x >> np.uint64(32))) & np.uint64(0x1FFFFF)
+    return x
+
+
+def morton_decode_2d(code: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`morton_encode_2d`."""
+    code = np.asarray(code, dtype=np.uint64)
+    return _compact1by1(code), _compact1by1(code >> np.uint64(1))
+
+
+def morton_decode_3d(code: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`morton_encode_3d`."""
+    code = np.asarray(code, dtype=np.uint64)
+    return (
+        _compact1by2(code),
+        _compact1by2(code >> np.uint64(1)),
+        _compact1by2(code >> np.uint64(2)),
+    )
+
+
+@dataclass(frozen=True)
+class ZOrderLayout:
+    """Cached Morton permutation for a fixed grid shape.
+
+    ``flatten`` reorders a grid array into Z-order 1-D; ``unflatten``
+    restores the grid.  For power-of-two shapes the permutation is the exact
+    Z curve; otherwise it is the Z curve of the bounding box restricted to
+    valid cells (still spatially coherent, codes stay sorted).
+    """
+
+    shape: tuple[int, ...]
+    permutation: np.ndarray  # grid flat (C-order) index for each Z position
+
+    @classmethod
+    def for_shape(cls, shape: tuple[int, ...]) -> "ZOrderLayout":
+        if len(shape) == 1:
+            perm = np.arange(shape[0], dtype=np.int64)
+            return cls(tuple(shape), perm)
+        if len(shape) not in (2, 3):
+            raise ValueError(f"Z-order layout supports 1-3 dims, got {len(shape)}")
+        axes = [np.arange(s, dtype=np.uint64) for s in shape]
+        coords = np.meshgrid(*axes, indexing="ij")
+        flat = [c.ravel() for c in coords]
+        if len(shape) == 2:
+            codes = morton_encode_2d(flat[0], flat[1])
+        else:
+            codes = morton_encode_3d(flat[0], flat[1], flat[2])
+        perm = np.argsort(codes, kind="stable").astype(np.int64)
+        return cls(tuple(shape), perm)
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.permutation.size)
+
+    def flatten(self, grid: np.ndarray) -> np.ndarray:
+        """Grid array -> Z-ordered 1-D array."""
+        grid = np.asarray(grid)
+        if grid.shape != self.shape:
+            raise ValueError(f"expected shape {self.shape}, got {grid.shape}")
+        return grid.reshape(-1)[self.permutation]
+
+    def unflatten(self, zdata: np.ndarray) -> np.ndarray:
+        """Z-ordered 1-D array -> grid array."""
+        zdata = np.asarray(zdata)
+        if zdata.size != self.n_cells:
+            raise ValueError(f"expected {self.n_cells} values, got {zdata.size}")
+        out = np.empty(self.n_cells, dtype=zdata.dtype)
+        out[self.permutation] = zdata
+        return out.reshape(self.shape)
+
+    def unit_of(self, z_positions: np.ndarray, unit_cells: int) -> np.ndarray:
+        """Spatial-unit id of each Z position for units of ``unit_cells`` cells."""
+        return np.asarray(z_positions, dtype=np.int64) // int(unit_cells)
+
+    def unit_bounds(self, unit_id: int, unit_cells: int) -> tuple[np.ndarray, np.ndarray]:
+        """Grid-coordinate bounding box (min, max inclusive) of one unit."""
+        lo = unit_id * unit_cells
+        hi = min(lo + unit_cells, self.n_cells)
+        flat_idx = self.permutation[lo:hi]
+        coords = np.unravel_index(flat_idx, self.shape)
+        mins = np.asarray([c.min() for c in coords], dtype=np.int64)
+        maxs = np.asarray([c.max() for c in coords], dtype=np.int64)
+        return mins, maxs
+
+
+def suggested_unit_cells(shape: tuple[int, ...], target_side: int = 8) -> int:
+    """Unit size (in cells) whose Z-block is a ``target_side``-wide cube."""
+    side = 1
+    while side * 2 <= target_side:
+        side *= 2
+    return side ** len(shape)

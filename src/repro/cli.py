@@ -1,0 +1,340 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands mirror the library's main entry points so the system is usable
+without writing Python:
+
+* ``repro insitu``  -- run the in-situ pipeline on a built-in workload;
+* ``repro index``   -- build a bitmap index from a ``.npy`` array;
+* ``repro query``   -- inspect a stored index (stats, range counts);
+* ``repro mine``    -- correlation mining on the POP-like ocean data;
+* ``repro model``   -- print a modelled figure table (Figures 7-13/15).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'In-Situ Bitmaps Generation and Efficient Data "
+            "Analysis based on Bitmaps' (HPDC'15)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("insitu", help="run the in-situ pipeline on a workload")
+    p.add_argument("--workload", choices=["heat3d", "lulesh"], default="heat3d")
+    p.add_argument("--shape", default="12,12,32", help="grid, e.g. 12,12,32")
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--select", type=int, default=5)
+    p.add_argument(
+        "--mode", choices=["bitmap", "fulldata", "sampling"], default="bitmap"
+    )
+    p.add_argument("--metric", choices=["conditional_entropy", "emd_count",
+                                        "emd_spatial"], default=None,
+                   help="default: conditional_entropy (heat3d) / emd_spatial (lulesh)")
+    p.add_argument("--sample-fraction", type=float, default=0.15)
+    p.add_argument("--bins", type=int, default=64)
+    p.add_argument("--out", type=Path, default=None, help="output directory")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("index", help="build a bitmap index from a .npy file")
+    p.add_argument("input", type=Path)
+    p.add_argument("output", type=Path)
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--bins", type=int, default=64)
+    group.add_argument("--digits", type=int, default=None,
+                       help="fixed-decimal binning instead of equal-width")
+    p.add_argument("--zorder", action="store_true",
+                   help="linearise multi-dimensional input in Z-order")
+
+    p = sub.add_parser("query", help="inspect a stored bitmap index")
+    p.add_argument("index", type=Path)
+    p.add_argument("--range", nargs=2, type=float, metavar=("LO", "HI"),
+                   default=None, help="count elements with value in [LO, HI]")
+
+    p = sub.add_parser("mine", help="correlation mining on ocean-like data")
+    p.add_argument("--shape", default="8,48,96")
+    p.add_argument("--bins", type=int, default=16)
+    p.add_argument("--value-threshold", type=float, default=0.002)
+    p.add_argument("--spatial-threshold", type=float, default=0.05)
+    p.add_argument("--unit-bits", type=int, default=512)
+    p.add_argument("--seed", type=int, default=13)
+    p.add_argument("--baseline", action="store_true",
+                   help="also run the full-data miner and compare")
+
+    p = sub.add_parser("model", help="print a modelled evaluation table")
+    p.add_argument("figure", choices=["fig7", "fig8", "fig9", "fig10",
+                                      "fig12", "fig13", "fig15"])
+
+    p = sub.add_parser(
+        "calibrate",
+        help="measure this host's kernel rates for the performance model",
+    )
+    p.add_argument("--shape", default="16,32,64")
+    p.add_argument("--repeats", type=int, default=3)
+
+    p = sub.add_parser("store", help="inspect a bitmap time-series store")
+    p.add_argument("root", type=Path)
+    p.add_argument("--pairwise", metavar="VARIABLE", default=None,
+                   help="walk consecutive steps with count-EMD and "
+                        "conditional entropy")
+    return parser
+
+
+def _parse_shape(text: str, dims: int = 3) -> tuple[int, ...]:
+    parts = tuple(int(x) for x in text.split(","))
+    if len(parts) != dims:
+        raise SystemExit(f"--shape needs {dims} comma-separated ints, got {text!r}")
+    return parts
+
+
+# ------------------------------------------------------------- subcommands
+def _cmd_insitu(args: argparse.Namespace) -> int:
+    from repro.insitu import InSituPipeline, OutputWriter, Sampler
+    from repro.selection import get_metric
+    from repro.sims import Heat3D, LuleshProxy
+
+    shape = _parse_shape(args.shape)
+    if args.workload == "heat3d":
+        sim = Heat3D(shape, seed=args.seed)
+        from repro.bitmap import PrecisionBinning
+
+        binning = PrecisionBinning(19.0, 101.0, digits=1)
+        metric_name = args.metric or "conditional_entropy"
+    else:
+        sim = LuleshProxy(shape, seed=args.seed)
+        probe = LuleshProxy(shape, seed=args.seed)
+        from repro.bitmap import common_binning
+
+        payloads = [s.concatenated() for s in probe.run(args.steps)]
+        binning = common_binning(payloads, bins=args.bins)
+        metric_name = args.metric or "emd_spatial"
+
+    writer = OutputWriter(args.out) if args.out else None
+    sampler = (
+        Sampler(args.sample_fraction, mode="random", seed=args.seed)
+        if args.mode == "sampling"
+        else None
+    )
+    pipe = InSituPipeline(
+        sim, binning, get_metric(metric_name), mode=args.mode,
+        sampler=sampler, writer=writer,
+    )
+    result = pipe.run(args.steps, args.select)
+    print(result.summary())
+    print(result.memory.report())
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.bitmap import (
+        BitmapIndex,
+        EqualWidthBinning,
+        PrecisionBinning,
+        ZOrderLayout,
+        save_index,
+    )
+
+    data = np.load(args.input)
+    if args.zorder and data.ndim > 1:
+        layout = ZOrderLayout.for_shape(data.shape)
+        flat = layout.flatten(data)
+    else:
+        flat = data.ravel()
+    if args.digits is not None:
+        binning = PrecisionBinning.from_data(flat, digits=args.digits)
+    else:
+        binning = EqualWidthBinning.from_data(flat, args.bins)
+    index = BitmapIndex.build(flat, binning)
+    written = save_index(args.output, index)
+    ratio = index.size_ratio(data.dtype.itemsize)
+    print(
+        f"indexed {data.size} elements into {binning.n_bins} bins; "
+        f"wrote {written} bytes ({ratio:.1%} of raw) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.bitmap import load_index
+    from repro.metrics import shannon_entropy_bitmap
+
+    index = load_index(args.index)
+    print(
+        f"{args.index}: {index.n_elements} elements, {index.n_bins} bins, "
+        f"{index.nbytes} bytes, entropy {shannon_entropy_bitmap(index):.4f} bits"
+    )
+    if args.range is not None:
+        lo, hi = args.range
+        hits = index.query_value_range(lo, hi)
+        print(f"values in [{lo}, {hi}] (bin-granular): {hits.count()} elements")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.bitmap import BitmapIndex, EqualWidthBinning, ZOrderLayout
+    from repro.mining import correlation_mining, correlation_mining_fulldata
+    from repro.sims import OceanDataGenerator
+
+    shape = _parse_shape(args.shape)
+    gen = OceanDataGenerator(shape, seed=args.seed)
+    snap = gen.advance()
+    layout = ZOrderLayout.for_shape(shape)
+    tz = layout.flatten(snap.fields["temperature"])
+    sz = layout.flatten(snap.fields["salinity"])
+    bt = EqualWidthBinning.from_data(tz, args.bins)
+    bs = EqualWidthBinning.from_data(sz, args.bins)
+    it = BitmapIndex.build(tz, bt)
+    is_ = BitmapIndex.build(sz, bs)
+    kw = dict(
+        value_threshold=args.value_threshold,
+        spatial_threshold=args.spatial_threshold,
+        unit_bits=args.unit_bits,
+    )
+    t0 = time.perf_counter()
+    result = correlation_mining(it, is_, **kw)
+    elapsed = time.perf_counter() - t0
+    print(f"bitmap mining: {result} in {elapsed:.3f}s")
+    for hit in result.value_hits[:10]:
+        print(
+            f"  value subset A={bt.bin_label(hit.a_bin)} x "
+            f"B={bs.bin_label(hit.b_bin)}: joint={hit.joint_count} "
+            f"MI={hit.mutual_information:.4f}"
+        )
+    if args.baseline:
+        t0 = time.perf_counter()
+        fd = correlation_mining_fulldata(tz, sz, bt, bs, **kw)
+        t_fd = time.perf_counter() - t0
+        same = len(fd.value_hits) == len(result.value_hits)
+        print(
+            f"full-data baseline: {t_fd:.3f}s "
+            f"(speedup {t_fd / max(elapsed, 1e-9):.2f}x, hits equal: {same})"
+        )
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from repro.perfmodel import (
+        MIC60,
+        OAKLEY_NODE,
+        XEON32,
+        ClusterScenario,
+        InSituScenario,
+        model_sampling,
+        model_bitmaps,
+        scalability_series,
+        speedup_over_cores,
+        sweep_allocations,
+    )
+    from repro.perfmodel.rates import (
+        HEAT3D_CLUSTER_RATES,
+        HEAT3D_RATES,
+        LULESH_RATES,
+    )
+
+    if args.figure in ("fig7", "fig8", "fig9", "fig10"):
+        configs = {
+            "fig7": (XEON32, HEAT3D_RATES, 800e6, [1, 2, 4, 8, 16, 32]),
+            "fig8": (MIC60, HEAT3D_RATES, 200e6, [1, 4, 16, 56]),
+            "fig9": (XEON32, LULESH_RATES, 6.14e9 / 8, [1, 4, 16, 32]),
+            "fig10": (MIC60, LULESH_RATES, 0.768e9 / 8, [1, 16, 56]),
+        }
+        machine, rates, elems, cores = configs[args.figure]
+        sc = InSituScenario(machine, rates, elems)
+        print(f"{args.figure}: {rates.name} on {machine.name}")
+        for c, full, bm, sp in speedup_over_cores(sc, cores):
+            print(
+                f"  cores={c:3d} fulldata={full.total:9.1f}s "
+                f"bitmaps={bm.total:9.1f}s speedup={sp:.2f}x"
+            )
+    elif args.figure == "fig12":
+        sc = InSituScenario(XEON32.with_cores(28), HEAT3D_RATES, 800e6)
+        print("fig12a: heat3d on 28-core xeon")
+        for o in sweep_allocations(sc, stride=3):
+            print(f"  {o.label:>8s} {o.total_seconds:9.1f}s")
+    elif args.figure == "fig13":
+        base = InSituScenario(OAKLEY_NODE, HEAT3D_CLUSTER_RATES, 800e6)
+        for row in scalability_series(ClusterScenario(OAKLEY_NODE, base),
+                                      [1, 2, 4, 8, 16, 32]):
+            print(
+                f"  nodes={int(row['nodes']):3d} "
+                f"local {row['speedup_local']:.2f}x  "
+                f"remote {row['speedup_remote']:.2f}x"
+            )
+    elif args.figure == "fig15":
+        sc = InSituScenario(XEON32, HEAT3D_RATES, 800e6)
+        bm = model_bitmaps(sc, 32)
+        print(f"  bitmaps    {bm.total:9.1f}s")
+        for frac in (0.30, 0.15, 0.05, 0.01):
+            s = model_sampling(sc, 32, frac)
+            print(f"  sample-{frac:4.0%} {s.total:9.1f}s")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.perfmodel import measure_rates
+    from repro.perfmodel.rates import HEAT3D_RATES
+
+    shape = _parse_shape(args.shape)
+    rates = measure_rates(shape=shape, repeats=args.repeats)
+    print(f"measured per-element rates on this host (Heat3D {shape}):")
+    for name in ("simulate", "bitmap_gen", "select_full", "select_bitmap", "sample"):
+        measured = getattr(rates, name)
+        default = getattr(HEAT3D_RATES, name)
+        print(f"  {name:14s} {measured:.3e} s/elem  (model default {default:.3e})")
+    print(f"  {'size_fraction':14s} {rates.bitmap_size_fraction:.3f}       "
+          f"(model default {HEAT3D_RATES.bitmap_size_fraction:.3f})")
+    print("\nuse programmatically:  InSituScenario(machine, measure_rates(), elems)")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.io.timeseries import BitmapStore
+    from repro.metrics import conditional_entropy_bitmap, emd_count_bitmap
+
+    store = BitmapStore(args.root)
+    steps = store.steps()
+    print(f"{args.root}: {len(steps)} steps, "
+          f"{store.total_bytes() / 2**20:.2f} MiB of bitmaps")
+    for key, value in store.attrs.items():
+        print(f"  {key} = {value}")
+    for step in steps:
+        names = ", ".join(store.variables(step))
+        print(f"  step {step:5d}: {names}")
+    if args.pairwise is not None:
+        print(f"\npairwise walk over {args.pairwise!r}:")
+        emd_rows = store.pairwise_metric(args.pairwise, emd_count_bitmap)
+        ce_rows = store.pairwise_metric(args.pairwise, conditional_entropy_bitmap)
+        for (a, b, emd), (_, _, ce) in zip(emd_rows, ce_rows):
+            print(f"  {a:5d} -> {b:5d}:  EMD={emd:12.1f}  H(next|prev)={ce:.4f}")
+    return 0
+
+
+_HANDLERS = {
+    "insitu": _cmd_insitu,
+    "index": _cmd_index,
+    "query": _cmd_query,
+    "mine": _cmd_mine,
+    "model": _cmd_model,
+    "calibrate": _cmd_calibrate,
+    "store": _cmd_store,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

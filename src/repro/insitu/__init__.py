@@ -1,0 +1,60 @@
+"""In-situ pipeline (S16-S18): reduce, select, write; core allocation;
+sampling baseline."""
+
+from repro.insitu.allocation import (
+    SeparateCores,
+    SharedCores,
+    enumerate_separate_allocations,
+    equation_1_2_allocation,
+)
+from repro.insitu.memory import (
+    MemoryTracker,
+    bitmap_resident_model,
+    fulldata_resident_model,
+)
+from repro.insitu.multivariable_pipeline import MultiVariablePipeline, MultiVariableResult
+from repro.insitu.pipeline import InSituPipeline, PipelineResult, default_payload
+from repro.insitu.queue import BoundedDataQueue, QueueClosed, QueueStats
+from repro.insitu.sampling import (
+    Sampler,
+    pairwise_conditional_entropy_errors,
+    sampled_conditional_entropy,
+    sampled_mutual_information,
+    subset_mutual_information_errors,
+)
+from repro.insitu.variables import (
+    MultiVariableIndexer,
+    MultiVariableStep,
+    combined_metric,
+    select_timesteps_multivariable,
+)
+from repro.insitu.writer import OutputWriter, WriteStats
+
+__all__ = [
+    "SeparateCores",
+    "SharedCores",
+    "enumerate_separate_allocations",
+    "equation_1_2_allocation",
+    "MemoryTracker",
+    "bitmap_resident_model",
+    "fulldata_resident_model",
+    "MultiVariablePipeline",
+    "MultiVariableResult",
+    "InSituPipeline",
+    "PipelineResult",
+    "default_payload",
+    "BoundedDataQueue",
+    "QueueClosed",
+    "QueueStats",
+    "Sampler",
+    "pairwise_conditional_entropy_errors",
+    "sampled_conditional_entropy",
+    "sampled_mutual_information",
+    "subset_mutual_information_errors",
+    "MultiVariableIndexer",
+    "MultiVariableStep",
+    "combined_metric",
+    "select_timesteps_multivariable",
+    "OutputWriter",
+    "WriteStats",
+]

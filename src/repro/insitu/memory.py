@@ -1,0 +1,91 @@
+"""Memory accounting for in-situ pipelines (Figure 11).
+
+The paper's memory comparison enumerates exactly which objects stay
+resident under each method (§5.1):
+
+* *full data*: 1 previously-selected time-step + 1 intermediate time-step
+  (simulation-internal) + the window of current time-steps (10 in Fig. 11);
+* *bitmaps*: 1 intermediate time-step + 1 current time-step (needed to
+  simulate the next) + 1 previously-selected bitmap + the window of
+  current bitmaps.
+
+:class:`MemoryTracker` tracks named categories of resident bytes and the
+high-water mark, so the pipeline can report the same breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryTracker:
+    """Byte accounting by category with peak tracking."""
+
+    categories: dict[str, int] = field(default_factory=dict)
+    peak_bytes: int = 0
+    peak_snapshot: dict[str, int] = field(default_factory=dict)
+
+    def set(self, category: str, n_bytes: int) -> None:
+        """Set a category's resident bytes (replaces the previous value)."""
+        if n_bytes < 0:
+            raise ValueError(f"negative resident size for {category!r}: {n_bytes}")
+        if n_bytes == 0:
+            self.categories.pop(category, None)
+        else:
+            self.categories[category] = n_bytes
+        self._update_peak()
+
+    def add(self, category: str, n_bytes: int) -> None:
+        """Grow a category (e.g. one more bitmap in the window)."""
+        self.set(category, self.categories.get(category, 0) + n_bytes)
+
+    def release(self, category: str) -> int:
+        """Drop a category entirely; returns the bytes freed."""
+        freed = self.categories.pop(category, 0)
+        return freed
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(self.categories.values())
+
+    def _update_peak(self) -> None:
+        cur = self.current_bytes
+        if cur > self.peak_bytes:
+            self.peak_bytes = cur
+            self.peak_snapshot = dict(self.categories)
+
+    def report(self) -> str:
+        lines = [f"peak resident: {self.peak_bytes / 2**20:.2f} MiB"]
+        for name, size in sorted(self.peak_snapshot.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:30s} {size / 2**20:10.2f} MiB")
+        return "\n".join(lines)
+
+
+def fulldata_resident_model(
+    step_bytes: int, window: int, intermediate_bytes: int, substrate_bytes: int = 0
+) -> int:
+    """Closed-form Figure 11 resident-set model for the full-data method."""
+    selected_prev = step_bytes
+    current_window = window * step_bytes
+    return selected_prev + intermediate_bytes + current_window + substrate_bytes
+
+
+def bitmap_resident_model(
+    step_bytes: int,
+    bitmap_bytes: int,
+    window: int,
+    intermediate_bytes: int,
+    substrate_bytes: int = 0,
+) -> int:
+    """Closed-form Figure 11 resident-set model for the bitmaps method."""
+    current_step = step_bytes  # needed to simulate the next step
+    selected_prev_bitmap = bitmap_bytes
+    current_window = window * bitmap_bytes
+    return (
+        current_step
+        + intermediate_bytes
+        + selected_prev_bitmap
+        + current_window
+        + substrate_bytes
+    )

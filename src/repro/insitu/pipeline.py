@@ -1,0 +1,383 @@
+"""The in-situ analysis pipeline (Figure 2 end-to-end).
+
+One driver, three reduction modes matching the methods §5 compares:
+
+* ``bitmap``   -- simulate -> build a compressed bitmap index per step ->
+  **discard the raw data** -> select K of N on bitmaps -> write only the
+  selected bitmaps;
+* ``fulldata`` -- simulate -> keep raw steps resident -> select on raw
+  arrays -> write the selected steps' raw data;
+* ``sampling`` -- simulate -> down-sample -> select on samples -> write
+  the selected samples (the §5.5 baseline).
+
+Each phase is wall-clock timed into the same decomposition the paper's
+stacked bars use (simulate / reduce / select / output), and a
+:class:`~repro.insitu.memory.MemoryTracker` records the resident-set
+categories of Figure 11.
+
+:meth:`InSituPipeline.run_threaded` additionally executes the *Separate
+Cores* strategy for real: the simulation runs on the caller thread, bitmap
+construction on a worker pool, and a bounded
+:class:`~repro.insitu.queue.BoundedDataQueue` provides the paper's
+memory-capacity backpressure.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.bitmap.binning import Binning
+from repro.bitmap.index import BitmapIndex
+from repro.insitu.memory import MemoryTracker
+from repro.insitu.queue import BoundedDataQueue, QueueClosed
+from repro.insitu.sampling import Sampler
+from repro.insitu.writer import OutputWriter
+from repro.selection.greedy import (
+    Partitioning,
+    SelectionResult,
+    select_timesteps_bitmap,
+    select_timesteps_full,
+)
+from repro.selection.metrics import SelectionMetric
+from repro.sims.base import Simulation, TimeStepData
+from repro.util.timing import TimeBreakdown
+
+ReductionMode = Literal["bitmap", "fulldata", "sampling"]
+
+#: Extracts the analysis payload from a step (default: all fields
+#: concatenated, the §5.1 Lulesh convention; single-field sims are
+#: unaffected).
+PayloadFn = Callable[[TimeStepData], np.ndarray]
+
+
+def default_payload(step: TimeStepData) -> np.ndarray:
+    return step.concatenated()
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run measured."""
+
+    mode: ReductionMode
+    timings: TimeBreakdown
+    selection: SelectionResult
+    memory: MemoryTracker
+    bytes_written: int
+    #: reduced artifact sizes per step (bitmap bytes / sample bytes / raw bytes)
+    artifact_bytes: list[int] = field(default_factory=list)
+    queue_stats: object | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timings.total
+
+    def summary(self) -> str:
+        phases = ", ".join(
+            f"{k}={v:.3f}s" for k, v in sorted(self.timings.phases.items())
+        )
+        return (
+            f"[{self.mode}] {phases}; total={self.total_seconds:.3f}s; "
+            f"selected={self.selection.selected}; "
+            f"written={self.bytes_written / 2**20:.2f} MiB; "
+            f"peak_mem={self.memory.peak_bytes / 2**20:.2f} MiB"
+        )
+
+
+class InSituPipeline:
+    """Drives a :class:`~repro.sims.base.Simulation` through reduce-select-write."""
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        binning: Binning | None,
+        metric: SelectionMetric,
+        *,
+        mode: ReductionMode = "bitmap",
+        sampler: Sampler | None = None,
+        writer: OutputWriter | None = None,
+        payload_fn: PayloadFn = default_payload,
+        partitioning: Partitioning = "fixed",
+        build_method: Literal["vectorized", "online"] = "vectorized",
+        adaptive_digits: int = 1,
+    ) -> None:
+        if mode == "sampling" and sampler is None:
+            raise ValueError("sampling mode needs a Sampler")
+        if binning is None and mode != "bitmap":
+            raise ValueError(
+                "adaptive binning (binning=None) is only defined for bitmap "
+                "mode; full-data/sampling metrics need a declared scale"
+            )
+        self.simulation = simulation
+        self.binning = binning
+        self.mode: ReductionMode = mode
+        self.sampler = sampler
+        self.writer = writer
+        self.payload_fn = payload_fn
+        self.partitioning: Partitioning = partitioning
+        self.build_method = build_method
+        if binning is None:
+            # Per-step tick-aligned binning (§5.1's 64-206 bins regime):
+            # each step is indexed under its own minimal range; selection
+            # metrics align ticks pairwise.
+            from repro.bitmap.adaptive import AdaptivePrecisionIndexer, aligned_metric
+
+            self._indexer = AdaptivePrecisionIndexer(
+                digits=adaptive_digits, method=build_method
+            )
+            self.metric = aligned_metric(metric)
+        else:
+            self._indexer = None
+            self.metric = metric
+
+    # ----------------------------------------------------------- sequential
+    def run(self, n_steps: int, select_k: int) -> PipelineResult:
+        """Sequential (Shared-Cores-like) execution: phases alternate."""
+        timings = TimeBreakdown()
+        memory = MemoryTracker()
+        memory.set("simulation_substrate", max(self.simulation.substrate_nbytes, 1))
+
+        artifacts: list[object] = []
+        artifact_bytes: list[int] = []
+        steps_meta: list[int] = []
+
+        for _ in range(n_steps):
+            with timings.timed("simulate"):
+                step = self.simulation.advance()
+            payload = self.payload_fn(step)
+            steps_meta.append(step.step)
+            if self.mode != "fulldata":
+                # Raw data is resident only while being reduced -- the
+                # in-situ memory win.  (In fulldata mode the payload *is*
+                # the retained artifact; counting it here too would
+                # double-book one step.)
+                memory.set("current_step_raw", payload.nbytes)
+
+            artifact, nbytes, _phase = self._reduce(payload, timings)
+            artifacts.append(artifact)
+            artifact_bytes.append(nbytes)
+            memory.add("retained_window", nbytes)
+        memory.release("current_step_raw")
+
+        selection = self._select(artifacts, select_k, timings)
+        bytes_written = self._write(artifacts, steps_meta, selection, timings)
+        return PipelineResult(
+            self.mode, timings, selection, memory, bytes_written, artifact_bytes
+        )
+
+    # ------------------------------------------------------------- threaded
+    def run_threaded(
+        self,
+        n_steps: int,
+        select_k: int,
+        *,
+        queue_capacity_bytes: int,
+        n_workers: int = 1,
+    ) -> PipelineResult:
+        """Separate-Cores execution: simulation and reduction overlap.
+
+        Only meaningful for ``mode='bitmap'`` (the strategy exists to hide
+        bitmap-construction time behind the simulation).
+        """
+        if self.mode != "bitmap":
+            raise ValueError("threaded execution is defined for bitmap mode")
+        timings = TimeBreakdown()
+        memory = MemoryTracker()
+        memory.set("simulation_substrate", max(self.simulation.substrate_nbytes, 1))
+        queue = BoundedDataQueue(queue_capacity_bytes)
+        results: dict[int, tuple[BitmapIndex, int]] = {}
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                try:
+                    step = queue.get()
+                except QueueClosed:
+                    return
+                try:
+                    payload = self.payload_fn(step)
+                    index = self._build_index(payload)
+                    with lock:
+                        results[step.step] = (index, index.nbytes)
+                except BaseException as exc:  # surfaced after join
+                    with lock:
+                        errors.append(exc)
+                    return
+
+        workers = [
+            threading.Thread(target=worker, name=f"bitmap-worker-{i}")
+            for i in range(max(1, n_workers))
+        ]
+        for t in workers:
+            t.start()
+
+        import time as _time
+
+        t0 = _time.perf_counter()
+        order: list[int] = []
+        for _ in range(n_steps):
+            with timings.timed("simulate"):
+                step = self.simulation.advance()
+            order.append(step.step)
+            queue.put(step)
+            memory.set("queue", queue.resident_bytes)
+        queue.close()
+        for t in workers:
+            t.join()
+        if errors:
+            raise errors[0]
+        wall = _time.perf_counter() - t0
+        # Bitmap time overlapped with simulation: report the *extra* wall
+        # time beyond simulation as the visible reduction cost.
+        timings.add("reduce_bitmap", max(0.0, wall - timings.phases.get("simulate", 0.0)))
+
+        artifacts = [results[s][0] for s in order]
+        artifact_bytes = [results[s][1] for s in order]
+        for nbytes in artifact_bytes:
+            memory.add("retained_window", nbytes)
+        selection = self._select(artifacts, select_k, timings)
+        bytes_written = self._write(artifacts, order, selection, timings)
+        result = PipelineResult(
+            self.mode, timings, selection, memory, bytes_written, artifact_bytes
+        )
+        result.queue_stats = queue.stats
+        return result
+
+    # ------------------------------------------------------------ streaming
+    def run_streaming(self, n_steps: int, select_k: int) -> PipelineResult:
+        """Fully streaming bitmap pipeline: select online, write on commit.
+
+        Uses :class:`~repro.selection.streaming.StreamingSelector`, so at
+        most *two* bitmap artifacts are ever resident (the previously
+        committed selection and the current interval's best), and each
+        selected bitmap is written the moment its interval closes -- the
+        tightest-memory reading of Figure 2.  The selection is identical
+        to :meth:`run` (greedy only ever looks at the last committed
+        step).
+        """
+        if self.mode != "bitmap":
+            raise ValueError("streaming execution is defined for bitmap mode")
+        from repro.selection.streaming import StreamingSelector
+
+        timings = TimeBreakdown()
+        memory = MemoryTracker()
+        memory.set("simulation_substrate", max(self.simulation.substrate_nbytes, 1))
+
+        artifact_bytes: list[int] = []
+        written_steps: list[int] = []
+        bytes_written = 0
+
+        selector: StreamingSelector[tuple[int, BitmapIndex]] = StreamingSelector(
+            n_steps,
+            select_k,
+            lambda prev, cand: self.metric.bitmap(prev[1], cand[1]),
+        )
+        # Wrap commits so selected bitmaps hit storage immediately.
+        original_commit = selector._commit
+
+        def commit_and_write(step, score, artifact):
+            nonlocal bytes_written
+            original_commit(step, score, artifact)
+            if self.writer is not None and artifact is not None:
+                step_id, index = artifact
+                with timings.timed("output"):
+                    before = self.writer.stats.bytes_written
+                    self.writer.write_bitmap_step(step_id, {"payload": index})
+                    bytes_written += self.writer.stats.bytes_written - before
+                written_steps.append(step_id)
+
+        selector._commit = commit_and_write  # type: ignore[method-assign]
+
+        for _ in range(n_steps):
+            with timings.timed("simulate"):
+                step = self.simulation.advance()
+            payload = self.payload_fn(step)
+            memory.set("current_step_raw", payload.nbytes)
+            with timings.timed("reduce_bitmap"):
+                index = self._build_index(payload)
+            artifact_bytes.append(index.nbytes)
+            with timings.timed("select"):
+                selector.push((step.step, index))
+            memory.set(
+                "retained_window", selector.resident_artifacts * index.nbytes
+            )
+        memory.release("current_step_raw")
+        with timings.timed("select"):
+            selection = selector.finalize()
+        return PipelineResult(
+            self.mode, timings, selection, memory, bytes_written, artifact_bytes
+        )
+
+    # -------------------------------------------------------------- phases
+    def _build_index(self, payload: np.ndarray) -> BitmapIndex:
+        if self._indexer is not None:
+            return self._indexer.index(payload)
+        return BitmapIndex.build(payload, self.binning, method=self.build_method)
+
+    def _reduce(self, payload: np.ndarray, timings: TimeBreakdown):
+        if self.mode == "bitmap":
+            with timings.timed("reduce_bitmap"):
+                index = self._build_index(payload)
+            return index, index.nbytes, "reduce_bitmap"
+        if self.mode == "sampling":
+            assert self.sampler is not None
+            with timings.timed("reduce_sample"):
+                sample = self.sampler.sample(payload)
+            nbytes = self.sampler.sample_bytes(payload.size)
+            return sample, nbytes, "reduce_sample"
+        # fulldata: the "reduction" is keeping everything.
+        return payload, payload.nbytes, "none"
+
+    def _select(
+        self, artifacts: list[object], select_k: int, timings: TimeBreakdown
+    ) -> SelectionResult:
+        with timings.timed("select"):
+            if self.mode == "bitmap":
+                return select_timesteps_bitmap(
+                    artifacts, select_k, self.metric, partitioning=self.partitioning
+                )
+            return select_timesteps_full(
+                artifacts,
+                select_k,
+                self.metric,
+                self.binning,
+                partitioning=self.partitioning,
+            )
+
+    def _write(
+        self,
+        artifacts: list[object],
+        steps_meta: list[int],
+        selection: SelectionResult,
+        timings: TimeBreakdown,
+    ) -> int:
+        if self.writer is None:
+            return 0
+        before = self.writer.stats.bytes_written
+        with timings.timed("output"):
+            for pos in selection.selected:
+                step_id = steps_meta[pos]
+                artifact = artifacts[pos]
+                if self.mode == "bitmap":
+                    self.writer.write_bitmap_step(step_id, {"payload": artifact})
+                elif self.mode == "sampling":
+                    assert self.sampler is not None
+                    positions = self.sampler.positions(self._payload_size_hint(artifact))
+                    self.writer.write_sample_step(
+                        step_id, positions, {"payload": artifact}
+                    )
+                else:
+                    self.writer.write_raw_step(
+                        TimeStepData(step_id, {"payload": np.asarray(artifact)})
+                    )
+        return self.writer.stats.bytes_written - before
+
+    def _payload_size_hint(self, sample: object) -> int:
+        # Positions were drawn for the *original* payload; reconstruct its
+        # size from the sampler fraction and the sample length.
+        assert self.sampler is not None
+        return int(round(np.asarray(sample).size / self.sampler.fraction))

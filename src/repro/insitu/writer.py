@@ -1,0 +1,99 @@
+"""Output writers: raw time-steps vs bitmap indices (the I/O of Figs 7-10).
+
+The full-data method writes the selected steps' raw arrays; the bitmaps
+method writes the selected steps' indices in the format of
+:mod:`repro.bitmap.serialization`.  Both writers track bytes and wall-clock
+seconds so the pipeline can report the paper's "data writing" bar, and can
+optionally throttle to a simulated bandwidth (the perf model usually owns
+modelled I/O; throttling here exists for end-to-end demos on fast local
+disks).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.serialization import save_index
+from repro.sims.base import TimeStepData
+
+
+@dataclass
+class WriteStats:
+    files: int = 0
+    bytes_written: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class OutputWriter:
+    """Writes selected outputs under ``root`` and accounts for the cost.
+
+    ``bandwidth_bytes_per_s`` (optional) adds sleep-based throttling so a
+    laptop demo exhibits the I/O-bound regime of the paper's machines.
+    """
+
+    root: Path
+    bandwidth_bytes_per_s: float | None = None
+    stats: WriteStats = field(default_factory=WriteStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if self.bandwidth_bytes_per_s is not None and self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def write_raw_step(self, step: TimeStepData) -> Path:
+        """Write one raw time-step (one .npy per field)."""
+        t0 = time.perf_counter()
+        step_dir = self.root / f"step_{step.step:05d}"
+        step_dir.mkdir(exist_ok=True)
+        total = 0
+        for name, arr in sorted(step.fields.items()):
+            path = step_dir / f"{name}.npy"
+            np.save(path, arr)
+            total += path.stat().st_size
+        self._account(total, time.perf_counter() - t0)
+        return step_dir
+
+    def write_bitmap_step(self, step_id: int, indices: dict[str, BitmapIndex]) -> Path:
+        """Write one step's bitmap indices (one .rbmp per variable)."""
+        t0 = time.perf_counter()
+        step_dir = self.root / f"step_{step_id:05d}"
+        step_dir.mkdir(exist_ok=True)
+        total = 0
+        for name, index in sorted(indices.items()):
+            total += save_index(step_dir / f"{name}.rbmp", index)
+        self._account(total, time.perf_counter() - t0)
+        return step_dir
+
+    def write_sample_step(
+        self, step_id: int, positions: np.ndarray, values: dict[str, np.ndarray]
+    ) -> Path:
+        """Write one down-sampled step (positions + per-field values)."""
+        t0 = time.perf_counter()
+        step_dir = self.root / f"step_{step_id:05d}"
+        step_dir.mkdir(exist_ok=True)
+        pos_path = step_dir / "positions.npy"
+        np.save(pos_path, positions)
+        total = pos_path.stat().st_size
+        for name, arr in sorted(values.items()):
+            path = step_dir / f"{name}.sample.npy"
+            np.save(path, arr)
+            total += path.stat().st_size
+        self._account(total, time.perf_counter() - t0)
+        return step_dir
+
+    def _account(self, n_bytes: int, elapsed: float) -> None:
+        if self.bandwidth_bytes_per_s is not None:
+            budget = n_bytes / self.bandwidth_bytes_per_s
+            if budget > elapsed:
+                time.sleep(budget - elapsed)
+                elapsed = budget
+        self.stats.files += 1
+        self.stats.bytes_written += n_bytes
+        self.stats.seconds += elapsed

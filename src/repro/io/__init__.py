@@ -1,0 +1,16 @@
+"""Data containers and simulated storage (S20)."""
+
+from repro.io.dataset import Dataset, DatasetReader, Variable, save_dataset
+from repro.io.storage import RemoteLink, SimulatedDisk, TransferLog
+from repro.io.timeseries import BitmapStore
+
+__all__ = [
+    "BitmapStore",
+    "Dataset",
+    "DatasetReader",
+    "Variable",
+    "save_dataset",
+    "RemoteLink",
+    "SimulatedDisk",
+    "TransferLog",
+]

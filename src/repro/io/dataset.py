@@ -1,0 +1,160 @@
+"""A NetCDF-flavoured named-variable container (S20).
+
+The POP dataset of §5 "is stored in the NetCDF format" with 26 variables
+over 2-D/3-D grids.  This module provides the minimal self-describing
+container the offline experiments need: named variables with dimension
+names, attributes, a simple binary file format, and per-variable lazy
+loading (correlation mining reads two of 26 variables; loading the rest
+would be dishonest about I/O cost).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+_MAGIC = b"RDS1"
+
+
+@dataclass
+class Variable:
+    """One named array with dimension names and free-form attributes."""
+
+    name: str
+    data: np.ndarray
+    dims: tuple[str, ...]
+    attrs: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if len(self.dims) != self.data.ndim:
+            raise ValueError(
+                f"{self.name}: {len(self.dims)} dim names for {self.data.ndim}-D data"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+class Dataset:
+    """An in-memory collection of variables sharing dimension vocabulary."""
+
+    def __init__(self) -> None:
+        self._vars: dict[str, Variable] = {}
+        self.attrs: dict[str, str] = {}
+
+    def add(self, variable: Variable) -> None:
+        if variable.name in self._vars:
+            raise ValueError(f"variable {variable.name!r} already present")
+        self._vars[variable.name] = variable
+
+    def add_array(
+        self,
+        name: str,
+        data: np.ndarray,
+        dims: tuple[str, ...],
+        **attrs: str,
+    ) -> Variable:
+        var = Variable(name, data, dims, dict(attrs))
+        self.add(var)
+        return var
+
+    def __getitem__(self, name: str) -> Variable:
+        try:
+            return self._vars[name]
+        except KeyError:
+            raise KeyError(
+                f"no variable {name!r}; available: {sorted(self._vars)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vars
+
+    @property
+    def variable_names(self) -> list[str]:
+        return sorted(self._vars)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(v.nbytes for v in self._vars.values())
+
+    @classmethod
+    def from_timestep(cls, step, dims: tuple[str, ...] = ("z", "y", "x")) -> "Dataset":
+        """Wrap one :class:`~repro.sims.base.TimeStepData` as a dataset."""
+        ds = cls()
+        for name, arr in step.fields.items():
+            ds.add_array(name, arr, dims[: np.asarray(arr).ndim])
+        return ds
+
+
+def save_dataset(path, dataset: Dataset) -> int:
+    """Write a dataset: JSON header (names/shapes/dtypes/offsets) + blobs."""
+    path = Path(path)
+    entries = []
+    blobs: list[bytes] = []
+    offset = 0
+    for name in dataset.variable_names:
+        var = dataset[name]
+        blob = np.ascontiguousarray(var.data).tobytes()
+        entries.append(
+            {
+                "name": name,
+                "dims": list(var.dims),
+                "shape": list(var.data.shape),
+                "dtype": var.data.dtype.str,
+                "attrs": var.attrs,
+                "offset": offset,
+                "nbytes": len(blob),
+            }
+        )
+        blobs.append(blob)
+        offset += len(blob)
+    header = json.dumps({"attrs": dataset.attrs, "variables": entries}).encode()
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<q", len(header)))
+        fh.write(header)
+        for blob in blobs:
+            fh.write(blob)
+    return path.stat().st_size
+
+
+class DatasetReader:
+    """Lazy reader: header up front, variable payloads on demand."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as fh:
+            if fh.read(4) != _MAGIC:
+                raise ValueError(f"{self.path} is not a repro dataset")
+            (hlen,) = struct.unpack("<q", fh.read(8))
+            header = json.loads(fh.read(hlen))
+            self._payload_start = fh.tell()
+        self.attrs: dict[str, str] = header["attrs"]
+        self._entries = {e["name"]: e for e in header["variables"]}
+
+    @property
+    def variable_names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        return tuple(self._entries[name]["shape"])
+
+    def load(self, name: str) -> Variable:
+        """Read one variable's payload from disk."""
+        try:
+            e = self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"no variable {name!r}; available: {self.variable_names}"
+            ) from None
+        with open(self.path, "rb") as fh:
+            fh.seek(self._payload_start + e["offset"])
+            raw = fh.read(e["nbytes"])
+        data = np.frombuffer(raw, dtype=np.dtype(e["dtype"])).reshape(e["shape"])
+        return Variable(name, data.copy(), tuple(e["dims"]), dict(e["attrs"]))

@@ -1,0 +1,83 @@
+"""Simulated storage devices with explicit bandwidth accounting (S20).
+
+Benchmarks that compare I/O *volumes* should not depend on the host's page
+cache; :class:`SimulatedDisk` charges every write/read against a nominal
+bandwidth and keeps totals, giving deterministic "I/O seconds" for any
+byte stream without touching the real filesystem.  :class:`RemoteLink`
+adds a latency term per transfer (the Figure 13 data-server hop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TransferLog:
+    operations: int = 0
+    total_bytes: int = 0
+    total_seconds: float = 0.0
+
+
+@dataclass
+class SimulatedDisk:
+    """A sequential-bandwidth storage device."""
+
+    write_bw: float  # bytes/second
+    read_bw: float | None = None  # defaults to write bandwidth
+    writes: TransferLog = field(default_factory=TransferLog)
+    reads: TransferLog = field(default_factory=TransferLog)
+
+    def __post_init__(self) -> None:
+        if self.write_bw <= 0:
+            raise ValueError("write bandwidth must be positive")
+        if self.read_bw is None:
+            self.read_bw = self.write_bw
+        if self.read_bw <= 0:
+            raise ValueError("read bandwidth must be positive")
+
+    def write(self, n_bytes: int) -> float:
+        """Account a write; returns the seconds it costs."""
+        if n_bytes < 0:
+            raise ValueError("negative write size")
+        seconds = n_bytes / self.write_bw
+        self.writes.operations += 1
+        self.writes.total_bytes += n_bytes
+        self.writes.total_seconds += seconds
+        return seconds
+
+    def read(self, n_bytes: int) -> float:
+        """Account a read; returns the seconds it costs."""
+        if n_bytes < 0:
+            raise ValueError("negative read size")
+        assert self.read_bw is not None
+        seconds = n_bytes / self.read_bw
+        self.reads.operations += 1
+        self.reads.total_bytes += n_bytes
+        self.reads.total_seconds += seconds
+        return seconds
+
+
+@dataclass
+class RemoteLink:
+    """A network hop with per-transfer latency plus bandwidth."""
+
+    bandwidth: float  # bytes/second
+    latency: float = 1e-3  # seconds per transfer
+    log: TransferLog = field(default_factory=TransferLog)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer(self, n_bytes: int) -> float:
+        """Account one transfer; returns the seconds it costs."""
+        if n_bytes < 0:
+            raise ValueError("negative transfer size")
+        seconds = self.latency + n_bytes / self.bandwidth
+        self.log.operations += 1
+        self.log.total_bytes += n_bytes
+        self.log.total_seconds += seconds
+        return seconds

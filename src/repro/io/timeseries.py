@@ -1,0 +1,125 @@
+"""Bitmap time-series store: the post-analysis side of the in-situ story.
+
+The pipeline writes "only the selected bitmaps" to disk (§2.3); offline
+analyses later read them back without ever seeing raw data.  This module
+gives that directory a real API:
+
+* :class:`BitmapStore` -- a directory of per-step per-variable ``.rbmp``
+  files plus a JSON manifest (step ids, variables, sizes, provenance);
+* iteration helpers for the common offline patterns: load one step, walk
+  steps in order, evaluate a metric over consecutive pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Callable
+
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.serialization import load_index, save_index
+
+_MANIFEST = "manifest.json"
+
+
+class BitmapStore:
+    """A persistent, append-only store of per-time-step bitmap indices."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / _MANIFEST
+        if self._manifest_path.exists():
+            self._manifest = json.loads(self._manifest_path.read_text())
+        else:
+            self._manifest = {"steps": {}, "attrs": {}}
+
+    # ------------------------------------------------------------- writing
+    def write(self, step: int, variable: str, index: BitmapIndex) -> Path:
+        """Store one step's index for one variable."""
+        step_dir = self.root / f"step_{step:05d}"
+        step_dir.mkdir(exist_ok=True)
+        path = step_dir / f"{variable}.rbmp"
+        nbytes = save_index(path, index)
+        entry = self._manifest["steps"].setdefault(str(step), {})
+        entry[variable] = {
+            "file": str(path.relative_to(self.root)),
+            "nbytes": nbytes,
+            "n_elements": index.n_elements,
+            "n_bins": index.n_bins,
+        }
+        self._flush()
+        return path
+
+    def set_attr(self, key: str, value: str) -> None:
+        """Record free-form provenance (workload, binning description...)."""
+        self._manifest["attrs"][key] = value
+        self._flush()
+
+    def _flush(self) -> None:
+        self._manifest_path.write_text(json.dumps(self._manifest, indent=1))
+
+    # ------------------------------------------------------------- reading
+    @property
+    def attrs(self) -> dict[str, str]:
+        return dict(self._manifest["attrs"])
+
+    def steps(self) -> list[int]:
+        """Stored step ids, ascending."""
+        return sorted(int(s) for s in self._manifest["steps"])
+
+    def variables(self, step: int) -> list[str]:
+        try:
+            return sorted(self._manifest["steps"][str(step)])
+        except KeyError:
+            raise KeyError(f"no step {step}; stored: {self.steps()}") from None
+
+    def load(self, step: int, variable: str) -> BitmapIndex:
+        """Read one stored index back."""
+        try:
+            entry = self._manifest["steps"][str(step)][variable]
+        except KeyError:
+            raise KeyError(
+                f"no ({step}, {variable!r}); stored steps: {self.steps()}"
+            ) from None
+        return load_index(self.root / entry["file"])
+
+    def iter_indices(self, variable: str) -> Iterator[tuple[int, BitmapIndex]]:
+        """Yield (step, index) over all steps storing ``variable``."""
+        for step in self.steps():
+            if variable in self._manifest["steps"][str(step)]:
+                yield step, self.load(step, variable)
+
+    def total_bytes(self) -> int:
+        """Total stored bitmap bytes across steps and variables."""
+        return sum(
+            entry["nbytes"]
+            for step in self._manifest["steps"].values()
+            for entry in step.values()
+        )
+
+    # ------------------------------------------------------------ analysis
+    def pairwise_metric(
+        self,
+        variable: str,
+        metric: Callable[[BitmapIndex, BitmapIndex], float],
+    ) -> list[tuple[int, int, float]]:
+        """Evaluate ``metric`` over consecutive stored steps.
+
+        The classic post-analysis walk: how much does each retained step
+        differ from the previous one?  Returns (step_i, step_j, value).
+        """
+        out: list[tuple[int, int, float]] = []
+        prev: tuple[int, BitmapIndex] | None = None
+        for step, index in self.iter_indices(variable):
+            if prev is not None:
+                out.append((prev[0], step, metric(prev[1], index)))
+            prev = (step, index)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"BitmapStore({str(self.root)!r}, steps={len(self.steps())}, "
+            f"bytes={self.total_bytes()})"
+        )

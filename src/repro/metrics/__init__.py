@@ -1,0 +1,78 @@
+"""Correlation metrics (S8-S9): full-data and bitmap-only implementations.
+
+Equations 3-6 of the paper, each with two back ends that agree exactly at
+equal binning: a raw-data scan (the *full data* baseline) and a
+popcount/bitwise path over :class:`~repro.bitmap.index.BitmapIndex`.
+"""
+
+from repro.metrics.bitmap_metrics import (
+    conditional_entropy_bitmap,
+    emd_count_bitmap,
+    emd_spatial_bitmap,
+    joint_counts,
+    mutual_information_bitmap,
+    shannon_entropy_bitmap,
+    spatial_bin_differences_bitmap,
+)
+from repro.metrics.divergences import (
+    js_divergence_bitmap,
+    js_divergence_from_counts,
+    kl_divergence_bitmap,
+    kl_divergence_from_counts,
+    normalized_mutual_information_bitmap,
+    normalized_mutual_information_from_joint,
+)
+from repro.metrics.emd import (
+    emd_count_based,
+    emd_from_counts,
+    emd_from_diffs,
+    emd_spatial,
+    spatial_bin_differences,
+)
+from repro.metrics.entropy import (
+    conditional_entropy,
+    conditional_entropy_from_joint,
+    mi_term_from_cell,
+    mutual_information,
+    mutual_information_from_joint,
+    shannon_entropy,
+    shannon_entropy_from_counts,
+)
+from repro.metrics.histogram import (
+    bin_membership_masks,
+    histogram,
+    joint_histogram,
+    normalize,
+)
+
+__all__ = [
+    "js_divergence_bitmap",
+    "js_divergence_from_counts",
+    "kl_divergence_bitmap",
+    "kl_divergence_from_counts",
+    "normalized_mutual_information_bitmap",
+    "normalized_mutual_information_from_joint",
+    "conditional_entropy_bitmap",
+    "emd_count_bitmap",
+    "emd_spatial_bitmap",
+    "joint_counts",
+    "mutual_information_bitmap",
+    "shannon_entropy_bitmap",
+    "spatial_bin_differences_bitmap",
+    "emd_count_based",
+    "emd_from_counts",
+    "emd_from_diffs",
+    "emd_spatial",
+    "spatial_bin_differences",
+    "conditional_entropy",
+    "conditional_entropy_from_joint",
+    "mi_term_from_cell",
+    "mutual_information",
+    "mutual_information_from_joint",
+    "shannon_entropy",
+    "shannon_entropy_from_counts",
+    "histogram",
+    "joint_histogram",
+    "normalize",
+    "bin_membership_masks",
+]

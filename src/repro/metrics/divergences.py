@@ -1,0 +1,95 @@
+"""Additional distribution divergences from the cited literature.
+
+The information-theory toolkit of §3.1 cites Cover & Thomas [8]; beyond
+the four metrics the paper's selector uses, analyses in the surrounding
+literature (Biswas et al. [5], Wang et al. [35]) lean on:
+
+* **KL divergence** ``D(P||Q)`` -- asymmetric distribution distance;
+* **Jensen-Shannon divergence** -- its bounded, symmetric cousin;
+* **normalised mutual information** -- MI scaled to [0, 1] for comparing
+  variable pairs with different entropies (Biswas et al.'s grouping
+  criterion).
+
+All are distribution-level (shared by both backends) with convenience
+wrappers over bitmap indices -- maintaining the repository invariant that
+every metric is computable from bitmaps alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap.index import BitmapIndex
+from repro.metrics.bitmap_metrics import joint_counts
+from repro.metrics.entropy import (
+    mutual_information_from_joint,
+    shannon_entropy_from_counts,
+)
+from repro.metrics.histogram import normalize
+
+
+def kl_divergence_from_counts(
+    counts_p: np.ndarray, counts_q: np.ndarray
+) -> float:
+    """``D(P || Q)`` in bits; infinite where P has mass but Q does not."""
+    p = normalize(counts_p)
+    q = normalize(counts_q)
+    if p.shape != q.shape:
+        raise ValueError(f"histograms must align: {p.shape} != {q.shape}")
+    mask = p > 0
+    if np.any(q[mask] == 0):
+        return float("inf")
+    return float((p[mask] * np.log2(p[mask] / q[mask])).sum())
+
+
+def js_divergence_from_counts(
+    counts_p: np.ndarray, counts_q: np.ndarray
+) -> float:
+    """Jensen-Shannon divergence in bits; symmetric, bounded by 1."""
+    p = normalize(counts_p)
+    q = normalize(counts_q)
+    if p.shape != q.shape:
+        raise ValueError(f"histograms must align: {p.shape} != {q.shape}")
+    m = (p + q) / 2.0
+
+    def _kl(a: np.ndarray, b: np.ndarray) -> float:
+        mask = a > 0
+        return float((a[mask] * np.log2(a[mask] / b[mask])).sum())
+
+    return 0.5 * _kl(p, m) + 0.5 * _kl(q, m)
+
+
+def normalized_mutual_information_from_joint(joint: np.ndarray) -> float:
+    """``I(A;B) / sqrt(H(A) H(B))`` in [0, 1]; 0 when either is constant."""
+    joint = np.asarray(joint, dtype=np.float64)
+    h_a = shannon_entropy_from_counts(joint.sum(axis=1))
+    h_b = shannon_entropy_from_counts(joint.sum(axis=0))
+    if h_a <= 0 or h_b <= 0:
+        return 0.0
+    return mutual_information_from_joint(joint) / float(np.sqrt(h_a * h_b))
+
+
+# ------------------------------------------------------------ bitmap layer
+def kl_divergence_bitmap(index_p: BitmapIndex, index_q: BitmapIndex) -> float:
+    """KL between two indexed value distributions (same binning scale)."""
+    if index_p.n_bins != index_q.n_bins:
+        raise ValueError(
+            f"KL needs a shared binning scale: {index_p.n_bins} != {index_q.n_bins}"
+        )
+    return kl_divergence_from_counts(index_p.bin_counts(), index_q.bin_counts())
+
+
+def js_divergence_bitmap(index_p: BitmapIndex, index_q: BitmapIndex) -> float:
+    """JS divergence between two indexed value distributions."""
+    if index_p.n_bins != index_q.n_bins:
+        raise ValueError(
+            f"JS needs a shared binning scale: {index_p.n_bins} != {index_q.n_bins}"
+        )
+    return js_divergence_from_counts(index_p.bin_counts(), index_q.bin_counts())
+
+
+def normalized_mutual_information_bitmap(
+    index_a: BitmapIndex, index_b: BitmapIndex
+) -> float:
+    """NMI of two aligned variables, from the AND-derived joint."""
+    return normalized_mutual_information_from_joint(joint_counts(index_a, index_b))

@@ -1,0 +1,61 @@
+"""Full-data histograms: the baseline path the paper compares against.
+
+The *full data* method of §3 must scan the raw arrays to bin them and to
+build individual/joint value distributions; these functions are that scan,
+numpy-vectorised.  The bitmap path in
+:mod:`repro.metrics.bitmap_metrics` must produce *identical* counts for the
+same binning -- that equality is the paper's exactness claim and is enforced
+by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap.binning import Binning
+
+
+def histogram(data: np.ndarray, binning: Binning) -> np.ndarray:
+    """Per-bin element counts of ``data`` under ``binning`` (``int64``)."""
+    ids = binning.assign_checked(np.asarray(data).ravel())
+    return np.bincount(ids, minlength=binning.n_bins).astype(np.int64)
+
+
+def joint_histogram(
+    a: np.ndarray,
+    b: np.ndarray,
+    binning_a: Binning,
+    binning_b: Binning,
+) -> np.ndarray:
+    """Joint counts ``J[i, j] = #{k : a_k in bin i and b_k in bin j}``.
+
+    ``a`` and ``b`` must be position-aligned (same element order), as in the
+    paper's joint distribution of two time-steps or two variables.
+    """
+    fa = np.asarray(a).ravel()
+    fb = np.asarray(b).ravel()
+    if fa.size != fb.size:
+        raise ValueError(f"arrays must align: {fa.size} != {fb.size} elements")
+    ia = binning_a.assign_checked(fa)
+    ib = binning_b.assign_checked(fb)
+    nb = binning_b.n_bins
+    key = ia * nb + ib
+    counts = np.bincount(key, minlength=binning_a.n_bins * nb)
+    return counts.reshape(binning_a.n_bins, nb).astype(np.int64)
+
+
+def normalize(counts: np.ndarray) -> np.ndarray:
+    """Counts -> probability distribution (all-zero input stays zero)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    return counts / total if total > 0 else counts
+
+
+def bin_membership_masks(data: np.ndarray, binning: Binning) -> np.ndarray:
+    """Boolean matrix ``M[bin, position]`` -- the uncompressed bitmap.
+
+    Used only by full-data *spatial* comparisons (and as a test oracle);
+    this is exactly the n x m bits the paper avoids materialising.
+    """
+    ids = binning.assign_checked(np.asarray(data).ravel())
+    return ids[None, :] == np.arange(binning.n_bins, dtype=np.int64)[:, None]

@@ -1,0 +1,22 @@
+"""Correlation mining (S11): Algorithm 2, multi-level pruning, baseline."""
+
+from repro.mining.correlation import (
+    MiningResult,
+    SpatialSubsetHit,
+    ValueSubsetHit,
+    correlation_mining,
+    suggest_value_threshold,
+)
+from repro.mining.fulldata import correlation_mining_fulldata
+from repro.mining.multilevel import MultiLevelStats, correlation_mining_multilevel
+
+__all__ = [
+    "MiningResult",
+    "SpatialSubsetHit",
+    "ValueSubsetHit",
+    "correlation_mining",
+    "suggest_value_threshold",
+    "correlation_mining_fulldata",
+    "MultiLevelStats",
+    "correlation_mining_multilevel",
+]

@@ -1,0 +1,95 @@
+"""Performance model (S19): machines, DES, in-situ/pipeline/cluster models.
+
+The DESIGN.md substitution for the paper's Xeon/MIC/Oakley hardware: a
+calibrated discrete-event cost model producing the same figure shapes.
+"""
+
+from repro.perfmodel.calibrate import measure_rates
+from repro.perfmodel.cluster import (
+    ClusterScenario,
+    ClusterTimes,
+    model_cluster,
+    scalability_series,
+)
+from repro.perfmodel.des import Environment, Resource, Store, Timeout, pipeline_makespan
+from repro.perfmodel.insitu_model import (
+    InSituScenario,
+    PhaseTimes,
+    model_bitmaps,
+    model_full_data,
+    model_sampling,
+    speedup_over_cores,
+)
+from repro.perfmodel.machine import (
+    MIC60,
+    OAKLEY_NODE,
+    PRESETS,
+    XEON32,
+    MachineSpec,
+    amdahl_speedup,
+)
+from repro.perfmodel.pipeline_model import (
+    AllocationOutcome,
+    best_allocation,
+    equation_allocation_outcome,
+    model_separate_cores,
+    model_shared_cores,
+    queue_capacity_steps,
+    sweep_allocations,
+)
+from repro.perfmodel.tradeoff import (
+    breakeven_size_fraction,
+    crossover_cores,
+    io_bound_fraction,
+    max_window_steps,
+    min_disk_bw_for_fulldata,
+)
+from repro.perfmodel.rates import (
+    HEAT3D_RATES,
+    LULESH_RATES,
+    OCEAN_RATES,
+    WORKLOADS,
+    WorkloadRates,
+)
+
+__all__ = [
+    "breakeven_size_fraction",
+    "crossover_cores",
+    "io_bound_fraction",
+    "max_window_steps",
+    "min_disk_bw_for_fulldata",
+    "measure_rates",
+    "ClusterScenario",
+    "ClusterTimes",
+    "model_cluster",
+    "scalability_series",
+    "Environment",
+    "Resource",
+    "Store",
+    "Timeout",
+    "pipeline_makespan",
+    "InSituScenario",
+    "PhaseTimes",
+    "model_bitmaps",
+    "model_full_data",
+    "model_sampling",
+    "speedup_over_cores",
+    "MIC60",
+    "OAKLEY_NODE",
+    "PRESETS",
+    "XEON32",
+    "MachineSpec",
+    "amdahl_speedup",
+    "AllocationOutcome",
+    "best_allocation",
+    "equation_allocation_outcome",
+    "model_separate_cores",
+    "model_shared_cores",
+    "queue_capacity_steps",
+    "sweep_allocations",
+    "HEAT3D_RATES",
+    "LULESH_RATES",
+    "OCEAN_RATES",
+    "WORKLOADS",
+    "WorkloadRates",
+]

@@ -1,0 +1,82 @@
+"""Calibrate model rates from this repository's real kernels.
+
+The default :mod:`repro.perfmodel.rates` constants are fixed (calibrated
+to the paper's reported phase ratios) so every benchmark is deterministic.
+When absolute host realism matters, :func:`measure_rates` times the actual
+implementations -- Heat3D stepping, vectorised bitmap construction,
+conditional-entropy evaluation on raw arrays and on bitmaps, sampling --
+at a small scale and returns a :class:`WorkloadRates` with the measured
+per-element costs (per DESIGN.md's measured-vs-modelled split).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bitmap.binning import PrecisionBinning
+from repro.bitmap.index import BitmapIndex
+from repro.insitu.sampling import Sampler
+from repro.metrics.bitmap_metrics import conditional_entropy_bitmap
+from repro.metrics.entropy import conditional_entropy
+from repro.perfmodel.rates import HEAT3D_RATES, WorkloadRates
+from repro.sims.heat3d import Heat3D
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_rates(
+    *,
+    shape: tuple[int, int, int] = (16, 32, 64),
+    warm_steps: int = 5,
+    repeats: int = 3,
+    base: WorkloadRates = HEAT3D_RATES,
+) -> WorkloadRates:
+    """Measure Heat3D-workload per-element rates on this host.
+
+    Serial fractions and the bitmap size fraction are taken from
+    measurements where possible (size fraction is measured; scaling
+    fractions cannot be measured on one core and keep their defaults).
+    """
+    sim = Heat3D(shape, seed=0)
+    n = int(np.prod(shape))
+    for _ in range(warm_steps):
+        step = sim.advance()
+    data_a = step.fields["temperature"]
+
+    t_sim = _best_of(lambda: sim.advance(), repeats)
+    data_b = sim.advance().fields["temperature"]
+
+    binning = PrecisionBinning.from_data(
+        np.concatenate([data_a.ravel(), data_b.ravel()]), digits=1
+    )
+    t_bitmap = _best_of(lambda: BitmapIndex.build(data_a, binning), repeats)
+    index_a = BitmapIndex.build(data_a, binning)
+    index_b = BitmapIndex.build(data_b, binning)
+    size_fraction = min(0.95, max(0.01, index_a.nbytes / data_a.nbytes))
+
+    t_select_full = _best_of(
+        lambda: conditional_entropy(data_a, data_b, binning, binning), repeats
+    )
+    t_select_bitmap = _best_of(
+        lambda: conditional_entropy_bitmap(index_a, index_b), repeats
+    )
+    sampler = Sampler(0.1)
+    t_sample = _best_of(lambda: sampler.sample(data_a), repeats)
+
+    return base.scaled(
+        simulate=max(t_sim / n, 1e-12),
+        bitmap_gen=max(t_bitmap / n, 1e-12),
+        select_full=max(t_select_full / (2 * n), 1e-12),
+        select_bitmap=max(t_select_bitmap / (2 * n), 1e-12),
+        sample=max(t_sample / n, 1e-12),
+        bitmap_size_fraction=size_fraction,
+    )

@@ -1,0 +1,155 @@
+"""Cluster-scale in-situ model: Figure 13's parallel environment.
+
+§5.3 runs Heat3D on 1..32 Oakley nodes (8 cores each), with two storage
+targets:
+
+* **local** -- each node writes its own share of the output to its local
+  disk (parallel, aggregate bandwidth scales with nodes);
+* **remote** -- every node ships output to *one* remote data server over a
+  ~100 MB/s link; transfers serialise on the server, so the full-data
+  method's big output volume hurts more the more nodes produce it.
+
+The simulation requires MPI halo exchanges per step; the cost model
+charges them to the network (they are small -- two faces per internal
+boundary -- but grow with node count, which is why the simulation does
+not scale perfectly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.des import Environment, Resource
+from repro.perfmodel.insitu_model import InSituScenario, _compute_time
+from repro.perfmodel.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """A multi-node run of one workload."""
+
+    node: MachineSpec
+    base: InSituScenario  # per-problem totals (whole-domain sizes)
+    cores_per_node: int = 8
+    halo_bytes_per_boundary: float = 8e6  # two 1000^2-cell faces * 8 B / 2
+    remote_bw: float = 100e6
+
+    def per_node_elements(self, n_nodes: int) -> float:
+        return self.base.elements_per_step / n_nodes
+
+
+@dataclass(frozen=True)
+class ClusterTimes:
+    """One (method, nodes, target) cell of Figure 13."""
+
+    simulate: float
+    reduce: float
+    select: float
+    output: float
+
+    @property
+    def total(self) -> float:
+        return self.simulate + self.reduce + self.select + self.output
+
+
+def _node_phase(
+    scenario: ClusterScenario, n_nodes: int, rate: float, serial: float
+) -> float:
+    """Per-step compute time of one node's share on its cores."""
+    return _compute_time(
+        scenario.per_node_elements(n_nodes),
+        rate,
+        serial,
+        scenario.node,
+        scenario.cores_per_node,
+    )
+
+
+def _simulate_phase(scenario: ClusterScenario, n_nodes: int) -> float:
+    """Per-step simulation time including halo exchange."""
+    sc = scenario.base
+    compute = _node_phase(scenario, n_nodes, sc.rates.simulate, sc.rates.simulate_serial)
+    if n_nodes > 1:
+        # Each internal boundary exchanges ghost faces both ways per step.
+        halo = 2.0 * scenario.halo_bytes_per_boundary / scenario.node.network_bw
+        compute += halo
+    return compute
+
+
+def _output_time(
+    scenario: ClusterScenario, n_nodes: int, total_bytes: float, *, remote: bool
+) -> float:
+    """Write/transfer the selected outputs.
+
+    Local: nodes write their shares in parallel to their own disks.
+    Remote: one shared server; transfers serialise (modelled on the DES
+    with a FIFO resource, equivalent to total_bytes / remote_bw but kept
+    event-driven so per-node finish times are observable).
+    """
+    per_node = total_bytes / n_nodes
+    if not remote:
+        return per_node / scenario.node.disk_write_bw
+    env = Environment()
+    server = Resource(env)
+    finish = {"at": 0.0}
+
+    def sender(nbytes: float):
+        yield server.acquire()
+        yield env.timeout(nbytes / scenario.remote_bw)
+        server.release()
+        finish["at"] = max(finish["at"], env.now)
+
+    for _ in range(n_nodes):
+        env.process(sender(per_node), "sender")
+    env.run()
+    return finish["at"]
+
+
+def model_cluster(
+    scenario: ClusterScenario, n_nodes: int, *, method: str, remote: bool
+) -> ClusterTimes:
+    """Total Figure-13 time for ``method`` in {'full', 'bitmap'}."""
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if method not in ("full", "bitmap"):
+        raise ValueError(f"method must be 'full' or 'bitmap', got {method!r}")
+    sc = scenario.base
+    simulate = sc.n_steps * _simulate_phase(scenario, n_nodes)
+
+    if method == "bitmap":
+        reduce = sc.n_steps * _node_phase(
+            scenario, n_nodes, sc.rates.bitmap_gen, sc.rates.bitmap_gen_serial
+        )
+        select_rate = sc.rates.select_bitmap
+        out_bytes = sc.select_k * sc.step_bytes * sc.rates.bitmap_size_fraction
+    else:
+        reduce = 0.0
+        select_rate = sc.rates.select_full
+        out_bytes = sc.select_k * sc.step_bytes
+
+    select = (sc.n_steps - 1) * _compute_time(
+        2.0 * scenario.per_node_elements(n_nodes),
+        select_rate,
+        sc.rates.select_serial,
+        scenario.node,
+        scenario.cores_per_node,
+    )
+    output = _output_time(scenario, n_nodes, out_bytes, remote=remote)
+    return ClusterTimes(simulate, reduce, select, output)
+
+
+def scalability_series(
+    scenario: ClusterScenario, node_counts: list[int]
+) -> list[dict[str, float]]:
+    """Figure 13 rows: every method x storage target at each node count."""
+    rows = []
+    for n in node_counts:
+        row: dict[str, float] = {"nodes": float(n)}
+        for method in ("full", "bitmap"):
+            for remote in (False, True):
+                key = f"{method}_{'remote' if remote else 'local'}"
+                row[key] = model_cluster(scenario, n, method=method, remote=remote).total
+        row["speedup_local"] = row["full_local"] / row["bitmap_local"]
+        row["speedup_remote"] = row["full_remote"] / row["bitmap_remote"]
+        rows.append(row)
+    return rows

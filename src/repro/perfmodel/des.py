@@ -1,0 +1,227 @@
+"""A compact discrete-event simulation engine (generator coroutines).
+
+The performance models need to play out *interleavings*: a simulation
+producer and a bitmap consumer sharing a bounded queue (Figure 12), or 32
+nodes contending for one remote data server (Figure 13).  This is a
+minimal simpy-flavoured engine:
+
+* :class:`Environment` -- the event loop and virtual clock;
+* processes are plain generators that ``yield`` events;
+* :class:`Timeout` -- resume after virtual seconds;
+* :class:`Store` -- a bounded buffer with blocking put/get events;
+* :class:`Resource` -- an exclusive server with FIFO queueing (models the
+  single remote disk: requests serialise, exactly like shared-bandwidth
+  writes at full utilisation).
+
+Determinism: ties in event time are broken by insertion order, so the
+models are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Generator
+
+ProcessGen = Generator["BaseEvent", Any, None]
+
+
+class BaseEvent:
+    """Something a process can wait on."""
+
+    __slots__ = ("callbacks", "triggered", "value")
+
+    def __init__(self) -> None:
+        self.callbacks: list = []
+        self.triggered = False
+        self.value: Any = None
+
+    def _succeed(self, env: "Environment", value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self.callbacks:
+            env._ready(cb, self)
+        self.callbacks.clear()
+
+
+class Timeout(BaseEvent):
+    """Resume after ``delay`` virtual seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        super().__init__()
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.delay = delay
+
+
+class Process(BaseEvent):
+    """A running generator; completes when the generator returns."""
+
+    __slots__ = ("gen", "name")
+
+    def __init__(self, gen: ProcessGen, name: str) -> None:
+        super().__init__()
+        self.gen = gen
+        self.name = name
+
+
+class Environment:
+    """Event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, object]] = []
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------ plumbing
+    def _push(self, at: float, item: object) -> None:
+        heapq.heappush(self._heap, (at, next(self._counter), item))
+
+    def _ready(self, process: "Process", event: BaseEvent) -> None:
+        """Schedule a process to resume now with the event's value."""
+        self._push(self.now, (process, event))
+
+    # ------------------------------------------------------------- public
+    def process(self, gen: ProcessGen, name: str = "proc") -> Process:
+        proc = Process(gen, name)
+        self._push(self.now, (proc, None))
+        return proc
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    def run(self, until: float | None = None) -> float:
+        """Run until no events remain (or the clock passes ``until``)."""
+        while self._heap:
+            at, _, item = heapq.heappop(self._heap)
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            self.now = at
+            proc, event = item
+            self._step(proc, event)
+        return self.now
+
+    def _step(self, proc: Process, event: BaseEvent | None) -> None:
+        try:
+            value = event.value if event is not None else None
+            nxt = proc.gen.send(value)
+        except StopIteration:
+            proc._succeed(self, None)
+            return
+        if isinstance(nxt, Timeout):
+            self._push(self.now + nxt.delay, (proc, nxt))
+            nxt.triggered = True
+        elif isinstance(nxt, BaseEvent):
+            if nxt.triggered:
+                self._push(self.now, (proc, nxt))
+            else:
+                nxt.callbacks.append(proc)
+        else:
+            raise TypeError(f"process {proc.name} yielded {nxt!r}")
+
+
+class Store:
+    """Bounded FIFO buffer of items (capacity in item count)."""
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._putters: deque[tuple[BaseEvent, Any]] = deque()
+        self._getters: deque[BaseEvent] = deque()
+
+    def put(self, item: Any) -> BaseEvent:
+        ev = BaseEvent()
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            ev._succeed(self.env)
+            self._serve_getters()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> BaseEvent:
+        ev = BaseEvent()
+        if self.items:
+            ev._succeed(self.env, self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            self._getters.popleft()._succeed(self.env, self.items.popleft())
+            self._serve_putters()
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev._succeed(self.env)
+            self._serve_getters()
+
+
+class Resource:
+    """An exclusive FIFO server (e.g. the single remote data server)."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._busy = False
+        self._waiters: deque[BaseEvent] = deque()
+        self.busy_seconds = 0.0
+        self._acquired_at = 0.0
+
+    def acquire(self) -> BaseEvent:
+        ev = BaseEvent()
+        if not self._busy:
+            self._busy = True
+            self._acquired_at = self.env.now
+            ev._succeed(self.env)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if not self._busy:
+            raise RuntimeError("release of an idle resource")
+        self.busy_seconds += self.env.now - self._acquired_at
+        if self._waiters:
+            self._acquired_at = self.env.now
+            self._waiters.popleft()._succeed(self.env)
+        else:
+            self._busy = False
+
+
+def pipeline_makespan(
+    t_produce: float, t_consume: float, n_items: int, queue_capacity: int
+) -> float:
+    """Closed-form two-stage bounded-buffer pipeline makespan (oracle).
+
+    With producer time ``a``, consumer time ``b`` and a buffer of ``Q``
+    items, the steady state is governed by ``max(a, b)``; the closed form
+    is used to cross-check the DES in tests.
+    """
+    if n_items == 0:
+        return 0.0
+    a, b, q = t_produce, t_consume, queue_capacity
+    # Convention (matches the Store semantics): a put occupies a slot when
+    # it completes; a get frees the slot when the consumer takes the item.
+    put_done = [0.0] * n_items
+    taken = [0.0] * n_items
+    consumed = [0.0] * n_items
+    for i in range(n_items):
+        computed = (put_done[i - 1] if i else 0.0) + a
+        room = taken[i - q] if i >= q else 0.0
+        put_done[i] = max(computed, room)
+        taken[i] = max(consumed[i - 1] if i else 0.0, put_done[i])
+        consumed[i] = taken[i] + b
+    return consumed[-1]

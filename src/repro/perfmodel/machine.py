@@ -1,0 +1,96 @@
+"""Machine specifications for the performance model (§5's three platforms).
+
+We do not have a 32-core Xeon node, a 60-core Xeon Phi, or the Oakley
+cluster; the DESIGN.md substitution rule replaces them with explicit
+parameterisations.  A :class:`MachineSpec` captures exactly the properties
+the paper's figures depend on:
+
+* core count (the x axis of Figures 7-10),
+* relative per-core speed (MIC cores are individually much slower),
+* memory capacity (bounds the Separate-Cores data queue),
+* disk write bandwidth (the non-parallelisable output bar),
+* network bandwidth (the Figure 13 remote data server link).
+
+Presets mirror the paper's hardware section; bandwidth values are chosen
+to reproduce the paper's reported *ratios* (e.g. the 6.78x write-time
+advantage and the 0.79x-3.28x total-time band), as recorded per experiment
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A single node's modelled hardware."""
+
+    name: str
+    n_cores: int
+    core_speed: float  # relative to the reference core (Xeon x5650 = 1.0)
+    memory_bytes: float
+    disk_write_bw: float  # bytes/second, sequential write
+    network_bw: float  # bytes/second to a remote data server
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        for field_name in ("core_speed", "memory_bytes", "disk_write_bw", "network_bw"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def with_cores(self, n_cores: int) -> "MachineSpec":
+        """The same machine restricted to ``n_cores`` cores."""
+        return replace(self, n_cores=n_cores)
+
+
+def amdahl_speedup(n_cores: int, serial_fraction: float) -> float:
+    """Amdahl's law: speedup of ``n_cores`` given a serial fraction.
+
+    Models the paper's observation that Heat3D "does not scale well with
+    increasing number of cores" (1.3x from 12 to 28 cores => serial
+    fraction ~0.1) while bitmap generation scales almost linearly
+    ("without having any dependency among different cores").
+    """
+    if n_cores < 1:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError(f"serial fraction must be in [0, 1], got {serial_fraction}")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n_cores)
+
+
+#: The OSC node of §5: 32 Intel Xeon x5650 cores, 1 TB memory.
+XEON32 = MachineSpec(
+    name="xeon32",
+    n_cores=32,
+    core_speed=1.0,
+    memory_bytes=1e12,
+    disk_write_bw=400e6,
+    network_bw=100e6,
+)
+
+#: The Intel MIC node of §5: 60 slow cores, 8 GB memory, weak disk I/O
+#: ("the I/O bandwidth is even lower").
+MIC60 = MachineSpec(
+    name="mic60",
+    n_cores=60,
+    core_speed=0.3,
+    memory_bytes=8e9,
+    disk_write_bw=80e6,
+    network_bw=100e6,
+)
+
+#: One Oakley cluster node of §5.3: 12 Xeon cores, 48 GB memory.
+OAKLEY_NODE = MachineSpec(
+    name="oakley",
+    n_cores=12,
+    core_speed=1.0,
+    memory_bytes=48e9,
+    disk_write_bw=110e6,  # per-node spinning disk
+    network_bw=100e6,  # "around 100 MB/sec bandwidth" to the data server
+)
+
+PRESETS: dict[str, MachineSpec] = {
+    m.name: m for m in (XEON32, MIC60, OAKLEY_NODE)
+}

@@ -1,0 +1,138 @@
+"""Core-allocation pipeline model: Figure 12's Shared vs Separate Cores.
+
+*Shared Cores*: every step runs simulation on all cores, pauses, then runs
+bitmap generation on all cores -- total time is the plain sum.
+
+*Separate Cores*: the two phases run concurrently on disjoint core pools
+with a bounded data queue between them (memory capacity / step size).  We
+play the interleaving out on the discrete-event engine: a producer process
+simulates steps, a consumer process builds bitmaps; the queue's
+backpressure is what makes bad splits slow in *both* directions (too few
+simulation cores starve the consumer; too few bitmap cores stall the
+producer on a full queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.insitu.allocation import (
+    SeparateCores,
+    SharedCores,
+    enumerate_separate_allocations,
+    equation_1_2_allocation,
+)
+from repro.perfmodel.des import Environment, Store
+from repro.perfmodel.insitu_model import InSituScenario, _compute_time
+
+
+def step_sim_time(sc: InSituScenario, cores: int) -> float:
+    """One simulation step on ``cores`` cores."""
+    return _compute_time(
+        sc.elements_per_step, sc.rates.simulate, sc.rates.simulate_serial,
+        sc.machine, cores,
+    )
+
+
+def step_bitmap_time(sc: InSituScenario, cores: int) -> float:
+    """One per-step bitmap build on ``cores`` cores."""
+    return _compute_time(
+        sc.elements_per_step, sc.rates.bitmap_gen, sc.rates.bitmap_gen_serial,
+        sc.machine, cores,
+    )
+
+
+def queue_capacity_steps(sc: InSituScenario) -> int:
+    """How many raw steps fit in memory ("limited by the memory capacity").
+
+    Reserves half the memory for the simulation itself and its resident
+    state; at least one slot always exists.
+    """
+    budget = sc.machine.memory_bytes / 2.0
+    return max(1, int(budget // sc.step_bytes))
+
+
+@dataclass(frozen=True)
+class AllocationOutcome:
+    """Total time of 100-steps simulate+bitmap under one allocation."""
+
+    label: str
+    total_seconds: float
+    sim_core_seconds: float
+    bitmap_core_seconds: float
+
+
+def model_shared_cores(sc: InSituScenario) -> AllocationOutcome:
+    """Alternating phases on all cores."""
+    strategy = SharedCores(sc.machine.n_cores)
+    t_sim = step_sim_time(sc, strategy.total_cores)
+    t_bm = step_bitmap_time(sc, strategy.total_cores)
+    total = sc.n_steps * (t_sim + t_bm)
+    return AllocationOutcome(strategy.label, total, t_sim * sc.n_steps, t_bm * sc.n_steps)
+
+
+def model_separate_cores(
+    sc: InSituScenario, allocation: SeparateCores
+) -> AllocationOutcome:
+    """Bounded-queue producer/consumer pipeline on the DES."""
+    if allocation.total_cores > sc.machine.n_cores:
+        raise ValueError(
+            f"allocation {allocation.label} exceeds {sc.machine.n_cores} cores"
+        )
+    t_sim = step_sim_time(sc, allocation.sim_cores)
+    t_bm = step_bitmap_time(sc, allocation.bitmap_cores)
+    env = Environment()
+    queue = Store(env, queue_capacity_steps(sc))
+    done = {"finish": 0.0}
+
+    def producer():
+        for i in range(sc.n_steps):
+            yield env.timeout(t_sim)
+            yield queue.put(i)
+
+    def consumer():
+        for _ in range(sc.n_steps):
+            yield queue.get()
+            yield env.timeout(t_bm)
+        done["finish"] = env.now
+
+    env.process(producer(), "simulate")
+    env.process(consumer(), "bitmap")
+    env.run()
+    return AllocationOutcome(
+        allocation.label, done["finish"], t_sim * sc.n_steps, t_bm * sc.n_steps
+    )
+
+
+def sweep_allocations(
+    sc: InSituScenario, *, include_shared: bool = True, stride: int = 1
+) -> list[AllocationOutcome]:
+    """Every split (plus shared cores) -- the bars of Figure 12."""
+    outcomes: list[AllocationOutcome] = []
+    if include_shared:
+        outcomes.append(model_shared_cores(sc))
+    for alloc in enumerate_separate_allocations(sc.machine.n_cores)[::stride]:
+        outcomes.append(model_separate_cores(sc, alloc))
+    return outcomes
+
+
+def best_allocation(sc: InSituScenario) -> AllocationOutcome:
+    """The fastest separate-cores split (ground truth for Eq. 1-2)."""
+    candidates = [
+        model_separate_cores(sc, a)
+        for a in enumerate_separate_allocations(sc.machine.n_cores)
+    ]
+    return min(candidates, key=lambda o: o.total_seconds)
+
+
+def equation_allocation_outcome(sc: InSituScenario) -> AllocationOutcome:
+    """What the paper's Equations 1-2 would pick, evaluated on the model.
+
+    The calibration measurement uses single-phase times at an initial
+    even split, exactly like the paper's warm-up run.
+    """
+    half = max(1, sc.machine.n_cores // 2)
+    t_sim = step_sim_time(sc, half)
+    t_bm = step_bitmap_time(sc, sc.machine.n_cores - half)
+    alloc = equation_1_2_allocation(sc.machine.n_cores, t_sim, t_bm)
+    return model_separate_cores(sc, alloc)

@@ -1,0 +1,115 @@
+"""Closed-form trade-off analysis over the in-situ cost model.
+
+The DES models *play out* scenarios; this module answers the inverse
+questions analytically, using the same cost structure:
+
+* :func:`crossover_cores` -- at how many cores do bitmaps start winning?
+* :func:`min_disk_bw_for_fulldata` -- how fast must the disk be for the
+  full-data method to stay competitive at a given core count?
+* :func:`max_window_steps` -- how many time-steps fit in memory under each
+  method (the Figure 11 question inverted);
+* :func:`breakeven_size_fraction` -- how small must bitmaps be to win at a
+  given core count?
+
+These are the numbers a deployment would actually compute before choosing
+a strategy, and they double as independent checks on the DES results
+(property-tested against :mod:`repro.perfmodel.insitu_model`).
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.insitu_model import (
+    InSituScenario,
+    model_bitmaps,
+    model_full_data,
+)
+
+
+def crossover_cores(sc: InSituScenario, max_cores: int | None = None) -> int | None:
+    """Smallest core count at which the bitmaps method wins, or None.
+
+    Total times are monotone in cores for both methods but their
+    difference is not analytically invertible under Amdahl, so this scans
+    -- it is exact, not approximate.
+    """
+    limit = max_cores if max_cores is not None else sc.machine.n_cores
+    for cores in range(1, limit + 1):
+        if model_bitmaps(sc, cores).total < model_full_data(sc, cores).total:
+            return cores
+    return None
+
+
+def min_disk_bw_for_fulldata(sc: InSituScenario, cores: int) -> float:
+    """Disk bandwidth above which full data ties bitmaps at ``cores``.
+
+    Solves ``full(compute) + K*S/bw == bitmap(compute) + K*S*f/bw`` for
+    ``bw``; returns ``inf`` when bitmaps win on compute alone.
+    """
+    full = model_full_data(sc, cores)
+    bm = model_bitmaps(sc, cores)
+    compute_gap = (bm.simulate + bm.reduce + bm.select) - (
+        full.simulate + full.select
+    )
+    if compute_gap <= 0:
+        return float("inf")  # bitmaps cheaper even before I/O
+    write_gap_bytes = sc.select_k * sc.step_bytes * (
+        1.0 - sc.rates.bitmap_size_fraction
+    )
+    return write_gap_bytes / compute_gap
+
+
+def max_window_steps(sc: InSituScenario, *, method: str) -> int:
+    """Largest selection window fitting in node memory (Figure 11 inverted).
+
+    Uses the paper's resident-set inventory: full data keeps the window in
+    raw steps plus one selected step and one intermediate; bitmaps keep
+    the window as compressed indices plus one raw step, one intermediate
+    and one selected bitmap.
+    """
+    mem = sc.machine.memory_bytes
+    step = sc.step_bytes
+    bitmap = sc.bitmap_bytes
+    if method == "full":
+        fixed = 2 * step  # previous selected + intermediate
+        per = step
+    elif method == "bitmap":
+        fixed = 2 * step + bitmap  # current raw + intermediate + prev bitmap
+        per = bitmap
+    else:
+        raise ValueError(f"method must be 'full' or 'bitmap', got {method!r}")
+    remaining = mem - fixed
+    if remaining < per:
+        return 0
+    return int(remaining // per)
+
+
+def breakeven_size_fraction(sc: InSituScenario, cores: int) -> float | None:
+    """Largest bitmap size fraction at which bitmaps still tie full data.
+
+    Solves the total-time equality for the fraction; returns None when no
+    fraction in (0, 1) achieves parity (compute overhead too large).
+    """
+    full = model_full_data(sc, cores)
+    bm = model_bitmaps(sc, cores)
+    # bm.total(f) = C_bm + K*S*f/bw  with C_bm independent of f
+    compute_bm = bm.simulate + bm.reduce + bm.select
+    write_full = full.output
+    budget = full.total - compute_bm  # what the bitmap write may cost
+    if budget <= 0:
+        return None
+    fraction = budget / write_full
+    if fraction <= 0:
+        return None
+    return float(min(fraction, 1.0))
+
+
+def io_bound_fraction(sc: InSituScenario, cores: int, *, method: str) -> float:
+    """Share of total time spent writing -- the bottleneck indicator.
+
+    The paper's "data writing time becomes the major bottleneck" claim,
+    quantified: > 0.5 means the run is I/O-bound.
+    """
+    times = (
+        model_full_data(sc, cores) if method == "full" else model_bitmaps(sc, cores)
+    )
+    return times.output / times.total if times.total else 0.0

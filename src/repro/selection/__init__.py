@@ -1,0 +1,62 @@
+"""Time-step selection (S10): greedy (Wang et al.) and DP (Tong et al.).
+
+Online analysis of §3: pick ``K`` representative time-steps of ``N`` using
+correlation metrics evaluated on either raw data or bitmaps.
+"""
+
+from repro.selection.dp import select_timesteps_dp_bitmap, select_timesteps_dp_full
+from repro.selection.dtw import (
+    select_timesteps_dtw,
+    select_timesteps_dtw_bitmap,
+    select_timesteps_dtw_full,
+)
+from repro.selection.importance import (
+    IMPORTANCE_MEASURES,
+    ImportanceMeasure,
+    get_importance,
+    importance_profile_bitmap,
+)
+from repro.selection.greedy import (
+    SelectionResult,
+    select_timesteps_bitmap,
+    select_timesteps_full,
+)
+from repro.selection.metrics import (
+    BUILTIN_METRICS,
+    CONDITIONAL_ENTROPY,
+    EMD_COUNT,
+    EMD_SPATIAL,
+    SelectionMetric,
+    get_metric,
+)
+from repro.selection.partitioning import (
+    fixed_length_partitions,
+    information_volume_partitions,
+    validate_partitions,
+)
+from repro.selection.streaming import StreamingSelector
+
+__all__ = [
+    "StreamingSelector",
+    "select_timesteps_dtw",
+    "select_timesteps_dtw_bitmap",
+    "select_timesteps_dtw_full",
+    "IMPORTANCE_MEASURES",
+    "ImportanceMeasure",
+    "get_importance",
+    "importance_profile_bitmap",
+    "SelectionResult",
+    "select_timesteps_bitmap",
+    "select_timesteps_full",
+    "select_timesteps_dp_bitmap",
+    "select_timesteps_dp_full",
+    "BUILTIN_METRICS",
+    "CONDITIONAL_ENTROPY",
+    "EMD_COUNT",
+    "EMD_SPATIAL",
+    "SelectionMetric",
+    "get_metric",
+    "fixed_length_partitions",
+    "information_volume_partitions",
+    "validate_partitions",
+]

@@ -1,0 +1,103 @@
+"""Dynamic-programming time-step selection (Tong et al. [31]).
+
+§3.1 notes that besides the greedy method "Tong et al proposed a method
+that uses dynamic programming", and that bitmaps can accelerate *any* such
+algorithm because they only change how pairwise correlations are computed.
+This module implements that alternative: choose ``K`` of ``N`` steps
+(always including step 0) maximising the total distinctness along the
+selected chain,
+
+    max  sum_{i=1}^{K-1}  d(s_{i-1}, s_i)   with  s_0 = 0 < s_1 < ... .
+
+``d`` is any :class:`~repro.selection.metrics.SelectionMetric` back end.
+The DP is O(N^2 K) metric evaluations; a memoised pairwise cache keeps
+each pair computed once.  Used by the ablation benchmark comparing greedy
+vs DP selection quality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.bitmap.binning import Binning
+from repro.bitmap.index import BitmapIndex
+from repro.selection.greedy import SelectionResult
+from repro.selection.metrics import SelectionMetric
+
+
+def _dp_select(
+    n_steps: int, k: int, distinctness: Callable[[int, int], float]
+) -> tuple[list[int], list[float], int]:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n_steps < k:
+        raise ValueError(f"cannot select {k} of {n_steps} time-steps")
+    if k == 1:
+        return [0], [float("nan")], 0
+
+    cache: dict[tuple[int, int], float] = {}
+    evaluations = 0
+
+    def dist(a: int, b: int) -> float:
+        nonlocal evaluations
+        key = (a, b)
+        if key not in cache:
+            cache[key] = distinctness(a, b)
+            evaluations += 1
+        return cache[key]
+
+    # score[j][i]: best total distinctness of a chain of j+1 selections
+    # ending at step i (selection 0 is pinned to step 0).
+    neg = -np.inf
+    score = np.full((k, n_steps), neg)
+    parent = np.full((k, n_steps), -1, dtype=np.int64)
+    score[0, 0] = 0.0
+    for j in range(1, k):
+        # chains of j+1 picks need at least j steps before position i
+        for i in range(j, n_steps - (k - 1 - j)):
+            best, arg = neg, -1
+            for p in range(j - 1, i):
+                if score[j - 1, p] == neg:
+                    continue
+                cand = score[j - 1, p] + dist(p, i)
+                if cand > best:
+                    best, arg = cand, p
+            score[j, i] = best
+            parent[j, i] = arg
+
+    end = int(np.argmax(score[k - 1]))
+    if score[k - 1, end] == neg:
+        raise AssertionError("DP table unreachable; bug in bounds")
+    chain = [end]
+    for j in range(k - 1, 0, -1):
+        chain.append(int(parent[j, chain[-1]]))
+    chain.reverse()
+    scores = [float("nan")] + [dist(a, b) for a, b in zip(chain, chain[1:])]
+    return chain, scores, evaluations
+
+
+def select_timesteps_dp_full(
+    steps: Sequence[np.ndarray],
+    k: int,
+    metric: SelectionMetric,
+    binning: Binning,
+) -> SelectionResult:
+    """DP selection on raw arrays."""
+    chain, scores, n_eval = _dp_select(
+        len(steps), k, lambda a, b: metric.full(steps[a], steps[b], binning)
+    )
+    return SelectionResult(chain, scores, [], f"dp:{metric.name}", n_eval)
+
+
+def select_timesteps_dp_bitmap(
+    indices: Sequence[BitmapIndex],
+    k: int,
+    metric: SelectionMetric,
+) -> SelectionResult:
+    """DP selection on bitmaps only."""
+    chain, scores, n_eval = _dp_select(
+        len(indices), k, lambda a, b: metric.bitmap(indices[a], indices[b])
+    )
+    return SelectionResult(chain, scores, [], f"dp:{metric.name}", n_eval)

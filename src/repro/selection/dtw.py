@@ -1,0 +1,149 @@
+"""DTW-based salient time-step selection (Tong et al. [31]).
+
+§3.1's "other possibility": Tong et al. select salient time-steps "with
+dynamic time warping" -- pick the K-step subsequence whose DTW distance to
+the full sequence is minimal, so the reduced sequence *traces* the
+original evolution instead of greedily maximising local novelty.
+
+Implementation:
+
+1. summarise each time-step as its histogram (from bitmaps: bin
+   popcounts -- free) or raw data;
+2. pairwise step distance = L1 between normalised histograms;
+3. dynamic programming over (sequence position, selected count) that
+   minimises the total assignment cost when every original step is
+   *represented by* (warped onto) its nearest selected step, subject to
+   monotone assignment -- the standard DTW-reduction formulation.
+
+Step 0 is always selected (consistent with the greedy selector).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bitmap.binning import Binning
+from repro.bitmap.index import BitmapIndex
+from repro.metrics.histogram import histogram, normalize
+from repro.selection.greedy import SelectionResult
+
+
+def step_signatures_bitmap(indices: Sequence[BitmapIndex]) -> np.ndarray:
+    """(n_steps, n_bins) matrix of normalised value distributions."""
+    return np.vstack([normalize(i.bin_counts()) for i in indices])
+
+
+def step_signatures_full(
+    steps: Sequence[np.ndarray], binning: Binning
+) -> np.ndarray:
+    """Full-data equivalent of :func:`step_signatures_bitmap`."""
+    return np.vstack([normalize(histogram(s, binning)) for s in steps])
+
+
+def _pairwise_l1(signatures: np.ndarray) -> np.ndarray:
+    """Distance matrix ``D[i, j] = ||sig_i - sig_j||_1`` (vectorised)."""
+    return np.abs(signatures[:, None, :] - signatures[None, :, :]).sum(axis=2)
+
+
+def select_timesteps_dtw(
+    signatures: np.ndarray, k: int
+) -> SelectionResult:
+    """Minimal-representation-cost selection of ``k`` steps.
+
+    DP state: ``cost[j][i]`` = minimal total distance of representing
+    steps ``0..i`` using ``j+1`` selected steps, the last selected being
+    ``i`` and representing a suffix of ``0..i``.  Each original step is
+    assigned to the *last selected step at or before it* -- the monotone
+    (DTW-style) warping of the reduced sequence onto the original.
+    """
+    signatures = np.asarray(signatures, dtype=np.float64)
+    n = signatures.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n < k:
+        raise ValueError(f"cannot select {k} of {n} time-steps")
+    dist = _pairwise_l1(signatures)
+
+    # suffix_cost[s][i]: cost of representing steps s..i by step s.
+    # Computed incrementally: cumulative sums along rows.
+    cum = np.cumsum(dist, axis=1)  # cum[s, i] = sum_{t<=i} dist[s, t]
+
+    def represent_cost(s: int, lo: int, hi: int) -> float:
+        """Cost of step s representing original steps lo..hi inclusive."""
+        base = cum[s, hi] - (cum[s, lo - 1] if lo > 0 else 0.0)
+        return float(base)
+
+    INF = np.inf
+    cost = np.full((k, n), INF)
+    parent = np.full((k, n), -1, dtype=np.int64)
+    # One selected step (step 0 pinned) represents the whole prefix.
+    for i in range(n):
+        if i == 0:
+            cost[0, 0] = 0.0
+    # cost[0, i] only valid for i == 0 (selection 0 is step 0); the
+    # representation of later steps happens when we close the chain.
+    for j in range(1, k):
+        for i in range(j, n):
+            best, arg = INF, -1
+            for p in range(j - 1, i):
+                if cost[j - 1, p] == INF:
+                    continue
+                # steps p..i-1 are represented by selection p
+                c = cost[j - 1, p] + represent_cost(p, p, i - 1)
+                if c < best:
+                    best, arg = c, p
+            cost[j, i] = best
+            parent[j, i] = arg
+
+    # Close the chain: the last selected step represents the tail.
+    if k == 1:
+        total = represent_cost(0, 0, n - 1)
+        return SelectionResult([0], [float("nan")], [], "dtw", n)
+    closing = np.full(n, INF)
+    for i in range(k - 1, n):
+        if cost[k - 1, i] < INF:
+            closing[i] = cost[k - 1, i] + represent_cost(i, i, n - 1)
+    end = int(np.argmin(closing))
+    chain = [end]
+    for j in range(k - 1, 0, -1):
+        chain.append(int(parent[j, chain[-1]]))
+    chain.reverse()
+    scores = [float("nan")] + [
+        float(dist[a, b]) for a, b in zip(chain, chain[1:])
+    ]
+    return SelectionResult(chain, scores, [], "dtw", int(n * (n - 1) // 2))
+
+
+def select_timesteps_dtw_bitmap(
+    indices: Sequence[BitmapIndex], k: int
+) -> SelectionResult:
+    """DTW-style selection from bitmap signatures."""
+    return select_timesteps_dtw(step_signatures_bitmap(indices), k)
+
+
+def select_timesteps_dtw_full(
+    steps: Sequence[np.ndarray], k: int, binning: Binning
+) -> SelectionResult:
+    """DTW-style selection from raw data."""
+    return select_timesteps_dtw(step_signatures_full(steps, binning), k)
+
+
+def representation_cost(signatures: np.ndarray, selected: list[int]) -> float:
+    """Total cost of a selection: each step charged to the last selected
+    step at or before it (the objective :func:`select_timesteps_dtw`
+    minimises).  Useful for comparing selectors."""
+    signatures = np.asarray(signatures, dtype=np.float64)
+    n = signatures.shape[0]
+    if not selected or selected[0] != 0:
+        raise ValueError("selection must start at step 0")
+    dist = _pairwise_l1(signatures)
+    total = 0.0
+    reps = sorted(selected)
+    ptr = 0
+    for i in range(n):
+        while ptr + 1 < len(reps) and reps[ptr + 1] <= i:
+            ptr += 1
+        total += dist[reps[ptr], i]
+    return float(total)

@@ -1,0 +1,108 @@
+"""Per-time-step importance measures (§3.1's first aspect).
+
+"The importance of a time-step is determined in two aspects: First, the
+output for the time-step itself may contain a high amount of information.
+Second, the time-step may convey a distinct type of information with
+respect to the other time-steps."
+
+This module covers the *first* aspect as pluggable scorers -- used by
+information-volume partitioning and as a standalone profiling tool --
+each with full-data and bitmap backends:
+
+* ``entropy``       -- Shannon entropy of the step's value distribution;
+* ``distinct_bins`` -- number of occupied bins (value-space coverage);
+* ``evolution``     -- distinctness from the previous step (count EMD),
+  the "how much happened" signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.bitmap.binning import Binning
+from repro.bitmap.index import BitmapIndex
+from repro.metrics.bitmap_metrics import emd_count_bitmap, shannon_entropy_bitmap
+from repro.metrics.emd import emd_count_based
+from repro.metrics.entropy import shannon_entropy
+from repro.metrics.histogram import histogram
+
+
+@dataclass(frozen=True)
+class ImportanceMeasure:
+    """A per-step importance scorer with paired backends.
+
+    ``full(steps, binning)`` / ``bitmap(indices)`` return one non-negative
+    score per step.
+    """
+
+    name: str
+    full: Callable[[Sequence[np.ndarray], Binning], np.ndarray]
+    bitmap: Callable[[Sequence[BitmapIndex]], np.ndarray]
+
+
+def _entropy_full(steps: Sequence[np.ndarray], binning: Binning) -> np.ndarray:
+    return np.asarray([shannon_entropy(s, binning) for s in steps])
+
+
+def _entropy_bitmap(indices: Sequence[BitmapIndex]) -> np.ndarray:
+    return np.asarray([shannon_entropy_bitmap(i) for i in indices])
+
+
+def _distinct_full(steps: Sequence[np.ndarray], binning: Binning) -> np.ndarray:
+    return np.asarray(
+        [float((histogram(s, binning) > 0).sum()) for s in steps]
+    )
+
+
+def _distinct_bitmap(indices: Sequence[BitmapIndex]) -> np.ndarray:
+    return np.asarray([float((i.bin_counts() > 0).sum()) for i in indices])
+
+
+def _evolution_full(steps: Sequence[np.ndarray], binning: Binning) -> np.ndarray:
+    scores = [0.0]
+    for prev, cur in zip(steps, steps[1:]):
+        scores.append(emd_count_based(prev, cur, binning))
+    return np.asarray(scores)
+
+
+def _evolution_bitmap(indices: Sequence[BitmapIndex]) -> np.ndarray:
+    scores = [0.0]
+    for prev, cur in zip(indices, indices[1:]):
+        scores.append(emd_count_bitmap(prev, cur))
+    return np.asarray(scores)
+
+
+ENTROPY_IMPORTANCE = ImportanceMeasure("entropy", _entropy_full, _entropy_bitmap)
+DISTINCT_BINS_IMPORTANCE = ImportanceMeasure(
+    "distinct_bins", _distinct_full, _distinct_bitmap
+)
+EVOLUTION_IMPORTANCE = ImportanceMeasure(
+    "evolution", _evolution_full, _evolution_bitmap
+)
+
+IMPORTANCE_MEASURES: dict[str, ImportanceMeasure] = {
+    m.name: m
+    for m in (ENTROPY_IMPORTANCE, DISTINCT_BINS_IMPORTANCE, EVOLUTION_IMPORTANCE)
+}
+
+
+def get_importance(name: str) -> ImportanceMeasure:
+    """Look up a built-in importance measure by name."""
+    try:
+        return IMPORTANCE_MEASURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown importance measure {name!r}; "
+            f"built-ins: {sorted(IMPORTANCE_MEASURES)}"
+        )
+
+
+def importance_profile_bitmap(
+    indices: Sequence[BitmapIndex], measures: Sequence[str] | None = None
+) -> dict[str, np.ndarray]:
+    """Score every step under several measures at once (bitmaps only)."""
+    names = list(measures) if measures is not None else sorted(IMPORTANCE_MEASURES)
+    return {name: get_importance(name).bitmap(indices) for name in names}

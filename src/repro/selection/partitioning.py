@@ -1,0 +1,101 @@
+"""Interval partitioning for greedy time-step selection (§3.1).
+
+Wang et al.'s greedy selector first splits the ``N`` time-steps into ``K``
+intervals, always anchoring the first interval to just the first time-step
+(Figure 3: interval 1 = {T0}, the remaining steps split across the other
+intervals), then picks one representative per interval.
+
+Two partitioners, exactly as the paper lists them:
+
+* **fixed-length** -- the remaining ``N - 1`` steps split into ``K - 1``
+  intervals of (near-)equal length;
+* **information-volume** -- interval boundaries chosen so that each
+  interval accumulates (approximately) the same total *importance*
+  (per-step Shannon entropy by default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import ensure_1d
+
+
+def _check(n_steps: int, k: int) -> None:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n_steps < k:
+        raise ValueError(f"cannot select {k} of {n_steps} time-steps")
+
+
+def fixed_length_partitions(n_steps: int, k: int) -> list[range]:
+    """``K`` intervals over ``range(n_steps)``; the first is ``{0}``."""
+    _check(n_steps, k)
+    if k == 1:
+        # Only T0 is selected; the single interval spans everything.
+        return [range(0, n_steps)]
+    rest = n_steps - 1
+    intervals: list[range] = [range(0, 1)]
+    # Spread `rest` steps over k-1 intervals, long intervals first.
+    base, extra = divmod(rest, k - 1)
+    start = 1
+    for i in range(k - 1):
+        length = base + (1 if i < extra else 0)
+        intervals.append(range(start, start + length))
+        start += length
+    return intervals
+
+
+def information_volume_partitions(importance: np.ndarray, k: int) -> list[range]:
+    """Intervals of (approximately) equal cumulative importance.
+
+    ``importance[i]`` is the per-step importance value (non-negative); the
+    first interval is still ``{0}``, and boundaries are placed where the
+    running sum over steps ``1..N-1`` crosses multiples of ``total/(K-1)``.
+    Every interval is guaranteed non-empty.
+    """
+    imp = ensure_1d("importance", importance, dtype=np.float64)
+    n_steps = imp.size
+    _check(n_steps, k)
+    if np.any(imp < 0):
+        raise ValueError("importance values must be non-negative")
+    if k == 1:
+        return [range(0, n_steps)]
+
+    rest = imp[1:]
+    total = float(rest.sum())
+    if total <= 0:  # degenerate: fall back to fixed-length
+        return fixed_length_partitions(n_steps, k)
+
+    intervals: list[range] = [range(0, 1)]
+    target = total / (k - 1)
+    start = 1
+    acc = 0.0
+    boundary = 1
+    for i in range(k - 1):
+        if i == k - 2:
+            end = n_steps  # last interval takes the remainder
+        else:
+            want = (i + 1) * target
+            while boundary < n_steps and acc + imp[boundary] <= want:
+                acc += imp[boundary]
+                boundary += 1
+            # Never leave fewer steps than remaining intervals need.
+            remaining_intervals = (k - 1) - (i + 1)
+            boundary = min(boundary, n_steps - remaining_intervals)
+            end = max(boundary, start + 1)
+            boundary = end
+        intervals.append(range(start, end))
+        start = end
+    return intervals
+
+
+def validate_partitions(intervals: list[range], n_steps: int) -> None:
+    """Assert the intervals tile ``range(n_steps)`` without gaps/overlaps."""
+    pos = 0
+    for iv in intervals:
+        if iv.start != pos or len(iv) == 0:
+            raise AssertionError(f"interval {iv} breaks the tiling at {pos}")
+        pos = iv.stop
+    if pos != n_steps:
+        raise AssertionError(f"intervals cover {pos} of {n_steps} steps")

@@ -1,0 +1,26 @@
+"""Simulation substrates (S13-S15): the workloads of the paper's §5.
+
+* :class:`~repro.sims.heat3d.Heat3D` -- 3-D heat diffusion (one variable).
+* :class:`~repro.sims.lulesh.LuleshProxy` -- Lagrangian shock-hydro proxy
+  emitting the 12 per-node arrays the paper analyses.
+* :class:`~repro.sims.ocean.OceanDataGenerator` -- POP-like multi-variable
+  ocean data with planted temperature-salinity correlations.
+"""
+
+from repro.sims.base import Simulation, TimeStepData
+from repro.sims.heat3d import Heat3D, HeatSource
+from repro.sims.heat3d_mpi import DecomposedHeat3D, HaloStats
+from repro.sims.lulesh import LuleshProxy
+from repro.sims.ocean import CorrelatedRegion, OceanDataGenerator
+
+__all__ = [
+    "Simulation",
+    "TimeStepData",
+    "Heat3D",
+    "HeatSource",
+    "DecomposedHeat3D",
+    "HaloStats",
+    "LuleshProxy",
+    "CorrelatedRegion",
+    "OceanDataGenerator",
+]

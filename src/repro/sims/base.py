@@ -1,0 +1,95 @@
+"""Common simulation interface consumed by the in-situ pipeline.
+
+The pipeline (Figure 2) is simulation-agnostic: a simulation produces one
+:class:`TimeStepData` per step; the pipeline bins/indexes the step's
+*analysis fields* and discards the raw arrays.  Both workloads of §5
+(Heat3D, Lulesh) and the POP-like data generator implement this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+
+import numpy as np
+
+
+@dataclass
+class TimeStepData:
+    """Output of one simulation time-step.
+
+    ``fields`` maps variable name -> array; every array shares the grid
+    shape.  ``step`` is the 0-based time-step index.
+    """
+
+    step: int
+    fields: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Raw size of all analysis arrays -- what full-data I/O must write."""
+        return sum(a.nbytes for a in self.fields.values())
+
+    @property
+    def n_elements(self) -> int:
+        """Total element count across fields."""
+        return sum(a.size for a in self.fields.values())
+
+    def concatenated(self) -> np.ndarray:
+        """All fields flattened and concatenated in name order.
+
+        Lulesh-style selection treats the 12 per-node arrays as one logical
+        payload per time-step ("we support in-situ analysis based on all of
+        them", §5.1); this provides that canonical flattening.
+        """
+        names = sorted(self.fields)
+        return np.concatenate([np.asarray(self.fields[n], dtype=np.float64).ravel() for n in names])
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(self.fields))
+        return f"TimeStepData(step={self.step}, fields=[{names}], nbytes={self.nbytes})"
+
+
+class Simulation(ABC):
+    """A time-stepped simulation producing multi-dimensional field data."""
+
+    #: Human-readable workload name ("heat3d", "lulesh", ...).
+    name: str = "simulation"
+
+    @property
+    @abstractmethod
+    def shape(self) -> tuple[int, ...]:
+        """Grid shape of the emitted fields."""
+
+    @property
+    @abstractmethod
+    def variable_names(self) -> tuple[str, ...]:
+        """Names of the analysis fields each step emits."""
+
+    @abstractmethod
+    def advance(self) -> TimeStepData:
+        """Advance the state by one time-step and return its output."""
+
+    def run(self, n_steps: int) -> Iterator[TimeStepData]:
+        """Yield ``n_steps`` consecutive time-steps."""
+        for _ in range(n_steps):
+            yield self.advance()
+
+    @property
+    def bytes_per_step(self) -> int:
+        """Raw output bytes per time-step (8-byte floats assumed)."""
+        cells = 1
+        for s in self.shape:
+            cells *= s
+        return cells * 8 * len(self.variable_names)
+
+    @property
+    def substrate_nbytes(self) -> int:
+        """Resident bytes of internal state *besides* the emitted fields.
+
+        E.g. Lulesh's mesh edges (§5.1: "a large amount of memory is used
+        to store the edges").  Counted by the Figure 11 memory model.
+        """
+        return 0

@@ -1,0 +1,28 @@
+"""Shared low-level utilities: bit manipulation, timing, validation."""
+
+from repro.util.bits import (
+    GROUP_BITS,
+    pack_bits_to_groups,
+    popcount_u32,
+    unpack_groups_to_bits,
+)
+from repro.util.timing import Stopwatch, TimeBreakdown
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_same_length,
+    ensure_1d,
+)
+
+__all__ = [
+    "GROUP_BITS",
+    "pack_bits_to_groups",
+    "unpack_groups_to_bits",
+    "popcount_u32",
+    "Stopwatch",
+    "TimeBreakdown",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+    "ensure_1d",
+]

@@ -1,0 +1,103 @@
+"""Vectorised bit-manipulation primitives shared by the bitmap engine.
+
+The WAH scheme used in the paper (Wu et al. [41], Algorithm 1 of the paper)
+works on *groups* of 31 bits stored in the low bits of a 32-bit word.  This
+module provides the three primitives everything else is built from:
+
+* packing a boolean array into 31-bit groups,
+* unpacking 31-bit groups back into a boolean array,
+* counting set bits in arrays of 32-bit words.
+
+All three are numpy-vectorised; none of them loops per element in Python.
+Bit ``j`` of a group corresponds to element ``j`` of the 31-element segment
+(LSB-first), matching line 8 of the paper's Algorithm 1
+(``Segments[VectorID] |= 1 << j``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of payload bits per WAH group / literal word.
+GROUP_BITS = 31
+
+#: All 31 payload bits set -- the paper's ``0x7FFFFFFF`` sentinel for a
+#: segment that is entirely ones.
+GROUP_FULL = np.uint32(0x7FFFFFFF)
+
+# 16-bit popcount lookup table.  Two table lookups per 32-bit word is the
+# fastest pure-numpy popcount for the array sizes we deal with (the
+# alternative, ``np.unpackbits``, allocates 8x the memory).
+_POP16 = np.array(
+    [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint16
+)
+
+
+def popcount_u32(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint32`` array.
+
+    Returns a ``uint32`` array of the same shape.  Works on any shape.
+    """
+    words = np.asarray(words, dtype=np.uint32)
+    lo = _POP16[words & np.uint32(0xFFFF)]
+    hi = _POP16[words >> np.uint32(16)]
+    return lo.astype(np.uint32) + hi
+
+
+def popcount_total(words: np.ndarray) -> int:
+    """Total number of set bits across a ``uint32`` array."""
+    if len(words) == 0:
+        return 0
+    return int(popcount_u32(words).sum(dtype=np.uint64))
+
+
+def pack_bits_to_groups(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into 31-bit groups (``uint32`` array).
+
+    The input is padded with trailing zeros to a multiple of 31.  The trick:
+    lay the bits out in rows of 32 with the top bit of every row forced to
+    zero, then let ``np.packbits`` produce 4 little-endian bytes per row,
+    which we reinterpret as one ``uint32`` per group.
+    """
+    bits = np.asarray(bits, dtype=bool).ravel()
+    n = bits.size
+    n_groups = max(1, -(-n // GROUP_BITS)) if n else 0
+    if n_groups == 0:
+        return np.empty(0, dtype=np.uint32)
+    payload = np.zeros(n_groups * GROUP_BITS, dtype=np.uint8)
+    payload[:n] = bits
+    padded = np.zeros((n_groups, 32), dtype=np.uint8)
+    padded[:, :GROUP_BITS] = payload.reshape(n_groups, GROUP_BITS)
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    return packed.reshape(n_groups, 4).view("<u4").reshape(n_groups).astype(np.uint32)
+
+
+def unpack_groups_to_bits(groups: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack 31-bit groups back into a boolean array of length ``n_bits``."""
+    groups = np.asarray(groups, dtype=np.uint32)
+    if n_bits == 0:
+        return np.empty(0, dtype=bool)
+    need = -(-n_bits // GROUP_BITS)
+    if groups.size < need:
+        raise ValueError(
+            f"need {need} groups to produce {n_bits} bits, got {groups.size}"
+        )
+    raw = groups[:need].astype("<u4").view(np.uint8).reshape(need, 4)
+    bits = np.unpackbits(raw, axis=1, bitorder="little")[:, :GROUP_BITS]
+    return bits.reshape(-1)[:n_bits].astype(bool)
+
+
+def groups_needed(n_bits: int) -> int:
+    """Number of 31-bit groups required to hold ``n_bits`` bits."""
+    return -(-n_bits // GROUP_BITS)
+
+
+def last_group_mask(n_bits: int) -> np.uint32:
+    """Mask of *valid* (non-padding) bits in the final group.
+
+    For ``n_bits`` a multiple of 31 this is all 31 payload bits.
+    """
+    rem = n_bits % GROUP_BITS
+    if rem == 0:
+        return GROUP_FULL
+    return np.uint32((1 << rem) - 1)

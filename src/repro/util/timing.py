@@ -1,0 +1,85 @@
+"""Lightweight timing helpers used by the in-situ pipeline and benchmarks.
+
+The paper reports *stacked* execution times (simulation / bitmap generation /
+selection / output).  ``TimeBreakdown`` accumulates named phases so the
+pipeline can report the same decomposition.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """A resumable stopwatch measuring wall-clock seconds."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @contextmanager
+    def timed(self) -> Iterator["Stopwatch"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@dataclass
+class TimeBreakdown:
+    """Accumulates wall-clock time per named phase.
+
+    Mirrors the stacked bars of Figures 7-10: each phase name maps to total
+    seconds spent in that phase across all time-steps.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def timed(self, phase: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(phase, time.perf_counter() - t0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def merge(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        out = TimeBreakdown(dict(self.phases))
+        for k, v in other.phases.items():
+            out.add(k, v)
+        return out
+
+    def as_row(self, order: list[str] | None = None) -> list[float]:
+        names = order if order is not None else sorted(self.phases)
+        return [self.phases.get(name, 0.0) for name in names]
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v:.4f}s" for k, v in sorted(self.phases.items())]
+        return f"TimeBreakdown({', '.join(parts)}, total={self.total:.4f}s)"

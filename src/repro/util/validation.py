@@ -1,0 +1,36 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_same_length(name_a: str, a, name_b: str, b) -> None:
+    """Raise ``ValueError`` unless the two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length "
+            f"({len(a)} != {len(b)})"
+        )
+
+
+def ensure_1d(name: str, arr: np.ndarray, dtype=None) -> np.ndarray:
+    """Return ``arr`` as a contiguous 1-D numpy array (flattening is an error)."""
+    out = np.asarray(arr, dtype=dtype)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {out.shape}")
+    return np.ascontiguousarray(out)

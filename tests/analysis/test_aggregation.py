@@ -1,0 +1,91 @@
+"""Tests for approximate aggregation from bitmaps (repro.analysis.aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregation import (
+    ApproximateValue,
+    approximate_count,
+    approximate_max,
+    approximate_mean,
+    approximate_min,
+    approximate_sum,
+)
+from repro.analysis.queries import FlatRange, spatial_subset_mask
+from repro.bitmap import BitmapIndex, DistinctValueBinning, EqualWidthBinning
+
+
+@pytest.fixture
+def indexed(rng):
+    data = rng.uniform(10.0, 20.0, 4000)
+    binning = EqualWidthBinning(10.0, 20.0, 50)
+    return data, BitmapIndex.build(data, binning)
+
+
+class TestApproximateValue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateValue(5.0, 6.0, 7.0)
+
+    def test_max_error(self):
+        v = ApproximateValue(5.0, 4.0, 7.0)
+        assert v.max_error == 2.0
+
+
+class TestAggregates:
+    def test_count_exact(self, indexed):
+        data, index = indexed
+        assert approximate_count(index) == data.size
+
+    def test_sum_bounds_contain_truth(self, indexed):
+        data, index = indexed
+        s = approximate_sum(index)
+        assert s.lo <= data.sum() <= s.hi
+        # midpoint estimate is within half a bin width per element
+        assert abs(s.estimate - data.sum()) <= data.size * 0.1
+
+    def test_mean_bounds_contain_truth(self, indexed):
+        data, index = indexed
+        m = approximate_mean(index)
+        assert m.lo <= data.mean() <= m.hi
+        assert abs(m.estimate - data.mean()) <= 0.1
+
+    def test_min_max_bounds(self, indexed):
+        data, index = indexed
+        mn, mx = approximate_min(index), approximate_max(index)
+        assert mn.lo <= data.min() <= mn.hi
+        assert mx.lo <= data.max() <= mx.hi
+
+    def test_distinct_value_binning_is_exact(self, rng):
+        data = rng.integers(0, 10, 500).astype(float)
+        index = BitmapIndex.build(data, DistinctValueBinning.from_data(data))
+        assert approximate_sum(index).estimate == pytest.approx(data.sum())
+        assert approximate_sum(index).max_error == 0.0
+        assert approximate_mean(index).estimate == pytest.approx(data.mean())
+        assert approximate_min(index).estimate == data.min()
+        assert approximate_max(index).estimate == data.max()
+
+    def test_masked_aggregates(self, indexed):
+        data, index = indexed
+        mask = spatial_subset_mask(data.size, FlatRange(0, 1000))
+        assert approximate_count(index, mask) == 1000
+        s = approximate_sum(index, mask)
+        assert s.lo <= data[:1000].sum() <= s.hi
+
+    def test_empty_subset(self, indexed):
+        data, index = indexed
+        from repro.bitmap import WAHBitVector
+
+        empty = WAHBitVector.zeros(data.size)
+        assert approximate_count(index, empty) == 0
+        assert approximate_mean(index, empty).estimate == 0.0
+        with pytest.raises(ValueError):
+            approximate_min(index, empty)
+        with pytest.raises(ValueError):
+            approximate_max(index, empty)
+
+    def test_finer_bins_tighter_bounds(self, rng):
+        data = rng.uniform(0.0, 1.0, 2000)
+        coarse = BitmapIndex.build(data, EqualWidthBinning(0.0, 1.0, 4))
+        fine = BitmapIndex.build(data, EqualWidthBinning(0.0, 1.0, 64))
+        assert approximate_sum(fine).max_error < approximate_sum(coarse).max_error

@@ -1,0 +1,75 @@
+"""Tests for CFP curves and accuracy-loss scoring (repro.analysis.cfp)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cfp import (
+    absolute_differences,
+    cfp_curve,
+    mean_relative_loss,
+)
+
+
+class TestCFPCurve:
+    def test_monotone(self, rng):
+        curve = cfp_curve(rng.exponential(1.0, 200))
+        assert np.all(np.diff(curve.x) >= 0)
+        assert np.all(np.diff(curve.y) >= 0)
+        assert curve.y[-1] == pytest.approx(1.0)
+
+    def test_point_semantics(self):
+        """(x, y): fraction y of differences are less than x."""
+        curve = cfp_curve(np.asarray([1.0, 2.0, 3.0, 4.0]))
+        assert curve.fraction_below(2.5) == 0.5
+        assert curve.fraction_below(0.5) == 0.0
+        assert curve.fraction_below(10.0) == 1.0
+
+    def test_negatives_folded(self):
+        curve = cfp_curve(np.asarray([-3.0, 1.0]))
+        assert curve.x.tolist() == [1.0, 3.0]
+
+    def test_quantile(self):
+        curve = cfp_curve(np.linspace(0, 1, 101))
+        assert curve.quantile(0.5) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            curve.quantile(1.5)
+
+    def test_dominates(self, rng):
+        """Smaller errors => curve to the left => better accuracy."""
+        small = cfp_curve(rng.uniform(0.0, 0.1, 300))
+        large = cfp_curve(rng.uniform(0.2, 1.0, 300))
+        assert small.dominates(large)
+        assert not large.dominates(small)
+
+    def test_empty(self):
+        curve = cfp_curve(np.empty(0))
+        assert curve.fraction_below(1.0) == 0.0
+        with pytest.raises(ValueError):
+            curve.quantile(0.5)
+
+
+class TestLossScores:
+    def test_absolute_differences(self):
+        d = absolute_differences(np.asarray([1.0, 2.0]), np.asarray([1.5, 1.0]))
+        assert d.tolist() == [0.5, 1.0]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_differences(np.zeros(3), np.zeros(4))
+
+    def test_mean_relative_loss(self):
+        orig = np.asarray([2.0, 4.0])
+        approx = np.asarray([1.0, 4.0])
+        assert mean_relative_loss(orig, approx) == pytest.approx(0.25)
+
+    def test_zero_originals_skipped(self):
+        orig = np.asarray([0.0, 2.0])
+        approx = np.asarray([5.0, 1.0])
+        assert mean_relative_loss(orig, approx) == pytest.approx(0.5)
+
+    def test_all_zero_originals(self):
+        assert mean_relative_loss(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_exact_method_zero_loss(self, rng):
+        vals = rng.random(50)
+        assert mean_relative_loss(vals, vals.copy()) == 0.0

@@ -1,0 +1,119 @@
+"""Tests for bitmap missing-value imputation (repro.analysis.imputation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.imputation import (
+    fit_imputation,
+    impute_array,
+    impute_missing,
+)
+from repro.bitmap import BitmapIndex, EqualWidthBinning, WAHBitVector
+
+
+def _observed_index(values, binning, missing):
+    """Index of A restricted to observed positions."""
+    ids = binning.assign_checked(values)
+    vectors = [
+        WAHBitVector.from_bools((ids == k) & ~missing)
+        for k in range(binning.n_bins)
+    ]
+    return BitmapIndex(binning, vectors, values.size)
+
+
+@pytest.fixture
+def correlated(rng):
+    n = 31 * 300
+    b = rng.uniform(0.0, 1.0, n)
+    a = 2.0 * b + rng.normal(0.0, 0.05, n)
+    missing = rng.random(n) < 0.25
+    bin_a = EqualWidthBinning(-0.5, 2.7, 32)
+    bin_b = EqualWidthBinning(0.0, 1.0, 16)
+    ia_obs = _observed_index(a, bin_a, missing)
+    ib = BitmapIndex.build(b, bin_b)
+    mask = WAHBitVector.from_bools(missing)
+    return a, b, missing, ia_obs, ib, mask
+
+
+class TestFit:
+    def test_conditional_rows_normalised(self, correlated):
+        _, _, _, ia_obs, ib, mask = correlated
+        model = fit_imputation(ia_obs, ib, mask)
+        sums = model.conditional.sum(axis=1)
+        nz = sums > 0
+        assert np.allclose(sums[nz], 1.0)
+
+    def test_monotone_relationship_learned(self, correlated):
+        """A = 2B => imputed values must increase with B's bin."""
+        _, _, _, ia_obs, ib, mask = correlated
+        model = fit_imputation(ia_obs, ib, mask)
+        vals = model.value_per_b_bin
+        assert vals[-1] > vals[0]
+        # Spearman-ish: most consecutive deltas positive.
+        assert (np.diff(vals) > 0).mean() > 0.8
+
+    def test_mode_strategy(self, correlated):
+        _, _, _, ia_obs, ib, mask = correlated
+        model = fit_imputation(ia_obs, ib, mask, strategy="mode")
+        assert model.strategy == "mode"
+        assert model.value_per_b_bin.size == ib.n_bins
+
+    def test_unknown_strategy(self, correlated):
+        _, _, _, ia_obs, ib, mask = correlated
+        with pytest.raises(ValueError, match="unknown strategy"):
+            fit_imputation(ia_obs, ib, mask, strategy="magic")
+
+    def test_validation(self, rng):
+        binning = EqualWidthBinning(0.0, 1.0, 4)
+        ia = BitmapIndex.build(rng.random(62), binning)
+        ib = BitmapIndex.build(rng.random(93), binning)
+        with pytest.raises(ValueError, match="different element sets"):
+            fit_imputation(ia, ib, WAHBitVector.zeros(62))
+        ib2 = BitmapIndex.build(rng.random(62), binning)
+        with pytest.raises(ValueError, match="mask length"):
+            fit_imputation(ia, ib2, WAHBitVector.zeros(10))
+
+    def test_no_observations_rejected(self, rng):
+        binning = EqualWidthBinning(0.0, 1.0, 4)
+        n = 62
+        empty = BitmapIndex(
+            binning, [WAHBitVector.zeros(n) for _ in range(4)], n
+        )
+        ib = BitmapIndex.build(rng.random(n), binning)
+        with pytest.raises(ValueError, match="no observed values"):
+            fit_imputation(empty, ib, WAHBitVector.ones(n))
+
+
+class TestImpute:
+    def test_positions_are_exactly_the_missing_set(self, correlated):
+        _, _, missing, ia_obs, ib, mask = correlated
+        model = fit_imputation(ia_obs, ib, mask)
+        positions, values = impute_missing(model, ib, mask)
+        assert np.array_equal(positions, np.flatnonzero(missing))
+        assert values.size == positions.size
+
+    def test_beats_global_mean_baseline(self, correlated):
+        a, _, missing, ia_obs, ib, mask = correlated
+        filled = impute_array(np.where(missing, np.nan, a), ia_obs, ib, mask)
+        err = np.abs(filled[missing] - a[missing]).mean()
+        baseline = np.abs(a[~missing].mean() - a[missing]).mean()
+        assert err < 0.25 * baseline
+
+    def test_observed_values_untouched(self, correlated):
+        a, _, missing, ia_obs, ib, mask = correlated
+        filled = impute_array(np.where(missing, np.nan, a), ia_obs, ib, mask)
+        assert np.array_equal(filled[~missing], a[~missing])
+        assert np.all(np.isfinite(filled))
+
+    def test_uncorrelated_b_falls_back_to_global(self, rng):
+        """With independent B, every imputed value ~ the global mean."""
+        n = 31 * 200
+        a = rng.normal(5.0, 1.0, n)
+        b = rng.uniform(0.0, 1.0, n)  # unrelated
+        missing = rng.random(n) < 0.2
+        bin_a = EqualWidthBinning(0.0, 10.0, 20)
+        ia_obs = _observed_index(a, bin_a, missing)
+        ib = BitmapIndex.build(b, EqualWidthBinning(0.0, 1.0, 8))
+        mask = WAHBitVector.from_bools(missing)
+        model = fit_imputation(ia_obs, ib, mask)
+        assert np.allclose(model.value_per_b_bin, a[~missing].mean(), atol=0.3)

@@ -1,0 +1,108 @@
+"""Tests for incomplete-data analysis (repro.analysis.incomplete)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.incomplete import (
+    completeness_by_unit,
+    coverage,
+    masked_bin_counts,
+    masked_conditional_entropy,
+    masked_entropy,
+    masked_mutual_information,
+    observed_mask,
+    pairwise_complete_mask,
+)
+from repro.bitmap import BitmapIndex, EqualWidthBinning, WAHBitVector
+from repro.metrics import conditional_entropy, mutual_information, shannon_entropy
+
+
+@pytest.fixture
+def gapped(rng):
+    n = 31 * 150
+    a = rng.uniform(0.0, 1.0, n)
+    b = np.where(rng.random(n) < 0.6, a, rng.uniform(0.0, 1.0, n))
+    miss_a = rng.random(n) < 0.15
+    miss_b = rng.random(n) < 0.10
+    binning = EqualWidthBinning(0.0, 1.0, 12)
+    ia = BitmapIndex.build(a, binning)
+    ib = BitmapIndex.build(b, binning)
+    return a, b, miss_a, miss_b, binning, ia, ib
+
+
+class TestMaskedDistributions:
+    def test_masked_counts_match_numpy(self, gapped):
+        a, _, miss_a, _, binning, ia, _ = gapped
+        observed = observed_mask(WAHBitVector.from_bools(miss_a))
+        counts = masked_bin_counts(ia, observed)
+        expect = np.bincount(
+            binning.assign_checked(a[~miss_a]), minlength=binning.n_bins
+        )
+        assert np.array_equal(counts, expect)
+
+    def test_masked_entropy_equals_subset_entropy(self, gapped):
+        a, _, miss_a, _, binning, ia, _ = gapped
+        observed = observed_mask(WAHBitVector.from_bools(miss_a))
+        assert masked_entropy(ia, observed) == pytest.approx(
+            shannon_entropy(a[~miss_a], binning)
+        )
+
+    def test_mask_length_checked(self, gapped):
+        _, _, _, _, _, ia, _ = gapped
+        with pytest.raises(ValueError, match="mask covers"):
+            masked_bin_counts(ia, WAHBitVector.zeros(10))
+
+
+class TestPairwiseComplete:
+    def test_mask_semantics(self, gapped):
+        _, _, miss_a, miss_b, _, _, _ = gapped
+        mask = pairwise_complete_mask(
+            WAHBitVector.from_bools(miss_a), WAHBitVector.from_bools(miss_b)
+        )
+        assert np.array_equal(mask.to_bools(), ~miss_a & ~miss_b)
+
+    def test_masked_mi_equals_subset_mi(self, gapped):
+        a, b, miss_a, miss_b, binning, ia, ib = gapped
+        both = ~miss_a & ~miss_b
+        mask = pairwise_complete_mask(
+            WAHBitVector.from_bools(miss_a), WAHBitVector.from_bools(miss_b)
+        )
+        assert masked_mutual_information(ia, ib, mask) == pytest.approx(
+            mutual_information(a[both], b[both], binning, binning)
+        )
+
+    def test_masked_ce_equals_subset_ce(self, gapped):
+        a, b, miss_a, miss_b, binning, ia, ib = gapped
+        both = ~miss_a & ~miss_b
+        mask = pairwise_complete_mask(
+            WAHBitVector.from_bools(miss_a), WAHBitVector.from_bools(miss_b)
+        )
+        assert masked_conditional_entropy(ia, ib, mask) == pytest.approx(
+            conditional_entropy(a[both], b[both], binning, binning)
+        )
+
+
+class TestCompleteness:
+    def test_coverage(self, gapped):
+        _, _, miss_a, _, _, _, _ = gapped
+        missing = WAHBitVector.from_bools(miss_a)
+        assert coverage(missing) == pytest.approx(1.0 - miss_a.mean())
+
+    def test_coverage_empty(self):
+        assert coverage(WAHBitVector.zeros(0)) == 1.0
+
+    def test_completeness_by_unit(self, rng):
+        n = 31 * 40
+        miss = np.zeros(n, dtype=bool)
+        miss[: 31 * 10] = True  # first ten units fully missing
+        frac = completeness_by_unit(WAHBitVector.from_bools(miss), 31)
+        assert np.allclose(frac[:10], 0.0)
+        assert np.allclose(frac[10:], 1.0)
+
+    def test_gap_map_partial_unit(self, rng):
+        miss = rng.random(1000) < 0.3
+        frac = completeness_by_unit(WAHBitVector.from_bools(miss), 100)
+        assert frac.size == 10
+        for u in range(10):
+            expect = 1.0 - miss[u * 100 : (u + 1) * 100].mean()
+            assert frac[u] == pytest.approx(expect)

@@ -1,0 +1,128 @@
+"""Tests for subset correlation queries (repro.analysis.queries)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queries import (
+    FlatRange,
+    SpatialSubset,
+    ValueSubset,
+    correlation_query,
+    restricted_joint_counts,
+    spatial_subset_mask,
+    value_subset_mask,
+)
+from repro.bitmap import BitmapIndex, EqualWidthBinning, WAHBitVector, ZOrderLayout
+from repro.metrics import joint_histogram, mutual_information_from_joint
+
+
+@pytest.fixture
+def indexed_pair(rng):
+    a = rng.uniform(0.0, 1.0, 2048)
+    b = np.where(rng.random(2048) < 0.6, a, rng.uniform(0.0, 1.0, 2048))
+    binning = EqualWidthBinning(0.0, 1.0, 8)
+    return a, b, binning, BitmapIndex.build(a, binning), BitmapIndex.build(b, binning)
+
+
+class TestSubsetSpecs:
+    def test_value_subset_validation(self):
+        with pytest.raises(ValueError):
+            ValueSubset(2.0, 1.0)
+
+    def test_spatial_subset_validation(self):
+        with pytest.raises(ValueError):
+            SpatialSubset((0, 0), (0, 5))
+        with pytest.raises(ValueError):
+            SpatialSubset((0,), (5, 5))
+
+    def test_flat_range_validation(self):
+        with pytest.raises(ValueError):
+            FlatRange(5, 5)
+        with pytest.raises(ValueError):
+            FlatRange(-1, 5)
+
+
+class TestMasks:
+    def test_value_subset_mask(self, indexed_pair):
+        a, _, binning, ia, _ = indexed_pair
+        mask = value_subset_mask(ia, ValueSubset(0.25, 0.5))
+        # bin-granular: bins [0.25,0.375), [0.375,0.5), [0.5,0.625)
+        expect = (a >= 0.25) & (a < 0.625)
+        assert np.array_equal(mask.to_bools(), expect)
+
+    def test_flat_range_mask(self):
+        mask = spatial_subset_mask(100, FlatRange(10, 20))
+        assert mask.to_indices().tolist() == list(range(10, 20))
+
+    def test_flat_range_out_of_bounds(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            spatial_subset_mask(10, FlatRange(5, 20))
+
+    def test_spatial_box_via_zorder(self, rng):
+        layout = ZOrderLayout.for_shape((8, 8))
+        mask = spatial_subset_mask(64, SpatialSubset((0, 0), (4, 4)), layout)
+        # A 4x4 aligned box is exactly the first 16 Z positions.
+        assert mask.count() == 16
+        assert mask.to_indices().tolist() == list(range(16))
+
+    def test_spatial_box_needs_layout(self):
+        with pytest.raises(ValueError, match="ZOrderLayout"):
+            spatial_subset_mask(64, SpatialSubset((0, 0), (4, 4)))
+
+    def test_layout_size_mismatch(self):
+        layout = ZOrderLayout.for_shape((4, 4))
+        with pytest.raises(ValueError, match="covers"):
+            spatial_subset_mask(64, SpatialSubset((0, 0), (2, 2)), layout)
+
+
+class TestRestrictedJoint:
+    def test_full_mask_equals_plain_joint(self, indexed_pair):
+        a, b, binning, ia, ib = indexed_pair
+        joint = restricted_joint_counts(ia, ib, WAHBitVector.ones(2048))
+        assert np.array_equal(joint, joint_histogram(a, b, binning, binning))
+
+    def test_region_restriction_matches_fulldata(self, indexed_pair):
+        a, b, binning, ia, ib = indexed_pair
+        mask = spatial_subset_mask(2048, FlatRange(100, 600))
+        joint = restricted_joint_counts(ia, ib, mask)
+        expect = joint_histogram(a[100:600], b[100:600], binning, binning)
+        assert np.array_equal(joint, expect)
+
+    def test_mismatch_rejected(self, indexed_pair, rng):
+        _, _, binning, ia, _ = indexed_pair
+        other = BitmapIndex.build(rng.random(100), binning)
+        with pytest.raises(ValueError):
+            restricted_joint_counts(ia, other, WAHBitVector.ones(2048))
+
+
+class TestCorrelationQuery:
+    def test_unrestricted_equals_global_mi(self, indexed_pair):
+        a, b, binning, ia, ib = indexed_pair
+        got = correlation_query(ia, ib)
+        expect = mutual_information_from_joint(
+            joint_histogram(a, b, binning, binning)
+        )
+        assert got == pytest.approx(expect)
+
+    def test_region_query_matches_fulldata(self, indexed_pair):
+        a, b, binning, ia, ib = indexed_pair
+        got = correlation_query(ia, ib, region=FlatRange(0, 1024))
+        expect = mutual_information_from_joint(
+            joint_histogram(a[:1024], b[:1024], binning, binning)
+        )
+        assert got == pytest.approx(expect)
+
+    def test_value_filter_reduces_mass(self, indexed_pair):
+        _, _, _, ia, ib = indexed_pair
+        full_joint = restricted_joint_counts(ia, ib, WAHBitVector.ones(2048))
+        mask = value_subset_mask(ia, ValueSubset(0.0, 0.25))
+        sub_joint = restricted_joint_counts(ia, ib, mask)
+        assert sub_joint.sum() < full_joint.sum()
+        assert sub_joint.sum() == mask.count()
+
+    def test_combined_filters(self, indexed_pair):
+        _, _, _, ia, ib = indexed_pair
+        mi = correlation_query(
+            ia, ib, value_a=ValueSubset(0.0, 0.5), region=FlatRange(0, 512)
+        )
+        assert mi >= 0.0

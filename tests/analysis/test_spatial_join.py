@@ -1,0 +1,91 @@
+"""Tests for bitmap spatial join (repro.analysis.spatial_join)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queries import ValueSubset
+from repro.analysis.spatial_join import (
+    join_count,
+    join_mask,
+    join_pairs_table,
+    join_units,
+)
+from repro.bitmap import BitmapIndex, EqualWidthBinning
+from repro.metrics import joint_histogram
+
+
+@pytest.fixture
+def pair(rng):
+    n = 31 * 200
+    a = rng.uniform(0.0, 1.0, n)
+    b = np.where(rng.random(n) < 0.6, a, rng.uniform(0.0, 1.0, n))
+    binning = EqualWidthBinning(0.0, 1.0, 8)  # bin width 0.125
+    return a, b, BitmapIndex.build(a, binning), BitmapIndex.build(b, binning)
+
+
+class TestJoinMask:
+    def test_matches_elementwise(self, pair):
+        a, b, ia, ib = pair
+        # hi = 0.24 keeps the predicate inside bins 0-1 => a < 0.25.
+        mask = join_mask(ia, ib, ValueSubset(0.0, 0.24), ValueSubset(0.0, 0.24))
+        expect = (a < 0.25) & (b < 0.25)
+        assert np.array_equal(mask.to_bools(), expect)
+
+    def test_count_matches_mask(self, pair):
+        _, _, ia, ib = pair
+        pa, pb = ValueSubset(0.0, 0.24), ValueSubset(0.4, 0.6)
+        assert join_count(ia, ib, pa, pb) == join_mask(ia, ib, pa, pb).count()
+
+    def test_disjoint_predicates_on_identical_vars(self, rng):
+        data = rng.uniform(0.0, 1.0, 500)
+        binning = EqualWidthBinning(0.0, 1.0, 10)
+        index = BitmapIndex.build(data, binning)
+        # A in [0, 0.09] but A in [0.51, 0.59] -- impossible.
+        assert join_count(
+            index, index, ValueSubset(0.0, 0.09), ValueSubset(0.51, 0.59)
+        ) == 0
+
+    def test_misaligned_rejected(self, rng):
+        binning = EqualWidthBinning(0.0, 1.0, 4)
+        ia = BitmapIndex.build(rng.random(100), binning)
+        ib = BitmapIndex.build(rng.random(101), binning)
+        with pytest.raises(ValueError, match="position-aligned"):
+            join_mask(ia, ib, ValueSubset(0, 1), ValueSubset(0, 1))
+
+
+class TestJoinUnits:
+    def test_unit_counts_partition_matches(self, pair):
+        a, b, ia, ib = pair
+        pa = pb = ValueSubset(0.0, 0.24)
+        units = join_units(ia, ib, pa, pb, unit_bits=310)
+        assert sum(u.matches for u in units) == join_count(ia, ib, pa, pb)
+
+    def test_sorted_densest_first(self, pair):
+        _, _, ia, ib = pair
+        units = join_units(
+            ia, ib, ValueSubset(0.0, 0.49), ValueSubset(0.0, 0.49), unit_bits=310
+        )
+        matches = [u.matches for u in units]
+        assert matches == sorted(matches, reverse=True)
+
+    def test_min_matches_filter(self, pair):
+        _, _, ia, ib = pair
+        pa = pb = ValueSubset(0.0, 0.24)
+        all_units = join_units(ia, ib, pa, pb, unit_bits=310, min_matches=1)
+        strict = join_units(ia, ib, pa, pb, unit_bits=310, min_matches=20)
+        assert len(strict) <= len(all_units)
+        assert all(u.matches >= 20 for u in strict)
+
+    def test_density(self):
+        from repro.analysis.spatial_join import JoinUnit
+
+        assert JoinUnit(0, 31, 310).density == pytest.approx(0.1)
+        assert JoinUnit(0, 0, 0).density == 0.0
+
+
+class TestJoinPairsTable:
+    def test_equals_joint_histogram(self, pair):
+        a, b, ia, ib = pair
+        table = join_pairs_table(ia, ib)
+        expect = joint_histogram(a, b, ia.binning, ib.binning)
+        assert np.array_equal(table, expect)

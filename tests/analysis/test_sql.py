@@ -1,0 +1,148 @@
+"""Tests for the SQL-ish correlation query language (repro.analysis.sql)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sql import QueryError, execute_query, parse_query, query
+from repro.bitmap import BitmapIndex, EqualWidthBinning, ZOrderLayout
+from repro.metrics import mutual_information_from_joint
+from repro.metrics.histogram import joint_histogram
+
+
+@pytest.fixture
+def env(rng):
+    shape = (8, 8, 8)
+    t = rng.uniform(0.0, 10.0, shape)
+    s = np.where(rng.random(shape) < 0.5, t * 3.0, rng.uniform(0.0, 30.0, shape))
+    layout = ZOrderLayout.for_shape(shape)
+    tz, sz = layout.flatten(t), layout.flatten(s)
+    indices = {
+        "temperature": BitmapIndex.build(tz, EqualWidthBinning(0.0, 10.0, 10)),
+        "salinity": BitmapIndex.build(sz, EqualWidthBinning(0.0, 30.0, 10)),
+    }
+    return tz, sz, layout, indices
+
+
+class TestParsing:
+    def test_minimal(self):
+        q = parse_query("SELECT MI FROM a, b")
+        assert (q.metric, q.var_a, q.var_b) == ("MI", "a", "b")
+        assert not q.value_predicates and q.region is None
+
+    def test_full(self):
+        q = parse_query(
+            "select ce from temperature, salinity "
+            "where temperature between 2.5 and 9 and salinity >= 34 "
+            "and region(0:4, 10:20, 0:48)"
+        )
+        assert q.metric == "CE"
+        assert q.value_predicates["temperature"].lo == 2.5
+        assert q.value_predicates["salinity"].lo == 34
+        assert q.region.lo == (0, 10, 0)
+        assert q.region.hi == (4, 20, 48)
+
+    def test_predicate_intersection(self):
+        q = parse_query("SELECT MI FROM a, b WHERE a >= 1 AND a <= 5")
+        assert (q.value_predicates["a"].lo, q.value_predicates["a"].hi) == (1, 5)
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(QueryError, match="contradictory"):
+            parse_query("SELECT MI FROM a, b WHERE a >= 5 AND a <= 1")
+
+    def test_bad_metric(self):
+        with pytest.raises(QueryError, match="unknown metric"):
+            parse_query("SELECT VARIANCE FROM a, b")
+
+    def test_bad_syntax(self):
+        with pytest.raises(QueryError, match="cannot parse"):
+            parse_query("FIND stuff")
+        with pytest.raises(QueryError, match="cannot parse WHERE"):
+            parse_query("SELECT MI FROM a, b WHERE a LIKE 'x'")
+
+    def test_bad_region(self):
+        with pytest.raises(QueryError, match="bad REGION"):
+            parse_query("SELECT MI FROM a, b WHERE REGION(1-2, 3:4)")
+        with pytest.raises(QueryError, match="multiple REGION"):
+            parse_query("SELECT MI FROM a, b WHERE REGION(0:1) AND REGION(1:2)")
+
+
+class TestExecution:
+    def test_unrestricted_mi_matches_fulldata(self, env):
+        tz, sz, layout, indices = env
+        got = query("SELECT MI FROM temperature, salinity", indices)
+        expect = mutual_information_from_joint(
+            joint_histogram(
+                tz, sz,
+                indices["temperature"].binning, indices["salinity"].binning,
+            )
+        )
+        assert got == pytest.approx(expect)
+
+    def test_count_metric(self, env):
+        _, _, _, indices = env
+        total = query("SELECT COUNT FROM temperature, salinity", indices)
+        assert total == 512.0
+        some = query(
+            "SELECT COUNT FROM temperature, salinity WHERE temperature <= 4.99",
+            indices,
+        )
+        assert 0 < some < 512
+
+    def test_region_query(self, env):
+        _, _, layout, indices = env
+        inside = query(
+            "SELECT COUNT FROM temperature, salinity WHERE REGION(0:4, 0:4, 0:4)",
+            indices,
+            layout=layout,
+        )
+        assert inside == 64.0
+
+    def test_region_without_layout(self, env):
+        _, _, _, indices = env
+        with pytest.raises(QueryError, match="ZOrderLayout"):
+            query(
+                "SELECT MI FROM temperature, salinity WHERE REGION(0:2, 0:2, 0:2)",
+                indices,
+            )
+
+    def test_unknown_variable(self, env):
+        _, _, _, indices = env
+        with pytest.raises(QueryError, match="unknown variable"):
+            query("SELECT MI FROM temperature, pressure", indices)
+
+    def test_predicate_on_foreign_variable(self, env):
+        _, _, _, indices = env
+        with pytest.raises(QueryError, match="not in the FROM"):
+            query(
+                "SELECT MI FROM temperature, salinity WHERE depth >= 3",
+                indices,
+            )
+
+    def test_emd_needs_shared_scale(self, env):
+        _, _, _, indices = env
+        with pytest.raises(QueryError, match="one binning scale"):
+            query("SELECT EMD FROM temperature, salinity", indices)
+
+    def test_emd_on_shared_scale(self, rng):
+        a, b = rng.normal(0, 1, 1000), rng.normal(0.5, 1, 1000)
+        binning = EqualWidthBinning(-5, 6, 20)
+        indices = {
+            "a": BitmapIndex.build(a, binning),
+            "b": BitmapIndex.build(b, binning),
+        }
+        from repro.metrics import emd_count_based
+
+        assert query("SELECT EMD FROM a, b", indices) == pytest.approx(
+            emd_count_based(a, b, binning)
+        )
+
+    def test_ce_restricted(self, env):
+        _, _, _, indices = env
+        full = query("SELECT CE FROM temperature, salinity", indices)
+        sub = query(
+            "SELECT CE FROM temperature, salinity "
+            "WHERE temperature BETWEEN 0 AND 4.99",
+            indices,
+        )
+        assert full != sub
+        assert sub >= 0.0

@@ -1,0 +1,80 @@
+"""Tests for bitmap subgroup discovery (repro.analysis.subgroup)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.subgroup import Subgroup, discover_subgroups
+from repro.bitmap import BitmapIndex, EqualWidthBinning
+
+
+@pytest.fixture
+def planted(rng):
+    """Target elevated where the explanatory variable sits in one band."""
+    n = 31 * 400
+    explain = rng.uniform(0.0, 1.0, n)
+    target = rng.normal(10.0, 1.0, n)
+    band = (explain >= 0.5) & (explain < 0.625)  # exactly bin 4 of 8
+    target[band] += 5.0
+    ie = BitmapIndex.build(explain, EqualWidthBinning(0.0, 1.0, 8))
+    it = BitmapIndex.build(target, EqualWidthBinning.from_data(target, 24))
+    return explain, target, band, ie, it
+
+
+class TestDiscovery:
+    def test_finds_planted_band(self, planted):
+        _, _, _, ie, it = planted
+        subs = discover_subgroups(ie, it, unit_bits=310, top_k=5)
+        assert subs
+        # The single planted bin must rank first (highest mean shift at
+        # substantial size).
+        assert subs[0].description == f"explain in {ie.binning.bin_label(4)}"
+        assert subs[0].mean > 13.0
+
+    def test_quality_ordering(self, planted):
+        _, _, _, ie, it = planted
+        subs = discover_subgroups(ie, it, unit_bits=310, top_k=8)
+        qualities = [s.quality for s in subs]
+        assert qualities == sorted(qualities, reverse=True)
+
+    def test_min_size_respected(self, planted):
+        _, _, _, ie, it = planted
+        subs = discover_subgroups(ie, it, unit_bits=310, min_size=500, top_k=10)
+        assert all(s.size >= 500 for s in subs)
+
+    def test_top_k_limits(self, planted):
+        _, _, _, ie, it = planted
+        assert len(discover_subgroups(ie, it, unit_bits=310, top_k=3)) == 3
+
+    def test_spatially_planted_signal(self, rng):
+        """A hot spatial block must surface as a unit subgroup."""
+        n = 31 * 300
+        explain = rng.uniform(0.0, 1.0, n)
+        target = rng.normal(0.0, 1.0, n)
+        target[1240:1550] += 8.0  # exactly unit 4 of 310-bit units
+        ie = BitmapIndex.build(explain, EqualWidthBinning(0.0, 1.0, 4))
+        it = BitmapIndex.build(target, EqualWidthBinning.from_data(target, 16))
+        subs = discover_subgroups(
+            ie, it, unit_bits=310, top_k=5, min_size=100
+        )
+        assert any(s.description == "unit 4" for s in subs)
+
+    def test_no_signal_low_quality(self, rng):
+        n = 31 * 200
+        explain = rng.uniform(0.0, 1.0, n)
+        target = rng.normal(0.0, 1.0, n)
+        ie = BitmapIndex.build(explain, EqualWidthBinning(0.0, 1.0, 8))
+        it = BitmapIndex.build(target, EqualWidthBinning.from_data(target, 16))
+        subs = discover_subgroups(ie, it, unit_bits=310, top_k=3)
+        # mean shifts stay tiny without planted structure
+        assert all(abs(s.mean) < 0.5 for s in subs)
+
+    def test_mismatched_rejected(self, rng):
+        binning = EqualWidthBinning(0.0, 1.0, 4)
+        ia = BitmapIndex.build(rng.random(62), binning)
+        ib = BitmapIndex.build(rng.random(93), binning)
+        with pytest.raises(ValueError, match="different element sets"):
+            discover_subgroups(ia, ib, unit_bits=31)
+
+    def test_repr(self):
+        s = Subgroup("unit 3", 100, 1.5, 12.0)
+        assert "unit 3" in repr(s) and "n=100" in repr(s)

@@ -1,0 +1,131 @@
+"""Tests for adaptive per-step binning (repro.bitmap.adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, PrecisionBinning
+from repro.bitmap.adaptive import (
+    AdaptivePrecisionIndexer,
+    align_indices,
+    aligned_metric,
+    pad_index,
+    union_binning,
+)
+from repro.metrics import (
+    conditional_entropy,
+    conditional_entropy_bitmap,
+    emd_count_based,
+    emd_count_bitmap,
+)
+from repro.selection.metrics import CONDITIONAL_ENTROPY, EMD_COUNT
+
+
+@pytest.fixture
+def two_steps(rng):
+    """Two steps with different value ranges (hence different bin counts)."""
+    a = rng.uniform(20.0, 23.0, 2000)
+    b = rng.uniform(21.5, 26.0, 2000)
+    indexer = AdaptivePrecisionIndexer(digits=1)
+    return a, b, indexer.index(a), indexer.index(b)
+
+
+class TestIndexer:
+    def test_bin_counts_follow_range(self, two_steps):
+        _, _, ia, ib = two_steps
+        # ~3.0 wide at 0.1 -> ~31 bins; ~4.5 wide -> ~46 bins.
+        assert 25 <= ia.n_bins <= 35
+        assert 40 <= ib.n_bins <= 50
+        assert ia.n_bins != ib.n_bins
+
+    def test_paper_band_heat3d(self):
+        """Heat3D-style ranges give the 64-206 bin band of §5.1."""
+        indexer = AdaptivePrecisionIndexer(digits=1)
+        narrow = indexer.binning_for(np.asarray([20.0, 26.3]))
+        wide = indexer.binning_for(np.asarray([20.0, 40.5]))
+        assert narrow.n_bins == 64
+        assert wide.n_bins == 206
+
+
+class TestUnionAndPad:
+    def test_union_covers_both(self, two_steps):
+        _, _, ia, ib = two_steps
+        u = union_binning(ia.binning, ib.binning)
+        assert u.lo <= min(ia.binning.lo, ib.binning.lo)
+        assert u.hi >= max(ia.binning.hi, ib.binning.hi)
+
+    def test_precision_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different precision"):
+            union_binning(
+                PrecisionBinning(0.0, 1.0, 1), PrecisionBinning(0.0, 1.0, 2)
+            )
+
+    def test_pad_equals_direct_indexing(self, two_steps):
+        """Padding must be indistinguishable from indexing under the
+        union binning in the first place."""
+        a, b, ia, ib = two_steps
+        union = union_binning(ia.binning, ib.binning)
+        padded = pad_index(ia, union)
+        direct = BitmapIndex.build(a, union)
+        assert padded.bitvectors == direct.bitvectors
+        assert np.array_equal(padded.bin_counts(), direct.bin_counts())
+
+    def test_pad_noncovering_rejected(self, two_steps):
+        _, _, ia, _ = two_steps
+        small = PrecisionBinning(ia.binning.lo + 1.0, ia.binning.hi, 1)
+        with pytest.raises(ValueError, match="does not cover"):
+            pad_index(ia, small)
+
+    def test_pad_requires_precision(self, rng):
+        from repro.bitmap import EqualWidthBinning
+
+        idx = BitmapIndex.build(rng.random(100), EqualWidthBinning(0, 1, 4))
+        with pytest.raises(TypeError):
+            pad_index(idx, PrecisionBinning(0.0, 1.0, 1))
+
+
+class TestAlignedMetrics:
+    def test_ce_exact_after_alignment(self, two_steps):
+        """The paper's exactness claim survives adaptive binning."""
+        a, b, ia, ib = two_steps
+        pa, pb = align_indices(ia, ib)
+        union = pa.binning
+        expect = conditional_entropy(a, b, union, union)
+        assert conditional_entropy_bitmap(pa, pb) == pytest.approx(expect, abs=1e-12)
+
+    def test_emd_exact_after_alignment(self, two_steps):
+        a, b, ia, ib = two_steps
+        pa, pb = align_indices(ia, ib)
+        assert emd_count_bitmap(pa, pb) == emd_count_based(a, b, pa.binning)
+
+    def test_aligned_metric_wrapper(self, two_steps):
+        a, b, ia, ib = two_steps
+        wrapped = aligned_metric(CONDITIONAL_ENTROPY)
+        assert wrapped.name == "conditional_entropy@adaptive"
+        pa, pb = align_indices(ia, ib)
+        assert wrapped.bitmap(ia, ib) == pytest.approx(
+            CONDITIONAL_ENTROPY.bitmap(pa, pb)
+        )
+
+    def test_selection_over_adaptive_indices(self, rng):
+        """Greedy selection works on per-step indices with no shared
+        binning declared anywhere."""
+        from repro.selection import select_timesteps_bitmap
+
+        indexer = AdaptivePrecisionIndexer(digits=1)
+        steps = [
+            rng.uniform(20.0 + 0.4 * t, 23.0 + 0.7 * t, 800) for t in range(10)
+        ]
+        indices = [indexer.index(s) for s in steps]
+        assert len({i.n_bins for i in indices}) > 1  # truly per-step bins
+        result = select_timesteps_bitmap(
+            indices, 4, aligned_metric(EMD_COUNT)
+        )
+        assert result.selected[0] == 0
+        assert len(result.selected) == 4
+
+    def test_align_requires_precision(self, rng):
+        from repro.bitmap import EqualWidthBinning
+
+        idx = BitmapIndex.build(rng.random(100), EqualWidthBinning(0, 1, 4))
+        with pytest.raises(TypeError):
+            align_indices(idx, idx)

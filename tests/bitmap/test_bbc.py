@@ -1,0 +1,140 @@
+"""Tests for the BBC byte-aligned codec (repro.bitmap.bbc)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.bbc import (
+    BBCBitVector,
+    bbc_and_count,
+    bbc_logical_op,
+    decode_bytes,
+    encode_bytes,
+    wah_to_bbc,
+)
+from repro.bitmap.wah import WAHBitVector
+
+
+class TestByteCodec:
+    def test_all_zero_run(self):
+        atoms = encode_bytes(np.zeros(50, dtype=np.uint8))
+        assert atoms.size == 1
+        assert atoms[0] == 0x80 | 50
+
+    def test_all_ones_run(self):
+        atoms = encode_bytes(np.full(50, 0xFF, dtype=np.uint8))
+        assert atoms.tolist() == [0x80 | 0x40 | 50]
+
+    def test_long_run_splits(self):
+        atoms = encode_bytes(np.zeros(130, dtype=np.uint8))
+        assert atoms.tolist() == [0x80 | 63, 0x80 | 63, 0x80 | 4]
+
+    def test_literal_block(self):
+        raw = np.asarray([1, 2, 3], dtype=np.uint8)
+        atoms = encode_bytes(raw)
+        assert atoms.tolist() == [3, 1, 2, 3]
+
+    def test_single_fill_byte_rides_as_literal(self):
+        raw = np.asarray([5, 0, 7], dtype=np.uint8)  # lone 0x00 not worth an atom
+        atoms = encode_bytes(raw)
+        assert atoms.tolist() == [3, 5, 0, 7]
+
+    def test_long_literal_splits(self):
+        raw = np.arange(1, 201, dtype=np.uint8)  # no runs
+        back = decode_bytes(encode_bytes(raw))
+        assert np.array_equal(back, raw)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=0, max_size=600), st.integers(1, 9))
+    def test_property_roundtrip(self, blob, repeat):
+        raw = np.repeat(np.frombuffer(blob, dtype=np.uint8), repeat)
+        assert np.array_equal(decode_bytes(encode_bytes(raw)), raw)
+
+    def test_corrupt_streams_rejected(self):
+        with pytest.raises(ValueError, match="zero-length fill"):
+            decode_bytes(np.asarray([0x80], dtype=np.uint8))
+        with pytest.raises(ValueError, match="bad literal"):
+            decode_bytes(np.asarray([5, 1, 2], dtype=np.uint8))  # truncated
+        with pytest.raises(ValueError, match="bad literal"):
+            decode_bytes(np.asarray([0], dtype=np.uint8))
+
+    def test_empty(self):
+        assert encode_bytes(np.empty(0, dtype=np.uint8)).size == 0
+        assert decode_bytes(np.empty(0, dtype=np.uint8)).size == 0
+
+
+class TestBBCBitVector:
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 63, 64, 1000])
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.5, 1.0])
+    def test_roundtrip_and_count(self, n, density, rng):
+        bits = rng.random(n) < density
+        v = BBCBitVector.from_bools(bits)
+        assert np.array_equal(v.to_bools(), bits)
+        assert v.count() == int(bits.sum())
+
+    def test_zeros_ones(self):
+        assert BBCBitVector.zeros(100).count() == 0
+        assert BBCBitVector.ones(100).count() == 100
+
+    def test_equality_hash(self, rng):
+        bits = rng.random(200) < 0.3
+        a, b = BBCBitVector.from_bools(bits), BBCBitVector.from_bools(bits)
+        assert a == b and hash(a) == hash(b)
+
+    def test_sparse_compression(self):
+        bits = np.zeros(80_000, dtype=bool)
+        bits[40_000] = True
+        v = BBCBitVector.from_bools(bits)
+        # 6-bit run lengths cap each fill atom at 63 bytes, so a 10 KB
+        # zero stream still needs ~160 atoms.
+        assert v.compression_ratio() < 0.05
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            BBCBitVector(np.empty(0, dtype=np.uint8), -1)
+
+
+class TestBBCOps:
+    @pytest.mark.parametrize("op", ["and", "or", "xor"])
+    def test_matches_numpy(self, op, rng):
+        a = rng.random(1000) < 0.3
+        b = rng.random(1000) < 0.6
+        va, vb = BBCBitVector.from_bools(a), BBCBitVector.from_bools(b)
+        out = bbc_logical_op(va, vb, op)
+        numpy_ops = {"and": a & b, "or": a | b, "xor": a ^ b}
+        assert np.array_equal(out.to_bools(), numpy_ops[op])
+
+    def test_and_count(self, rng):
+        a = rng.random(777) < 0.4
+        b = rng.random(777) < 0.4
+        va, vb = BBCBitVector.from_bools(a), BBCBitVector.from_bools(b)
+        assert bbc_and_count(va, vb) == int((a & b).sum())
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            bbc_logical_op(BBCBitVector.zeros(8), BBCBitVector.zeros(9), "and")
+        with pytest.raises(ValueError, match="mismatch"):
+            bbc_and_count(BBCBitVector.zeros(8), BBCBitVector.zeros(9))
+
+    def test_unknown_op(self):
+        v = BBCBitVector.zeros(8)
+        with pytest.raises(ValueError, match="unknown op"):
+            bbc_logical_op(v, v, "nand")
+
+
+class TestWAHInterop:
+    def test_transcode(self, rng):
+        bits = np.repeat(rng.random(100) < 0.5, 37)
+        wah = WAHBitVector.from_bools(bits)
+        bbc = wah_to_bbc(wah)
+        assert np.array_equal(bbc.to_bools(), wah.to_bools())
+        assert bbc.count() == wah.count()
+
+    def test_bbc_often_tighter_on_short_runs(self, rng):
+        """Byte granularity captures runs WAH's 31-bit groups miss."""
+        # Runs of ~12 bits: too short for 31-bit fills, fine for bytes.
+        bits = np.repeat(rng.random(600) < 0.5, 12)
+        wah = WAHBitVector.from_bools(bits)
+        bbc = BBCBitVector.from_bools(bits)
+        assert bbc.nbytes < wah.nbytes

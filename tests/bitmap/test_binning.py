@@ -1,0 +1,205 @@
+"""Tests for binning strategies (repro.bitmap.binning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.binning import (
+    DistinctValueBinning,
+    EqualWidthBinning,
+    ExplicitBinning,
+    PrecisionBinning,
+    common_binning,
+)
+
+
+class TestDistinctValueBinning:
+    def test_basic(self):
+        b = DistinctValueBinning.from_data(np.asarray([4, 1, 2, 2, 3, 4, 3, 1]))
+        assert b.n_bins == 4
+        assert b.assign(np.asarray([1, 4, 2])).tolist() == [0, 3, 1]
+
+    def test_unknown_value_flagged(self):
+        b = DistinctValueBinning(np.asarray([1.0, 2.0]))
+        assert b.assign(np.asarray([3.0])).tolist() == [-1]
+        with pytest.raises(ValueError):
+            b.assign_checked(np.asarray([3.0]))
+
+    def test_labels(self):
+        b = DistinctValueBinning(np.asarray([1.0, 2.0]))
+        assert "1.0" in b.bin_label(0)
+
+    def test_deduplicates(self):
+        b = DistinctValueBinning(np.asarray([2.0, 1.0, 2.0]))
+        assert b.n_bins == 2
+        assert b.values.tolist() == [1.0, 2.0]
+
+
+class TestEqualWidthBinning:
+    def test_edges_and_assignment(self):
+        b = EqualWidthBinning(0.0, 10.0, 5)
+        assert b.assign(np.asarray([0.0, 1.9, 2.0, 9.99, 10.0])).tolist() == [
+            0, 0, 1, 4, 4,
+        ]
+
+    def test_out_of_range(self):
+        b = EqualWidthBinning(0.0, 1.0, 2)
+        assert b.assign(np.asarray([-0.1, 1.1])).tolist() == [-1, -1]
+
+    def test_from_data_handles_constant(self):
+        b = EqualWidthBinning.from_data(np.full(10, 3.0), 4)
+        assert b.assign_checked(np.full(10, 3.0)).min() >= 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EqualWidthBinning(1.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            EqualWidthBinning(0.0, 1.0, 0)
+
+    def test_label(self):
+        b = EqualWidthBinning(0.0, 1.0, 2)
+        assert b.bin_label(0) == "[0, 0.5)"
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(-1e6, 1e6),
+        st.floats(1e-3, 1e6),
+        st.integers(1, 200),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_property_assignment_in_range(self, lo, width, bins, seed):
+        hi = lo + width
+        b = EqualWidthBinning(lo, hi, bins)
+        local = np.random.default_rng(seed)
+        vals = local.uniform(lo, hi, size=50)
+        ids = b.assign_checked(vals)
+        assert np.all((ids >= 0) & (ids < bins))
+        edges = b.edges
+        # each value lies within its assigned bin (float tolerance at edges)
+        assert np.all(vals >= edges[ids] - 1e-9 * max(1.0, abs(hi)))
+        assert np.all(vals <= edges[ids + 1] + 1e-9 * max(1.0, abs(hi)))
+
+
+class TestPrecisionBinning:
+    def test_one_decimal_digit(self):
+        """§5.1: 'binning scale is set to retain 1 digit after the decimal'."""
+        b = PrecisionBinning(20.0, 22.0, digits=1)
+        assert b.n_bins == 21
+        assert b.assign(np.asarray([20.0, 20.04, 20.06, 21.95, 22.0])).tolist() == [
+            0, 0, 1, 20, 20,
+        ]
+
+    def test_bin_count_follows_range(self):
+        # The paper saw 64-206 bins as temperature ranges varied.
+        narrow = PrecisionBinning(0.0, 6.3, digits=1)
+        wide = PrecisionBinning(0.0, 20.5, digits=1)
+        assert narrow.n_bins == 64
+        assert wide.n_bins == 206
+
+    def test_digits_zero(self):
+        b = PrecisionBinning(0.0, 5.0, digits=0)
+        assert b.n_bins == 6
+        assert b.assign(np.asarray([2.4, 2.6])).tolist() == [2, 3]
+
+    def test_label(self):
+        b = PrecisionBinning(1.0, 2.0, digits=1)
+        assert b.bin_label(0) == "~1.0"
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            PrecisionBinning(2.0, 1.0)
+
+
+class TestExplicitBinning:
+    def test_assignment(self):
+        b = ExplicitBinning(np.asarray([0.0, 1.0, 5.0, 10.0]))
+        assert b.n_bins == 3
+        assert b.assign(np.asarray([0.5, 1.0, 9.9, 10.0])).tolist() == [0, 1, 2, 2]
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitBinning(np.asarray([0.0, 2.0, 1.0]))
+        with pytest.raises(ValueError):
+            ExplicitBinning(np.asarray([0.0]))
+
+    def test_out_of_range(self):
+        b = ExplicitBinning(np.asarray([0.0, 1.0]))
+        assert b.assign(np.asarray([-0.5, 1.5])).tolist() == [-1, -1]
+
+    def test_labels_closed_last(self):
+        b = ExplicitBinning(np.asarray([0.0, 1.0, 2.0]))
+        assert b.bin_label(0).endswith(")")
+        assert b.bin_label(1).endswith("]")
+
+
+class TestCommonBinning:
+    def test_spans_all_arrays(self, rng):
+        arrays = [rng.uniform(0, 1, 100), rng.uniform(5, 6, 100)]
+        b = common_binning(arrays, bins=10)
+        for a in arrays:
+            assert np.all(b.assign_checked(a) >= 0)
+
+    def test_precision_variant(self, rng):
+        arrays = [rng.uniform(0, 1, 10), rng.uniform(2, 3, 10)]
+        b = common_binning(arrays, digits=1)
+        assert isinstance(b, PrecisionBinning)
+
+    def test_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            common_binning([np.asarray([1.0])], bins=3, digits=1)
+        with pytest.raises(ValueError):
+            common_binning([np.asarray([1.0])])
+
+    def test_same_binning_both_paths(self, rng):
+        """The shared-scale requirement of §3.1 (EMD needs equal ranges)."""
+        a, b_arr = rng.normal(0, 1, 500), rng.normal(0.5, 1, 500)
+        binning = common_binning([a, b_arr], bins=20)
+        ia, ib = binning.assign_checked(a), binning.assign_checked(b_arr)
+        assert ia.min() >= 0 and ib.min() >= 0
+        assert max(ia.max(), ib.max()) < binning.n_bins
+
+
+class TestPrecisionBinningEdges:
+    def test_edges_bracket_ticks(self):
+        b = PrecisionBinning(20.0, 20.3, digits=1)
+        assert b.n_bins == 4
+        assert np.allclose(b.edges, [19.95, 20.05, 20.15, 20.25, 20.35])
+
+    def test_edges_consistent_with_assign(self, rng):
+        b = PrecisionBinning(0.0, 5.0, digits=1)
+        vals = rng.uniform(0.0, 5.0, 300)
+        ids = b.assign_checked(vals)
+        edges = b.edges
+        assert np.all(vals >= edges[ids] - 1e-9)
+        assert np.all(vals < edges[ids + 1] + 1e-9)
+
+    def test_value_range_query_works(self, rng):
+        from repro.bitmap.index import BitmapIndex
+
+        data = np.round(rng.uniform(10.0, 12.0, 400), 2)
+        b = PrecisionBinning.from_data(data, digits=1)
+        index = BitmapIndex.build(data, b)
+        hits = index.query_value_range(10.5, 11.0)
+        # bin-granular: every element rounding into [10.5, 11.0] ticks
+        expect = (np.round(data, 1) >= 10.45) & (np.round(data, 1) <= 11.05)
+        assert hits.count() == int(expect.sum())
+
+
+class TestNaNRejection:
+    @pytest.mark.parametrize(
+        "binning",
+        [
+            EqualWidthBinning(0.0, 1.0, 4),
+            PrecisionBinning(0.0, 1.0, digits=1),
+            ExplicitBinning(np.asarray([0.0, 0.5, 1.0])),
+            DistinctValueBinning(np.asarray([0.0, 0.5, 1.0])),
+        ],
+    )
+    def test_nan_rejected_with_guidance(self, binning):
+        with pytest.raises(ValueError, match="incomplete"):
+            binning.assign_checked(np.asarray([0.5, np.nan]))
+
+    def test_integer_inputs_unaffected(self):
+        b = DistinctValueBinning(np.asarray([1.0, 2.0]))
+        assert b.assign_checked(np.asarray([1, 2])).tolist() == [0, 1]

@@ -1,0 +1,173 @@
+"""Tests for Algorithm 1 (online builder) and the vectorised builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.binning import (
+    DistinctValueBinning,
+    EqualWidthBinning,
+    PrecisionBinning,
+)
+from repro.bitmap.builder import (
+    OnlineBitmapBuilder,
+    build_bitvectors,
+    build_bitvectors_batch,
+)
+from repro.bitmap.wah import WAHBitVector
+
+
+class TestOnlineBuilder:
+    def test_paper_figure1_example(self):
+        """The 8-element, 4-value dataset of Figure 1."""
+        data = np.asarray([4, 1, 2, 2, 3, 4, 3, 1])
+        binning = DistinctValueBinning.from_data(data)
+        builder = OnlineBitmapBuilder(binning)
+        builder.push(data)
+        vectors = builder.finalize()
+        expect = {
+            0: [0, 1, 0, 0, 0, 0, 0, 1],  # =1
+            1: [0, 0, 1, 1, 0, 0, 0, 0],  # =2
+            2: [0, 0, 0, 0, 1, 0, 1, 0],  # =3
+            3: [1, 0, 0, 0, 0, 1, 0, 0],  # =4
+        }
+        for b, bits in expect.items():
+            assert vectors[b].to_bools().astype(int).tolist() == bits
+
+    def test_matches_batch_builder(self, gaussian_data):
+        binning = EqualWidthBinning.from_data(gaussian_data, 40)
+        builder = OnlineBitmapBuilder(binning)
+        builder.push(gaussian_data)
+        online = builder.finalize()
+        batch = build_bitvectors_batch(gaussian_data, binning)
+        assert online == batch
+
+    @pytest.mark.parametrize("chunk", [1, 7, 31, 50, 62, 311])
+    def test_chunked_feeding_invariant(self, chunk, gaussian_data):
+        """Pushing in any chunking yields the identical word streams."""
+        data = gaussian_data[:1000]
+        binning = EqualWidthBinning.from_data(data, 16)
+        whole = OnlineBitmapBuilder(binning)
+        whole.push(data)
+        expect = whole.finalize()
+        chunked = OnlineBitmapBuilder(binning)
+        for i in range(0, data.size, chunk):
+            chunked.push(data[i : i + chunk])
+        assert chunked.finalize() == expect
+
+    def test_partial_trailing_segment(self):
+        data = np.asarray([1.0] * 40)  # 40 = 31 + 9
+        binning = DistinctValueBinning.from_data(data)
+        builder = OnlineBitmapBuilder(binning)
+        builder.push(data)
+        (v,) = builder.finalize()
+        assert v.n_bits == 40
+        assert v.count() == 40
+
+    def test_double_finalize_rejected(self):
+        builder = OnlineBitmapBuilder(DistinctValueBinning(np.asarray([1.0])))
+        builder.finalize()
+        with pytest.raises(RuntimeError):
+            builder.finalize()
+        with pytest.raises(RuntimeError):
+            builder.push(np.asarray([1.0]))
+
+    def test_out_of_domain_value_rejected(self):
+        builder = OnlineBitmapBuilder(EqualWidthBinning(0.0, 1.0, 4))
+        with pytest.raises(ValueError, match="outside binning domain"):
+            builder.push(np.asarray([2.0]))
+
+    def test_memory_stays_small(self, rng):
+        """Algorithm 1's point: builder state ~ compressed size, not n*m bits."""
+        data = np.repeat(rng.integers(0, 4, size=40), 1000)  # long runs
+        binning = DistinctValueBinning.from_data(data)
+        builder = OnlineBitmapBuilder(binning)
+        builder.push(data)
+        uncompressed_words = binning.n_bins * (data.size // 31 + 1)
+        assert builder.memory_words() < uncompressed_words / 10
+        builder.finalize()
+
+    def test_n_bits_property(self):
+        builder = OnlineBitmapBuilder(EqualWidthBinning(0.0, 1.0, 2))
+        builder.push(np.full(10, 0.5))
+        assert builder.n_bits == 10
+
+
+class TestVectorizedBuilder:
+    @pytest.mark.parametrize("chunk_elements", [31, 62, 311, 1 << 20])
+    def test_matches_online(self, chunk_elements, gaussian_data):
+        data = gaussian_data[:2000]
+        binning = EqualWidthBinning.from_data(data, 25)
+        online = OnlineBitmapBuilder(binning)
+        online.push(data)
+        assert (
+            build_bitvectors(data, binning, chunk_elements=chunk_elements)
+            == online.finalize()
+        )
+
+    def test_multidimensional_input_flattens_c_order(self, rng):
+        grid = rng.random((7, 8, 9))
+        binning = EqualWidthBinning.from_data(grid, 10)
+        from_grid = build_bitvectors(grid, binning)
+        from_flat = build_bitvectors(grid.ravel(), binning)
+        assert from_grid == from_flat
+
+    def test_every_element_in_exactly_one_bin(self, gaussian_data):
+        binning = EqualWidthBinning.from_data(gaussian_data, 33)
+        vectors = build_bitvectors(gaussian_data, binning)
+        total = sum(v.count() for v in vectors)
+        assert total == gaussian_data.size
+        acc = np.zeros(gaussian_data.size, dtype=int)
+        for v in vectors:
+            acc += v.to_bools()
+        assert np.all(acc == 1)
+
+    def test_precision_binning_roundtrip(self, rng):
+        """The Heat3D setting: 1 decimal digit."""
+        data = np.round(rng.uniform(20.0, 30.0, size=500), 3)
+        binning = PrecisionBinning.from_data(data, digits=1)
+        vectors = build_bitvectors(data, binning)
+        ids = binning.assign(data)
+        for b, v in enumerate(vectors):
+            assert np.array_equal(v.to_bools(), ids == b)
+
+    def test_constant_data_single_fill(self):
+        data = np.full(31 * 50, 7.0)
+        binning = DistinctValueBinning.from_data(data)
+        (v,) = build_bitvectors(data, binning)
+        assert v.n_words == 1  # one 1-fill word covers everything
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 700),
+        n_bins=st.integers(1, 12),
+        chunk=st.sampled_from([31, 93, 310]),
+    )
+    def test_property_builders_agree(self, seed, n, n_bins, chunk):
+        local = np.random.default_rng(seed)
+        # Piecewise-constant data: realistic simulation output.
+        data = np.repeat(local.random(max(1, n // 10)), 10)[:n]
+        data = np.resize(data, n)
+        binning = EqualWidthBinning(0.0, 1.0, n_bins)
+        online = OnlineBitmapBuilder(binning)
+        for i in range(0, n, 97):
+            online.push(data[i : i + 97])
+        ov = online.finalize()
+        vv = build_bitvectors(data, binning, chunk_elements=chunk)
+        bb = build_bitvectors_batch(data, binning)
+        assert ov == vv == bb
+        for v in ov:
+            v.check_invariants()
+
+
+class TestBatchBuilder:
+    def test_ground_truth_masks(self, rng):
+        data = rng.integers(0, 5, size=200).astype(float)
+        binning = DistinctValueBinning.from_data(data)
+        vectors = build_bitvectors_batch(data, binning)
+        for b, v in enumerate(vectors):
+            expect = data == binning.values[b]
+            assert np.array_equal(v.to_bools(), expect)
+            assert v == WAHBitVector.from_bools(expect)

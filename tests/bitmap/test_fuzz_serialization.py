@@ -1,0 +1,93 @@
+"""Failure-injection tests: corrupted inputs fail cleanly, never crash.
+
+Stored bitmaps outlive the process that wrote them; a truncated transfer
+or bit rot must surface as a clean ``ValueError``/``EOFError``, not a
+segfault-adjacent numpy error or silent corruption.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import BitmapIndex, EqualWidthBinning
+from repro.bitmap.serialization import (
+    index_from_bytes,
+    index_to_bytes,
+    read_bitvector,
+)
+
+
+def _sample_blob(rng) -> bytes:
+    data = rng.normal(0, 1, 500)
+    index = BitmapIndex.build(data, EqualWidthBinning.from_data(data, 8))
+    return index_to_bytes(index)
+
+
+class TestTruncation:
+    def test_every_truncation_point_fails_cleanly(self, rng):
+        blob = _sample_blob(rng)
+        for cut in range(0, len(blob) - 1, max(1, len(blob) // 40)):
+            with pytest.raises((ValueError, EOFError)):
+                index_from_bytes(blob[:cut])
+
+    def test_trailing_garbage_tolerated(self, rng):
+        """Extra bytes after the record are simply not consumed."""
+        blob = _sample_blob(rng)
+        index = index_from_bytes(blob + b"GARBAGE")
+        assert index.n_elements == 500
+
+
+class TestBitflips:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        position_frac=st.floats(0.0, 0.999),
+        flip=st.integers(0, 7),
+    )
+    def test_single_bitflip_never_crashes(self, seed, position_frac, flip):
+        """A flipped bit either still parses (payload change) or raises a
+        clean error -- anything but an unhandled exception type."""
+        local = np.random.default_rng(seed)
+        data = local.normal(0, 1, 300)
+        blob = bytearray(
+            index_to_bytes(
+                BitmapIndex.build(data, EqualWidthBinning.from_data(data, 6))
+            )
+        )
+        pos = int(position_frac * len(blob))
+        blob[pos] ^= 1 << flip
+        try:
+            index = index_from_bytes(bytes(blob))
+        except (ValueError, EOFError, AssertionError):
+            return  # clean rejection
+        # If it parsed, the object must still be structurally consistent
+        # enough to decompress every vector without numpy errors.
+        for v in index.bitvectors:
+            v.to_groups()
+
+
+class TestRandomNoise:
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_random_bytes_rejected(self, blob):
+        """Arbitrary byte soup never parses as an index (magic guards it),
+        and never raises anything but the documented error types."""
+        with pytest.raises((ValueError, EOFError)):
+            index_from_bytes(blob)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=0, max_size=100))
+    def test_random_bitvector_records(self, blob):
+        try:
+            vector = read_bitvector(io.BytesIO(blob))
+        except (ValueError, EOFError, OverflowError):
+            return
+        # Parsed records may still be semantically corrupt; invariant
+        # checking must catch that (or the vector is actually fine).
+        try:
+            vector.check_invariants()
+        except AssertionError:
+            pass

@@ -1,0 +1,98 @@
+"""Tests for concatenation and the Figure-2 parallel builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.binning import EqualWidthBinning
+from repro.bitmap.builder import (
+    build_bitvectors,
+    build_bitvectors_parallel,
+    concatenate_bitvectors,
+)
+from repro.bitmap.wah import WAHBitVector
+
+
+class TestConcatenate:
+    def test_roundtrip(self, rng):
+        bits = rng.random(31 * 40) < 0.3
+        parts = [
+            WAHBitVector.from_bools(bits[:310]),
+            WAHBitVector.from_bools(bits[310:620]),
+            WAHBitVector.from_bools(bits[620:]),
+        ]
+        whole = concatenate_bitvectors(parts)
+        assert whole == WAHBitVector.from_bools(bits)
+
+    def test_fill_merge_at_seam(self):
+        """Zero runs crossing a seam must merge into one fill word."""
+        a = WAHBitVector.zeros(31 * 100)
+        b = WAHBitVector.zeros(31 * 100)
+        out = concatenate_bitvectors([a, b])
+        assert out.n_words == 1
+        assert out.n_bits == 31 * 200
+
+    def test_partial_last_part(self, rng):
+        bits = rng.random(100) < 0.5
+        parts = [
+            WAHBitVector.from_bools(bits[:62]),
+            WAHBitVector.from_bools(bits[62:]),  # 38 bits, partial group
+        ]
+        assert concatenate_bitvectors(parts) == WAHBitVector.from_bools(bits)
+
+    def test_unaligned_middle_rejected(self, rng):
+        parts = [
+            WAHBitVector.from_bools(rng.random(30) < 0.5),  # not /31
+            WAHBitVector.from_bools(rng.random(31) < 0.5),
+        ]
+        with pytest.raises(ValueError, match="multiple of 31"):
+            concatenate_bitvectors(parts)
+
+    def test_empty_list(self):
+        out = concatenate_bitvectors([])
+        assert out.n_bits == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        cuts=st.lists(st.integers(1, 20), min_size=1, max_size=5),
+    )
+    def test_property_any_aligned_split(self, seed, cuts):
+        local = np.random.default_rng(seed)
+        n_groups = sum(cuts)
+        bits = np.repeat(local.random(n_groups * 4) < 0.4, 8)[: n_groups * 31]
+        bits = np.resize(bits, n_groups * 31)
+        parts = []
+        pos = 0
+        for c in cuts:
+            parts.append(WAHBitVector.from_bools(bits[pos : pos + c * 31]))
+            pos += c * 31
+        assert concatenate_bitvectors(parts) == WAHBitVector.from_bools(bits)
+
+
+class TestParallelBuilder:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3, 7])
+    def test_identical_to_serial(self, n_workers, rng):
+        data = rng.normal(0, 1, 12_345)
+        binning = EqualWidthBinning.from_data(data, 20)
+        serial = build_bitvectors(data, binning)
+        parallel = build_bitvectors_parallel(data, binning, n_workers=n_workers)
+        assert parallel == serial
+
+    def test_tiny_input_falls_back(self, rng):
+        data = rng.random(10)
+        binning = EqualWidthBinning(0.0, 1.0, 4)
+        out = build_bitvectors_parallel(data, binning, n_workers=8)
+        assert out == build_bitvectors(data, binning)
+
+    def test_invalid_workers(self, rng):
+        binning = EqualWidthBinning(0.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            build_bitvectors_parallel(rng.random(100), binning, n_workers=0)
+
+    def test_counts_partition(self, rng):
+        data = rng.random(5000)
+        binning = EqualWidthBinning(0.0, 1.0, 8)
+        vectors = build_bitvectors_parallel(data, binning, n_workers=4)
+        assert sum(v.count() for v in vectors) == 5000

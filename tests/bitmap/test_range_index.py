@@ -1,0 +1,103 @@
+"""Tests for the range-encoded index (repro.bitmap.range_index)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, EqualWidthBinning
+from repro.bitmap.range_index import RangeBitmapIndex
+
+
+@pytest.fixture
+def built(rng):
+    data = rng.uniform(0.0, 1.0, 2000)
+    binning = EqualWidthBinning(0.0, 1.0, 10)
+    return (
+        data,
+        binning,
+        RangeBitmapIndex.build(data, binning),
+        BitmapIndex.build(data, binning),
+    )
+
+
+class TestConstruction:
+    def test_cumulative_semantics(self, built):
+        data, binning, ridx, _ = built
+        ids = binning.assign_checked(data)
+        for i in (0, 4, 9):
+            assert np.array_equal(ridx.leq_bin(i).to_bools(), ids <= i)
+
+    def test_last_vector_all_ones(self, built):
+        _, _, ridx, _ = built
+        assert ridx.cumulative[-1].count() == ridx.n_elements
+        ridx.check_invariants()
+
+    def test_from_equality_index(self, built):
+        _, _, ridx, eidx = built
+        converted = RangeBitmapIndex.from_equality_index(eidx)
+        assert converted.cumulative == ridx.cumulative
+
+    def test_roundtrip_to_equality(self, built):
+        _, _, ridx, eidx = built
+        back = ridx.to_equality_index()
+        assert back.bitvectors == eidx.bitvectors
+
+    def test_mismatched_vectors_rejected(self, built):
+        _, binning, ridx, _ = built
+        with pytest.raises(ValueError):
+            RangeBitmapIndex(binning, ridx.cumulative[:-1], ridx.n_elements)
+
+
+class TestQueries:
+    def test_gt_bin(self, built):
+        data, binning, ridx, _ = built
+        ids = binning.assign_checked(data)
+        assert np.array_equal(ridx.gt_bin(3).to_bools(), ids > 3)
+
+    def test_bin_range(self, built):
+        data, binning, ridx, _ = built
+        ids = binning.assign_checked(data)
+        assert np.array_equal(ridx.bin_range(2, 5).to_bools(), (ids >= 2) & (ids <= 5))
+        assert np.array_equal(ridx.bin_range(0, 5).to_bools(), ids <= 5)
+
+    def test_empty_range_rejected(self, built):
+        _, _, ridx, _ = built
+        with pytest.raises(ValueError, match="empty bin range"):
+            ridx.bin_range(5, 2)
+
+    def test_bad_bin(self, built):
+        _, _, ridx, _ = built
+        with pytest.raises(IndexError):
+            ridx.leq_bin(10)
+
+    def test_equality_bin_matches_equality_index(self, built):
+        _, _, ridx, eidx = built
+        for b in range(10):
+            assert ridx.equality_bin(b) == eidx.bitvectors[b]
+
+    def test_value_range_matches_equality_index(self, built):
+        _, _, ridx, eidx = built
+        assert (
+            ridx.query_value_range(0.21, 0.58)
+            == eidx.query_value_range(0.21, 0.58)
+        )
+
+    def test_bin_counts_match(self, built):
+        _, _, ridx, eidx = built
+        assert np.array_equal(ridx.bin_counts(), eidx.bin_counts())
+
+
+class TestTradeoffs:
+    def test_size_comparable_and_fewer_ops(self, built):
+        """Under WAH the two encodings are size-comparable (cumulative
+        vectors have a single 0->1 transition region; equality bins have
+        two boundaries) -- the win is O(1) vectors per range query."""
+        _, _, ridx, eidx = built
+        assert 0.5 < ridx.nbytes / eidx.nbytes < 2.0
+        # A wide range query touches 2 vectors here vs up to n_bins ORs.
+        wide = ridx.bin_range(1, 8)
+        assert wide.count() == int(eidx.bin_counts()[1:9].sum())
+
+    def test_one_sided_query_is_free(self, built):
+        """<= queries return a stored vector without any bitwise op."""
+        _, _, ridx, _ = built
+        assert ridx.leq_bin(6) is ridx.cumulative[6]

@@ -1,0 +1,137 @@
+"""Tests for the Roaring-style container (repro.bitmap.roaring)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.roaring import (
+    ArrayContainer,
+    BitmapContainer,
+    RoaringBitVector,
+)
+
+
+class TestConstruction:
+    def test_roundtrip_sparse(self, rng):
+        idx = rng.choice(200_000, size=500, replace=False)
+        v = RoaringBitVector.from_indices(idx, 200_000)
+        assert np.array_equal(v.to_indices(), np.sort(idx))
+        assert v.count() == 500
+
+    def test_roundtrip_dense_chunk(self, rng):
+        """> 4096 bits in one chunk flips it to a bitmap container."""
+        idx = rng.choice(60_000, size=10_000, replace=False)
+        v = RoaringBitVector.from_indices(idx, 70_000)
+        (container,) = v.containers.values()
+        assert isinstance(container, BitmapContainer)
+        assert np.array_equal(v.to_indices(), np.sort(idx))
+
+    def test_sparse_chunk_is_array(self, rng):
+        v = RoaringBitVector.from_indices(np.asarray([5, 10]), 70_000)
+        (container,) = v.containers.values()
+        assert isinstance(container, ArrayContainer)
+
+    def test_from_bools(self, rng):
+        bits = rng.random(100_000) < 0.001
+        v = RoaringBitVector.from_bools(bits)
+        assert np.array_equal(v.to_bools(), bits)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            RoaringBitVector.from_indices(np.asarray([100]), 50)
+        with pytest.raises(ValueError):
+            RoaringBitVector.from_indices(np.asarray([-1]), 50)
+
+    def test_zeros(self):
+        v = RoaringBitVector.zeros(1000)
+        assert v.count() == 0 and not v.containers
+
+
+class TestMembership:
+    def test_contains(self, rng):
+        idx = rng.choice(300_000, size=2000, replace=False)
+        v = RoaringBitVector.from_indices(idx, 300_000)
+        chosen = set(idx.tolist())
+        for probe in list(chosen)[:50]:
+            assert probe in v
+        for probe in range(0, 300_000, 13_337):
+            assert (probe in v) == (probe in chosen)
+
+    def test_contains_dense(self, rng):
+        idx = rng.choice(60_000, size=10_000, replace=False)
+        v = RoaringBitVector.from_indices(idx, 70_000)
+        chosen = set(idx.tolist())
+        for probe in range(0, 60_000, 777):
+            assert (probe in v) == (probe in chosen)
+
+    def test_index_error(self):
+        v = RoaringBitVector.zeros(10)
+        with pytest.raises(IndexError):
+            10 in v
+
+
+class TestAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        density_a=st.floats(0.0001, 0.2),
+        density_b=st.floats(0.0001, 0.2),
+    )
+    def test_property_and_or_match_numpy(self, seed, density_a, density_b):
+        local = np.random.default_rng(seed)
+        n = 150_000
+        a = local.random(n) < density_a
+        b = local.random(n) < density_b
+        va, vb = RoaringBitVector.from_bools(a), RoaringBitVector.from_bools(b)
+        assert np.array_equal((va & vb).to_bools(), a & b)
+        assert np.array_equal((va | vb).to_bools(), a | b)
+        assert va.and_count(vb) == int((a & b).sum())
+
+    def test_mixed_container_ops(self, rng):
+        """One operand sparse, the other dense, in the same chunk."""
+        n = 70_000
+        dense = rng.choice(60_000, size=10_000, replace=False)
+        sparse = rng.choice(60_000, size=100, replace=False)
+        vd = RoaringBitVector.from_indices(dense, n)
+        vs = RoaringBitVector.from_indices(sparse, n)
+        expect = np.intersect1d(dense, sparse)
+        assert np.array_equal((vd & vs).to_indices(), expect)
+        assert np.array_equal((vs & vd).to_indices(), expect)
+        assert vs.and_count(vd) == expect.size
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RoaringBitVector.zeros(10) & RoaringBitVector.zeros(20)
+
+    def test_equality(self, rng):
+        idx = rng.choice(1000, size=50, replace=False)
+        a = RoaringBitVector.from_indices(idx, 1000)
+        b = RoaringBitVector.from_indices(idx.copy(), 1000)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSizeAdaptivity:
+    def test_array_cheaper_when_sparse(self, rng):
+        sparse = RoaringBitVector.from_indices(
+            rng.choice(65_536, size=100, replace=False), 65_536
+        )
+        assert sparse.nbytes < 300  # ~2 bytes per position + overhead
+
+    def test_bitmap_cheaper_when_dense(self, rng):
+        dense_idx = rng.choice(65_536, size=30_000, replace=False)
+        dense = RoaringBitVector.from_indices(dense_idx, 65_536)
+        # 8 KiB bitmap beats 60 KB of uint16 positions.
+        assert dense.nbytes <= 8192 + 8
+
+    def test_adapts_per_chunk(self, rng):
+        """Different chunks of one vector use different container kinds."""
+        idx = np.concatenate(
+            [
+                rng.choice(65_536, size=50, replace=False),  # sparse chunk 0
+                65_536 + rng.choice(65_536, size=20_000, replace=False),
+            ]
+        )
+        v = RoaringBitVector.from_indices(idx, 2 * 65_536)
+        kinds = {type(c) for c in v.containers.values()}
+        assert kinds == {ArrayContainer, BitmapContainer}

@@ -1,0 +1,133 @@
+"""Tests for the on-disk bitmap format (repro.bitmap.serialization)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.bitmap.binning import (
+    DistinctValueBinning,
+    EqualWidthBinning,
+    ExplicitBinning,
+    PrecisionBinning,
+)
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.serialization import (
+    index_from_bytes,
+    index_to_bytes,
+    load_index,
+    read_binning,
+    read_bitvector,
+    save_index,
+    serialized_size,
+    write_binning,
+    write_bitvector,
+)
+from repro.bitmap.wah import WAHBitVector
+
+
+class TestBitvectorRecords:
+    def test_roundtrip(self, rng):
+        v = WAHBitVector.from_bools(rng.random(1000) < 0.2)
+        buf = io.BytesIO()
+        n = write_bitvector(buf, v)
+        assert n == buf.tell()
+        buf.seek(0)
+        assert read_bitvector(buf) == v
+
+    def test_truncated_header(self):
+        with pytest.raises(EOFError):
+            read_bitvector(io.BytesIO(b"\x00\x01"))
+
+    def test_truncated_payload(self, rng):
+        v = WAHBitVector.from_bools(rng.random(100) < 0.5)
+        buf = io.BytesIO()
+        write_bitvector(buf, v)
+        data = buf.getvalue()[:-2]
+        with pytest.raises(EOFError):
+            read_bitvector(io.BytesIO(data))
+
+    def test_empty_vector(self):
+        v = WAHBitVector.zeros(0)
+        buf = io.BytesIO()
+        write_bitvector(buf, v)
+        buf.seek(0)
+        assert read_bitvector(buf) == v
+
+
+class TestBinningRecords:
+    @pytest.mark.parametrize(
+        "binning",
+        [
+            EqualWidthBinning(-3.0, 4.5, 17),
+            PrecisionBinning(20.0, 22.0, digits=1),
+            ExplicitBinning(np.asarray([0.0, 1.0, 10.0, 100.0])),
+            DistinctValueBinning(np.asarray([1.0, 2.0, 5.0])),
+        ],
+    )
+    def test_roundtrip(self, binning):
+        buf = io.BytesIO()
+        write_binning(buf, binning)
+        buf.seek(0)
+        back = read_binning(buf)
+        assert type(back) is type(binning)
+        assert back.n_bins == binning.n_bins
+        probe = np.linspace(
+            getattr(binning, "lo", 0.0), getattr(binning, "hi", 5.0), 7
+        )
+        if isinstance(binning, DistinctValueBinning):
+            probe = binning.values
+        assert np.array_equal(back.assign(probe), binning.assign(probe))
+
+    def test_unknown_tag(self):
+        with pytest.raises(ValueError, match="unknown binning tag"):
+            read_binning(io.BytesIO(b"\xff"))
+
+    def test_unserialisable_binning(self):
+        class Custom(EqualWidthBinning):
+            pass
+
+        with pytest.raises(TypeError):
+            write_binning(io.BytesIO(), Custom(0.0, 1.0, 2))
+
+
+class TestIndexRecords:
+    def _index(self, rng, n=2000, bins=20):
+        data = rng.normal(0, 1, n)
+        return BitmapIndex.build(data, EqualWidthBinning.from_data(data, bins))
+
+    def test_bytes_roundtrip(self, rng):
+        index = self._index(rng)
+        back = index_from_bytes(index_to_bytes(index))
+        assert back.n_elements == index.n_elements
+        assert back.bitvectors == index.bitvectors
+        assert np.array_equal(back.bin_counts(), index.bin_counts())
+
+    def test_file_roundtrip(self, rng, tmp_path):
+        index = self._index(rng)
+        path = tmp_path / "step_042.rbmp"
+        written = save_index(path, index)
+        assert path.stat().st_size == written
+        back = load_index(path)
+        assert back.bitvectors == index.bitvectors
+
+    def test_serialized_size_exact(self, rng):
+        index = self._index(rng)
+        assert serialized_size(index) == len(index_to_bytes(index))
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="bad magic"):
+            index_from_bytes(b"XXXX" + b"\x00" * 50)
+
+    def test_bad_version(self, rng):
+        raw = bytearray(index_to_bytes(self._index(rng, n=100, bins=3)))
+        raw[4] = 99
+        with pytest.raises(ValueError, match="unsupported index version"):
+            index_from_bytes(bytes(raw))
+
+    def test_disk_size_much_smaller_than_raw(self, coherent_field):
+        """The I/O-reduction premise: stored bitmaps << stored raw doubles."""
+        binning = EqualWidthBinning.from_data(coherent_field, 64)
+        index = BitmapIndex.build(coherent_field, binning)
+        raw_bytes = coherent_field.size * 8
+        assert serialized_size(index) < 0.3 * raw_bytes

@@ -1,0 +1,71 @@
+"""Tests for spatial-unit popcounts (repro.bitmap.units)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.units import n_units, unit_popcounts, unit_sizes
+from repro.bitmap.wah import WAHBitVector
+
+
+class TestUnitPopcounts:
+    @pytest.mark.parametrize("unit_bits", [31, 62, 310, 7, 100, 1000])
+    def test_matches_numpy(self, unit_bits, rng):
+        bits = rng.random(4097) < 0.3
+        v = WAHBitVector.from_bools(bits)
+        counts = unit_popcounts(v, unit_bits)
+        expect = [
+            int(bits[i : i + unit_bits].sum()) for i in range(0, 4097, unit_bits)
+        ]
+        assert counts.tolist() == expect
+
+    def test_group_aligned_fast_path_equals_general(self, rng):
+        bits = rng.random(10_000) < 0.1
+        v = WAHBitVector.from_bools(bits)
+        # 62 = 2*31 hits the word-aligned path; compare against a unit size
+        # of 62 computed via the bit path by asking for units of 62 bits on
+        # a reconstructed vector (both must match numpy anyway).
+        aligned = unit_popcounts(v, 62)
+        expect = [int(bits[i : i + 62].sum()) for i in range(0, 10_000, 62)]
+        assert aligned.tolist() == expect
+
+    def test_totals(self, rng):
+        bits = rng.random(1234) < 0.5
+        v = WAHBitVector.from_bools(bits)
+        assert unit_popcounts(v, 100).sum() == v.count()
+
+    def test_empty_vector(self):
+        v = WAHBitVector.zeros(0)
+        assert unit_popcounts(v, 31).size == 0
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            n_units(100, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 2000),
+        unit=st.integers(1, 500),
+    )
+    def test_property_matches_numpy(self, seed, n, unit):
+        local = np.random.default_rng(seed)
+        bits = np.repeat(local.random(max(1, n // 6)) < 0.4, 6)[:n]
+        bits = np.resize(bits, n)
+        v = WAHBitVector.from_bools(bits)
+        counts = unit_popcounts(v, unit)
+        expect = [int(bits[i : i + unit].sum()) for i in range(0, n, unit)]
+        assert counts.tolist() == expect
+
+
+class TestUnitSizes:
+    def test_exact_division(self):
+        assert unit_sizes(100, 25).tolist() == [25, 25, 25, 25]
+
+    def test_partial_last(self):
+        assert unit_sizes(100, 30).tolist() == [30, 30, 30, 10]
+
+    def test_n_units(self):
+        assert n_units(100, 30) == 4
+        assert n_units(0, 30) == 0

@@ -1,0 +1,232 @@
+"""Unit and property tests for the WAH codec (repro.bitmap.wah)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.wah import (
+    FILL_COUNT_MASK,
+    MAX_FILL_BITS,
+    WAHBitVector,
+    compress_groups,
+    decompress_words,
+    fill_bit_count,
+    fill_value,
+    is_fill,
+    make_fill,
+)
+from repro.util.bits import (
+    GROUP_BITS,
+    GROUP_FULL,
+    last_group_mask,
+    pack_bits_to_groups,
+    popcount_u32,
+    unpack_groups_to_bits,
+)
+
+
+# --------------------------------------------------------------- primitives
+class TestBitPrimitives:
+    def test_pack_unpack_roundtrip_exact_multiple(self):
+        bits = np.tile([True, False, False, True], 31)  # 124 bits = 4 groups
+        groups = pack_bits_to_groups(bits)
+        assert groups.size == 4
+        assert np.array_equal(unpack_groups_to_bits(groups, bits.size), bits)
+
+    @pytest.mark.parametrize("n", [1, 30, 31, 32, 61, 62, 63, 93, 100])
+    def test_pack_unpack_roundtrip_partial(self, n, rng):
+        bits = rng.random(n) < 0.5
+        groups = pack_bits_to_groups(bits)
+        assert groups.size == -(-n // GROUP_BITS)
+        assert np.array_equal(unpack_groups_to_bits(groups, n), bits)
+
+    def test_pack_lsb_first(self):
+        bits = np.zeros(31, dtype=bool)
+        bits[0] = True
+        assert pack_bits_to_groups(bits)[0] == 1
+        bits = np.zeros(31, dtype=bool)
+        bits[30] = True
+        assert pack_bits_to_groups(bits)[0] == 1 << 30
+
+    def test_pack_empty(self):
+        assert pack_bits_to_groups(np.empty(0, dtype=bool)).size == 0
+
+    def test_padding_bits_are_zero(self):
+        bits = np.ones(33, dtype=bool)
+        groups = pack_bits_to_groups(bits)
+        assert groups[1] == 0b11  # only two valid bits set
+
+    def test_popcount_matches_python(self, rng):
+        words = rng.integers(0, 2**32, size=257, dtype=np.uint64).astype(np.uint32)
+        expect = np.array([bin(int(w)).count("1") for w in words])
+        assert np.array_equal(popcount_u32(words), expect)
+
+    def test_last_group_mask(self):
+        assert last_group_mask(31) == GROUP_FULL
+        assert last_group_mask(62) == GROUP_FULL
+        assert last_group_mask(32) == 1
+        assert last_group_mask(61) == (1 << 30) - 1
+
+
+# ---------------------------------------------------------------- fill words
+class TestFillWords:
+    def test_paper_constants(self):
+        # The exact words of Algorithm 1.
+        assert make_fill(1, 31) == 0xC000001F
+        assert make_fill(0, 31) == 0x8000001F
+
+    def test_fill_accessors(self):
+        w = make_fill(1, 62)
+        assert is_fill(w)
+        assert fill_value(w) == 1
+        assert fill_bit_count(w) == 62
+        assert not is_fill(0x7FFFFFFF)
+
+    def test_make_fill_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            make_fill(0, 30)
+        with pytest.raises(ValueError):
+            make_fill(0, 0)
+        with pytest.raises(ValueError):
+            make_fill(1, MAX_FILL_BITS + GROUP_BITS)
+
+
+# ----------------------------------------------------------- compress groups
+class TestCompressGroups:
+    def test_all_zero_run(self):
+        words = compress_groups(np.zeros(10, dtype=np.uint32))
+        assert words.tolist() == [0x80000000 | 310]
+
+    def test_all_one_run(self):
+        words = compress_groups(np.full(10, GROUP_FULL, dtype=np.uint32))
+        assert words.tolist() == [0xC0000000 | 310]
+
+    def test_single_fill_group_becomes_fill_word(self):
+        # Algorithm 1 pushes 0xC000001F even for one segment; we match.
+        assert compress_groups(np.asarray([GROUP_FULL], dtype=np.uint32)).tolist() == [
+            0xC000001F
+        ]
+
+    def test_identical_literals_stay_separate(self):
+        # Only all-0 / all-1 groups may form fills.
+        g = np.full(3, 0b0101, dtype=np.uint32)
+        assert compress_groups(g).tolist() == [0b0101] * 3
+
+    def test_mixed_stream(self):
+        g = np.asarray([0, 0, 5, GROUP_FULL, GROUP_FULL, GROUP_FULL, 7], dtype=np.uint32)
+        words = compress_groups(g)
+        assert words.tolist() == [0x80000000 | 62, 5, 0xC0000000 | 93, 7]
+
+    def test_giant_run_splits(self):
+        n_groups = MAX_FILL_BITS // GROUP_BITS + 5
+        words = compress_groups(np.zeros(n_groups, dtype=np.uint32))
+        assert len(words) == 2
+        assert fill_bit_count(int(words[0])) == MAX_FILL_BITS
+        assert fill_bit_count(int(words[1])) == 5 * GROUP_BITS
+
+    def test_roundtrip(self, rng):
+        g = rng.choice(
+            np.asarray([0, 0, 0, GROUP_FULL, GROUP_FULL, 123456], dtype=np.uint32),
+            size=500,
+        )
+        assert np.array_equal(decompress_words(compress_groups(g)), g)
+
+    def test_empty(self):
+        assert compress_groups(np.empty(0, dtype=np.uint32)).size == 0
+        assert decompress_words(np.empty(0, dtype=np.uint32)).size == 0
+
+
+# ----------------------------------------------------------------- bitvector
+class TestWAHBitVector:
+    @pytest.mark.parametrize("n", [0, 1, 31, 32, 62, 63, 1000])
+    @pytest.mark.parametrize("density", [0.0, 0.05, 0.5, 0.95, 1.0])
+    def test_roundtrip_and_count(self, n, density, rng):
+        bits = rng.random(n) < density
+        v = WAHBitVector.from_bools(bits)
+        v.check_invariants()
+        assert len(v) == n
+        assert np.array_equal(v.to_bools(), bits)
+        assert v.count() == int(bits.sum())
+
+    def test_zeros_ones(self):
+        z = WAHBitVector.zeros(100)
+        o = WAHBitVector.ones(100)
+        assert z.count() == 0 and o.count() == 100
+        assert not z.to_bools().any() and o.to_bools().all()
+        z.check_invariants()
+        o.check_invariants()
+
+    def test_from_indices(self):
+        v = WAHBitVector.from_indices(np.asarray([0, 5, 99]), 100)
+        assert v.to_indices().tolist() == [0, 5, 99]
+
+    def test_getitem(self, rng):
+        bits = rng.random(200) < 0.3
+        v = WAHBitVector.from_bools(bits)
+        for pos in [0, 1, 31, 32, 100, 199]:
+            assert v[pos] == bits[pos]
+        with pytest.raises(IndexError):
+            v[200]
+        with pytest.raises(IndexError):
+            v[-1]
+
+    def test_equality_and_hash(self, rng):
+        bits = rng.random(100) < 0.5
+        a, b = WAHBitVector.from_bools(bits), WAHBitVector.from_bools(bits)
+        assert a == b
+        assert hash(a) == hash(b)
+        c = WAHBitVector.from_bools(~bits)
+        assert a != c
+
+    def test_compression_ratio_sparse(self):
+        v = WAHBitVector.zeros(31 * 10000)
+        assert v.n_words == 1
+        assert v.compression_ratio() < 0.001
+
+    def test_density(self):
+        assert WAHBitVector.zeros(0).density() == 0.0
+        assert WAHBitVector.ones(50).density() == 1.0
+
+    def test_from_groups_length_check(self):
+        with pytest.raises(ValueError):
+            WAHBitVector.from_groups(np.zeros(2, dtype=np.uint32), 31)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            WAHBitVector(np.empty(0, dtype=np.uint32), -1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.binary(min_size=0, max_size=400),
+        density_seed=st.integers(0, 2**16),
+    )
+    def test_property_roundtrip(self, data, density_seed):
+        local = np.random.default_rng(density_seed)
+        raw = np.frombuffer(data, dtype=np.uint8)
+        # Mix structured runs with noise so fills and literals both occur.
+        bits = np.repeat(raw > 128, 1 + density_seed % 7)
+        if bits.size and density_seed % 3 == 0:
+            flips = local.random(bits.size) < 0.02
+            bits = bits ^ flips
+        v = WAHBitVector.from_bools(bits)
+        v.check_invariants()
+        assert np.array_equal(v.to_bools(), bits)
+        assert v.count() == int(bits.sum())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=0, max_size=50), st.integers(10_001, 20_000))
+    def test_property_from_indices(self, idx, n):
+        v = WAHBitVector.from_indices(np.asarray(sorted(set(idx)), dtype=np.int64), n)
+        assert v.to_indices().tolist() == sorted(set(idx))
+
+
+class TestWordStreamValidation:
+    def test_check_invariants_catches_bad_group_count(self):
+        good = WAHBitVector.from_bools(np.ones(62, dtype=bool))
+        bad = WAHBitVector(good.words, 93)  # claims one more group
+        with pytest.raises(AssertionError):
+            bad.check_invariants()
+
+    def test_fill_count_mask_is_30_bits(self):
+        assert int(FILL_COUNT_MASK) == (1 << 30) - 1

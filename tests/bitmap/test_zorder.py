@@ -1,0 +1,118 @@
+"""Tests for Z-order layout (repro.bitmap.zorder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.zorder import (
+    ZOrderLayout,
+    morton_decode_2d,
+    morton_decode_3d,
+    morton_encode_2d,
+    morton_encode_3d,
+    suggested_unit_cells,
+)
+
+
+class TestMortonCodes:
+    def test_2d_known_values(self):
+        # Classic Z curve over a 2x2 block: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3
+        x = np.asarray([0, 1, 0, 1], dtype=np.uint64)
+        y = np.asarray([0, 0, 1, 1], dtype=np.uint64)
+        assert morton_encode_2d(x, y).tolist() == [0, 1, 2, 3]
+
+    def test_3d_known_values(self):
+        x = np.asarray([1, 0, 0], dtype=np.uint64)
+        y = np.asarray([0, 1, 0], dtype=np.uint64)
+        z = np.asarray([0, 0, 1], dtype=np.uint64)
+        assert morton_encode_3d(x, y, z).tolist() == [1, 2, 4]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 2**20 - 1))
+    def test_2d_roundtrip(self, x, y):
+        code = morton_encode_2d(np.asarray([x]), np.asarray([y]))
+        rx, ry = morton_decode_2d(code)
+        assert (int(rx[0]), int(ry[0])) == (x, y)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(0, 2**20 - 1),
+        st.integers(0, 2**20 - 1),
+        st.integers(0, 2**20 - 1),
+    )
+    def test_3d_roundtrip(self, x, y, z):
+        code = morton_encode_3d(np.asarray([x]), np.asarray([y]), np.asarray([z]))
+        rx, ry, rz = morton_decode_3d(code)
+        assert (int(rx[0]), int(ry[0]), int(rz[0])) == (x, y, z)
+
+    def test_codes_unique_over_grid(self):
+        xs, ys = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        codes = morton_encode_2d(xs.ravel(), ys.ravel())
+        assert np.unique(codes).size == 256
+
+
+class TestZOrderLayout:
+    @pytest.mark.parametrize("shape", [(8,), (4, 4), (8, 8), (5, 7), (4, 4, 4), (3, 5, 2)])
+    def test_flatten_roundtrip(self, shape, rng):
+        layout = ZOrderLayout.for_shape(shape)
+        grid = rng.random(shape)
+        assert np.array_equal(layout.unflatten(layout.flatten(grid)), grid)
+
+    def test_permutation_is_bijection(self):
+        layout = ZOrderLayout.for_shape((6, 10))
+        perm = np.sort(layout.permutation)
+        assert np.array_equal(perm, np.arange(60))
+
+    def test_power_of_two_blocks_are_cubes(self):
+        """For a 2^k grid, each aligned 8-cell unit is a 2x2x2 cube."""
+        layout = ZOrderLayout.for_shape((4, 4, 4))
+        for unit in range(64 // 8):
+            mins, maxs = layout.unit_bounds(unit, 8)
+            assert np.array_equal(maxs - mins, [1, 1, 1])
+
+    def test_2d_blocks_are_squares(self):
+        layout = ZOrderLayout.for_shape((8, 8))
+        for unit in range(64 // 4):
+            mins, maxs = layout.unit_bounds(unit, 4)
+            assert np.array_equal(maxs - mins, [1, 1])
+
+    def test_shape_mismatch_rejected(self, rng):
+        layout = ZOrderLayout.for_shape((4, 4))
+        with pytest.raises(ValueError):
+            layout.flatten(rng.random((4, 5)))
+        with pytest.raises(ValueError):
+            layout.unflatten(rng.random(17))
+
+    def test_too_many_dims(self):
+        with pytest.raises(ValueError):
+            ZOrderLayout.for_shape((2, 2, 2, 2))
+
+    def test_unit_of(self):
+        layout = ZOrderLayout.for_shape((4, 4))
+        units = layout.unit_of(np.arange(16), 4)
+        assert units.tolist() == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_locality_beats_row_major(self, rng):
+        """Z-order neighbours in the 1-D stream are closer in space than
+        row-major ones on average -- the reason the paper uses it."""
+        shape = (16, 16)
+        layout = ZOrderLayout.for_shape(shape)
+        coords = np.column_stack(np.unravel_index(layout.permutation, shape))
+        z_dist = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        row_coords = np.column_stack(np.unravel_index(np.arange(256), shape))
+        row_dist = np.abs(np.diff(row_coords, axis=0)).sum(axis=1)
+        # Mean Manhattan jump along the curve: Z is bounded, row-major spikes.
+        assert z_dist.max() <= row_dist.max()
+        assert z_dist.mean() < 3.0
+
+
+class TestSuggestedUnits:
+    def test_3d(self):
+        assert suggested_unit_cells((64, 64, 64), target_side=8) == 512
+
+    def test_2d(self):
+        assert suggested_unit_cells((64, 64), target_side=4) == 16
+
+    def test_non_power_of_two_target(self):
+        assert suggested_unit_cells((10, 10), target_side=5) == 16  # side 4

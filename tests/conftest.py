@@ -1,0 +1,27 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; per-test reseed keeps tests order-independent."""
+    return np.random.default_rng(20150615)  # HPDC'15 opening day
+
+
+@pytest.fixture
+def gaussian_data(rng) -> np.ndarray:
+    """A medium-size 1-D float field with a few thousand elements."""
+    return rng.normal(10.0, 3.0, size=4096)
+
+
+@pytest.fixture
+def coherent_field(rng) -> np.ndarray:
+    """A spatially coherent 3-D field (what simulations actually emit)."""
+    from scipy.ndimage import gaussian_filter
+
+    # Long contiguous (innermost) axis, like the paper's 800x1000x1000 grids:
+    # run-length compression feeds on coherence along the scan order.
+    noise = rng.normal(0.0, 1.0, size=(8, 16, 256))
+    return gaussian_filter(noise, sigma=(1, 2, 24)) * 10.0

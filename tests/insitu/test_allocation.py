@@ -1,0 +1,71 @@
+"""Tests for core allocation strategies (repro.insitu.allocation)."""
+
+import pytest
+
+from repro.insitu.allocation import (
+    SeparateCores,
+    SharedCores,
+    enumerate_separate_allocations,
+    equation_1_2_allocation,
+)
+
+
+class TestStrategies:
+    def test_shared_label(self):
+        assert SharedCores(28).label == "c_all"
+
+    def test_separate_label_matches_paper(self):
+        """Figure 12 labels allocations c12_c16 etc."""
+        assert SeparateCores(12, 16).label == "c12_c16"
+        assert SeparateCores(12, 16).total_cores == 28
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedCores(0)
+        with pytest.raises(ValueError):
+            SeparateCores(0, 4)
+        with pytest.raises(ValueError):
+            SeparateCores(4, 0)
+
+
+class TestEquation12:
+    def test_paper_heat3d_xeon_case(self):
+        """Heat3D on 28 Xeon cores: sim is lighter than bitmap gen, so
+        bitmap gets more cores (the paper lands on c12_c16)."""
+        alloc = equation_1_2_allocation(28, time_simulate=3.0, time_bitmap=4.0)
+        assert alloc.sim_cores == 12
+        assert alloc.bitmap_cores == 16
+
+    def test_paper_lulesh_xeon_case(self):
+        """Lulesh: simulation dominates, so few bitmap cores (c20_c8)."""
+        alloc = equation_1_2_allocation(28, time_simulate=5.0, time_bitmap=2.0)
+        assert alloc.sim_cores == 20
+        assert alloc.bitmap_cores == 8
+
+    def test_balanced(self):
+        alloc = equation_1_2_allocation(10, 1.0, 1.0)
+        assert alloc.sim_cores == 5
+
+    def test_clamping(self):
+        """Extremely lopsided ratios still leave a core for each pool."""
+        a = equation_1_2_allocation(8, 1000.0, 0.001)
+        assert a.bitmap_cores == 1
+        b = equation_1_2_allocation(8, 0.001, 1000.0)
+        assert b.sim_cores == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            equation_1_2_allocation(1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            equation_1_2_allocation(8, 0.0, 1.0)
+
+
+class TestEnumeration:
+    def test_all_splits(self):
+        allocs = enumerate_separate_allocations(4)
+        assert [(a.sim_cores, a.bitmap_cores) for a in allocs] == [
+            (1, 3), (2, 2), (3, 1),
+        ]
+
+    def test_too_few_cores(self):
+        assert enumerate_separate_allocations(1) == []

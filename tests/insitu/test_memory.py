@@ -1,0 +1,80 @@
+"""Tests for memory accounting (repro.insitu.memory)."""
+
+import pytest
+
+from repro.insitu.memory import (
+    MemoryTracker,
+    bitmap_resident_model,
+    fulldata_resident_model,
+)
+
+
+class TestMemoryTracker:
+    def test_set_add_release(self):
+        m = MemoryTracker()
+        m.set("a", 100)
+        m.add("a", 50)
+        assert m.current_bytes == 150
+        assert m.release("a") == 150
+        assert m.current_bytes == 0
+
+    def test_peak_tracking(self):
+        m = MemoryTracker()
+        m.set("window", 1000)
+        m.set("raw", 500)
+        m.release("raw")
+        m.set("tiny", 10)
+        assert m.peak_bytes == 1500
+        assert m.peak_snapshot == {"window": 1000, "raw": 500}
+
+    def test_zero_removes(self):
+        m = MemoryTracker()
+        m.set("x", 10)
+        m.set("x", 0)
+        assert "x" not in m.categories
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker().set("x", -5)
+
+    def test_report_format(self):
+        m = MemoryTracker()
+        m.set("window", 2**20)
+        assert "peak resident" in m.report()
+        assert "window" in m.report()
+
+
+class TestFigure11Models:
+    def test_heat3d_ratio_matches_paper_band(self):
+        """Heat3D 6.4 GB steps: paper reports bitmaps 3.59x smaller with a
+        10-step window and bitmap size ~25-30% of raw."""
+        step = 6.4e9
+        bitmap = 0.25 * step
+        full = fulldata_resident_model(step, window=10, intermediate_bytes=step)
+        bm = bitmap_resident_model(
+            step, bitmap, window=10, intermediate_bytes=step
+        )
+        ratio = full / bm
+        assert 2.5 < ratio < 4.5  # the paper's 3.59x sits here
+
+    def test_lulesh_ratio_with_substrate(self):
+        """Lulesh: edge memory is charged to both methods, diluting the
+        advantage to ~2x (paper: 2.02x / 1.99x)."""
+        step = 6.14e9
+        bitmap = 0.25 * step
+        edges = 2.0 * step  # mesh edges dominate
+        full = fulldata_resident_model(
+            step, window=10, intermediate_bytes=step, substrate_bytes=edges
+        )
+        bm = bitmap_resident_model(
+            step, bitmap, window=10, intermediate_bytes=step, substrate_bytes=edges
+        )
+        ratio = full / bm
+        assert 1.5 < ratio < 2.6
+
+    def test_bitmap_always_wins_at_realistic_sizes(self):
+        for step in (1e8, 1e9, 1e10):
+            for frac in (0.1, 0.2, 0.3):
+                full = fulldata_resident_model(step, 10, step)
+                bm = bitmap_resident_model(step, frac * step, 10, step)
+                assert bm < full

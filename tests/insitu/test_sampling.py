@@ -1,0 +1,122 @@
+"""Tests for the in-situ sampling baseline (repro.insitu.sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import common_binning
+from repro.insitu.sampling import (
+    Sampler,
+    pairwise_conditional_entropy_errors,
+    sampled_conditional_entropy,
+    subset_mutual_information_errors,
+)
+from repro.metrics import conditional_entropy
+
+
+class TestSampler:
+    def test_fraction_counts(self):
+        s = Sampler(0.25)
+        assert s.positions(1000).size == 250
+
+    def test_positions_deterministic_and_shared(self):
+        """All steps must sample identical positions."""
+        s = Sampler(0.1, mode="random", seed=3)
+        assert np.array_equal(s.positions(5000), s.positions(5000))
+
+    def test_stride_even_coverage(self):
+        pos = Sampler(0.1, mode="stride").positions(1000)
+        gaps = np.diff(pos)
+        assert gaps.min() >= 9 and gaps.max() <= 11
+
+    def test_random_no_replacement(self):
+        pos = Sampler(0.5, mode="random", seed=1).positions(100)
+        assert np.unique(pos).size == pos.size
+
+    def test_sample_values(self, rng):
+        data = rng.random(200)
+        s = Sampler(0.5)
+        assert np.array_equal(s.sample(data), data[s.positions(200)])
+
+    def test_sample_bytes(self):
+        s = Sampler(0.1)
+        # 100 positions * (8 value bytes + 8 position bytes)
+        assert s.sample_bytes(1000) == 100 * 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(0.0)
+        with pytest.raises(ValueError):
+            Sampler(1.5)
+        with pytest.raises(ValueError):
+            Sampler(0.5, mode="bogus")  # type: ignore[arg-type]
+
+    def test_full_fraction_is_identity(self, rng):
+        data = rng.random(123)
+        assert np.array_equal(Sampler(1.0).sample(data), data)
+
+
+class TestSamplingAccuracy:
+    @pytest.fixture
+    def steps(self, rng):
+        base = rng.normal(0, 1, 4000)
+        return [base + 0.2 * t + rng.normal(0, 0.05, 4000) for t in range(6)]
+
+    def test_sampling_error_grows_as_fraction_shrinks(self, steps):
+        """Figure 16's monotonicity: smaller sample -> bigger loss."""
+        binning = common_binning(steps, bins=24)
+        exact = conditional_entropy(steps[0], steps[1], binning, binning)
+        errors = []
+        for frac in (0.5, 0.15, 0.02):
+            approx = sampled_conditional_entropy(
+                steps[0], steps[1], binning, Sampler(frac, mode="random", seed=5)
+            )
+            errors.append(abs(exact - approx))
+        assert errors[0] < errors[-1]
+
+    def test_pairwise_errors_shape(self, steps):
+        binning = common_binning(steps, bins=16)
+        orig, samp = pairwise_conditional_entropy_errors(
+            steps, binning, Sampler(0.3)
+        )
+        n = len(steps)
+        assert orig.size == samp.size == n * (n - 1) // 2
+
+    def test_pairwise_errors_capped(self, steps):
+        binning = common_binning(steps, bins=16)
+        orig, samp = pairwise_conditional_entropy_errors(
+            steps, binning, Sampler(0.3), max_pairs=4
+        )
+        assert orig.size == 4
+
+    def test_subset_mi_errors(self, rng):
+        a = rng.normal(0, 1, 6000)
+        b = a * 0.7 + rng.normal(0, 0.4, 6000)
+        ba = common_binning([a], bins=12)
+        bb = common_binning([b], bins=12)
+        orig, samp = subset_mutual_information_errors(
+            a, b, ba, bb, Sampler(0.3), n_subsets=10
+        )
+        assert orig.size == samp.size == 10
+        assert np.all(orig >= 0)
+
+    def test_subset_misaligned_rejected(self, rng):
+        ba = common_binning([np.zeros(2)], bins=2)
+        with pytest.raises(ValueError, match="must align"):
+            subset_mutual_information_errors(
+                np.zeros(10), np.zeros(11), ba, ba, Sampler(0.5), n_subsets=2
+            )
+
+    def test_bitmaps_have_zero_loss_sampling_does_not(self, steps):
+        """The §5.5 punchline in miniature."""
+        from repro.bitmap import BitmapIndex
+        from repro.metrics import conditional_entropy_bitmap
+
+        binning = common_binning(steps, bins=24)
+        exact = conditional_entropy(steps[2], steps[3], binning, binning)
+        ia = BitmapIndex.build(steps[2], binning)
+        ib = BitmapIndex.build(steps[3], binning)
+        assert conditional_entropy_bitmap(ia, ib) == pytest.approx(exact, abs=1e-12)
+        approx = sampled_conditional_entropy(
+            steps[2], steps[3], binning, Sampler(0.05, mode="random", seed=2)
+        )
+        assert abs(exact - approx) > 1e-6

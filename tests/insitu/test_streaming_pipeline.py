@@ -1,0 +1,77 @@
+"""Tests for the fully streaming pipeline (InSituPipeline.run_streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import PrecisionBinning, load_index
+from repro.insitu.pipeline import InSituPipeline
+from repro.insitu.writer import OutputWriter
+from repro.selection import CONDITIONAL_ENTROPY
+from repro.sims import Heat3D
+
+
+def _binning():
+    return PrecisionBinning(19.0, 101.0, digits=0)
+
+
+class TestStreamingPipeline:
+    def test_same_selection_as_batch(self):
+        batch = InSituPipeline(
+            Heat3D((8, 8, 8), seed=11), _binning(), CONDITIONAL_ENTROPY
+        ).run(20, 5)
+        streaming = InSituPipeline(
+            Heat3D((8, 8, 8), seed=11), _binning(), CONDITIONAL_ENTROPY
+        ).run_streaming(20, 5)
+        assert streaming.selection.selected == batch.selection.selected
+
+    def test_memory_stays_constant(self):
+        """Resident window <= 2 bitmaps regardless of N."""
+        step_bitmap_ceiling = None
+        for n_steps in (8, 24):
+            pipe = InSituPipeline(
+                Heat3D((8, 8, 8), seed=11), _binning(), CONDITIONAL_ENTROPY
+            )
+            result = pipe.run_streaming(n_steps, 4)
+            window = result.memory.peak_snapshot.get("retained_window", 0)
+            biggest = max(result.artifact_bytes)
+            assert window <= 2 * biggest
+            if step_bitmap_ceiling is None:
+                step_bitmap_ceiling = window
+        # Unlike run(), the window does not grow with N.
+        batch = InSituPipeline(
+            Heat3D((8, 8, 8), seed=11), _binning(), CONDITIONAL_ENTROPY
+        ).run(24, 4)
+        assert (
+            result.memory.peak_snapshot["retained_window"]
+            < batch.memory.peak_snapshot["retained_window"]
+        )
+
+    def test_write_on_commit(self, tmp_path):
+        writer = OutputWriter(tmp_path / "out")
+        pipe = InSituPipeline(
+            Heat3D((8, 8, 8), seed=3),
+            _binning(),
+            CONDITIONAL_ENTROPY,
+            writer=writer,
+        )
+        result = pipe.run_streaming(16, 4)
+        assert result.bytes_written > 0
+        dirs = sorted((tmp_path / "out").iterdir())
+        assert len(dirs) == 4
+        # The written steps are exactly the selected ones and readable.
+        for d, step in zip(dirs, sorted(result.selection.selected)):
+            assert d.name == f"step_{step:05d}"
+            assert load_index(d / "payload.rbmp").n_elements == 512
+
+    def test_requires_bitmap_mode(self):
+        pipe = InSituPipeline(
+            Heat3D((8, 8, 8)), _binning(), CONDITIONAL_ENTROPY, mode="fulldata"
+        )
+        with pytest.raises(ValueError, match="bitmap mode"):
+            pipe.run_streaming(4, 2)
+
+    def test_without_writer(self):
+        pipe = InSituPipeline(Heat3D((8, 8, 8)), _binning(), CONDITIONAL_ENTROPY)
+        result = pipe.run_streaming(10, 3)
+        assert result.bytes_written == 0
+        assert result.selection.k == 3

@@ -1,0 +1,119 @@
+"""Tests for per-variable multi-index reduction (repro.insitu.variables)."""
+
+import numpy as np
+import pytest
+
+from repro.insitu.variables import (
+    MultiVariableIndexer,
+    MultiVariableStep,
+    combined_metric,
+    select_timesteps_multivariable,
+)
+from repro.selection.metrics import EMD_COUNT
+from repro.sims import LuleshProxy
+
+
+@pytest.fixture(scope="module")
+def lulesh_steps():
+    probe = LuleshProxy((6, 6, 6), seed=2)
+    probe_steps = list(probe.run(12))
+    indexer = MultiVariableIndexer.from_probe(probe_steps, bins=24)
+    sim = LuleshProxy((6, 6, 6), seed=2)
+    reduced = [indexer.reduce(s) for s in sim.run(12)]
+    return indexer, reduced
+
+
+class TestIndexer:
+    def test_all_twelve_variables(self, lulesh_steps):
+        indexer, reduced = lulesh_steps
+        assert len(indexer.binnings) == 12
+        for step in reduced:
+            assert step.variables() == sorted(indexer.binnings)
+            for index in step.indices.values():
+                assert index.n_elements == 216
+
+    def test_per_variable_binnings_differ(self, lulesh_steps):
+        """Coordinates and forces have wildly different ranges -- per-
+        variable binning must reflect that."""
+        indexer, _ = lulesh_steps
+        coord = indexer.binnings["coord_x"]
+        force = indexer.binnings["force_x"]
+        assert (coord.lo, coord.hi) != (force.lo, force.hi)
+
+    def test_variable_subset(self):
+        probe = list(LuleshProxy((5, 5, 5)).run(3))
+        indexer = MultiVariableIndexer.from_probe(
+            probe, bins=8, variables=["velocity_x", "velocity_y"]
+        )
+        reduced = indexer.reduce(probe[0])
+        assert reduced.variables() == ["velocity_x", "velocity_y"]
+
+    def test_missing_variable_rejected(self, lulesh_steps):
+        indexer, _ = lulesh_steps
+        from repro.sims.base import TimeStepData
+
+        with pytest.raises(KeyError, match="lacks variable"):
+            indexer.reduce(TimeStepData(0, {"other": np.zeros(10)}))
+
+    def test_empty_binnings_rejected(self):
+        with pytest.raises(ValueError):
+            MultiVariableIndexer({})
+
+    def test_nbytes(self, lulesh_steps):
+        _, reduced = lulesh_steps
+        assert reduced[0].nbytes == sum(
+            i.nbytes for i in reduced[0].indices.values()
+        )
+
+
+class TestCombinedMetric:
+    def test_sums_per_variable(self, lulesh_steps):
+        _, reduced = lulesh_steps
+        score = combined_metric(EMD_COUNT)
+        total = score(reduced[0], reduced[5])
+        manual = sum(
+            EMD_COUNT.bitmap(reduced[0].indices[v], reduced[5].indices[v])
+            for v in reduced[0].variables()
+        )
+        assert total == pytest.approx(manual)
+
+    def test_weights(self, lulesh_steps):
+        _, reduced = lulesh_steps
+        only_vel = combined_metric(
+            EMD_COUNT, weights={"velocity_x": 1.0}
+        )
+        total = only_vel(reduced[0], reduced[5])
+        assert total == pytest.approx(
+            EMD_COUNT.bitmap(
+                reduced[0].indices["velocity_x"], reduced[5].indices["velocity_x"]
+            )
+        )
+
+    def test_variable_mismatch_rejected(self, lulesh_steps):
+        _, reduced = lulesh_steps
+        score = combined_metric(EMD_COUNT)
+        partial = MultiVariableStep(
+            0, {"velocity_x": reduced[0].indices["velocity_x"]}
+        )
+        with pytest.raises(ValueError, match="different variables"):
+            score(reduced[0], partial)
+
+
+class TestSelection:
+    def test_selection_runs(self, lulesh_steps):
+        _, reduced = lulesh_steps
+        result = select_timesteps_multivariable(reduced, 4, EMD_COUNT)
+        assert result.selected[0] == 0
+        assert len(result.selected) == 4
+        assert result.metric_name == "multivar:emd_count"
+        assert result.n_evaluations == len(reduced) - 1
+
+    def test_weighting_changes_selection_possible(self, lulesh_steps):
+        """Weighted and unweighted selections need not agree; both valid."""
+        _, reduced = lulesh_steps
+        all_vars = select_timesteps_multivariable(reduced, 4, EMD_COUNT)
+        coords_only = select_timesteps_multivariable(
+            reduced, 4, EMD_COUNT,
+            weights={"coord_x": 1.0, "coord_y": 1.0, "coord_z": 1.0},
+        )
+        assert len(coords_only.selected) == len(all_vars.selected) == 4

@@ -1,0 +1,60 @@
+"""Tests for output writers (repro.insitu.writer)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, EqualWidthBinning
+from repro.insitu.writer import OutputWriter
+from repro.sims.base import TimeStepData
+
+
+class TestRawWriter:
+    def test_raw_step_roundtrip(self, tmp_path, rng):
+        writer = OutputWriter(tmp_path / "raw")
+        step = TimeStepData(7, {"t": rng.random((4, 5)), "u": rng.random(10)})
+        step_dir = writer.write_raw_step(step)
+        assert step_dir.name == "step_00007"
+        assert np.array_equal(np.load(step_dir / "t.npy"), step.fields["t"])
+        assert np.array_equal(np.load(step_dir / "u.npy"), step.fields["u"])
+        assert writer.stats.files == 1
+        assert writer.stats.bytes_written > step.nbytes  # npy headers
+
+    def test_bitmap_step(self, tmp_path, rng):
+        from repro.bitmap import load_index
+
+        writer = OutputWriter(tmp_path / "bm")
+        data = rng.random(500)
+        index = BitmapIndex.build(data, EqualWidthBinning(0.0, 1.0, 8))
+        step_dir = writer.write_bitmap_step(3, {"payload": index})
+        back = load_index(step_dir / "payload.rbmp")
+        assert back.bitvectors == index.bitvectors
+
+    def test_sample_step(self, tmp_path, rng):
+        writer = OutputWriter(tmp_path / "s")
+        pos = np.arange(0, 100, 10)
+        vals = rng.random(10)
+        step_dir = writer.write_sample_step(2, pos, {"payload": vals})
+        assert np.array_equal(np.load(step_dir / "positions.npy"), pos)
+        assert np.array_equal(np.load(step_dir / "payload.sample.npy"), vals)
+
+
+class TestThrottling:
+    def test_bandwidth_throttle(self, tmp_path, rng):
+        """A 1 MB/s simulated disk makes a ~100 KB write take ~0.1 s."""
+        writer = OutputWriter(tmp_path / "slow", bandwidth_bytes_per_s=1e6)
+        step = TimeStepData(0, {"t": rng.random(12_500)})  # 100 KB
+        import time
+
+        t0 = time.perf_counter()
+        writer.write_raw_step(step)
+        elapsed = time.perf_counter() - t0
+        assert elapsed >= 0.09
+        assert writer.stats.seconds >= 0.09
+
+    def test_invalid_bandwidth(self, tmp_path):
+        with pytest.raises(ValueError):
+            OutputWriter(tmp_path / "x", bandwidth_bytes_per_s=0)
+
+    def test_creates_directories(self, tmp_path):
+        OutputWriter(tmp_path / "deep" / "nested" / "dir")
+        assert (tmp_path / "deep" / "nested" / "dir").is_dir()

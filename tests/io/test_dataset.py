@@ -1,0 +1,86 @@
+"""Tests for the dataset container (repro.io.dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.io.dataset import Dataset, DatasetReader, Variable, save_dataset
+from repro.sims.ocean import OceanDataGenerator
+
+
+class TestVariable:
+    def test_dim_check(self, rng):
+        with pytest.raises(ValueError):
+            Variable("t", rng.random((2, 3)), ("x",))
+
+    def test_nbytes(self):
+        v = Variable("t", np.zeros((4, 4)), ("y", "x"))
+        assert v.nbytes == 128
+
+
+class TestDataset:
+    def test_add_and_get(self, rng):
+        ds = Dataset()
+        ds.add_array("temp", rng.random((3, 4)), ("lat", "lon"), units="C")
+        assert "temp" in ds
+        assert ds["temp"].attrs["units"] == "C"
+        assert ds.variable_names == ["temp"]
+
+    def test_duplicate_rejected(self, rng):
+        ds = Dataset()
+        ds.add_array("t", rng.random(3), ("x",))
+        with pytest.raises(ValueError, match="already present"):
+            ds.add_array("t", rng.random(3), ("x",))
+
+    def test_missing_key_message(self):
+        ds = Dataset()
+        with pytest.raises(KeyError, match="available"):
+            ds["nope"]
+
+    def test_from_timestep(self):
+        gen = OceanDataGenerator((4, 8, 8))
+        ds = Dataset.from_timestep(gen.advance())
+        assert "temperature" in ds and "salinity" in ds
+        assert ds["temperature"].dims == ("z", "y", "x")
+
+
+class TestRoundtrip:
+    def test_save_load(self, rng, tmp_path):
+        ds = Dataset()
+        ds.attrs["model"] = "pop-like"
+        ds.add_array("temp", rng.random((4, 6, 8)), ("z", "y", "x"), units="C")
+        ds.add_array("salt", rng.random((4, 6, 8)).astype(np.float32), ("z", "y", "x"))
+        path = tmp_path / "ocean.rds"
+        size = save_dataset(path, ds)
+        assert path.stat().st_size == size
+
+        reader = DatasetReader(path)
+        assert reader.attrs == {"model": "pop-like"}
+        assert reader.variable_names == ["salt", "temp"]
+        assert reader.shape("temp") == (4, 6, 8)
+        temp = reader.load("temp")
+        assert np.array_equal(temp.data, ds["temp"].data)
+        assert temp.attrs["units"] == "C"
+        salt = reader.load("salt")
+        assert salt.data.dtype == np.float32
+
+    def test_lazy_loading_reads_header_only(self, rng, tmp_path):
+        ds = Dataset()
+        ds.add_array("big", rng.random(100_000), ("x",))
+        path = tmp_path / "big.rds"
+        save_dataset(path, ds)
+        reader = DatasetReader(path)  # no payload read
+        assert reader.shape("big") == (100_000,)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"JUNKJUNKJUNK")
+        with pytest.raises(ValueError, match="not a repro dataset"):
+            DatasetReader(path)
+
+    def test_missing_variable(self, rng, tmp_path):
+        ds = Dataset()
+        ds.add_array("a", rng.random(4), ("x",))
+        path = tmp_path / "d.rds"
+        save_dataset(path, ds)
+        with pytest.raises(KeyError, match="available"):
+            DatasetReader(path).load("b")

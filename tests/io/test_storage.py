@@ -1,0 +1,56 @@
+"""Tests for simulated storage (repro.io.storage)."""
+
+import pytest
+
+from repro.io.storage import RemoteLink, SimulatedDisk
+
+
+class TestSimulatedDisk:
+    def test_write_accounting(self):
+        disk = SimulatedDisk(write_bw=100e6)
+        assert disk.write(50_000_000) == pytest.approx(0.5)
+        assert disk.writes.operations == 1
+        assert disk.writes.total_bytes == 50_000_000
+
+    def test_read_defaults_to_write_bw(self):
+        disk = SimulatedDisk(write_bw=200e6)
+        assert disk.read(200_000_000) == pytest.approx(1.0)
+
+    def test_separate_read_bw(self):
+        disk = SimulatedDisk(write_bw=100e6, read_bw=400e6)
+        assert disk.read(400_000_000) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(write_bw=0)
+        disk = SimulatedDisk(write_bw=1e6)
+        with pytest.raises(ValueError):
+            disk.write(-1)
+
+    def test_cumulative_totals(self):
+        disk = SimulatedDisk(write_bw=1e6)
+        for _ in range(10):
+            disk.write(1000)
+        assert disk.writes.total_seconds == pytest.approx(0.01)
+
+
+class TestRemoteLink:
+    def test_latency_plus_bandwidth(self):
+        link = RemoteLink(bandwidth=100e6, latency=0.01)
+        assert link.transfer(100_000_000) == pytest.approx(1.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RemoteLink(bandwidth=0)
+        with pytest.raises(ValueError):
+            RemoteLink(bandwidth=1e6, latency=-1)
+        link = RemoteLink(bandwidth=1e6)
+        with pytest.raises(ValueError):
+            link.transfer(-5)
+
+    def test_log(self):
+        link = RemoteLink(bandwidth=1e6, latency=0.0)
+        link.transfer(500)
+        link.transfer(500)
+        assert link.log.operations == 2
+        assert link.log.total_bytes == 1000

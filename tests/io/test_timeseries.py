@@ -1,0 +1,91 @@
+"""Tests for the bitmap time-series store (repro.io.timeseries)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, common_binning
+from repro.io.timeseries import BitmapStore
+from repro.metrics import conditional_entropy_bitmap, emd_count_bitmap
+from repro.sims import Heat3D
+
+
+@pytest.fixture
+def populated(tmp_path):
+    sim = Heat3D((8, 8, 8), seed=6)
+    steps = [s.fields["temperature"] for s in sim.run(10)]
+    binning = common_binning(steps, bins=24)
+    store = BitmapStore(tmp_path / "store")
+    indices = {}
+    for i in (0, 3, 6, 9):  # "selected" steps only
+        idx = BitmapIndex.build(steps[i], binning)
+        store.write(i, "temperature", idx)
+        indices[i] = idx
+    store.set_attr("workload", "heat3d")
+    return store, indices, binning
+
+
+class TestStore:
+    def test_steps_listing(self, populated):
+        store, _, _ = populated
+        assert store.steps() == [0, 3, 6, 9]
+        assert store.variables(3) == ["temperature"]
+
+    def test_load_roundtrip(self, populated):
+        store, indices, _ = populated
+        for step, idx in indices.items():
+            back = store.load(step, "temperature")
+            assert back.bitvectors == idx.bitvectors
+
+    def test_attrs(self, populated):
+        store, _, _ = populated
+        assert store.attrs == {"workload": "heat3d"}
+
+    def test_missing_step(self, populated):
+        store, _, _ = populated
+        with pytest.raises(KeyError, match="stored"):
+            store.load(5, "temperature")
+        with pytest.raises(KeyError, match="stored"):
+            store.variables(5)
+
+    def test_total_bytes(self, populated):
+        store, indices, _ = populated
+        assert store.total_bytes() > 0
+        # on-disk has headers, so >= sum of word bytes
+        assert store.total_bytes() >= sum(i.nbytes for i in indices.values())
+
+    def test_reopen(self, populated, tmp_path):
+        store, _, _ = populated
+        reopened = BitmapStore(store.root)
+        assert reopened.steps() == [0, 3, 6, 9]
+        assert reopened.attrs["workload"] == "heat3d"
+        assert reopened.load(6, "temperature").n_elements == 512
+
+    def test_multi_variable(self, tmp_path, rng):
+        store = BitmapStore(tmp_path / "mv")
+        data = rng.random(310)
+        binning = common_binning([data], bins=8)
+        idx = BitmapIndex.build(data, binning)
+        store.write(0, "u", idx)
+        store.write(0, "v", idx)
+        assert store.variables(0) == ["u", "v"]
+        assert list(store.iter_indices("v")) != []
+
+
+class TestPairwiseAnalysis:
+    def test_pairwise_metric(self, populated):
+        store, indices, _ = populated
+        rows = store.pairwise_metric("temperature", conditional_entropy_bitmap)
+        assert [(a, b) for a, b, _ in rows] == [(0, 3), (3, 6), (6, 9)]
+        # Values agree with direct evaluation on the stored indices.
+        for a, b, value in rows:
+            expect = conditional_entropy_bitmap(indices[a], indices[b])
+            assert value == pytest.approx(expect)
+
+    def test_pairwise_emd(self, populated):
+        store, _, _ = populated
+        rows = store.pairwise_metric("temperature", emd_count_bitmap)
+        assert all(v >= 0 for _, _, v in rows)
+
+    def test_pairwise_empty_variable(self, populated):
+        store, _, _ = populated
+        assert store.pairwise_metric("nope", emd_count_bitmap) == []

@@ -1,0 +1,158 @@
+"""Exactness tests: bitmap metrics == full-data metrics at equal binning.
+
+This is the paper's central claim (§3.2, §5.4: "there is no accuracy loss
+compared with the full data method ... because both methods use the same
+binning scale"), enforced here as hard equalities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.binning import DistinctValueBinning, EqualWidthBinning, common_binning
+from repro.bitmap.index import BitmapIndex
+from repro.metrics.bitmap_metrics import (
+    conditional_entropy_bitmap,
+    emd_count_bitmap,
+    emd_spatial_bitmap,
+    joint_counts,
+    mutual_information_bitmap,
+    shannon_entropy_bitmap,
+    spatial_bin_differences_bitmap,
+)
+from repro.metrics.emd import emd_count_based, emd_spatial, spatial_bin_differences
+from repro.metrics.entropy import (
+    conditional_entropy,
+    mutual_information,
+    shannon_entropy,
+)
+from repro.metrics.histogram import joint_histogram
+
+
+@pytest.fixture
+def pair(rng):
+    """Two correlated 'time-steps' sharing one binning scale."""
+    a = rng.normal(10, 2, size=3000)
+    b = a * 0.8 + rng.normal(2, 1, size=3000)
+    binning = common_binning([a, b], bins=24)
+    ia = BitmapIndex.build(a, binning)
+    ib = BitmapIndex.build(b, binning)
+    return a, b, binning, ia, ib
+
+
+class TestJointCounts:
+    def test_equals_full_data_joint(self, pair):
+        a, b, binning, ia, ib = pair
+        expect = joint_histogram(a, b, binning, binning)
+        assert np.array_equal(joint_counts(ia, ib), expect)
+
+    def test_marginals_are_bin_counts(self, pair):
+        _, _, _, ia, ib = pair
+        joint = joint_counts(ia, ib)
+        assert np.array_equal(joint.sum(axis=1), ia.bin_counts())
+        assert np.array_equal(joint.sum(axis=0), ib.bin_counts())
+
+    def test_misaligned_indices_rejected(self, rng):
+        binning = EqualWidthBinning(0.0, 1.0, 3)
+        ia = BitmapIndex.build(rng.random(100), binning)
+        ib = BitmapIndex.build(rng.random(101), binning)
+        with pytest.raises(ValueError, match="different element sets"):
+            joint_counts(ia, ib)
+
+    def test_different_binnings_allowed(self, rng):
+        """Joint counts work across *different* binnings (mining needs it)."""
+        a, b = rng.random(500), rng.random(500)
+        ia = BitmapIndex.build(a, EqualWidthBinning(0.0, 1.0, 4))
+        ib = BitmapIndex.build(b, EqualWidthBinning(0.0, 1.0, 7))
+        joint = joint_counts(ia, ib)
+        assert joint.shape == (4, 7)
+        assert joint.sum() == 500
+
+
+class TestEntropyExactness:
+    def test_shannon(self, pair):
+        a, _, binning, ia, _ = pair
+        assert shannon_entropy_bitmap(ia) == pytest.approx(
+            shannon_entropy(a, binning), abs=1e-12
+        )
+
+    def test_mutual_information(self, pair):
+        a, b, binning, ia, ib = pair
+        assert mutual_information_bitmap(ia, ib) == pytest.approx(
+            mutual_information(a, b, binning, binning), abs=1e-12
+        )
+
+    def test_conditional_entropy(self, pair):
+        a, b, binning, ia, ib = pair
+        assert conditional_entropy_bitmap(ia, ib) == pytest.approx(
+            conditional_entropy(a, b, binning, binning), abs=1e-12
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), bins=st.integers(2, 16), n=st.integers(10, 400))
+    def test_property_exactness(self, seed, bins, n):
+        local = np.random.default_rng(seed)
+        a = local.normal(0, 1, n)
+        b = np.where(local.random(n) < 0.5, a, local.normal(0, 1, n))
+        binning = common_binning([a, b], bins=bins)
+        ia, ib = BitmapIndex.build(a, binning), BitmapIndex.build(b, binning)
+        assert mutual_information_bitmap(ia, ib) == pytest.approx(
+            mutual_information(a, b, binning, binning), abs=1e-10
+        )
+        assert conditional_entropy_bitmap(ia, ib) == pytest.approx(
+            conditional_entropy(a, b, binning, binning), abs=1e-10
+        )
+
+
+class TestEMDExactness:
+    def test_count_based(self, pair):
+        a, b, binning, ia, ib = pair
+        assert emd_count_bitmap(ia, ib) == emd_count_based(a, b, binning)
+
+    def test_spatial_differences(self, pair):
+        a, b, binning, ia, ib = pair
+        assert np.array_equal(
+            spatial_bin_differences_bitmap(ia, ib),
+            spatial_bin_differences(a, b, binning),
+        )
+
+    def test_spatial(self, pair):
+        a, b, binning, ia, ib = pair
+        assert emd_spatial_bitmap(ia, ib) == emd_spatial(a, b, binning)
+
+    def test_binning_scale_mismatch_rejected(self, rng):
+        a = rng.random(200)
+        ia = BitmapIndex.build(a, EqualWidthBinning(0.0, 1.0, 4))
+        ib = BitmapIndex.build(a, EqualWidthBinning(0.0, 1.0, 5))
+        with pytest.raises(ValueError, match="shared binning scale"):
+            emd_count_bitmap(ia, ib)
+        with pytest.raises(ValueError, match="shared binning scale"):
+            spatial_bin_differences_bitmap(ia, ib)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(31, 500))
+    def test_property_exactness(self, seed, n):
+        local = np.random.default_rng(seed)
+        vals = np.arange(5, dtype=float)
+        a = local.choice(vals, size=n)
+        b = local.choice(vals, size=n)
+        binning = DistinctValueBinning(vals)
+        ia, ib = BitmapIndex.build(a, binning), BitmapIndex.build(b, binning)
+        assert emd_count_bitmap(ia, ib) == emd_count_based(a, b, binning)
+        assert emd_spatial_bitmap(ia, ib) == emd_spatial(a, b, binning)
+
+
+class TestDiscardOriginalData:
+    def test_metrics_survive_serialisation(self, pair, tmp_path):
+        """The in-situ story: write bitmaps, drop data, analyse later."""
+        from repro.bitmap.serialization import load_index, save_index
+
+        a, b, binning, ia, ib = pair
+        save_index(tmp_path / "a.rbmp", ia)
+        save_index(tmp_path / "b.rbmp", ib)
+        ra, rb = load_index(tmp_path / "a.rbmp"), load_index(tmp_path / "b.rbmp")
+        assert conditional_entropy_bitmap(ra, rb) == pytest.approx(
+            conditional_entropy(a, b, binning, binning), abs=1e-12
+        )
+        assert emd_spatial_bitmap(ra, rb) == emd_spatial(a, b, binning)

@@ -1,0 +1,133 @@
+"""Tests for divergences (repro.metrics.divergences)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import BitmapIndex, common_binning
+from repro.metrics.divergences import (
+    js_divergence_bitmap,
+    js_divergence_from_counts,
+    kl_divergence_bitmap,
+    kl_divergence_from_counts,
+    normalized_mutual_information_bitmap,
+    normalized_mutual_information_from_joint,
+)
+
+
+class TestKL:
+    def test_self_zero(self, rng):
+        c = rng.integers(1, 100, 10)
+        assert kl_divergence_from_counts(c, c) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # P=(1/2,1/2), Q=(1/4,3/4): D = .5 log2(2) + .5 log2(2/3)
+        expect = 0.5 * 1 + 0.5 * np.log2(2 / 3)
+        assert kl_divergence_from_counts([1, 1], [1, 3]) == pytest.approx(expect)
+
+    def test_infinite_on_missing_support(self):
+        assert kl_divergence_from_counts([1, 1], [2, 0]) == float("inf")
+
+    def test_asymmetric(self, rng):
+        p = rng.integers(1, 50, 8)
+        q = rng.integers(1, 50, 8)
+        assert kl_divergence_from_counts(p, q) != pytest.approx(
+            kl_divergence_from_counts(q, p)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence_from_counts([1, 2], [1, 2, 3])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 20))
+    def test_property_nonnegative(self, seed, bins):
+        local = np.random.default_rng(seed)
+        p = local.integers(1, 100, bins)
+        q = local.integers(1, 100, bins)
+        assert kl_divergence_from_counts(p, q) >= -1e-12
+
+
+class TestJS:
+    def test_self_zero(self, rng):
+        c = rng.integers(1, 100, 10)
+        assert js_divergence_from_counts(c, c) == pytest.approx(0.0)
+
+    def test_symmetric(self, rng):
+        p = rng.integers(0, 50, 8)
+        q = rng.integers(0, 50, 8)
+        assert js_divergence_from_counts(p, q) == pytest.approx(
+            js_divergence_from_counts(q, p)
+        )
+
+    def test_bounded_by_one(self):
+        # Disjoint supports hit the bound exactly.
+        assert js_divergence_from_counts([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_finite_on_missing_support(self):
+        assert np.isfinite(js_divergence_from_counts([1, 1], [2, 0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 20))
+    def test_property_range(self, seed, bins):
+        local = np.random.default_rng(seed)
+        p = local.integers(0, 100, bins)
+        q = local.integers(0, 100, bins)
+        if p.sum() == 0 or q.sum() == 0:
+            return
+        d = js_divergence_from_counts(p, q)
+        assert -1e-12 <= d <= 1.0 + 1e-12
+
+
+class TestNMI:
+    def test_identical_is_one(self, rng):
+        data = rng.integers(0, 6, 2000).astype(float)
+        binning = common_binning([data], bins=6)
+        index = BitmapIndex.build(data, binning)
+        assert normalized_mutual_information_bitmap(index, index) == pytest.approx(
+            1.0
+        )
+
+    def test_independent_near_zero(self, rng):
+        a = rng.random(5000)
+        b = rng.random(5000)
+        binning = common_binning([a, b], bins=8)
+        ia, ib = BitmapIndex.build(a, binning), BitmapIndex.build(b, binning)
+        assert normalized_mutual_information_bitmap(ia, ib) < 0.05
+
+    def test_constant_variable_zero(self):
+        joint = np.zeros((3, 3))
+        joint[0, :] = [5, 5, 5]  # A constant
+        assert normalized_mutual_information_from_joint(joint) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 8))
+    def test_property_in_unit_interval(self, seed, bins):
+        local = np.random.default_rng(seed)
+        joint = local.integers(0, 30, (bins, bins))
+        nmi = normalized_mutual_information_from_joint(joint)
+        assert -1e-9 <= nmi <= 1.0 + 1e-9
+
+
+class TestBitmapWrappers:
+    def test_kl_js_match_counts(self, rng):
+        a = rng.normal(0, 1, 3000)
+        b = rng.normal(0.4, 1.2, 3000)
+        binning = common_binning([a, b], bins=20)
+        ia, ib = BitmapIndex.build(a, binning), BitmapIndex.build(b, binning)
+        assert kl_divergence_bitmap(ia, ib) == pytest.approx(
+            kl_divergence_from_counts(ia.bin_counts(), ib.bin_counts())
+        )
+        assert js_divergence_bitmap(ia, ib) == pytest.approx(
+            js_divergence_from_counts(ia.bin_counts(), ib.bin_counts())
+        )
+
+    def test_scale_mismatch_rejected(self, rng):
+        a = rng.random(200)
+        ia = BitmapIndex.build(a, common_binning([a], bins=4))
+        ib = BitmapIndex.build(a, common_binning([a], bins=5))
+        with pytest.raises(ValueError):
+            kl_divergence_bitmap(ia, ib)
+        with pytest.raises(ValueError):
+            js_divergence_bitmap(ia, ib)

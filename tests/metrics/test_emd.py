@@ -1,0 +1,98 @@
+"""Tests for Earth Mover's Distance (repro.metrics.emd)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.binning import DistinctValueBinning, EqualWidthBinning
+from repro.metrics.emd import (
+    emd_count_based,
+    emd_from_counts,
+    emd_from_diffs,
+    emd_spatial,
+    spatial_bin_differences,
+)
+
+
+class TestCountBasedEMD:
+    def test_identical_is_zero(self, gaussian_data):
+        binning = EqualWidthBinning.from_data(gaussian_data, 20)
+        assert emd_count_based(gaussian_data, gaussian_data, binning) == 0.0
+
+    def test_single_element_shift(self):
+        # Moving one element by k bins costs exactly k.
+        binning = DistinctValueBinning(np.asarray([0.0, 1.0, 2.0, 3.0]))
+        a = np.asarray([0.0])
+        b = np.asarray([3.0])
+        assert emd_count_based(a, b, binning) == 3.0
+
+    def test_symmetry(self, rng):
+        a, b = rng.normal(0, 1, 500), rng.normal(1, 1, 500)
+        binning = EqualWidthBinning(-5, 6, 22)
+        assert emd_count_based(a, b, binning) == emd_count_based(b, a, binning)
+
+    def test_matches_scipy_wasserstein_on_bin_ids(self, rng):
+        """Our binned EMD equals the 1-D Wasserstein distance on bin ids."""
+        from scipy.stats import wasserstein_distance
+
+        a, b = rng.normal(0, 1, 800), rng.normal(0.7, 1.3, 800)
+        binning = EqualWidthBinning(-8, 8, 32)
+        ia, ib = binning.assign_checked(a), binning.assign_checked(b)
+        expect = wasserstein_distance(ia, ib) * a.size
+        assert emd_count_based(a, b, binning) == pytest.approx(expect)
+
+    def test_mismatched_histograms_rejected(self):
+        with pytest.raises(ValueError, match="must align"):
+            emd_from_counts(np.zeros(3), np.zeros(4))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 20))
+    def test_property_triangle_inequality(self, seed, bins):
+        local = np.random.default_rng(seed)
+        a, b, c = (local.integers(0, 30, size=bins) for _ in range(3))
+        # Equal totals keep it a transport distance.
+        total = 100
+        a = a * 0 + np.bincount(local.integers(0, bins, total), minlength=bins)
+        b = b * 0 + np.bincount(local.integers(0, bins, total), minlength=bins)
+        c = c * 0 + np.bincount(local.integers(0, bins, total), minlength=bins)
+        assert emd_from_counts(a, c) <= emd_from_counts(a, b) + emd_from_counts(
+            b, c
+        ) + 1e-9
+
+
+class TestSpatialEMD:
+    def test_identical_is_zero(self, gaussian_data):
+        binning = EqualWidthBinning.from_data(gaussian_data, 15)
+        assert emd_spatial(gaussian_data, gaussian_data, binning) == 0.0
+
+    def test_spatial_differences_count_both_sides(self):
+        binning = DistinctValueBinning(np.asarray([0.0, 1.0]))
+        a = np.asarray([0.0, 0.0, 1.0])
+        b = np.asarray([0.0, 1.0, 1.0])
+        diffs = spatial_bin_differences(a, b, binning)
+        # position 1 moved from bin 0 to bin 1: one mismatch in each bin
+        assert diffs.tolist() == [1, 1]
+
+    def test_spatial_sees_permutation_count_does_not(self, rng):
+        """The reason the paper offers the spatial variant at all."""
+        binning = DistinctValueBinning(np.asarray([0.0, 1.0, 2.0, 3.0]))
+        a = rng.integers(0, 4, size=400).astype(float)
+        b = rng.permutation(a)  # same histogram, different positions
+        assert emd_count_based(a, b, binning) == 0.0
+        assert emd_spatial(a, b, binning) > 0.0
+
+    def test_negative_diffs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            emd_from_diffs(np.asarray([1.0, -1.0]))
+
+    def test_misaligned_rejected(self, rng):
+        binning = EqualWidthBinning(0.0, 1.0, 2)
+        with pytest.raises(ValueError, match="must align"):
+            spatial_bin_differences(rng.random(5), rng.random(6), binning)
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 6, size=300).astype(float)
+        b = rng.integers(0, 6, size=300).astype(float)
+        binning = DistinctValueBinning(np.arange(6, dtype=float))
+        assert emd_spatial(a, b, binning) == emd_spatial(b, a, binning)

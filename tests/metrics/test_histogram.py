@@ -1,0 +1,74 @@
+"""Tests for full-data histograms (repro.metrics.histogram)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.binning import DistinctValueBinning, EqualWidthBinning
+from repro.metrics.histogram import (
+    bin_membership_masks,
+    histogram,
+    joint_histogram,
+    normalize,
+)
+
+
+class TestHistogram:
+    def test_counts_partition(self, gaussian_data):
+        binning = EqualWidthBinning.from_data(gaussian_data, 20)
+        counts = histogram(gaussian_data, binning)
+        assert counts.sum() == gaussian_data.size
+        assert counts.dtype == np.int64
+
+    def test_matches_numpy_histogram(self, gaussian_data):
+        binning = EqualWidthBinning.from_data(gaussian_data, 25)
+        ours = histogram(gaussian_data, binning)
+        theirs, _ = np.histogram(gaussian_data, bins=binning.edges)
+        assert np.array_equal(ours, theirs)
+
+    def test_multidimensional_input(self, rng):
+        grid = rng.random((5, 6, 7))
+        binning = EqualWidthBinning(0.0, 1.0, 10)
+        assert np.array_equal(histogram(grid, binning), histogram(grid.ravel(), binning))
+
+
+class TestJointHistogram:
+    def test_marginals(self, rng):
+        a = rng.normal(0, 1, 2000)
+        b = rng.normal(0, 1, 2000)
+        ba = EqualWidthBinning.from_data(a, 7)
+        bb = EqualWidthBinning.from_data(b, 9)
+        joint = joint_histogram(a, b, ba, bb)
+        assert joint.shape == (7, 9)
+        assert np.array_equal(joint.sum(axis=1), histogram(a, ba))
+        assert np.array_equal(joint.sum(axis=0), histogram(b, bb))
+
+    def test_identical_arrays_diagonal(self, rng):
+        data = rng.integers(0, 5, size=500).astype(float)
+        binning = DistinctValueBinning.from_data(data)
+        joint = joint_histogram(data, data, binning, binning)
+        assert np.array_equal(np.diag(np.diag(joint)), joint)
+
+    def test_misaligned_rejected(self, rng):
+        binning = EqualWidthBinning(0.0, 1.0, 2)
+        with pytest.raises(ValueError, match="must align"):
+            joint_histogram(rng.random(10), rng.random(11), binning, binning)
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        p = normalize(np.asarray([1, 2, 3]))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_zero_total(self):
+        assert normalize(np.zeros(4)).sum() == 0.0
+
+
+class TestMembershipMasks:
+    def test_one_hot(self, rng):
+        data = rng.integers(0, 3, size=100).astype(float)
+        binning = DistinctValueBinning.from_data(data)
+        masks = bin_membership_masks(data, binning)
+        assert masks.shape == (3, 100)
+        assert np.array_equal(masks.sum(axis=0), np.ones(100))
+        for b in range(3):
+            assert np.array_equal(masks[b], data == binning.values[b])

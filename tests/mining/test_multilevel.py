@@ -1,0 +1,94 @@
+"""Tests for multi-level top-down mining (repro.mining.multilevel)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import EqualWidthBinning, LevelSpec, MultiLevelBitmapIndex
+from repro.mining import correlation_mining, correlation_mining_multilevel
+
+
+@pytest.fixture(scope="module")
+def planted_pair():
+    """Two variables correlated only in one value band and one region."""
+    rng = np.random.default_rng(21)
+    n = 8192
+    a = rng.uniform(0.0, 1.0, n)
+    b = rng.uniform(0.0, 1.0, n)
+    # Planted: in positions [2048, 3072), where a is in [0.25, 0.5),
+    # b copies a (strong value + spatial correlation).
+    region = slice(2048, 3072)
+    band = (a[region] >= 0.25) & (a[region] < 0.5)
+    b_region = b[region].copy()
+    b_region[band] = a[region][band]
+    b[region] = b_region
+    binning = EqualWidthBinning(0.0, 1.0, 16)
+    ml_a = MultiLevelBitmapIndex.build(a, binning, [LevelSpec(4)])
+    ml_b = MultiLevelBitmapIndex.build(b, binning, [LevelSpec(4)])
+    return a, b, binning, ml_a, ml_b, region
+
+
+KW = dict(value_threshold=0.004, spatial_threshold=0.08, unit_bits=512)
+
+
+class TestMultiLevelMining:
+    def test_finds_planted_band(self, planted_pair):
+        _, _, _, ml_a, ml_b, region = planted_pair
+        result, stats = correlation_mining_multilevel(ml_a, ml_b, **KW)
+        assert result.value_hits, "nothing found"
+        # The planted band is a in [0.25, 0.5) -> low-level bins 4..7,
+        # with b == a so hits sit on the diagonal.
+        for hit in result.value_hits:
+            assert 4 <= hit.a_bin < 8
+            assert hit.a_bin == hit.b_bin
+        # Spatial hits land in units covering positions 2048..3072.
+        units = result.spatial_units()
+        assert units
+        assert all(2048 // 512 <= u <= 3071 // 512 for u in units)
+
+    def test_pruning_saves_work(self, planted_pair):
+        _, _, _, ml_a, ml_b, _ = planted_pair
+        result, stats = correlation_mining_multilevel(ml_a, ml_b, **KW)
+        full_pairs = ml_a.low.n_bins * ml_b.low.n_bins
+        assert stats.low_pairs_skipped > 0
+        assert stats.low_pairs_evaluated < full_pairs
+        assert stats.low_pairs_evaluated + stats.low_pairs_skipped == full_pairs
+
+    def test_hits_subset_of_single_level(self, planted_pair):
+        """Top-down pruning may drop pairs but never invent them."""
+        _, _, _, ml_a, ml_b, _ = planted_pair
+        ml_result, _ = correlation_mining_multilevel(ml_a, ml_b, **KW)
+        flat = correlation_mining(ml_a.low, ml_b.low, **KW)
+        flat_value = {(h.a_bin, h.b_bin) for h in flat.value_hits}
+        ml_value = {(h.a_bin, h.b_bin) for h in ml_result.value_hits}
+        assert ml_value <= flat_value
+        flat_spatial = {(h.a_bin, h.b_bin, h.unit) for h in flat.spatial_hits}
+        ml_spatial = {(h.a_bin, h.b_bin, h.unit) for h in ml_result.spatial_hits}
+        assert ml_spatial <= flat_spatial
+
+    def test_recall_on_planted_signal(self, planted_pair):
+        """On strongly-planted data, pruning must not lose the signal."""
+        _, _, _, ml_a, ml_b, _ = planted_pair
+        ml_result, _ = correlation_mining_multilevel(ml_a, ml_b, **KW)
+        flat = correlation_mining(ml_a.low, ml_b.low, **KW)
+        assert {(h.a_bin, h.b_bin) for h in ml_result.value_hits} == {
+            (h.a_bin, h.b_bin) for h in flat.value_hits
+        }
+
+    def test_zero_descend_threshold_equals_single_level(self, planted_pair):
+        """With no pruning the multi-level walk is exhaustive."""
+        _, _, _, ml_a, ml_b, _ = planted_pair
+        ml_result, stats = correlation_mining_multilevel(
+            ml_a, ml_b, descend_threshold=-np.inf, **KW
+        )
+        flat = correlation_mining(ml_a.low, ml_b.low, **KW)
+        assert {(h.a_bin, h.b_bin) for h in ml_result.value_hits} == {
+            (h.a_bin, h.b_bin) for h in flat.value_hits
+        }
+        assert stats.low_pairs_skipped == 0
+
+    def test_single_level_index_rejected(self, rng):
+        data = rng.random(310)
+        binning = EqualWidthBinning(0.0, 1.0, 4)
+        single = MultiLevelBitmapIndex.build(data, binning, [])
+        with pytest.raises(ValueError, match="two index levels"):
+            correlation_mining_multilevel(single, single, **KW)

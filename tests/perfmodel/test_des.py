@@ -1,0 +1,225 @@
+"""Tests for the discrete-event engine (repro.perfmodel.des)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel.des import (
+    Environment,
+    Resource,
+    Store,
+    pipeline_makespan,
+)
+
+
+class TestEnvironment:
+    def test_timeout_ordering(self):
+        env = Environment()
+        log: list[tuple[str, float]] = []
+
+        def proc(name: str, delay: float):
+            yield env.timeout(delay)
+            log.append((name, env.now))
+
+        env.process(proc("b", 2.0))
+        env.process(proc("a", 1.0))
+        env.run()
+        assert log == [("a", 1.0), ("b", 2.0)]
+
+    def test_sequential_timeouts(self):
+        env = Environment()
+        ticks: list[float] = []
+
+        def proc():
+            for _ in range(3):
+                yield env.timeout(1.5)
+                ticks.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert ticks == [1.5, 3.0, 4.5]
+
+    def test_run_until(self):
+        env = Environment()
+
+        def proc():
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        assert env.run(until=10.5) == 10.5
+
+    def test_deterministic_tie_break(self):
+        env = Environment()
+        order: list[str] = []
+
+        def proc(name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in "abc":
+            env.process(proc(name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(-1.0)
+
+        env.process(proc())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_bad_yield_type(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_wait_on_process_completion(self):
+        env = Environment()
+        log: list[str] = []
+
+        def child():
+            yield env.timeout(5.0)
+            log.append("child-done")
+
+        def parent():
+            yield env.process(child(), "child")
+            log.append("parent-done")
+
+        env.process(parent(), "parent")
+        env.run()
+        assert log == ["child-done", "parent-done"]
+        assert env.now == 5.0
+
+
+class TestStore:
+    def test_put_get_roundtrip(self):
+        env = Environment()
+        store = Store(env, 4)
+        got: list[int] = []
+
+        def producer():
+            for i in range(6):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(6):
+                ev = store.get()
+                yield ev
+                got.append(ev.value)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == list(range(6))
+
+    def test_capacity_blocks_producer(self):
+        env = Environment()
+        store = Store(env, 1)
+        timeline: list[tuple[str, float]] = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                timeline.append(("put", env.now))
+
+        def consumer():
+            for _ in range(3):
+                yield env.timeout(10.0)
+                yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        # First put immediate; subsequent puts gated by consumer's gets.
+        assert timeline[0] == ("put", 0.0)
+        assert timeline[1][1] == 10.0
+        assert timeline[2][1] == 20.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), 0)
+
+
+class TestResource:
+    def test_fifo_serialisation(self):
+        env = Environment()
+        server = Resource(env)
+        finished: list[tuple[str, float]] = []
+
+        def client(name: str, work: float):
+            yield server.acquire()
+            yield env.timeout(work)
+            server.release()
+            finished.append((name, env.now))
+
+        env.process(client("a", 3.0))
+        env.process(client("b", 2.0))
+        env.process(client("c", 1.0))
+        env.run()
+        assert finished == [("a", 3.0), ("b", 5.0), ("c", 6.0)]
+        assert server.busy_seconds == pytest.approx(6.0)
+
+    def test_release_idle_rejected(self):
+        with pytest.raises(RuntimeError):
+            Resource(Environment()).release()
+
+
+class TestPipelineMakespan:
+    def test_unbuffered_slow_consumer(self):
+        # q=1: producer computes item i+1 while consumer works on i.
+        # a=1, b=2, n=3: puts at 1,2(into buffer),~; consumed at 3,5,7.
+        assert pipeline_makespan(1.0, 2.0, 3, 1) == pytest.approx(7.0)
+
+    def test_fast_consumer_bound_by_producer(self):
+        # b << a: makespan ~ n*a + b.
+        assert pipeline_makespan(2.0, 0.1, 10, 4) == pytest.approx(20.1)
+
+    def test_zero_items(self):
+        assert pipeline_makespan(1.0, 1.0, 0, 1) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.floats(0.1, 5.0),
+        b=st.floats(0.1, 5.0),
+        n=st.integers(1, 40),
+        q=st.integers(1, 8),
+    )
+    def test_property_matches_des(self, a, b, n, q):
+        """The closed form and the event simulation must agree exactly."""
+        env = Environment()
+        store = Store(env, q)
+        done = {"at": -1.0}
+
+        def producer():
+            for i in range(n):
+                yield env.timeout(a)
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(n):
+                yield store.get()
+                yield env.timeout(b)
+            done["at"] = env.now
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert done["at"] == pytest.approx(pipeline_makespan(a, b, n, q))
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.floats(0.1, 5.0), b=st.floats(0.1, 5.0), n=st.integers(1, 50))
+    def test_property_bounds(self, a, b, n):
+        span = pipeline_makespan(a, b, n, 3)
+        lower = max(n * a + b, n * b + a)
+        upper = n * (a + b)
+        assert lower - 1e-9 <= span <= upper + 1e-9

@@ -1,0 +1,288 @@
+"""Tests for the in-situ / pipeline / cluster performance models.
+
+These assert the *paper-shape* properties the models exist to reproduce:
+crossovers, bands, best allocations -- the quantitative record lives in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.insitu.allocation import SeparateCores
+from repro.perfmodel import (
+    HEAT3D_RATES,
+    LULESH_RATES,
+    MIC60,
+    OAKLEY_NODE,
+    XEON32,
+    ClusterScenario,
+    InSituScenario,
+    amdahl_speedup,
+    best_allocation,
+    equation_allocation_outcome,
+    model_bitmaps,
+    model_cluster,
+    model_full_data,
+    model_sampling,
+    model_separate_cores,
+    model_shared_cores,
+    queue_capacity_steps,
+    scalability_series,
+    speedup_over_cores,
+    sweep_allocations,
+)
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.rates import HEAT3D_CLUSTER_RATES
+
+
+@pytest.fixture(scope="module")
+def fig7() -> InSituScenario:
+    return InSituScenario(XEON32, HEAT3D_RATES, 800e6)  # 6.4 GB steps
+
+
+@pytest.fixture(scope="module")
+def fig9() -> InSituScenario:
+    return InSituScenario(XEON32, LULESH_RATES, 6.14e9 / 8)
+
+
+class TestAmdahl:
+    def test_limits(self):
+        assert amdahl_speedup(1, 0.5) == 1.0
+        assert amdahl_speedup(1000, 0.0) == 1000.0
+        assert amdahl_speedup(1000, 1.0) == pytest.approx(1.0)
+
+    def test_heat3d_paper_observation(self):
+        """'the speedup is only 1.3x when we use 28 cores compared to 12'."""
+        ratio = amdahl_speedup(28, 0.10) / amdahl_speedup(12, 0.10)
+        assert 1.25 < ratio < 1.40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(0, 0.1)
+        with pytest.raises(ValueError):
+            amdahl_speedup(4, 1.5)
+
+
+class TestMachineSpec:
+    def test_with_cores(self):
+        m = XEON32.with_cores(28)
+        assert m.n_cores == 28 and m.name == "xeon32"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", 0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MachineSpec("x", 1, -1.0, 1.0, 1.0, 1.0)
+
+
+class TestFig7Shape:
+    def test_crossover(self, fig7):
+        """Bitmaps lose at 1 core, win at 32 (the paper's 0.79x-2.37x)."""
+        rows = speedup_over_cores(fig7, [1, 32])
+        assert rows[0][3] < 1.0
+        assert rows[1][3] > 2.0
+
+    def test_speedup_monotone_in_cores(self, fig7):
+        speedups = [sp for _, _, _, sp in speedup_over_cores(fig7, [1, 2, 4, 8, 16, 32])]
+        assert speedups == sorted(speedups)
+
+    def test_output_time_core_independent(self, fig7):
+        assert model_full_data(fig7, 1).output == model_full_data(fig7, 32).output
+
+    def test_write_advantage_band(self, fig7):
+        """§5.1: 'a speedup around 6.78x for data writing'."""
+        ratio = model_full_data(fig7, 8).output / model_bitmaps(fig7, 8).output
+        assert 6.0 < ratio < 7.5
+
+    def test_output_dominates_full_data_at_high_cores(self, fig7):
+        """'the data writing time becomes the major bottleneck after 4 cores'."""
+        t = model_full_data(fig7, 32)
+        assert t.output > t.simulate + t.select
+
+    def test_mic_band(self):
+        """Figure 8: the MIC reaches a higher ceiling (paper: 3.28x)."""
+        sc = InSituScenario(MIC60, HEAT3D_RATES, 200e6)
+        rows = speedup_over_cores(sc, [1, 56])
+        assert rows[0][3] < 1.0
+        assert rows[1][3] > 2.8
+
+    def test_lulesh_band(self, fig9):
+        """Figure 9: heavier simulation compresses the advantage (0.84-1.47x)."""
+        rows = speedup_over_cores(fig9, [1, 32])
+        assert 0.7 < rows[0][3] < 1.0
+        assert 1.3 < rows[1][3] < 1.7
+
+    def test_lulesh_selection_ratio(self, fig9):
+        """§5.1: EMD selection speedup 3.45x-3.81x (we land ~3.6x)."""
+        ratio = (
+            model_full_data(fig9, 8).select / model_bitmaps(fig9, 8).select
+        )
+        assert 3.2 < ratio < 4.0
+
+    def test_phase_dict(self, fig7):
+        d = model_bitmaps(fig7, 4).as_dict()
+        assert set(d) == {"simulate", "reduce", "select", "output", "total"}
+        assert d["total"] == pytest.approx(sum(d[k] for k in d if k != "total"))
+
+
+class TestSamplingModel:
+    def test_sampling_reduction_cheap(self, fig7):
+        """Figure 15: sampling is cheaper to *produce* than bitmaps."""
+        bm = model_bitmaps(fig7, 32)
+        samp = model_sampling(fig7, 32, 0.15)
+        assert samp.reduce < bm.reduce
+
+    def test_bitmaps_beat_30pct_sampling(self, fig7):
+        """§5.5: 'bitmaps still achieves better efficiency than sampling
+        using 30% samples' (I/O still dominates the sample)."""
+        bm = model_bitmaps(fig7, 32)
+        samp = model_sampling(fig7, 32, 0.30)
+        assert bm.total < samp.total
+
+    def test_tiny_samples_eventually_faster(self, fig7):
+        samp1 = model_sampling(fig7, 32, 0.01)
+        bm = model_bitmaps(fig7, 32)
+        assert samp1.total < bm.total
+
+    def test_invalid_fraction(self, fig7):
+        with pytest.raises(ValueError):
+            model_sampling(fig7, 8, 0.0)
+
+
+class TestCoreAllocation:
+    @pytest.fixture(scope="class")
+    def sc28(self) -> InSituScenario:
+        return InSituScenario(XEON32.with_cores(28), HEAT3D_RATES, 800e6)
+
+    def test_equation_1_2_matches_paper_heat3d(self, sc28):
+        """Eq. 1-2 lands on the paper's winning c12_c16 split."""
+        outcome = equation_allocation_outcome(sc28)
+        assert outcome.label == "c12_c16"
+
+    def test_equation_near_optimal(self, sc28):
+        best = best_allocation(sc28)
+        eq = equation_allocation_outcome(sc28)
+        assert eq.total_seconds <= best.total_seconds * 1.10
+
+    def test_separate_beats_shared_for_heat3d(self, sc28):
+        """Figure 12(a): c_all is slower than the best split."""
+        shared = model_shared_cores(sc28)
+        best = best_allocation(sc28)
+        assert best.total_seconds < shared.total_seconds
+
+    def test_lulesh_gives_sim_most_cores(self):
+        """Figure 12(c): the best Lulesh split is sim-heavy (paper c20_c8)."""
+        sc = InSituScenario(XEON32.with_cores(28), LULESH_RATES, 6.14e9 / 8)
+        eq = equation_allocation_outcome(sc)
+        assert eq.label == "c20_c8"
+        best = best_allocation(sc)
+        sim = int(best.label[1:].split("_")[0])
+        assert sim >= 18
+
+    def test_extreme_splits_are_bad(self, sc28):
+        sweep = {o.label: o.total_seconds for o in sweep_allocations(sc28)}
+        assert sweep["c1_c27"] > sweep["c12_c16"] * 2
+        assert sweep["c27_c1"] > sweep["c12_c16"] * 2
+
+    def test_makespan_at_least_each_stage(self, sc28):
+        out = model_separate_cores(sc28, SeparateCores(12, 16))
+        assert out.total_seconds >= max(out.sim_core_seconds, out.bitmap_core_seconds)
+
+    def test_allocation_exceeding_machine_rejected(self, sc28):
+        with pytest.raises(ValueError, match="exceeds"):
+            model_separate_cores(sc28, SeparateCores(20, 20))
+
+    def test_queue_capacity_respects_memory(self):
+        """The MIC's 8 GB cannot hold many 1.6 GB steps."""
+        sc = InSituScenario(MIC60, HEAT3D_RATES, 200e6)
+        assert 1 <= queue_capacity_steps(sc) <= 3
+        big = InSituScenario(XEON32, HEAT3D_RATES, 800e6)
+        assert queue_capacity_steps(big) > 50
+
+
+class TestClusterModel:
+    @pytest.fixture(scope="class")
+    def cluster(self) -> ClusterScenario:
+        base = InSituScenario(OAKLEY_NODE, HEAT3D_CLUSTER_RATES, 800e6)
+        return ClusterScenario(OAKLEY_NODE, base)
+
+    def test_local_band(self, cluster):
+        """Figure 13: local speedup 1.24x-1.29x, roughly flat."""
+        rows = scalability_series(cluster, [1, 8, 32])
+        for row in rows:
+            assert 1.15 < row["speedup_local"] < 1.35
+
+    def test_remote_speedup_grows(self, cluster):
+        """Figure 13: remote speedup grows with nodes (1.24x -> 3.79x)."""
+        rows = scalability_series(cluster, [1, 4, 16, 32])
+        speedups = [r["speedup_remote"] for r in rows]
+        assert speedups == sorted(speedups)
+        assert speedups[0] < 1.6
+        assert speedups[-1] > 3.0
+
+    def test_both_methods_scale(self, cluster):
+        rows = scalability_series(cluster, [1, 32])
+        assert rows[1]["full_local"] < rows[0]["full_local"]
+        assert rows[1]["bitmap_local"] < rows[0]["bitmap_local"]
+
+    def test_remote_serialises_on_server(self, cluster):
+        """Remote write time does not improve with more nodes."""
+        t8 = model_cluster(cluster, 8, method="full", remote=True).output
+        t32 = model_cluster(cluster, 32, method="full", remote=True).output
+        assert t32 >= t8 * 0.99
+
+    def test_halo_cost_only_multinode(self, cluster):
+        one = model_cluster(cluster, 1, method="full", remote=False)
+        two = model_cluster(cluster, 2, method="full", remote=False)
+        # two nodes do half the compute each + halo; still faster overall
+        assert two.simulate < one.simulate
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            model_cluster(cluster, 0, method="full", remote=False)
+        with pytest.raises(ValueError):
+            model_cluster(cluster, 2, method="magic", remote=False)
+
+
+class TestCalibration:
+    def test_measure_rates_runs(self):
+        from repro.perfmodel import measure_rates
+
+        rates = measure_rates(shape=(8, 16, 16), warm_steps=2, repeats=1)
+        assert rates.simulate > 0
+        assert rates.bitmap_gen > 0
+        assert 0 < rates.bitmap_size_fraction < 1
+        # Serial fractions keep their documented defaults.
+        assert rates.simulate_serial == HEAT3D_RATES.simulate_serial
+
+
+class TestDESCrossCheck:
+    def test_separate_cores_matches_closed_form(self):
+        """The DES pipeline and the closed-form makespan oracle agree."""
+        from repro.perfmodel.des import pipeline_makespan
+        from repro.perfmodel.pipeline_model import (
+            model_separate_cores,
+            queue_capacity_steps,
+            step_bitmap_time,
+            step_sim_time,
+        )
+
+        sc = InSituScenario(XEON32.with_cores(28), HEAT3D_RATES, 800e6)
+        for alloc in (SeparateCores(12, 16), SeparateCores(4, 24), SeparateCores(24, 4)):
+            des = model_separate_cores(sc, alloc).total_seconds
+            oracle = pipeline_makespan(
+                step_sim_time(sc, alloc.sim_cores),
+                step_bitmap_time(sc, alloc.bitmap_cores),
+                sc.n_steps,
+                queue_capacity_steps(sc),
+            )
+            assert des == pytest.approx(oracle, rel=1e-9)
+
+    def test_tight_memory_queue_slows_pipeline(self):
+        """The MIC's tiny memory (queue of 1-2 steps) costs real time when
+        the stages are imbalanced -- the Figure 12(b) effect."""
+        from repro.perfmodel.des import pipeline_makespan
+
+        # imbalanced stages: producer 1s, consumer 3s
+        unbounded = pipeline_makespan(1.0, 3.0, 50, 1000)
+        tight = pipeline_makespan(1.0, 3.0, 50, 1)
+        assert tight >= unbounded  # backpressure can only hurt

@@ -1,0 +1,127 @@
+"""Tests for the closed-form trade-off analysis (repro.perfmodel.tradeoff)."""
+
+import pytest
+
+from repro.perfmodel import (
+    MIC60,
+    XEON32,
+    InSituScenario,
+    model_bitmaps,
+    model_full_data,
+)
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.rates import HEAT3D_RATES, LULESH_RATES
+from repro.perfmodel.tradeoff import (
+    breakeven_size_fraction,
+    crossover_cores,
+    io_bound_fraction,
+    max_window_steps,
+    min_disk_bw_for_fulldata,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return InSituScenario(XEON32, HEAT3D_RATES, 800e6)
+
+
+class TestCrossover:
+    def test_matches_direct_comparison(self, fig7):
+        cross = crossover_cores(fig7)
+        assert cross is not None
+        assert model_bitmaps(fig7, cross).total < model_full_data(fig7, cross).total
+        if cross > 1:
+            assert (
+                model_bitmaps(fig7, cross - 1).total
+                >= model_full_data(fig7, cross - 1).total
+            )
+
+    def test_fig7_crossover_early(self, fig7):
+        """Paper: bitmaps win from a handful of cores on."""
+        assert crossover_cores(fig7) <= 4
+
+    def test_fast_disk_no_crossover(self):
+        machine = MachineSpec("fastdisk", 32, 1.0, 1e12, 1e11, 1e8)
+        sc = InSituScenario(machine, HEAT3D_RATES, 800e6)
+        assert crossover_cores(sc) is None
+
+
+class TestMinDiskBw:
+    def test_consistency_with_model(self, fig7):
+        """At exactly the computed bandwidth the two methods tie."""
+        cores = 16
+        bw = min_disk_bw_for_fulldata(fig7, cores)
+        assert bw > fig7.machine.disk_write_bw  # the real disk is too slow
+        tied = InSituScenario(
+            MachineSpec("tied", 32, 1.0, 1e12, bw, 1e8),
+            HEAT3D_RATES,
+            800e6,
+        )
+        full = model_full_data(tied, cores).total
+        bm = model_bitmaps(tied, cores).total
+        assert full == pytest.approx(bm, rel=1e-9)
+
+    def test_infinite_when_bitmaps_win_on_compute(self):
+        """If bitmap compute underbids full data, no disk saves full data."""
+        cheap = HEAT3D_RATES.scaled(bitmap_gen=1e-12, select_bitmap=1e-12)
+        sc = InSituScenario(XEON32, cheap, 800e6)
+        assert min_disk_bw_for_fulldata(sc, 32) == float("inf")
+
+
+class TestMaxWindow:
+    def test_mic_figure11_regime(self):
+        """8 GB MIC node, 1.6 GB steps: a 10-step raw window cannot fit,
+        the bitmap window can (the motivation of Figure 11)."""
+        sc = InSituScenario(MIC60, HEAT3D_RATES, 200e6)
+        assert max_window_steps(sc, method="full") < 10
+        assert max_window_steps(sc, method="bitmap") >= 10
+
+    def test_bitmap_window_larger(self, fig7):
+        assert max_window_steps(fig7, method="bitmap") > max_window_steps(
+            fig7, method="full"
+        )
+
+    def test_zero_when_nothing_fits(self):
+        tiny = MachineSpec("tiny", 4, 1.0, 1e6, 1e8, 1e8)  # 1 MB memory
+        sc = InSituScenario(tiny, HEAT3D_RATES, 800e6)
+        assert max_window_steps(sc, method="full") == 0
+
+    def test_bad_method(self, fig7):
+        with pytest.raises(ValueError):
+            max_window_steps(fig7, method="magic")
+
+
+class TestBreakeven:
+    def test_consistency(self, fig7):
+        cores = 16
+        frac = breakeven_size_fraction(fig7, cores)
+        assert frac is not None and 0 < frac < 1
+        tied_rates = HEAT3D_RATES.scaled(bitmap_size_fraction=frac)
+        sc = InSituScenario(XEON32, tied_rates, 800e6)
+        assert model_bitmaps(sc, cores).total == pytest.approx(
+            model_full_data(sc, cores).total, rel=1e-9
+        )
+
+    def test_none_when_compute_overwhelms(self):
+        """At 1 core the bitmap build costs more than any write saving."""
+        pricey = HEAT3D_RATES.scaled(bitmap_gen=1e-6)
+        sc = InSituScenario(XEON32, pricey, 800e6)
+        assert breakeven_size_fraction(sc, 1) is None
+
+
+class TestIOBound:
+    def test_fulldata_becomes_io_bound(self, fig7):
+        """The paper's bottleneck hand-off, quantified."""
+        assert io_bound_fraction(fig7, 1, method="full") < 0.5
+        assert io_bound_fraction(fig7, 32, method="full") > 0.5
+
+    def test_bitmaps_stay_compute_bound_longer(self, fig7):
+        for cores in (1, 8, 32):
+            assert io_bound_fraction(fig7, cores, method="bitmap") < io_bound_fraction(
+                fig7, cores, method="full"
+            )
+
+    def test_lulesh_never_io_bound(self):
+        """Simulation-heavy Lulesh stays compute-bound (Figure 9's story)."""
+        sc = InSituScenario(XEON32, LULESH_RATES, 6.14e9 / 8)
+        assert io_bound_fraction(sc, 32, method="full") < 0.6

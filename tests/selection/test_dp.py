@@ -1,0 +1,94 @@
+"""Tests for the dynamic-programming selection variant."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, common_binning
+from repro.selection import EMD_COUNT, select_timesteps_full
+from repro.selection.dp import select_timesteps_dp_bitmap, select_timesteps_dp_full
+
+
+@pytest.fixture(scope="module")
+def drifting_steps():
+    rng = np.random.default_rng(4)
+    base = rng.normal(0, 1, 400)
+    steps = [base + 0.15 * t + rng.normal(0, 0.02, 400) for t in range(12)]
+    binning = common_binning(steps, bins=24)
+    return steps, binning
+
+
+class TestDPSelection:
+    def test_includes_step_zero(self, drifting_steps):
+        steps, binning = drifting_steps
+        result = select_timesteps_dp_full(steps, 4, EMD_COUNT, binning)
+        assert result.selected[0] == 0
+        assert result.selected == sorted(set(result.selected))
+
+    def test_optimality_vs_bruteforce(self, drifting_steps):
+        """DP must match exhaustive search on a small instance."""
+        steps, binning = drifting_steps
+        k = 4
+        result = select_timesteps_dp_full(steps, k, EMD_COUNT, binning)
+
+        def chain_score(chain):
+            return sum(
+                EMD_COUNT.full(steps[a], steps[b], binning)
+                for a, b in zip(chain, chain[1:])
+            )
+
+        best = max(
+            (
+                (0,) + combo
+                for combo in itertools.combinations(range(1, len(steps)), k - 1)
+            ),
+            key=chain_score,
+        )
+        assert chain_score(result.selected) == pytest.approx(chain_score(list(best)))
+
+    def test_dp_at_least_greedy(self, drifting_steps):
+        """DP maximises the chain objective, so it can't lose to greedy."""
+        steps, binning = drifting_steps
+        k = 5
+        greedy = select_timesteps_full(steps, k, EMD_COUNT, binning)
+        dp = select_timesteps_dp_full(steps, k, EMD_COUNT, binning)
+
+        def score(chain):
+            return sum(
+                EMD_COUNT.full(steps[a], steps[b], binning)
+                for a, b in zip(chain, chain[1:])
+            )
+
+        assert score(dp.selected) >= score(greedy.selected) - 1e-9
+
+    def test_bitmap_equals_fulldata(self, drifting_steps):
+        steps, binning = drifting_steps
+        indices = [BitmapIndex.build(s, binning) for s in steps]
+        full = select_timesteps_dp_full(steps, 4, EMD_COUNT, binning)
+        bitmap = select_timesteps_dp_bitmap(indices, 4, EMD_COUNT)
+        assert full.selected == bitmap.selected
+
+    def test_k_one(self, drifting_steps):
+        steps, binning = drifting_steps
+        result = select_timesteps_dp_full(steps, 1, EMD_COUNT, binning)
+        assert result.selected == [0]
+
+    def test_k_equals_n(self, drifting_steps):
+        steps, binning = drifting_steps
+        result = select_timesteps_dp_full(steps, len(steps), EMD_COUNT, binning)
+        assert result.selected == list(range(len(steps)))
+
+    def test_invalid_k(self, drifting_steps):
+        steps, binning = drifting_steps
+        with pytest.raises(ValueError):
+            select_timesteps_dp_full(steps, 0, EMD_COUNT, binning)
+        with pytest.raises(ValueError):
+            select_timesteps_dp_full(steps, len(steps) + 1, EMD_COUNT, binning)
+
+    def test_pairwise_cache(self, drifting_steps):
+        """Each pair is evaluated at most once."""
+        steps, binning = drifting_steps
+        n = len(steps)
+        result = select_timesteps_dp_full(steps, 3, EMD_COUNT, binning)
+        assert result.n_evaluations <= n * (n - 1) // 2

@@ -1,0 +1,128 @@
+"""Tests for DTW-style selection (repro.selection.dtw)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, common_binning
+from repro.selection.dtw import (
+    representation_cost,
+    select_timesteps_dtw,
+    select_timesteps_dtw_bitmap,
+    select_timesteps_dtw_full,
+    step_signatures_bitmap,
+    step_signatures_full,
+)
+
+
+@pytest.fixture(scope="module")
+def regimes(rng=None):
+    """A sequence with three distinct regimes -- DTW should place one
+    representative in each."""
+    local = np.random.default_rng(3)
+    steps = []
+    for center in (0.0, 5.0, 10.0):
+        for _ in range(5):
+            steps.append(local.normal(center, 0.3, 600))
+    binning = common_binning(steps, bins=30)
+    indices = [BitmapIndex.build(s, binning) for s in steps]
+    return steps, binning, indices
+
+
+class TestSignatures:
+    def test_bitmap_equals_full(self, regimes):
+        steps, binning, indices = regimes
+        assert np.allclose(
+            step_signatures_bitmap(indices), step_signatures_full(steps, binning)
+        )
+
+    def test_rows_normalised(self, regimes):
+        _, _, indices = regimes
+        sig = step_signatures_bitmap(indices)
+        assert np.allclose(sig.sum(axis=1), 1.0)
+
+
+class TestDTWSelection:
+    def test_covers_all_regimes(self, regimes):
+        _, _, indices = regimes
+        result = select_timesteps_dtw_bitmap(indices, 3)
+        assert result.selected[0] == 0
+        groups = {step // 5 for step in result.selected}
+        assert groups == {0, 1, 2}
+
+    def test_backends_agree(self, regimes):
+        steps, binning, indices = regimes
+        assert (
+            select_timesteps_dtw_bitmap(indices, 4).selected
+            == select_timesteps_dtw_full(steps, 4, binning).selected
+        )
+
+    def test_optimal_vs_bruteforce(self, regimes):
+        """The DP must match exhaustive search on small instances."""
+        _, _, indices = regimes
+        sig = step_signatures_bitmap(indices[:9])
+        k = 3
+        result = select_timesteps_dtw(sig, k)
+
+        best = min(
+            (
+                [0, *combo]
+                for combo in itertools.combinations(range(1, 9), k - 1)
+            ),
+            key=lambda sel: representation_cost(sig, sel),
+        )
+        assert representation_cost(sig, result.selected) == pytest.approx(
+            representation_cost(sig, best)
+        )
+
+    def test_k_one(self, regimes):
+        _, _, indices = regimes
+        assert select_timesteps_dtw_bitmap(indices, 1).selected == [0]
+
+    def test_k_equals_n(self, regimes):
+        _, _, indices = regimes
+        sub = indices[:5]
+        result = select_timesteps_dtw_bitmap(sub, 5)
+        assert result.selected == list(range(5))
+        sig = step_signatures_bitmap(sub)
+        assert representation_cost(sig, result.selected) == pytest.approx(0.0)
+
+    def test_invalid_k(self, regimes):
+        _, _, indices = regimes
+        with pytest.raises(ValueError):
+            select_timesteps_dtw_bitmap(indices, 0)
+        with pytest.raises(ValueError):
+            select_timesteps_dtw_bitmap(indices, len(indices) + 1)
+
+    def test_beats_greedy_on_representation_cost(self, regimes):
+        """DTW optimises representation; greedy optimises novelty --
+        on regime data DTW's objective value must be at least as good."""
+        from repro.selection import EMD_COUNT, select_timesteps_bitmap
+
+        _, _, indices = regimes
+        sig = step_signatures_bitmap(indices)
+        dtw = select_timesteps_dtw_bitmap(indices, 3)
+        greedy = select_timesteps_bitmap(indices, 3, EMD_COUNT)
+        assert representation_cost(sig, dtw.selected) <= representation_cost(
+            sig, greedy.selected
+        ) + 1e-9
+
+
+class TestRepresentationCost:
+    def test_requires_step_zero(self, regimes):
+        _, _, indices = regimes
+        sig = step_signatures_bitmap(indices)
+        with pytest.raises(ValueError, match="start at step 0"):
+            representation_cost(sig, [1, 5])
+
+    def test_more_representatives_never_hurt(self, regimes):
+        _, _, indices = regimes
+        sig = step_signatures_bitmap(indices)
+        c3 = representation_cost(
+            sig, select_timesteps_dtw(sig, 3).selected
+        )
+        c6 = representation_cost(
+            sig, select_timesteps_dtw(sig, 6).selected
+        )
+        assert c6 <= c3 + 1e-9

@@ -1,0 +1,102 @@
+"""Tests for greedy time-step selection, full-data vs bitmap equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, common_binning
+from repro.selection import (
+    CONDITIONAL_ENTROPY,
+    EMD_COUNT,
+    EMD_SPATIAL,
+    get_metric,
+    select_timesteps_bitmap,
+    select_timesteps_full,
+)
+from repro.sims.heat3d import Heat3D
+
+
+@pytest.fixture(scope="module")
+def heat_steps():
+    """30 Heat3D time-steps plus a shared binning and per-step indices."""
+    sim = Heat3D((8, 8, 16), seed=2)
+    steps = [s.fields["temperature"] for s in sim.run(30)]
+    binning = common_binning(steps, bins=48)
+    indices = [BitmapIndex.build(s, binning) for s in steps]
+    return steps, binning, indices
+
+
+class TestGreedySelection:
+    @pytest.mark.parametrize("metric_name", ["conditional_entropy", "emd_count", "emd_spatial"])
+    @pytest.mark.parametrize("k", [1, 5, 10])
+    def test_bitmap_equals_fulldata(self, heat_steps, metric_name, k):
+        """The end-to-end exactness claim: identical selections."""
+        steps, binning, indices = heat_steps
+        metric = get_metric(metric_name)
+        full = select_timesteps_full(steps, k, metric, binning)
+        bitmap = select_timesteps_bitmap(indices, k, metric)
+        assert full.selected == bitmap.selected
+        assert full.scores[1:] == pytest.approx(bitmap.scores[1:], abs=1e-9)
+
+    def test_first_step_always_selected(self, heat_steps):
+        steps, binning, _ = heat_steps
+        result = select_timesteps_full(steps, 6, EMD_COUNT, binning)
+        assert result.selected[0] == 0
+        assert np.isnan(result.scores[0])
+
+    def test_one_per_interval(self, heat_steps):
+        steps, binning, _ = heat_steps
+        result = select_timesteps_full(steps, 7, CONDITIONAL_ENTROPY, binning)
+        assert len(result.selected) == 7
+        for step, interval in zip(result.selected, result.intervals):
+            assert step in interval
+
+    def test_selection_sorted_and_unique(self, heat_steps):
+        steps, binning, _ = heat_steps
+        result = select_timesteps_full(steps, 10, EMD_SPATIAL, binning)
+        assert result.selected == sorted(set(result.selected))
+
+    def test_evaluation_count(self, heat_steps):
+        """Greedy does exactly (N - 1) pairwise evaluations."""
+        steps, binning, _ = heat_steps
+        result = select_timesteps_full(steps, 5, EMD_COUNT, binning)
+        assert result.n_evaluations == len(steps) - 1
+
+    def test_info_volume_partitioning(self, heat_steps):
+        steps, binning, indices = heat_steps
+        full = select_timesteps_full(
+            steps, 6, CONDITIONAL_ENTROPY, binning, partitioning="info_volume"
+        )
+        bitmap = select_timesteps_bitmap(
+            indices, 6, CONDITIONAL_ENTROPY, partitioning="info_volume"
+        )
+        assert full.selected == bitmap.selected
+
+    def test_unknown_partitioning(self, heat_steps):
+        steps, binning, _ = heat_steps
+        with pytest.raises(ValueError, match="unknown partitioning"):
+            select_timesteps_full(steps, 3, EMD_COUNT, binning, partitioning="magic")
+
+    def test_k_larger_than_n_rejected(self, heat_steps):
+        steps, binning, _ = heat_steps
+        with pytest.raises(ValueError):
+            select_timesteps_full(steps, len(steps) + 1, EMD_COUNT, binning)
+
+    def test_selects_distinct_over_similar(self):
+        """A hand-built sequence: the selector must prefer the outlier."""
+        rng = np.random.default_rng(0)
+        base = rng.normal(0, 1, 500)
+        # Steps 1, 2 are near-copies of step 0; step 3 is shifted strongly.
+        steps = [base, base + 0.01, base + 0.02, base + 3.0]
+        binning = common_binning(steps, bins=30)
+        result = select_timesteps_full(steps, 2, EMD_COUNT, binning)
+        assert result.selected == [0, 3]
+
+    def test_metric_lookup_error(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("nope")
+
+    def test_result_validation(self):
+        from repro.selection import SelectionResult
+
+        with pytest.raises(ValueError):
+            SelectionResult([0, 1], [float("nan")])

@@ -1,0 +1,80 @@
+"""Tests for importance measures (repro.selection.importance)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, common_binning
+from repro.selection.importance import (
+    DISTINCT_BINS_IMPORTANCE,
+    ENTROPY_IMPORTANCE,
+    EVOLUTION_IMPORTANCE,
+    get_importance,
+    importance_profile_bitmap,
+)
+from repro.sims import Heat3D
+
+
+@pytest.fixture(scope="module")
+def heat():
+    sim = Heat3D((8, 8, 16), seed=7)
+    steps = [s.fields["temperature"] for s in sim.run(12)]
+    binning = common_binning(steps, bins=32)
+    indices = [BitmapIndex.build(s, binning) for s in steps]
+    return steps, binning, indices
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("name", ["entropy", "distinct_bins", "evolution"])
+    def test_full_equals_bitmap(self, heat, name):
+        steps, binning, indices = heat
+        measure = get_importance(name)
+        full = measure.full(steps, binning)
+        bitmap = measure.bitmap(indices)
+        assert full == pytest.approx(bitmap, abs=1e-10)
+
+
+class TestSemantics:
+    def test_entropy_grows_as_field_develops(self, heat):
+        """Heat3D starts near-constant (low entropy) and differentiates."""
+        _, _, indices = heat
+        scores = ENTROPY_IMPORTANCE.bitmap(indices)
+        assert scores[-1] > scores[0]
+
+    def test_distinct_bins_counts_occupancy(self, heat):
+        _, _, indices = heat
+        scores = DISTINCT_BINS_IMPORTANCE.bitmap(indices)
+        for score, index in zip(scores, indices):
+            assert score == (index.bin_counts() > 0).sum()
+
+    def test_evolution_first_step_zero(self, heat):
+        _, _, indices = heat
+        scores = EVOLUTION_IMPORTANCE.bitmap(indices)
+        assert scores[0] == 0.0
+        assert np.all(scores[1:] >= 0)
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValueError, match="unknown importance"):
+            get_importance("vibes")
+
+    def test_profile(self, heat):
+        _, _, indices = heat
+        profile = importance_profile_bitmap(indices)
+        assert set(profile) == {"entropy", "distinct_bins", "evolution"}
+        assert all(v.size == len(indices) for v in profile.values())
+
+    def test_profile_subset(self, heat):
+        _, _, indices = heat
+        profile = importance_profile_bitmap(indices, measures=["entropy"])
+        assert set(profile) == {"entropy"}
+
+    def test_feeds_info_volume_partitioning(self, heat):
+        """Importance vectors plug straight into the partitioner."""
+        from repro.selection.partitioning import (
+            information_volume_partitions,
+            validate_partitions,
+        )
+
+        _, _, indices = heat
+        imp = ENTROPY_IMPORTANCE.bitmap(indices)
+        parts = information_volume_partitions(imp, 4)
+        validate_partitions(parts, len(indices))

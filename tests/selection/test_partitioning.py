@@ -1,0 +1,111 @@
+"""Tests for interval partitioning (repro.selection.partitioning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection.partitioning import (
+    fixed_length_partitions,
+    information_volume_partitions,
+    validate_partitions,
+)
+
+
+class TestFixedLength:
+    def test_paper_shape(self):
+        """Figure 3: first interval = {T0}, rest split evenly."""
+        parts = fixed_length_partitions(2 * 10 + 1, 3)
+        assert parts[0] == range(0, 1)
+        assert len(parts[1]) == 10 and len(parts[2]) == 10
+
+    def test_100_into_25(self):
+        """The §5.1 configuration: 25 of 100."""
+        parts = fixed_length_partitions(100, 25)
+        validate_partitions(parts, 100)
+        assert len(parts) == 25
+        assert parts[0] == range(0, 1)
+        lengths = [len(p) for p in parts[1:]]
+        assert min(lengths) >= 4 and max(lengths) <= 5
+        assert sum(lengths) == 99
+
+    def test_k_equals_one(self):
+        assert fixed_length_partitions(10, 1) == [range(0, 10)]
+
+    def test_k_equals_n(self):
+        parts = fixed_length_partitions(5, 5)
+        validate_partitions(parts, 5)
+        assert all(len(p) == 1 for p in parts)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fixed_length_partitions(3, 4)
+        with pytest.raises(ValueError):
+            fixed_length_partitions(3, 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 300), st.integers(1, 50))
+    def test_property_tiling(self, n, k):
+        if k > n:
+            return
+        parts = fixed_length_partitions(n, k)
+        validate_partitions(parts, n)
+        assert len(parts) == k
+
+
+class TestInformationVolume:
+    def test_uniform_importance_gives_near_equal_lengths(self):
+        imp = np.ones(100)
+        parts = information_volume_partitions(imp, 25)
+        validate_partitions(parts, 100)
+        lengths = [len(p) for p in parts[1:]]
+        # With flat importance, every interval carries ~99/24 steps.
+        assert min(lengths) >= 4 and max(lengths) <= 5
+
+    def test_skewed_importance(self):
+        """Heavy importance early -> early intervals are shorter."""
+        imp = np.concatenate([np.full(50, 10.0), np.full(50, 0.1)])
+        parts = information_volume_partitions(imp, 5)
+        validate_partitions(parts, 100)
+        assert len(parts[1]) < len(parts[-1])
+
+    def test_zero_importance_falls_back(self):
+        parts = information_volume_partitions(np.zeros(20), 4)
+        validate_partitions(parts, 20)
+        assert len(parts) == 4
+
+    def test_negative_importance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            information_volume_partitions(np.asarray([1.0, -1.0, 1.0]), 2)
+
+    def test_k_one(self):
+        assert information_volume_partitions(np.ones(5), 1) == [range(0, 5)]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(2, 200),
+        k=st.integers(2, 30),
+    )
+    def test_property_tiling_and_nonempty(self, seed, n, k):
+        if k > n:
+            return
+        local = np.random.default_rng(seed)
+        imp = local.exponential(1.0, size=n)
+        parts = information_volume_partitions(imp, k)
+        validate_partitions(parts, n)  # raises if empty/overlap/gap
+        assert len(parts) == k
+
+
+class TestValidate:
+    def test_detects_gap(self):
+        with pytest.raises(AssertionError):
+            validate_partitions([range(0, 1), range(2, 5)], 5)
+
+    def test_detects_short_cover(self):
+        with pytest.raises(AssertionError):
+            validate_partitions([range(0, 1), range(1, 4)], 5)
+
+    def test_detects_empty(self):
+        with pytest.raises(AssertionError):
+            validate_partitions([range(0, 1), range(1, 1), range(1, 5)], 5)

@@ -1,0 +1,101 @@
+"""Tests for the streaming O(1)-memory selector (repro.selection.streaming)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import BitmapIndex, common_binning
+from repro.selection import EMD_COUNT, select_timesteps_bitmap
+from repro.selection.streaming import StreamingSelector
+from repro.sims import Heat3D
+
+
+@pytest.fixture(scope="module")
+def heat_indices():
+    sim = Heat3D((8, 8, 16), seed=12)
+    steps = [s.fields["temperature"] for s in sim.run(25)]
+    binning = common_binning(steps, bins=32)
+    return [BitmapIndex.build(s, binning) for s in steps]
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("k", [1, 2, 5, 12, 25])
+    def test_matches_batch_greedy(self, heat_indices, k):
+        batch = select_timesteps_bitmap(heat_indices, k, EMD_COUNT)
+        streaming = StreamingSelector(
+            len(heat_indices), k, EMD_COUNT.bitmap
+        )
+        for index in heat_indices:
+            streaming.push(index)
+        result = streaming.finalize()
+        assert result.selected == batch.selected
+        assert result.n_evaluations == batch.n_evaluations
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(2, 40),
+        k_frac=st.floats(0.05, 1.0),
+    )
+    def test_property_matches_batch_on_scalars(self, seed, n, k_frac):
+        """Scalar artifacts: distinctness = |prev - cand|."""
+        local = np.random.default_rng(seed)
+        values = local.normal(0, 1, n)
+        k = max(1, min(n, int(round(n * k_frac))))
+
+        def dist(prev, cand):
+            return abs(prev - cand)
+
+        streaming = StreamingSelector(n, k, dist)
+        for v in values:
+            streaming.push(v)
+        got = streaming.finalize().selected
+
+        # Reference: batch greedy over the same partitions.
+        from repro.selection.partitioning import fixed_length_partitions
+
+        parts = fixed_length_partitions(n, k)
+        selected = [0]
+        prev = 0
+        for interval in parts[1:]:
+            best, best_score = -1, -np.inf
+            for cand in interval:
+                s = dist(values[prev], values[cand])
+                if s > best_score:
+                    best, best_score = cand, s
+            selected.append(best)
+            prev = best
+        assert got == selected
+
+
+class TestStreamingMemory:
+    def test_resident_artifacts_bounded(self, heat_indices):
+        streaming = StreamingSelector(len(heat_indices), 5, EMD_COUNT.bitmap)
+        peak = 0
+        for index in heat_indices:
+            streaming.push(index)
+            peak = max(peak, streaming.resident_artifacts)
+        assert peak <= 2  # previous selection + interval best
+
+    def test_protocol_errors(self):
+        streaming = StreamingSelector(3, 2, lambda a, b: 0.0)
+        streaming.push(1.0)
+        with pytest.raises(RuntimeError, match="saw 1 of 3"):
+            streaming.finalize()
+        streaming2 = StreamingSelector(2, 1, lambda a, b: 0.0)
+        streaming2.push(1.0)
+        streaming2.push(2.0)
+        with pytest.raises(RuntimeError, match="more than 2"):
+            streaming2.push(3.0)
+        streaming2.finalize()
+        with pytest.raises(RuntimeError, match="already finalized"):
+            streaming2.push(4.0)
+
+    def test_k_one_selects_only_t0(self):
+        streaming = StreamingSelector(10, 1, lambda a, b: 1.0)
+        for v in range(10):
+            streaming.push(float(v))
+        result = streaming.finalize()
+        assert result.selected == [0]
+        assert result.n_evaluations == 0

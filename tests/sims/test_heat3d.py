@@ -1,0 +1,100 @@
+"""Tests for the Heat3D simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sims.heat3d import Heat3D, HeatSource
+
+
+class TestHeat3D:
+    def test_interface(self):
+        sim = Heat3D((8, 8, 8))
+        assert sim.shape == (8, 8, 8)
+        assert sim.variable_names == ("temperature",)
+        assert sim.bytes_per_step == 8 * 8 * 8 * 8
+
+    def test_advance_emits_steps(self):
+        sim = Heat3D((8, 8, 8))
+        steps = list(sim.run(5))
+        assert [s.step for s in steps] == list(range(5))
+        for s in steps:
+            assert s.fields["temperature"].shape == (8, 8, 8)
+
+    def test_stability_no_blowup(self):
+        """CFL-chosen dt keeps the explicit scheme bounded."""
+        sim = Heat3D((10, 10, 10), seed=3)
+        for _ in range(200):
+            out = sim.advance()
+        t = out.fields["temperature"]
+        assert np.all(np.isfinite(t))
+        assert t.min() >= 19.0  # never below boundary-ish
+        assert t.max() <= 100.0 + 1e-9  # never above source
+
+    def test_heat_flows_from_source(self):
+        sim = Heat3D((12, 12, 12), boundary_temperature=20.0)
+        first = sim.advance().fields["temperature"]
+        for _ in range(100):
+            last = sim.advance().fields["temperature"]
+        # Interior warms up over time as the hot source diffuses outward.
+        interior = (slice(1, -1),) * 3
+        assert last[interior].mean() > first[interior].mean()
+
+    def test_boundary_dirichlet(self):
+        sim = Heat3D((8, 8, 8), boundary_temperature=15.0)
+        t = sim.advance().fields["temperature"]
+        for face in (t[0], t[-1], t[:, 0], t[:, -1], t[:, :, 0], t[:, :, -1]):
+            assert np.all(face == 15.0)
+
+    def test_source_clamped(self):
+        src = HeatSource((2, 2, 2), (4, 4, 4), 80.0)
+        sim = Heat3D((8, 8, 8), sources=[src])
+        t = sim.advance().fields["temperature"]
+        assert np.all(t[2:4, 2:4, 2:4] == 80.0)
+
+    def test_deterministic_given_seed(self):
+        a = Heat3D((8, 8, 8), seed=5)
+        b = Heat3D((8, 8, 8), seed=5)
+        for _ in range(3):
+            sa, sb = a.advance(), b.advance()
+        assert np.array_equal(sa.fields["temperature"], sb.fields["temperature"])
+
+    def test_different_seeds_differ(self):
+        a = Heat3D((8, 8, 8), seed=1).advance()
+        b = Heat3D((8, 8, 8), seed=2).advance()
+        assert not np.array_equal(a.fields["temperature"], b.fields["temperature"])
+
+    def test_temporal_coherence(self):
+        """Consecutive steps are much closer than distant ones -- the
+        property time-step selection exploits."""
+        sim = Heat3D((10, 10, 10))
+        steps = [s.fields["temperature"] for s in sim.run(50)]
+        near = np.abs(steps[10] - steps[11]).mean()
+        far = np.abs(steps[10] - steps[45]).mean()
+        assert near < far
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            Heat3D((2, 8, 8))
+        with pytest.raises(ValueError):
+            Heat3D((8, 8))  # type: ignore[arg-type]
+
+    def test_halo_cells(self):
+        sim = Heat3D((8, 16, 32))
+        assert sim.halo_cells_per_step(1) == 0
+        assert sim.halo_cells_per_step(4) == 2 * 3 * 16 * 32
+
+    def test_readonly_view(self):
+        sim = Heat3D((8, 8, 8))
+        with pytest.raises(ValueError):
+            sim.temperature[0, 0, 0] = 1.0
+
+    def test_compressibility(self):
+        """Heat3D output is WAH-friendly: layered, smooth fields."""
+        from repro.bitmap import BitmapIndex, PrecisionBinning
+
+        sim = Heat3D((16, 16, 64), seed=1)
+        for _ in range(20):
+            out = sim.advance()
+        t = out.fields["temperature"]
+        index = BitmapIndex.build(t, PrecisionBinning.from_data(t, digits=1))
+        assert index.size_ratio(8) < 0.5

@@ -1,0 +1,89 @@
+"""Tests for domain-decomposed Heat3D (repro.sims.heat3d_mpi)."""
+
+import numpy as np
+import pytest
+
+from repro.sims.heat3d import Heat3D
+from repro.sims.heat3d_mpi import DecomposedHeat3D
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4])
+    def test_bit_identical_to_monolithic(self, n_ranks):
+        """Decomposition is an execution layout, not a physics change."""
+        mono = Heat3D((12, 10, 10), seed=2)
+        dist = DecomposedHeat3D((12, 10, 10), n_ranks=n_ranks, seed=2)
+        for _ in range(25):
+            a = mono.advance().fields["temperature"]
+            b = dist.advance().fields["temperature"]
+            assert np.array_equal(a, b)
+
+    def test_uneven_slabs(self):
+        """Axis size not divisible by rank count still splits correctly."""
+        mono = Heat3D((13, 8, 8), seed=5)
+        dist = DecomposedHeat3D((13, 8, 8), n_ranks=4, seed=5)
+        for _ in range(10):
+            assert np.array_equal(
+                mono.advance().fields["temperature"],
+                dist.advance().fields["temperature"],
+            )
+
+
+class TestHaloAccounting:
+    def test_bytes_per_step(self):
+        dist = DecomposedHeat3D((16, 8, 8), n_ranks=4, seed=1)
+        dist.advance()
+        # 3 internal boundaries x 2 faces x 8x8 cells x 8 bytes
+        assert dist.halo.bytes_sent == 3 * 2 * 64 * 8
+        assert dist.halo_bytes_per_step() == dist.halo.bytes_sent
+
+    def test_accumulates(self):
+        dist = DecomposedHeat3D((16, 8, 8), n_ranks=2, seed=1)
+        for _ in range(5):
+            dist.advance()
+        assert dist.halo.bytes_sent == 5 * dist.halo_bytes_per_step()
+        assert dist.halo.per_step_bytes(5) == dist.halo_bytes_per_step()
+
+    def test_single_rank_no_halo(self):
+        dist = DecomposedHeat3D((8, 8, 8), n_ranks=1, seed=1)
+        dist.advance()
+        assert dist.halo.bytes_sent == 0
+        assert dist.halo_bytes_per_step() == 0
+
+    def test_matches_cluster_model_parameterisation(self):
+        """The real halo traffic matches what Heat3D.halo_cells_per_step
+        feeds the Figure 13 model."""
+        shape = (16, 12, 10)
+        dist = DecomposedHeat3D(shape, n_ranks=4, seed=1)
+        mono = Heat3D(shape, seed=1)
+        assert dist.halo_bytes_per_step() == mono.halo_cells_per_step(4) * 8
+
+
+class TestValidation:
+    def test_too_many_ranks(self):
+        with pytest.raises(ValueError, match="too small"):
+            DecomposedHeat3D((6, 8, 8), n_ranks=4)
+
+    def test_bad_rank_count(self):
+        with pytest.raises(ValueError):
+            DecomposedHeat3D((8, 8, 8), n_ranks=0)
+
+    def test_interface(self):
+        dist = DecomposedHeat3D((8, 8, 8), n_ranks=2)
+        assert dist.shape == (8, 8, 8)
+        assert dist.variable_names == ("temperature",)
+
+
+class TestPipelineIntegration:
+    def test_runs_through_insitu_pipeline(self):
+        """The decomposed simulation is a drop-in Simulation."""
+        from repro.bitmap import PrecisionBinning
+        from repro.insitu.pipeline import InSituPipeline
+        from repro.selection import CONDITIONAL_ENTROPY
+
+        sim = DecomposedHeat3D((8, 8, 8), n_ranks=2, seed=3)
+        pipe = InSituPipeline(
+            sim, PrecisionBinning(19.0, 101.0, digits=0), CONDITIONAL_ENTROPY
+        )
+        result = pipe.run(8, 2)
+        assert result.selection.k == 2

@@ -1,0 +1,140 @@
+"""Tests for the POP-like ocean data generator."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import EqualWidthBinning
+from repro.metrics import mutual_information
+from repro.sims.ocean import CorrelatedRegion, OceanDataGenerator
+
+
+class TestOceanGenerator:
+    def test_interface(self):
+        gen = OceanDataGenerator((6, 24, 48))
+        out = gen.advance()
+        assert out.fields["temperature"].shape == (6, 24, 48)
+        assert out.fields["salinity"].shape == (6, 24, 48)
+        assert "ssh" in out.fields and "u_velocity" in out.fields
+
+    def test_temperature_structure(self):
+        gen = OceanDataGenerator((8, 32, 64), noise=0.0, correlated_regions=[])
+        t = gen.advance().fields["temperature"]
+        # Warm at equatorial surface, cold at depth and poles.
+        assert t[0, 16, :].mean() > t[0, 0, :].mean()
+        assert t[0, 16, :].mean() > t[-1, 16, :].mean()
+
+    def test_planted_region_has_high_mi(self):
+        gen = OceanDataGenerator((8, 48, 96), seed=11)
+        out = gen.advance()
+        t, s = out.fields["temperature"], out.fields["salinity"]
+        region = gen.planted_regions()[0]
+        sl = region.slices()
+        bt = EqualWidthBinning.from_data(t, 16)
+        bs = EqualWidthBinning.from_data(s, 16)
+        mi_inside = mutual_information(t[sl], s[sl], bt, bs)
+        # An equally-sized box elsewhere (deep ocean) is uncorrelated.
+        deep = tuple(
+            slice(sh - (h - l), sh) for (l, h), sh in zip(zip(region.lo, region.hi), t.shape)
+        )
+        mi_outside = mutual_information(t[deep], s[deep], bt, bs)
+        assert mi_inside > mi_outside + 0.5
+
+    def test_custom_regions(self):
+        region = CorrelatedRegion((0, 0, 0), (4, 8, 8))
+        gen = OceanDataGenerator((6, 16, 16), correlated_regions=[region])
+        assert gen.planted_regions() == [region]
+        assert region.cells() == 4 * 8 * 8
+
+    def test_temporal_coherence(self):
+        gen = OceanDataGenerator((4, 24, 48), seed=3)
+        a = gen.advance().fields["temperature"]
+        b = gen.advance().fields["temperature"]
+        # Consecutive months correlate strongly.
+        corr = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert corr > 0.95
+
+    def test_eddies_drift(self):
+        gen = OceanDataGenerator((4, 24, 48), noise=0.0, correlated_regions=[])
+        a = gen.advance().fields["ssh"]
+        for _ in range(5):
+            b = gen.advance().fields["ssh"]
+        assert not np.allclose(a, b)
+
+    def test_snapshot_does_not_advance(self):
+        gen = OceanDataGenerator((4, 16, 16), seed=5)
+        s1 = gen.snapshot()
+        s2 = gen.snapshot()
+        assert np.allclose(
+            s1.fields["ssh"], s2.fields["ssh"], atol=1.0
+        )  # same eddy positions (noise differs)
+        assert s1.step == s2.step
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            OceanDataGenerator((2, 16, 16))
+
+    def test_deterministic(self):
+        a = OceanDataGenerator((4, 16, 16), seed=1).advance()
+        b = OceanDataGenerator((4, 16, 16), seed=1).advance()
+        assert np.array_equal(a.fields["temperature"], b.fields["temperature"])
+
+
+class TestLandMask:
+    def test_no_land_by_default(self):
+        gen = OceanDataGenerator((4, 16, 16))
+        assert not gen.land_mask().any()
+        assert np.isfinite(gen.advance().fields["temperature"]).all()
+
+    def test_land_fraction_approx(self):
+        gen = OceanDataGenerator((4, 48, 96), land_fraction=0.3, seed=5)
+        frac = gen.land_mask().mean()
+        assert 0.25 < frac < 0.35
+
+    def test_tracers_nan_over_land(self):
+        gen = OceanDataGenerator((4, 24, 48), land_fraction=0.2, seed=5)
+        out = gen.advance()
+        land3d = gen.missing_mask_3d()
+        for name in ("temperature", "salinity"):
+            field = out.fields[name]
+            assert np.isnan(field[land3d]).all()
+            assert np.isfinite(field[~land3d]).all()
+
+    def test_continents_are_coherent(self):
+        """Land forms blobs, not salt-and-pepper noise."""
+        gen = OceanDataGenerator((4, 48, 96), land_fraction=0.3, seed=5)
+        land = gen.land_mask()
+        # Most land cells have a land neighbour to the east.
+        east = np.roll(land, 1, axis=1)
+        agreement = (land & east).sum() / max(land.sum(), 1)
+        assert agreement > 0.7
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            OceanDataGenerator((4, 16, 16), land_fraction=1.0)
+
+    def test_incomplete_analysis_end_to_end(self):
+        """The intended workflow: mask land, index the ocean, analyse."""
+        from repro.analysis.incomplete import (
+            coverage,
+            masked_mutual_information,
+            observed_mask,
+        )
+        from repro.bitmap import BitmapIndex, EqualWidthBinning, WAHBitVector
+
+        gen = OceanDataGenerator((4, 24, 48), land_fraction=0.25, seed=9)
+        out = gen.advance()
+        miss = gen.missing_mask_3d().ravel()
+        t = out.fields["temperature"].ravel()
+        s = out.fields["salinity"].ravel()
+        # NaN-guarded indexing: zero-fill the gaps, mask them out of analysis.
+        binning_t = EqualWidthBinning.from_data(t[~miss], 12)
+        binning_s = EqualWidthBinning.from_data(s[~miss], 12)
+        it = BitmapIndex.build(np.where(miss, binning_t.lo, t), binning_t)
+        is_ = BitmapIndex.build(np.where(miss, binning_s.lo, s), binning_s)
+        missing = WAHBitVector.from_bools(miss)
+        assert coverage(missing) == pytest.approx(1.0 - miss.mean())
+        mi = masked_mutual_information(it, is_, observed_mask(missing))
+        from repro.metrics import mutual_information
+
+        expect = mutual_information(t[~miss], s[~miss], binning_t, binning_s)
+        assert mi == pytest.approx(expect)

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestInsituCommand:
+    def test_bitmap_mode(self, capsys):
+        rc = main(
+            ["insitu", "--workload", "heat3d", "--shape", "8,8,8",
+             "--steps", "6", "--select", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[bitmap]" in out and "selected=" in out
+        assert "peak resident" in out
+
+    def test_fulldata_mode(self, capsys):
+        rc = main(
+            ["insitu", "--shape", "8,8,8", "--steps", "4", "--select", "2",
+             "--mode", "fulldata"]
+        )
+        assert rc == 0
+        assert "[fulldata]" in capsys.readouterr().out
+
+    def test_sampling_mode_with_output(self, capsys, tmp_path):
+        rc = main(
+            ["insitu", "--shape", "8,8,8", "--steps", "4", "--select", "2",
+             "--mode", "sampling", "--sample-fraction", "0.2",
+             "--out", str(tmp_path / "o")]
+        )
+        assert rc == 0
+        assert "[sampling]" in capsys.readouterr().out
+        assert any((tmp_path / "o").iterdir())
+
+    def test_lulesh_workload(self, capsys):
+        rc = main(
+            ["insitu", "--workload", "lulesh", "--shape", "5,5,5",
+             "--steps", "4", "--select", "2", "--bins", "32"]
+        )
+        assert rc == 0
+        assert "selected=" in capsys.readouterr().out
+
+    def test_bad_shape(self):
+        with pytest.raises(SystemExit):
+            main(["insitu", "--shape", "8,8"])
+
+
+class TestIndexAndQuery:
+    def test_roundtrip(self, capsys, tmp_path, rng):
+        data = rng.normal(10, 2, (16, 16)).astype(np.float64)
+        npy = tmp_path / "field.npy"
+        np.save(npy, data)
+        rbmp = tmp_path / "field.rbmp"
+        rc = main(["index", str(npy), str(rbmp), "--bins", "32"])
+        assert rc == 0
+        assert "32 bins" in capsys.readouterr().out
+        assert rbmp.exists()
+
+        rc = main(["query", str(rbmp), "--range", "9", "11"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "256 elements" in out
+        assert "values in [9.0, 11.0]" in out
+
+    def test_zorder_and_digits(self, capsys, tmp_path, rng):
+        data = rng.normal(5, 1, (8, 8, 8))
+        npy = tmp_path / "grid.npy"
+        np.save(npy, data)
+        rbmp = tmp_path / "grid.rbmp"
+        rc = main(["index", str(npy), str(rbmp), "--digits", "0", "--zorder"])
+        assert rc == 0
+        rc = main(["query", str(rbmp)])
+        assert rc == 0
+        assert "entropy" in capsys.readouterr().out
+
+
+class TestMineCommand:
+    def test_mine(self, capsys):
+        rc = main(["mine", "--shape", "6,24,48", "--bins", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bitmap mining" in out
+
+    def test_mine_with_baseline(self, capsys):
+        rc = main(
+            ["mine", "--shape", "6,24,48", "--bins", "8", "--baseline"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "full-data baseline" in out
+        assert "hits equal: True" in out
+
+
+class TestModelCommand:
+    @pytest.mark.parametrize(
+        "figure", ["fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig15"]
+    )
+    def test_all_figures(self, capsys, figure):
+        rc = main(["model", figure])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_fig7_contains_speedups(self, capsys):
+        main(["model", "fig7"])
+        out = capsys.readouterr().out
+        assert "speedup=" in out and "cores= 32" in out.replace("  ", " ")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestStoreCommand:
+    def test_store_listing_and_pairwise(self, capsys, tmp_path):
+        from repro.bitmap import BitmapIndex, common_binning
+        from repro.io.timeseries import BitmapStore
+        from repro.sims import Heat3D
+
+        sim = Heat3D((8, 8, 8), seed=2)
+        steps = [s.fields["temperature"] for s in sim.run(6)]
+        binning = common_binning(steps, bins=16)
+        store = BitmapStore(tmp_path / "run")
+        for i in (0, 2, 5):
+            store.write(i, "temperature", BitmapIndex.build(steps[i], binning))
+        store.set_attr("workload", "heat3d")
+
+        rc = main(["store", str(tmp_path / "run")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 steps" in out and "workload = heat3d" in out
+
+        rc = main(["store", str(tmp_path / "run"), "--pairwise", "temperature"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EMD=" in out and "H(next|prev)=" in out
+
+
+class TestCalibrateCommand:
+    def test_calibrate(self, capsys):
+        rc = main(["calibrate", "--shape", "8,16,16", "--repeats", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulate" in out and "size_fraction" in out
+        assert "s/elem" in out

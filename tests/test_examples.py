@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves.  Each example's ``main()`` is imported and
+run with stdout captured (scaled-down examples finish in seconds).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load(path)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_examples_present():
+    """The deliverable floor: a quickstart plus domain scenarios."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

@@ -1,0 +1,118 @@
+"""Tests for the shared utilities (timing, validation, bits helpers)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.bits import groups_needed, last_group_mask, popcount_total
+from repro.util.timing import Stopwatch, TimeBreakdown
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_same_length,
+    ensure_1d,
+)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        first = sw.stop()
+        sw.start()
+        time.sleep(0.01)
+        second = sw.stop()
+        assert second > first > 0
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_idle_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_context_manager(self):
+        sw = Stopwatch()
+        with sw.timed():
+            time.sleep(0.005)
+        assert sw.elapsed > 0
+        assert not sw.running
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        tb = TimeBreakdown()
+        tb.add("a", 1.0)
+        tb.add("a", 0.5)
+        tb.add("b", 2.0)
+        assert tb.phases == {"a": 1.5, "b": 2.0}
+        assert tb.total == 3.5
+
+    def test_timed_context(self):
+        tb = TimeBreakdown()
+        with tb.timed("phase"):
+            time.sleep(0.005)
+        assert tb.phases["phase"] > 0
+
+    def test_merge(self):
+        a = TimeBreakdown({"x": 1.0})
+        b = TimeBreakdown({"x": 2.0, "y": 3.0})
+        merged = a.merge(b)
+        assert merged.phases == {"x": 3.0, "y": 3.0}
+        assert a.phases == {"x": 1.0}  # merge is non-destructive
+
+    def test_as_row(self):
+        tb = TimeBreakdown({"b": 2.0, "a": 1.0})
+        assert tb.as_row() == [1.0, 2.0]  # sorted by name
+        assert tb.as_row(["b", "c", "a"]) == [2.0, 0.0, 1.0]
+
+    def test_str(self):
+        tb = TimeBreakdown({"sim": 1.0})
+        assert "sim=" in str(tb) and "total=" in str(tb)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        check_positive("x", 0.0, strict=False)
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_same_length(self):
+        check_same_length("a", [1, 2], "b", [3, 4])
+        with pytest.raises(ValueError, match="same length"):
+            check_same_length("a", [1], "b", [2, 3])
+
+    def test_ensure_1d(self):
+        out = ensure_1d("x", [1.0, 2.0], dtype=np.float64)
+        assert out.dtype == np.float64
+        with pytest.raises(ValueError, match="must be 1-D"):
+            ensure_1d("x", np.zeros((2, 2)))
+
+
+class TestBitsHelpers:
+    def test_groups_needed(self):
+        assert groups_needed(0) == 0
+        assert groups_needed(31) == 1
+        assert groups_needed(32) == 2
+
+    def test_popcount_total_empty(self):
+        assert popcount_total(np.empty(0, dtype=np.uint32)) == 0
+
+    def test_last_group_mask_full(self):
+        assert int(last_group_mask(62)) == 0x7FFFFFFF
+        assert int(last_group_mask(63)) == 1
