@@ -1,0 +1,110 @@
+"""Calibration sweep for the density dispatcher (`auto_count` / `auto_op`).
+
+Measures, across a compression-ratio sweep on 1.24M-bit vectors, the
+speedup of the compressed-domain kernels over their group-expansion
+counterparts:
+
+* ``op_count_streaming`` vs ``op_count`` -- crossover calibrates
+  ``STREAMING_COUNT_RATIO_THRESHOLD``;
+* ``logical_op_runmerge`` vs ``logical_op`` -- crossover calibrates
+  ``STREAMING_OP_RATIO_THRESHOLD``.
+
+Writes ``benchmarks/results/kernel_dispatch.txt`` (quoted by DESIGN.md's
+"Kernel dispatch policy" section) and asserts the acceptance criterion:
+streaming count kernels beat decompress-then-popcount by >= 2x when both
+operands compress to <= 0.1 words per group.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bitmap import WAHBitVector
+from repro.bitmap.ops import (
+    STREAMING_COUNT_RATIO_THRESHOLD,
+    STREAMING_OP_RATIO_THRESHOLD,
+    logical_op,
+    logical_op_runmerge,
+    op_count,
+    op_count_streaming,
+)
+from _tables import format_table, save_table
+
+N = 31 * 40_000  # 1.24M bits
+
+#: Average run lengths (bits) spanning sparse to dense regimes.
+RUN_LENGTHS = [10_000, 2500, 620, 310, 150, 60, 31, 8]
+
+
+def _vector_pair(run_len: int) -> tuple[WAHBitVector, WAHBitVector]:
+    rng = np.random.default_rng(run_len)
+    a = np.resize(np.repeat(rng.random(N // run_len + 1) < 0.3, run_len), N)
+    b = np.resize(np.repeat(rng.random(N // run_len + 1) < 0.3, run_len), N)
+    va, vb = WAHBitVector.from_bools(a), WAHBitVector.from_bools(b)
+    va.runs(), vb.runs()  # warm the memoised run decode (steady state)
+    return va, vb
+
+
+def _best_seconds(fn, repeats: int = 15) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_dispatch_calibration_table():
+    rows: list[list[object]] = []
+    count_speedup_at: dict[float, float] = {}
+    for run_len in RUN_LENGTHS:
+        va, vb = _vector_pair(run_len)
+        ratio = max(va.compression_ratio(), vb.compression_ratio())
+        assert op_count_streaming(va, vb, "and") == op_count(va, vb, "and")
+        assert logical_op_runmerge(va, vb, "and") == logical_op(va, vb, "and")
+        t_count_dense = _best_seconds(lambda: op_count(va, vb, "and"))
+        t_count_stream = _best_seconds(lambda: op_count_streaming(va, vb, "and"))
+        t_op_dense = _best_seconds(lambda: logical_op(va, vb, "and"))
+        t_op_merge = _best_seconds(lambda: logical_op_runmerge(va, vb, "and"))
+        count_speedup = t_count_dense / t_count_stream
+        op_speedup = t_op_dense / t_op_merge
+        count_speedup_at[ratio] = count_speedup
+        rows.append(
+            [
+                run_len,
+                ratio,
+                t_count_dense * 1e6,
+                t_count_stream * 1e6,
+                count_speedup,
+                op_speedup,
+            ]
+        )
+
+    text = format_table(
+        f"Density-dispatch calibration (N={N} bits, AND kernels; "
+        f"count threshold={STREAMING_COUNT_RATIO_THRESHOLD}, "
+        f"op threshold={STREAMING_OP_RATIO_THRESHOLD})",
+        [
+            "run_bits",
+            "ratio",
+            "count_dense_us",
+            "count_stream_us",
+            "count_speedup",
+            "op_speedup",
+        ],
+        rows,
+    )
+    save_table("kernel_dispatch", text)
+
+    # Acceptance criterion: streaming count kernels win >= 2x whenever
+    # both operands compress to <= 0.1 words per group.
+    in_regime = {r: s for r, s in count_speedup_at.items() if r <= 0.1}
+    assert in_regime, "sweep produced no pairs in the <= 0.1 ratio regime"
+    assert all(s >= 2.0 for s in in_regime.values()), (
+        f"streaming count kernel under 2x in its regime: {in_regime}"
+    )
+    # Sanity for the calibrated default: the sparsest point must be a
+    # clear streaming win, the densest a clear dense win.
+    ratios = sorted(count_speedup_at)
+    assert count_speedup_at[ratios[0]] > 2.0
+    assert count_speedup_at[ratios[-1]] < 1.0

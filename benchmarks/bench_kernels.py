@@ -5,7 +5,9 @@ Ablations:
 * fast (group-expansion) vs streaming (word-merge) logical ops;
 * compressed AND+popcount vs the equivalent numpy boolean kernel on the
   decompressed data (what "hardware-supported bitwise ops" buys);
-* count-only kernels vs materialising the result vector.
+* count-only kernels vs materialising the result vector;
+* compressed-domain (run-merge) count kernels vs decompress-then-popcount
+  on well-compressed operands -- the dispatcher's streaming regime.
 """
 
 import numpy as np
@@ -14,13 +16,20 @@ import pytest
 from repro.bitmap import WAHBitVector
 from repro.bitmap.ops import (
     and_count,
+    and_count_streaming,
+    auto_count,
     logical_and,
     logical_op_streaming,
     logical_xor,
     xor_count,
+    xor_count_streaming,
 )
 
 N = 31 * 40_000  # 1.24M bits
+
+#: Average run length (bits) of the sparse fixture; long runs push the
+#: compression ratio into the dispatcher's streaming regime (<= 0.1).
+SPARSE_RUN = 620
 
 
 @pytest.fixture(scope="module")
@@ -31,6 +40,30 @@ def vectors():
     b = np.repeat(rng.random(N // 150) < 0.3, 150)[:N]
     a, b = np.resize(a, N), np.resize(b, N)
     return a, b, WAHBitVector.from_bools(a), WAHBitVector.from_bools(b)
+
+
+@pytest.fixture(scope="module")
+def dense_vectors():
+    rng = np.random.default_rng(3)
+    # Unstructured bits: nearly every word is a literal (ratio ~1.0), the
+    # regime where the dispatcher must stay on the group kernel.
+    a = rng.random(N) < 0.5
+    b = rng.random(N) < 0.5
+    va, vb = WAHBitVector.from_bools(a), WAHBitVector.from_bools(b)
+    assert va.compression_ratio() > 0.9 and vb.compression_ratio() > 0.9
+    return a, b, va, vb
+
+
+@pytest.fixture(scope="module")
+def sparse_vectors():
+    rng = np.random.default_rng(7)
+    a = np.resize(np.repeat(rng.random(N // SPARSE_RUN + 1) < 0.3, SPARSE_RUN), N)
+    b = np.resize(np.repeat(rng.random(N // SPARSE_RUN + 1) < 0.3, SPARSE_RUN), N)
+    va, vb = WAHBitVector.from_bools(a), WAHBitVector.from_bools(b)
+    # The acceptance regime: both operands compress to <= 0.1 words/group.
+    assert va.compression_ratio() <= 0.1 and vb.compression_ratio() <= 0.1
+    va.runs(), vb.runs()  # warm the memoised run decode (steady state)
+    return a, b, va, vb
 
 
 def test_kernel_and_fast(benchmark, vectors):
@@ -64,6 +97,52 @@ def test_kernel_numpy_bool_baseline(benchmark, vectors):
 def test_kernel_xor_materialised(benchmark, vectors):
     _, _, va, vb = vectors
     benchmark(lambda: logical_xor(va, vb).count())
+
+
+def test_kernel_and_count_streaming_sparse(benchmark, sparse_vectors):
+    a, b, va, vb = sparse_vectors
+    count = benchmark(lambda: and_count_streaming(va, vb))
+    assert count == int((a & b).sum())
+
+
+def test_kernel_and_count_dense_sparse(benchmark, sparse_vectors):
+    """Decompress-then-popcount on the same sparse operands (the loser)."""
+    a, b, va, vb = sparse_vectors
+    count = benchmark(lambda: and_count(va, vb))
+    assert count == int((a & b).sum())
+
+
+def test_kernel_xor_count_streaming_sparse(benchmark, sparse_vectors):
+    a, b, va, vb = sparse_vectors
+    count = benchmark(lambda: xor_count_streaming(va, vb))
+    assert count == int((a ^ b).sum())
+
+
+def test_kernel_xor_count_dense_sparse(benchmark, sparse_vectors):
+    a, b, va, vb = sparse_vectors
+    count = benchmark(lambda: xor_count(va, vb))
+    assert count == int((a ^ b).sum())
+
+
+def test_kernel_auto_count_sparse(benchmark, sparse_vectors):
+    """Dispatcher overhead on the streaming route (two ratio reads)."""
+    a, b, va, vb = sparse_vectors
+    count = benchmark(lambda: auto_count(va, vb, "and"))
+    assert count == int((a & b).sum())
+
+
+def test_kernel_auto_count_dense(benchmark, dense_vectors):
+    """Dispatcher on dense operands must not regress the group kernel."""
+    a, b, va, vb = dense_vectors
+    count = benchmark(lambda: auto_count(va, vb, "and"))
+    assert count == int((a & b).sum())
+
+
+def test_kernel_and_count_dense_baseline(benchmark, dense_vectors):
+    """The undispatched group kernel on the same dense operands."""
+    a, b, va, vb = dense_vectors
+    count = benchmark(lambda: and_count(va, vb))
+    assert count == int((a & b).sum())
 
 
 def test_kernel_popcount(benchmark, vectors):

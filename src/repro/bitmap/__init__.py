@@ -39,14 +39,23 @@ from repro.bitmap.range_index import RangeBitmapIndex
 from repro.bitmap.roaring import RoaringBitVector
 from repro.bitmap.ops import (
     and_count,
+    and_count_streaming,
+    auto_count,
+    auto_op,
     logical_and,
     logical_andnot,
     logical_not,
     logical_op,
+    logical_op_runmerge,
     logical_op_streaming,
     logical_or,
     logical_xor,
+    op_count,
+    op_count_streaming,
+    or_count,
+    or_count_streaming,
     xor_count,
+    xor_count_streaming,
 )
 from repro.bitmap.serialization import (
     index_from_bytes,
@@ -102,14 +111,23 @@ __all__ = [
     "LevelSpec",
     "MultiLevelBitmapIndex",
     "and_count",
+    "and_count_streaming",
+    "auto_count",
+    "auto_op",
     "logical_and",
     "logical_andnot",
     "logical_not",
     "logical_op",
+    "logical_op_runmerge",
     "logical_op_streaming",
     "logical_or",
     "logical_xor",
+    "op_count",
+    "op_count_streaming",
+    "or_count",
+    "or_count_streaming",
     "xor_count",
+    "xor_count_streaming",
     "index_from_bytes",
     "index_to_bytes",
     "load_index",

@@ -24,6 +24,7 @@ from repro.bitmap.binning import Binning
 from repro.bitmap.builder import OnlineBitmapBuilder, build_bitvectors
 from repro.bitmap.ops import logical_or
 from repro.bitmap.wah import WAHBitVector
+from repro.util.bits import groups_needed, last_group_mask
 
 BuildMethod = Literal["vectorized", "online"]
 
@@ -36,6 +37,7 @@ class BitmapIndex:
     bitvectors: list[WAHBitVector]
     n_elements: int
     _counts: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _groups: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.bitvectors) != self.binning.n_bins:
@@ -83,6 +85,33 @@ class BitmapIndex:
                 [v.count() for v in self.bitvectors], dtype=np.int64
             )
         return self._counts
+
+    def group_matrix(self) -> np.ndarray:
+        """Every bin's 31-bit groups stacked into a (n_bins, n_groups)
+        matrix, built at most once per index (memoised).
+
+        Decompressing each bin once turns the m x n pairwise AND/XOR loops
+        of §3.2/§4.2 into row-wise numpy kernels when the dense path is
+        chosen.  This is a *working-set* expansion (bins x groups words),
+        not a per-element expansion.  Callers must treat the matrix as
+        read-only -- it is shared across every analysis touching this
+        index.
+        """
+        if self._groups is None:
+            rows = [v.to_groups() for v in self.bitvectors]
+            mat = np.vstack(rows) if rows else np.empty((0, 0), dtype=np.uint32)
+            if mat.size and self.n_elements:
+                mat[:, -1] &= last_group_mask(self.n_elements)
+            self._groups = mat
+        return self._groups
+
+    def compression_ratio(self) -> float:
+        """Mean compressed words per uncompressed group across all bins
+        (lower is better; the dispatch signal of :mod:`repro.bitmap.ops`)."""
+        total_groups = self.n_bins * groups_needed(self.n_elements)
+        if total_groups == 0:
+            return 1.0
+        return sum(v.n_words for v in self.bitvectors) / total_groups
 
     def distribution(self) -> np.ndarray:
         """Normalised value distribution ``P(bin)``."""

@@ -1,11 +1,11 @@
 """Bitwise operations on WAH-compressed bitvectors.
 
-Two implementations are provided:
+Three implementations are provided:
 
-* :func:`logical_op` -- the **fast path**: expands both operands to their
+* :func:`logical_op` -- the **dense path**: expands both operands to their
   aligned 31-bit groups with ``np.repeat`` (never to per-element booleans),
   applies the numpy bitwise kernel, and re-compresses with the vectorised
-  run-length encoder.  This is what the analysis layers use.
+  run-length encoder.
 
 * :func:`logical_op_streaming` -- the **reference path**: the classic WAH
   two-cursor run merge operating directly on compressed words, ported from
@@ -13,11 +13,30 @@ Two implementations are provided:
   expansion at all and is used as the oracle in the test suite and for
   the ablation benchmarks.
 
-Both paths agree bit-for-bit (property-tested), and both support the four
-operations the paper's analyses need: AND (joint distributions, §3.2/§4.2),
-XOR (spatial EMD, §3.2), OR (multi-level index construction) and ANDNOT.
-NOT is provided for completeness (used by incomplete-data analysis in the
-authors' earlier work).
+* :func:`op_count_streaming` (and the :func:`and_count_streaming` /
+  :func:`or_count_streaming` / :func:`xor_count_streaming` wrappers) --
+  **compressed-domain count kernels**: a vectorised run-boundary merge
+  that accumulates popcounts directly from the two compressed word
+  streams.  No result vector is built and no group array is
+  materialised; a fill x fill span contributes in O(1) per merged run
+  regardless of how many groups it covers.  This is the §3.2 claim made
+  real: analysis cost scales with the *compressed* size.
+  :func:`logical_op_runmerge` is the materialising sibling, re-encoding
+  the merged segments straight back to WAH words.
+
+:func:`auto_op` and :func:`auto_count` dispatch between the paths by
+operand density: when both vectors compress well (compression ratio at or
+below the calibrated thresholds below) the run-merge kernels win because
+they touch only O(runs) words; on dense, run-free vectors the numpy group
+kernels win because their per-word cost is lower.  The thresholds were
+calibrated with ``benchmarks/bench_kernel_dispatch.py`` (see DESIGN.md,
+"Kernel dispatch policy").
+
+All paths agree bit-for-bit / count-for-count (property-tested), and all
+support the four operations the paper's analyses need: AND (joint
+distributions, §3.2/§4.2), XOR (spatial EMD, §3.2), OR (multi-level index
+construction) and ANDNOT.  NOT is provided for completeness (used by
+incomplete-data analysis in the authors' earlier work).
 """
 
 from __future__ import annotations
@@ -32,8 +51,15 @@ from repro.bitmap.wah import (
     FILL_VALUE_FLAG,
     WAHBitVector,
     compress_groups,
+    compress_runs,
 )
-from repro.util.bits import GROUP_BITS, GROUP_FULL, last_group_mask, popcount_total
+from repro.util.bits import (
+    GROUP_BITS,
+    GROUP_FULL,
+    last_group_mask,
+    popcount_total,
+    popcount_u32,
+)
 
 _NUMPY_KERNELS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "and": np.bitwise_and,
@@ -100,27 +126,213 @@ def logical_not(a: WAHBitVector) -> WAHBitVector:
     return WAHBitVector(compress_groups(g), a.n_bits)
 
 
-# ------------------------------------------------------- count-only kernels
+# ------------------------------------------- count-only kernels (dense path)
+def op_count(a: WAHBitVector, b: WAHBitVector, op: str) -> int:
+    """popcount(op(a, b)) via group expansion, without building the result
+    vector (the decompress-then-popcount path)."""
+    _check_operands(a, b)
+    try:
+        kernel = _NUMPY_KERNELS[op]
+    except KeyError:
+        raise ValueError(f"unknown op {op!r}; expected one of {sorted(_NUMPY_KERNELS)}")
+    out = kernel(a.to_groups(), b.to_groups())
+    if a.n_bits and out.size:
+        out[-1] &= last_group_mask(a.n_bits)
+    return popcount_total(out)
+
+
 def and_count(a: WAHBitVector, b: WAHBitVector) -> int:
     """popcount(a AND b) without building the result vector.
 
     This is the hot kernel of conditional-entropy selection: the joint
     distribution only needs the *count* of each pairwise AND.
     """
-    _check_operands(a, b)
-    out = np.bitwise_and(a.to_groups(), b.to_groups())
-    if a.n_bits and out.size:
-        out[-1] &= last_group_mask(a.n_bits)
-    return popcount_total(out)
+    return op_count(a, b, "and")
+
+
+def or_count(a: WAHBitVector, b: WAHBitVector) -> int:
+    """popcount(a OR b) without building the result vector."""
+    return op_count(a, b, "or")
 
 
 def xor_count(a: WAHBitVector, b: WAHBitVector) -> int:
     """popcount(a XOR b) -- the spatial-EMD per-bin difference of §3.2."""
+    return op_count(a, b, "xor")
+
+
+# ----------------------------------------- compressed-domain run-merge core
+def _merged_segments(
+    a: WAHBitVector, b: WAHBitVector
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Merge two compressed streams into aligned segments, never expanding.
+
+    Returns ``(seg, va, vb)`` where segment ``k`` covers ``seg[k]`` groups
+    over which operand ``a`` uniformly holds group value ``va[k]`` and
+    ``b`` holds ``vb[k]`` (or ``None`` for two empty vectors).  Any
+    segment longer than one group is necessarily fill x fill, because
+    literal runs span exactly one group.  Zero-length segments (duplicate
+    boundaries) may appear and are harmless.
+
+    The merge is O(runs_a + runs_b) numpy-vectorised work: run boundaries
+    (memoised per vector by :meth:`WAHBitVector.runs`) are combined in one
+    sort of packed keys (end_offset << 1 | source) -- a plain int64 sort
+    is much cheaper than argsort or per-bound binary search, and the
+    source flag both breaks value ties deterministically (a before b) and
+    lets prefix sums recover each side's covering-run index.
+    """
+    ends_a, vals_a = a.runs()
+    ends_b, vals_b = b.runs()
+    if ends_a.size == 0 or ends_b.size == 0:
+        if ends_a.size != ends_b.size:
+            raise AssertionError("operand word streams encode different lengths")
+        return None
+    if ends_a[-1] != ends_b[-1]:
+        raise AssertionError("operand word streams encode different lengths")
+    packed = np.concatenate((ends_a << 1, (ends_b << 1) | 1))
+    packed.sort(kind="stable")
+    bounds = packed >> 1
+    seg = np.diff(bounds, prepend=0)
+    from_b = (packed & 1).astype(bool)
+    # The run covering groups (bounds[k-1], bounds[k]] is the first run
+    # whose end offset is >= bounds[k], i.e. the count of that side's
+    # boundaries strictly below bounds[k].  Inclusive prefix counts give
+    # it directly: subtract 1 on the side the boundary came from, and on
+    # the a side also when an equal a-boundary precedes (ties sort a
+    # first, so a duplicated bound's b entry must discount it).
+    cb = np.cumsum(from_b)
+    ca = np.arange(1, packed.size + 1) - cb
+    dup_prev = np.empty(packed.size, dtype=bool)
+    dup_prev[0] = False
+    np.equal(bounds[1:], bounds[:-1], out=dup_prev[1:])
+    va = vals_a[ca - (~from_b | dup_prev)]
+    vb = vals_b[cb - from_b]
+    return seg, va, vb
+
+
+# -------------------------------------- count-only kernels (compressed path)
+def op_count_streaming(a: WAHBitVector, b: WAHBitVector, op: str) -> int:
+    """popcount(op(a, b)) computed **directly on the compressed streams**.
+
+    Each merged segment contributes ``popcount(op(va, vb)) *
+    segment_groups`` -- valid because any segment longer than one group is
+    fill x fill, whose result group is uniform (all-zero or all-one).
+    Nothing is ever expanded to the group domain, so a billion-bit fill
+    costs the same as a 31-bit literal.
+
+    Padding bits need no masking: both operands keep their padding zero,
+    and every supported op maps (0, 0) -> 0 (ANDNOT complements only the
+    right operand, which the left's zero padding then masks off).
+    """
     _check_operands(a, b)
-    out = np.bitwise_xor(a.to_groups(), b.to_groups())
-    if a.n_bits and out.size:
-        out[-1] &= last_group_mask(a.n_bits)
-    return popcount_total(out)
+    try:
+        kernel = _NUMPY_KERNELS[op]
+    except KeyError:
+        raise ValueError(f"unknown op {op!r}; expected one of {sorted(_NUMPY_KERNELS)}")
+    merged = _merged_segments(a, b)
+    if merged is None:
+        return 0
+    seg, va, vb = merged
+    out = kernel(va, vb)
+    # Popcount only the segments that can contribute.
+    nz = np.flatnonzero(out)
+    if nz.size == 0:
+        return 0
+    return int((popcount_u32(out[nz]).astype(np.int64) * seg[nz]).sum())
+
+
+def and_count_streaming(a: WAHBitVector, b: WAHBitVector) -> int:
+    """popcount(a AND b) on the compressed streams -- Figure 5's hot op."""
+    return op_count_streaming(a, b, "and")
+
+
+def or_count_streaming(a: WAHBitVector, b: WAHBitVector) -> int:
+    """popcount(a OR b) on the compressed streams."""
+    return op_count_streaming(a, b, "or")
+
+
+def xor_count_streaming(a: WAHBitVector, b: WAHBitVector) -> int:
+    """popcount(a XOR b) on the compressed streams -- Figure 4's hot op."""
+    return op_count_streaming(a, b, "xor")
+
+
+def logical_op_runmerge(a: WAHBitVector, b: WAHBitVector, op: str) -> WAHBitVector:
+    """op(a, b) materialised **without leaving the compressed domain**.
+
+    The vectorised sibling of :func:`logical_op_streaming`: the merged
+    segments' result values are re-encoded straight from run-length form
+    (:func:`~repro.bitmap.wah.compress_runs`), so cost is O(runs), not
+    O(groups).  Multi-group segments are fill x fill and thus always
+    produce a fillable (all-zero / all-one) value, which is what
+    ``compress_runs`` requires.
+    """
+    _check_operands(a, b)
+    try:
+        kernel = _NUMPY_KERNELS[op]
+    except KeyError:
+        raise ValueError(f"unknown op {op!r}; expected one of {sorted(_NUMPY_KERNELS)}")
+    merged = _merged_segments(a, b)
+    if merged is None:
+        return WAHBitVector(np.empty(0, dtype=np.uint32), a.n_bits)
+    seg, va, vb = merged
+    return WAHBitVector(compress_runs(kernel(va, vb), seg), a.n_bits)
+
+
+# ------------------------------------------------------- density dispatchers
+#: Compression-ratio (words per group, <= 1.0) threshold at or below which
+#: ``op_count_streaming`` beats the decompress-then-popcount path.  The
+#: run-boundary merge does ~10 vectorised passes over O(runs) words versus
+#: the dense path's ~5 passes over O(groups) words, so the crossover sits
+#: near runs ~= groups / 4; calibrated with
+#: ``benchmarks/bench_kernel_dispatch.py`` on 1.24M-bit vectors (see
+#: DESIGN.md, "Kernel dispatch policy").
+STREAMING_COUNT_RATIO_THRESHOLD = 0.25
+
+#: Threshold for the *materialising* run merge
+#: (:func:`logical_op_runmerge`): it additionally pays the run-domain
+#: re-encode while the dense path's re-compression is already cheap, so
+#: its crossover sits far below the count kernels'.
+STREAMING_OP_RATIO_THRESHOLD = 0.05
+
+
+def prefers_streaming(
+    a: WAHBitVector, b: WAHBitVector, threshold: float | None = None
+) -> bool:
+    """True when *both* operands compress well enough for the run-merge
+    count kernels to win (ratio at or below ``threshold``)."""
+    t = STREAMING_COUNT_RATIO_THRESHOLD if threshold is None else threshold
+    return a.compression_ratio() <= t and b.compression_ratio() <= t
+
+
+def auto_count(
+    a: WAHBitVector, b: WAHBitVector, op: str = "and", *,
+    threshold: float | None = None,
+) -> int:
+    """popcount(op(a, b)) routed by operand density.
+
+    The default hot path of the analysis layers: highly compressible
+    operand pairs take :func:`op_count_streaming`; dense pairs take the
+    vectorised group kernel.  Both routes return identical counts
+    (property-tested), so the dispatch is purely a performance decision.
+    """
+    if prefers_streaming(a, b, threshold):
+        return op_count_streaming(a, b, op)
+    return op_count(a, b, op)
+
+
+def auto_op(
+    a: WAHBitVector, b: WAHBitVector, op: str, *,
+    threshold: float | None = None,
+) -> WAHBitVector:
+    """op(a, b) routed by operand density (materialises the result).
+
+    Compressible pairs take the vectorised run merge
+    (:func:`logical_op_runmerge`); dense pairs take the group-expansion
+    path.  Results are bit-identical either way (property-tested).
+    """
+    t = STREAMING_OP_RATIO_THRESHOLD if threshold is None else threshold
+    if a.compression_ratio() <= t and b.compression_ratio() <= t:
+        return logical_op_runmerge(a, b, op)
+    return logical_op(a, b, op)
 
 
 # ---------------------------------------------------------- streaming path

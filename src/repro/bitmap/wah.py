@@ -73,6 +73,46 @@ def make_fill(value: int, n_bits: int) -> int:
     return int(header | np.uint32(n_bits))
 
 
+def _emit_words(
+    run_val: np.ndarray, run_len: np.ndarray, run_fill: np.ndarray
+) -> np.ndarray:
+    """Emit WAH words from merged runs (value, group count, fillable flag).
+
+    Literal runs always have length 1; fill runs emit one word, or several
+    for giant runs exceeding :data:`MAX_FILL_BITS`.
+    """
+    cap_groups = MAX_FILL_BITS // GROUP_BITS
+    n_words = np.where(run_fill, -(-run_len // cap_groups), 1)
+    total = int(n_words.sum())
+    out = np.empty(total, dtype=np.uint32)
+    out_pos = np.concatenate(([0], np.cumsum(n_words)[:-1]))
+
+    lit = ~run_fill
+    out[out_pos[lit]] = run_val[lit]
+
+    fills = np.flatnonzero(run_fill)
+    if fills.size:
+        simple = fills[n_words[fills] == 1]
+        if simple.size:
+            header = np.where(
+                run_val[simple] == GROUP_FULL, ONE_FILL_HEADER, ZERO_FILL_HEADER
+            ).astype(np.uint32)
+            out[out_pos[simple]] = header | (
+                run_len[simple].astype(np.uint32) * np.uint32(GROUP_BITS)
+            )
+        # Rare giant runs: loop only over runs needing splitting.
+        for r in fills[n_words[fills] > 1]:
+            value = 1 if run_val[r] == GROUP_FULL else 0
+            remaining = int(run_len[r])
+            pos = int(out_pos[r])
+            while remaining > 0:
+                take = min(remaining, cap_groups)
+                out[pos] = make_fill(value, take * GROUP_BITS)
+                pos += 1
+                remaining -= take
+    return out
+
+
 def compress_groups(groups: np.ndarray) -> np.ndarray:
     """Run-length encode an array of 31-bit groups into WAH words.
 
@@ -93,41 +133,35 @@ def compress_groups(groups: np.ndarray) -> np.ndarray:
     starts[1:] = (groups[1:] != groups[:-1]) | ~fillable[1:] | ~fillable[:-1]
     start_idx = np.flatnonzero(starts)
     run_len = np.diff(np.append(start_idx, m))
-    run_val = groups[start_idx]
-    run_fill = fillable[start_idx]
+    return _emit_words(groups[start_idx], run_len, fillable[start_idx])
 
-    # Number of output words per run: literals -> 1; fills -> ceil over the
-    # per-word capacity (almost always 1).
-    cap_groups = MAX_FILL_BITS // GROUP_BITS
-    n_words = np.where(run_fill, -(-run_len // cap_groups), 1)
-    total = int(n_words.sum())
-    out = np.empty(total, dtype=np.uint32)
-    out_pos = np.concatenate(([0], np.cumsum(n_words)[:-1]))
 
-    lit = ~run_fill
-    out[out_pos[lit]] = run_val[lit]
+def compress_runs(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Run-length encode (group value, group count) runs into WAH words.
 
-    fills = np.flatnonzero(run_fill)
-    if fills.size:
-        simple = fills[n_words[fills] == 1]
-        if simple.size:
-            header = np.where(
-                groups[start_idx[simple]] == GROUP_FULL, ONE_FILL_HEADER, ZERO_FILL_HEADER
-            ).astype(np.uint32)
-            out[out_pos[simple]] = header | (
-                run_len[simple].astype(np.uint32) * np.uint32(GROUP_BITS)
-            )
-        # Rare giant runs: loop only over runs needing splitting.
-        for r in fills[n_words[fills] > 1]:
-            value = 1 if groups[start_idx[r]] == GROUP_FULL else 0
-            remaining = int(run_len[r])
-            pos = int(out_pos[r])
-            while remaining > 0:
-                take = min(remaining, cap_groups)
-                out[pos] = make_fill(value, take * GROUP_BITS)
-                pos += 1
-                remaining -= take
-    return out
+    The run-domain sibling of :func:`compress_groups`: adjacent runs with
+    the same fillable value are merged, literal values become literal
+    words, and nothing is ever expanded to the group domain -- the cost is
+    O(runs), not O(groups).  Zero-length runs are permitted and ignored;
+    literal (non-fill) values must have count 1.
+    """
+    values = np.asarray(values, dtype=np.uint32)
+    counts = np.asarray(counts, dtype=np.int64)
+    keep = counts > 0
+    if not keep.all():
+        values, counts = values[keep], counts[keep]
+    m = values.size
+    if m == 0:
+        return np.empty(0, dtype=np.uint32)
+    fillable = (values == 0) | (values == GROUP_FULL)
+    if np.any(counts[~fillable] != 1):
+        raise ValueError("literal runs must have count 1")
+    starts = np.empty(m, dtype=bool)
+    starts[0] = True
+    starts[1:] = (values[1:] != values[:-1]) | ~fillable[1:] | ~fillable[:-1]
+    start_idx = np.flatnonzero(starts)
+    run_len = np.add.reduceat(counts, start_idx)
+    return _emit_words(values[start_idx], run_len, fillable[start_idx])
 
 
 def decompress_words(words: np.ndarray) -> np.ndarray:
@@ -204,6 +238,34 @@ class WAHBitVector:
         return cls.from_groups(g, n_bits)
 
     # ------------------------------------------------------------ content
+    def runs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-run (cumulative group end, group value) decode, memoised.
+
+        ``values[i]`` is the literal payload for literal runs and 0 /
+        ``GROUP_FULL`` for fills; ``ends[i]`` is the group offset one past
+        run ``i``.  One entry per compressed word, so the decode is
+        O(words); the result is cached because the compressed-domain count
+        kernels (:mod:`repro.bitmap.ops`) reuse each operand across many
+        pairwise merges.  Callers must treat both arrays as read-only.
+        """
+        cached = self.__dict__.get("_runs")
+        if cached is None:
+            words = self.words
+            fills = (words & FILL_FLAG) != 0
+            counts = np.where(
+                fills,
+                (words & FILL_COUNT_MASK) // np.uint32(GROUP_BITS),
+                np.uint32(1),
+            ).astype(np.int64)
+            values = np.where(
+                fills,
+                np.where((words & FILL_VALUE_FLAG) != 0, GROUP_FULL, np.uint32(0)),
+                words & np.uint32(0x7FFFFFFF),
+            ).astype(np.uint32)
+            cached = (np.cumsum(counts), values)
+            object.__setattr__(self, "_runs", cached)
+        return cached
+
     def to_groups(self) -> np.ndarray:
         """Decompress to the flat array of 31-bit groups."""
         return decompress_words(self.words)

@@ -33,7 +33,7 @@ import numpy as np
 from repro.bitmap.binning import Binning
 from repro.bitmap.index import BitmapIndex
 from repro.insitu.memory import MemoryTracker
-from repro.insitu.queue import BoundedDataQueue, QueueClosed
+from repro.insitu.queue import BoundedDataQueue, QueueClosed, QueueFailed
 from repro.insitu.sampling import Sampler
 from repro.insitu.writer import OutputWriter
 from repro.selection.greedy import (
@@ -143,12 +143,14 @@ class InSituPipeline:
         artifacts: list[object] = []
         artifact_bytes: list[int] = []
         steps_meta: list[int] = []
+        payload_sizes: list[int] = []
 
         for _ in range(n_steps):
             with timings.timed("simulate"):
                 step = self.simulation.advance()
             payload = self.payload_fn(step)
             steps_meta.append(step.step)
+            payload_sizes.append(payload.size)
             if self.mode != "fulldata":
                 # Raw data is resident only while being reduced -- the
                 # in-situ memory win.  (In fulldata mode the payload *is*
@@ -163,7 +165,9 @@ class InSituPipeline:
         memory.release("current_step_raw")
 
         selection = self._select(artifacts, select_k, timings)
-        bytes_written = self._write(artifacts, steps_meta, selection, timings)
+        bytes_written = self._write(
+            artifacts, steps_meta, selection, timings, payload_sizes=payload_sizes
+        )
         return PipelineResult(
             self.mode, timings, selection, memory, bytes_written, artifact_bytes
         )
@@ -196,7 +200,7 @@ class InSituPipeline:
             while True:
                 try:
                     step = queue.get()
-                except QueueClosed:
+                except QueueClosed:  # includes QueueFailed poisoning
                     return
                 try:
                     payload = self.payload_fn(step)
@@ -206,6 +210,11 @@ class InSituPipeline:
                 except BaseException as exc:  # surfaced after join
                     with lock:
                         errors.append(exc)
+                    # Poison the queue so a producer blocked on a full
+                    # queue (and sibling workers blocked on an empty one)
+                    # wake up and tear down instead of deadlocking once
+                    # every worker has died.
+                    queue.fail(exc)
                     return
 
         workers = [
@@ -219,13 +228,18 @@ class InSituPipeline:
 
         t0 = _time.perf_counter()
         order: list[int] = []
-        for _ in range(n_steps):
-            with timings.timed("simulate"):
-                step = self.simulation.advance()
-            order.append(step.step)
-            queue.put(step)
-            memory.set("queue", queue.resident_bytes)
-        queue.close()
+        try:
+            for _ in range(n_steps):
+                with timings.timed("simulate"):
+                    step = self.simulation.advance()
+                order.append(step.step)
+                queue.put(step)
+                memory.set("queue", queue.resident_bytes)
+            queue.close()
+        except QueueFailed:
+            # A worker died and poisoned the queue; the original exception
+            # is re-raised below once the pool has drained.
+            pass
         for t in workers:
             t.join()
         if errors:
@@ -302,8 +316,12 @@ class InSituPipeline:
             artifact_bytes.append(index.nbytes)
             with timings.timed("select"):
                 selector.push((step.step, index))
+            # Account what is *actually* resident: the retained artifacts'
+            # own sizes, not the current step's size times a count (bitmap
+            # sizes vary step to step with data compressibility).
             memory.set(
-                "retained_window", selector.resident_artifacts * index.nbytes
+                "retained_window",
+                sum(art[1].nbytes for art in selector.resident()),
             )
         memory.release("current_step_raw")
         with timings.timed("select"):
@@ -354,6 +372,8 @@ class InSituPipeline:
         steps_meta: list[int],
         selection: SelectionResult,
         timings: TimeBreakdown,
+        *,
+        payload_sizes: list[int] | None = None,
     ) -> int:
         if self.writer is None:
             return 0
@@ -366,7 +386,15 @@ class InSituPipeline:
                     self.writer.write_bitmap_step(step_id, {"payload": artifact})
                 elif self.mode == "sampling":
                     assert self.sampler is not None
-                    positions = self.sampler.positions(self._payload_size_hint(artifact))
+                    # Positions must be regenerated for the *original*
+                    # payload size recorded at reduce time; deriving it
+                    # back from the sample length and fraction rounds the
+                    # wrong way for many (size, fraction) pairs and yields
+                    # out-of-range positions.
+                    assert payload_sizes is not None, (
+                        "sampling mode requires per-step payload sizes"
+                    )
+                    positions = self.sampler.positions(payload_sizes[pos])
                     self.writer.write_sample_step(
                         step_id, positions, {"payload": artifact}
                     )
@@ -375,9 +403,3 @@ class InSituPipeline:
                         TimeStepData(step_id, {"payload": np.asarray(artifact)})
                     )
         return self.writer.stats.bytes_written - before
-
-    def _payload_size_hint(self, sample: object) -> int:
-        # Positions were drawn for the *original* payload; reconstruct its
-        # size from the sampler fraction and the sample length.
-        assert self.sampler is not None
-        return int(round(np.asarray(sample).size / self.sampler.fraction))

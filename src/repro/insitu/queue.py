@@ -24,6 +24,19 @@ class QueueClosed(Exception):
     """Raised by :meth:`BoundedDataQueue.get` after close + drain."""
 
 
+class QueueFailed(QueueClosed):
+    """Raised by ``put``/``get`` after :meth:`BoundedDataQueue.fail`.
+
+    Subclasses :class:`QueueClosed` so drain loops that already treat
+    closure as end-of-stream keep terminating; callers that care about
+    *why* the stream ended can catch this subtype and inspect ``cause``.
+    """
+
+    def __init__(self, message: str, cause: BaseException) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
 @dataclass
 class QueueStats:
     """Occupancy accounting for the core-allocation experiments."""
@@ -50,6 +63,7 @@ class BoundedDataQueue:
         self._items: deque[TimeStepData] = deque()
         self._bytes = 0
         self._closed = False
+        self._failure: BaseException | None = None
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
@@ -57,14 +71,20 @@ class BoundedDataQueue:
 
     # ------------------------------------------------------------ producer
     def put(self, item: TimeStepData) -> None:
-        """Enqueue a time-step, blocking while the queue is full."""
+        """Enqueue a time-step, blocking while the queue is full.
+
+        Raises :class:`QueueFailed` (even mid-block) once a consumer has
+        called :meth:`fail`, and :class:`QueueClosed` after :meth:`close`.
+        """
         with self._not_full:
+            self._check_failed("queue failed before put")
             if self._closed:
                 raise QueueClosed("queue already closed")
             blocked = False
             while self._bytes > 0 and self._bytes + item.nbytes > self.capacity_bytes:
                 blocked = True
                 self._not_full.wait()
+                self._check_failed("queue failed while blocked on put")
                 if self._closed:
                     raise QueueClosed("queue closed while blocked on put")
             if blocked:
@@ -82,13 +102,40 @@ class BoundedDataQueue:
             self._not_empty.notify_all()
             self._not_full.notify_all()
 
+    def fail(self, exc: BaseException) -> None:
+        """Poison the queue after an unrecoverable error on either side.
+
+        Unlike :meth:`close` -- which lets consumers drain remaining items
+        -- failing makes every current and future ``put``/``get`` raise
+        :class:`QueueFailed` immediately, unblocking threads parked on a
+        full or empty queue so the pipeline can tear down instead of
+        deadlocking.  Only the first failure is recorded.
+        """
+        with self._lock:
+            if self._failure is None:
+                self._failure = exc
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def _check_failed(self, message: str) -> None:
+        # Caller must hold self._lock.
+        if self._failure is not None:
+            raise QueueFailed(
+                f"{message}: {self._failure!r}", self._failure
+            ) from self._failure
+
     # ------------------------------------------------------------ consumer
     def get(self) -> TimeStepData:
         """Dequeue the oldest step; blocks when empty; raises
-        :class:`QueueClosed` once closed *and* drained."""
+        :class:`QueueClosed` once closed *and* drained, and
+        :class:`QueueFailed` (without draining) after :meth:`fail`."""
         with self._not_empty:
             blocked = False
-            while not self._items:
+            while True:
+                self._check_failed("queue failed")
+                if self._items:
+                    break
                 if self._closed:
                     raise QueueClosed("queue closed and drained")
                 blocked = True
@@ -116,3 +163,9 @@ class BoundedDataQueue:
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+    @property
+    def failure(self) -> BaseException | None:
+        """The first exception passed to :meth:`fail`, if any."""
+        with self._lock:
+            return self._failure

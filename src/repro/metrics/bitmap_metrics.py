@@ -21,13 +21,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitmap.index import BitmapIndex
+from repro.bitmap.ops import (
+    STREAMING_COUNT_RATIO_THRESHOLD,
+    and_count_streaming,
+    xor_count_streaming,
+)
 from repro.metrics.emd import emd_from_counts, emd_from_diffs
 from repro.metrics.entropy import (
     conditional_entropy_from_joint,
     mutual_information_from_joint,
     shannon_entropy_from_counts,
 )
-from repro.util.bits import last_group_mask, popcount_u32
+from repro.util.bits import popcount_u32
 
 
 def _check_aligned(index_a: BitmapIndex, index_b: BitmapIndex) -> None:
@@ -39,26 +44,16 @@ def _check_aligned(index_a: BitmapIndex, index_b: BitmapIndex) -> None:
 
 
 def _group_matrix(index: BitmapIndex) -> np.ndarray:
-    """Stack every bin's 31-bit groups into a (n_bins, n_groups) matrix.
+    """The index's memoised (n_bins, n_groups) decompressed matrix.
 
-    Decompressing each bin once turns the m x n pairwise AND/XOR loops of
-    §3.2/§4.2 into row-wise numpy kernels.  This is a *working-set*
-    expansion (bins x groups words), not a per-element expansion.
+    Delegates to :meth:`BitmapIndex.group_matrix`, which builds it at most
+    once per index -- the dense-path working set shared by every analysis.
     """
-    rows = [v.to_groups() for v in index.bitvectors]
-    mat = np.vstack(rows) if rows else np.empty((0, 0), dtype=np.uint32)
-    if mat.size and index.n_elements:
-        mat[:, -1] &= last_group_mask(index.n_elements)
-    return mat
+    return index.group_matrix()
 
 
-def joint_counts(index_a: BitmapIndex, index_b: BitmapIndex) -> np.ndarray:
-    """Joint histogram ``J[i, j] = popcount(A_i AND B_j)`` -- Figure 5.
-
-    The bitmap replacement for scanning both arrays to build the joint
-    value distribution: ``m x n`` compressed ANDs, each a vectorised row op.
-    """
-    _check_aligned(index_a, index_b)
+def _joint_counts_dense(index_a: BitmapIndex, index_b: BitmapIndex) -> np.ndarray:
+    """Dense route: row-wise vectorised ANDs over the group matrices."""
     ga = _group_matrix(index_a)
     gb = _group_matrix(index_b)
     out = np.zeros((index_a.n_bins, index_b.n_bins), dtype=np.int64)
@@ -79,6 +74,39 @@ def joint_counts(index_a: BitmapIndex, index_b: BitmapIndex) -> np.ndarray:
             sub = row[None, :] & gb[nonempty_b]
         out[i, nonempty_b] = popcount_u32(sub).sum(axis=1, dtype=np.int64)
     return out
+
+
+def _joint_counts_streaming(index_a: BitmapIndex, index_b: BitmapIndex) -> np.ndarray:
+    """Compressed route: m x n run-merge count kernels, no decompression."""
+    out = np.zeros((index_a.n_bins, index_b.n_bins), dtype=np.int64)
+    counts_a = index_a.bin_counts()
+    counts_b = index_b.bin_counts()
+    nonempty_j = np.flatnonzero(counts_b)
+    for i in range(index_a.n_bins):
+        if counts_a[i] == 0:
+            continue
+        va = index_a.bitvectors[i]
+        for j in nonempty_j:
+            out[i, j] = and_count_streaming(va, index_b.bitvectors[j])
+    return out
+
+
+def joint_counts(
+    index_a: BitmapIndex, index_b: BitmapIndex, *, threshold: float | None = None
+) -> np.ndarray:
+    """Joint histogram ``J[i, j] = popcount(A_i AND B_j)`` -- Figure 5.
+
+    The bitmap replacement for scanning both arrays to build the joint
+    value distribution, dispatched by density: when both indices compress
+    well the ``m x n`` ANDs run entirely in the compressed domain
+    (run-merge count kernels); otherwise each is a vectorised row op over
+    the memoised group matrices.  Both routes return identical counts.
+    """
+    _check_aligned(index_a, index_b)
+    t = STREAMING_COUNT_RATIO_THRESHOLD if threshold is None else threshold
+    if index_a.compression_ratio() <= t and index_b.compression_ratio() <= t:
+        return _joint_counts_streaming(index_a, index_b)
+    return _joint_counts_dense(index_a, index_b)
 
 
 def shannon_entropy_bitmap(index: BitmapIndex) -> float:
@@ -111,13 +139,27 @@ def emd_count_bitmap(index_a: BitmapIndex, index_b: BitmapIndex) -> float:
 
 
 def spatial_bin_differences_bitmap(
-    index_a: BitmapIndex, index_b: BitmapIndex
+    index_a: BitmapIndex, index_b: BitmapIndex, *, threshold: float | None = None
 ) -> np.ndarray:
-    """Per-bin ``popcount(A_j XOR B_j)`` -- Figure 4's m XOR operations."""
+    """Per-bin ``popcount(A_j XOR B_j)`` -- Figure 4's m XOR operations.
+
+    Density-dispatched like :func:`joint_counts`: compressible index pairs
+    run the m XORs as run-merge count kernels; dense pairs XOR the
+    memoised group matrices row-wise.
+    """
     _check_aligned(index_a, index_b)
     if index_a.n_bins != index_b.n_bins:
         raise ValueError(
             f"EMD needs a shared binning scale: {index_a.n_bins} != {index_b.n_bins} bins"
+        )
+    t = STREAMING_COUNT_RATIO_THRESHOLD if threshold is None else threshold
+    if index_a.compression_ratio() <= t and index_b.compression_ratio() <= t:
+        return np.asarray(
+            [
+                xor_count_streaming(va, vb)
+                for va, vb in zip(index_a.bitvectors, index_b.bitvectors)
+            ],
+            dtype=np.int64,
         )
     ga = _group_matrix(index_a)
     gb = _group_matrix(index_b)

@@ -98,8 +98,17 @@ def correlation_mining(
     value_threshold: float,
     spatial_threshold: float,
     unit_bits: int,
+    threshold: float | None = None,
 ) -> MiningResult:
-    """Algorithm 2: mine correlated value and spatial subsets via bitmaps."""
+    """Algorithm 2: mine correlated value and spatial subsets via bitmaps.
+
+    The m x n joint step is density-dispatched once per call: when both
+    indices compress below ``threshold`` (default
+    :data:`~repro.bitmap.ops.STREAMING_COUNT_RATIO_THRESHOLD`) every pair's
+    joint count runs in the compressed domain and only *surviving* pairs
+    materialise their joint bitvector (run-merge); otherwise each bin is
+    decompressed once into the memoised group matrix and ANDs are row ops.
+    """
     if index_a.n_elements != index_b.n_elements:
         raise ValueError(
             "indices cover different element sets: "
@@ -110,16 +119,25 @@ def correlation_mining(
     sizes = unit_sizes(n, unit_bits)
     result = MiningResult()
 
-    # Decompress each bin's groups once; pairwise ANDs become row ops --
-    # the word-level work the paper counts as "m x n bitwise ANDs".
-    from repro.metrics.bitmap_metrics import _group_matrix
+    from repro.bitmap.ops import (
+        STREAMING_COUNT_RATIO_THRESHOLD,
+        and_count_streaming,
+        logical_op_runmerge,
+    )
     from repro.bitmap.units import unit_popcounts_groups
     from repro.bitmap.wah import compress_groups
     from repro.util.bits import popcount_total
 
-    ga = _group_matrix(index_a)
-    gb = _group_matrix(index_b)
+    t = STREAMING_COUNT_RATIO_THRESHOLD if threshold is None else threshold
+    streaming = (
+        index_a.compression_ratio() <= t and index_b.compression_ratio() <= t
+    )
     group_aligned = unit_bits % 31 == 0
+    if not streaming:
+        # Decompress each bin's groups once; pairwise ANDs become row ops
+        # -- the word-level work the paper counts as "m x n bitwise ANDs".
+        ga = index_a.group_matrix()
+        gb = index_b.group_matrix()
 
     # Per-unit marginals of every bin, computed once (reused across pairs).
     a_units = [unit_popcounts(v, unit_bits) for v in index_a.bitvectors]
@@ -135,15 +153,26 @@ def correlation_mining(
             result.n_pairs_evaluated += 1
             if counts_b[j] == 0:
                 continue
-            joint_groups = ga[i] & gb[j]  # line 3 (AND on 31-bit groups)
-            jc = int(popcount_total(joint_groups))
+            if streaming:  # line 3 (AND in the compressed domain)
+                jc = and_count_streaming(
+                    index_a.bitvectors[i], index_b.bitvectors[j]
+                )
+            else:  # line 3 (AND on decompressed 31-bit groups)
+                joint_groups = ga[i] & gb[j]
+                jc = int(popcount_total(joint_groups))
             value_mi = mi_term_from_cell(jc, int(counts_a[i]), int(counts_b[j]), n)
             if value_mi < value_threshold:  # line 5 pruning
                 continue
             result.n_pairs_survived += 1
             result.value_hits.append(ValueSubsetHit(i, j, jc, value_mi))
-            # lines 6-11: per-spatial-unit MI over the joint bitvector
-            if group_aligned:
+            # lines 6-11: per-spatial-unit MI over the joint bitvector,
+            # materialised only for survivors on the streaming route.
+            if streaming:
+                joint = logical_op_runmerge(
+                    index_a.bitvectors[i], index_b.bitvectors[j], "and"
+                )
+                joint_u = unit_popcounts(joint, unit_bits)
+            elif group_aligned:
                 joint_u = unit_popcounts_groups(joint_groups, n, unit_bits)
             else:
                 joint = WAHBitVector(compress_groups(joint_groups), n)

@@ -22,9 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bitmap.index import MultiLevelBitmapIndex
-from repro.bitmap.ops import and_count
+from repro.bitmap.ops import auto_count, auto_op
 from repro.bitmap.units import n_units, unit_popcounts, unit_sizes
-from repro.bitmap.ops import logical_and
 from repro.metrics.entropy import mi_term_from_cell
 from repro.mining.correlation import (
     MiningResult,
@@ -94,7 +93,10 @@ def correlation_mining_multilevel(
     for hi in range(high_a.n_bins):
         for hj in range(high_b.n_bins):
             stats.high_pairs_evaluated += 1
-            jc = and_count(high_a.bitvectors[hi], high_b.bitvectors[hj])
+            # Density-dispatched count: high-level bins are usually dense
+            # (unions of children), low-level ones sparse -- auto_count
+            # picks the compressed-domain kernel only when both compress.
+            jc = auto_count(high_a.bitvectors[hi], high_b.bitvectors[hj], "and")
             parent_mi = mi_term_from_cell(
                 jc, int(counts_high_a[hi]), int(counts_high_b[hj]), n
             )
@@ -114,13 +116,15 @@ def correlation_mining_multilevel(
                     result.n_pairs_evaluated += 1
                     if counts_low_b[j] == 0:
                         continue
-                    joint = logical_and(low_a.bitvectors[i], low_b.bitvectors[j])
-                    cnt = joint.count()
+                    va, vb = low_a.bitvectors[i], low_b.bitvectors[j]
+                    cnt = auto_count(va, vb, "and")
                     value_mi = mi_term_from_cell(
                         cnt, int(counts_low_a[i]), int(counts_low_b[j]), n
                     )
                     if value_mi < value_threshold:
                         continue
+                    # Only survivors materialise their joint bitvector.
+                    joint = auto_op(va, vb, "and")
                     result.n_pairs_survived += 1
                     result.value_hits.append(ValueSubsetHit(i, j, cnt, value_mi))
                     if i not in a_units_cache:

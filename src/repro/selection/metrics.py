@@ -12,6 +12,15 @@ the two computation paths so tests can assert they agree exactly:
 Built-ins: Earth Mover's Distance (count-based and spatial, used for
 Lulesh in §5.1) and Conditional Entropy ``H(cand | prev)`` (used for
 Heat3D), whose bitmap path is Figure 5's AND-based joint distribution.
+
+The bitmap paths inherit density dispatch from
+:mod:`repro.metrics.bitmap_metrics`: when both indices compress below
+:data:`~repro.bitmap.ops.STREAMING_COUNT_RATIO_THRESHOLD`, the joint-AND
+(conditional entropy) and per-bin-XOR (spatial EMD) popcounts run
+entirely in the compressed domain via the ``*_count_streaming`` kernels;
+dense indices keep the memoised group-matrix row ops.  Either route
+returns bit-identical counts, so the full/bitmap equality contract is
+unaffected by dispatch.
 """
 
 from __future__ import annotations

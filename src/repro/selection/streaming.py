@@ -64,9 +64,19 @@ class StreamingSelector(Generic[Artifact]):
     @property
     def resident_artifacts(self) -> int:
         """How many artifacts the selector currently retains (<= 2)."""
-        return int(self._prev_artifact is not None) + int(
-            self._best_artifact is not None
-        )
+        return len(self.resident())
+
+    def resident(self) -> list[Artifact]:
+        """The artifacts currently retained: the previously committed
+        selection and/or the running interval's best, at most two.  Lets
+        callers account the *actual* retained bytes instead of assuming
+        every artifact is the same size as the newest one."""
+        out = []
+        if self._prev_artifact is not None:
+            out.append(self._prev_artifact)
+        if self._best_artifact is not None:
+            out.append(self._best_artifact)
+        return out
 
     def push(self, artifact: Artifact) -> None:
         """Consume the next time-step's artifact (order is implicit)."""

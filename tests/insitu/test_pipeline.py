@@ -1,5 +1,7 @@
 """Integration tests: the full in-situ pipeline on real simulations."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -109,6 +111,35 @@ class TestThreadedPipeline:
         with pytest.raises(ValueError, match="bitmap mode"):
             pipe.run_threaded(4, 2, queue_capacity_bytes=10**6)
 
+    def test_worker_failure_propagates_without_deadlock(self):
+        """Regression: when every worker dies, a producer blocked on a
+        full queue used to wait forever.  The failing worker must poison
+        the queue so run_threaded re-raises the original exception."""
+        boom = RuntimeError("payload exploded")
+
+        def bad_payload(step):
+            raise boom
+
+        sim = Heat3D((8, 8, 8), seed=9)
+        pipe = InSituPipeline(
+            sim, _heat_binning(), CONDITIONAL_ENTROPY, payload_fn=bad_payload
+        )
+        outcome: dict[str, BaseException] = {}
+
+        def run():
+            try:
+                # Queue fits exactly one 4096-byte step, so the producer
+                # blocks on step 2 once the lone worker is dead.
+                pipe.run_threaded(12, 3, queue_capacity_bytes=8 * 8 * 8 * 8)
+            except BaseException as exc:
+                outcome["exc"] = exc
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        t.join(timeout=10)
+        assert not t.is_alive(), "run_threaded deadlocked after worker death"
+        assert outcome["exc"] is boom
+
 
 class TestSamplingPipeline:
     def test_end_to_end(self, tmp_path):
@@ -130,6 +161,33 @@ class TestSamplingPipeline:
         sim = Heat3D((8, 8, 8))
         with pytest.raises(ValueError, match="needs a Sampler"):
             InSituPipeline(sim, _heat_binning(), CONDITIONAL_ENTROPY, mode="sampling")
+
+    def test_written_positions_roundtrip(self, tmp_path):
+        """Regression: written positions must be the exact ones the sample
+        was drawn with.  Reconstructing the payload size from the sample
+        length and fraction (round(154 / 0.3) = 513 != 512) used to emit
+        positions for a phantom extra element, including an out-of-range
+        index."""
+        sim = Heat3D((8, 8, 8), seed=3)  # 512 elements per step
+        sampler = Sampler(0.3)
+        pipe = InSituPipeline(
+            sim,
+            _heat_binning(),
+            CONDITIONAL_ENTROPY,
+            mode="sampling",
+            sampler=sampler,
+            writer=OutputWriter(tmp_path / "samples"),
+        )
+        pipe.run(n_steps=6, select_k=2)
+        expected = sampler.positions(512)
+        step_dirs = sorted((tmp_path / "samples").iterdir())
+        assert step_dirs
+        for d in step_dirs:
+            positions = np.load(d / "positions.npy")
+            sample = np.load(d / "payload.sample.npy")
+            assert positions.size == sample.size
+            assert positions.max() < 512
+            assert np.array_equal(positions, expected)
 
     def test_sampling_can_misselect(self):
         """Sampling may pick different steps than the exact methods --
@@ -203,3 +261,31 @@ class TestAdaptivePipeline:
         pipe = InSituPipeline(sim, None, CONDITIONAL_ENTROPY)
         result = pipe.run_streaming(12, 3)
         assert result.selection.k == 3
+
+    def test_streaming_retained_window_tracks_actual_artifacts(self):
+        """Regression: the retained window must account the *resident*
+        artifacts' own sizes, not resident_count x current step's size.
+        Adaptive binning makes bitmap sizes vary per step, so the two
+        formulas disagree."""
+        from repro.selection.streaming import StreamingSelector
+
+        n_steps, k = 12, 3
+        pipe = InSituPipeline(Heat3D((8, 8, 8), seed=13), None, CONDITIONAL_ENTROPY)
+        result = pipe.run_streaming(n_steps, k)
+
+        # Oracle: replay the identical run, tracking true resident bytes.
+        probe = InSituPipeline(Heat3D((8, 8, 8), seed=13), None, CONDITIONAL_ENTROPY)
+        sel = StreamingSelector(
+            n_steps, k, lambda p, c: probe.metric.bitmap(p[1], c[1])
+        )
+        expected_peak = 0
+        for _ in range(n_steps):
+            step = probe.simulation.advance()
+            index = probe._build_index(probe.payload_fn(step))
+            sel.push((step.step, index))
+            expected_peak = max(
+                expected_peak, sum(a[1].nbytes for a in sel.resident())
+            )
+        # Substrate and current-step-raw sizes are constant, so the total
+        # peaks exactly where the retained window does.
+        assert result.memory.peak_snapshot["retained_window"] == expected_peak

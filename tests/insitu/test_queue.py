@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.insitu.queue import BoundedDataQueue, QueueClosed
+from repro.insitu.queue import BoundedDataQueue, QueueClosed, QueueFailed
 from repro.sims.base import TimeStepData
 
 
@@ -130,6 +130,80 @@ class TestQueueBlocking:
         t.join(timeout=5)
         assert received == list(range(50))
         assert q.stats.puts == q.stats.gets == 50
+
+
+class TestQueueFailure:
+    def test_fail_poisons_put_and_get(self):
+        q = BoundedDataQueue(10**9)
+        q.put(_step(0))
+        boom = RuntimeError("worker died")
+        q.fail(boom)
+        # Unlike close(), fail() does NOT allow draining: queued items are
+        # abandoned so the error surfaces immediately.
+        with pytest.raises(QueueFailed) as exc_info:
+            q.get()
+        assert exc_info.value.cause is boom
+        with pytest.raises(QueueFailed):
+            q.put(_step(1))
+        assert q.failure is boom
+
+    def test_queue_failed_is_queue_closed(self):
+        # Drain loops that catch QueueClosed must also terminate on
+        # failure, so the poison exception is a subtype.
+        assert issubclass(QueueFailed, QueueClosed)
+
+    def test_fail_records_first_exception_only(self):
+        q = BoundedDataQueue(10**9)
+        first, second = RuntimeError("first"), RuntimeError("second")
+        q.fail(first)
+        q.fail(second)
+        assert q.failure is first
+
+    def test_fail_releases_blocked_producer(self):
+        """The deadlock scenario: producer parked on a full queue with no
+        consumer left alive must be woken by fail(), not wait forever."""
+        q = BoundedDataQueue(1000)  # fits one 800-byte step
+        q.put(_step(0))
+        outcome: list[object] = []
+
+        def producer():
+            try:
+                q.put(_step(1))  # blocks: 1600 > 1000
+                outcome.append("returned")
+            except QueueFailed as exc:
+                outcome.append(exc.cause)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not outcome, "producer should be blocked on a full queue"
+        boom = RuntimeError("all workers died")
+        q.fail(boom)
+        t.join(timeout=2)
+        assert not t.is_alive()
+        assert outcome == [boom]
+
+    def test_fail_releases_blocked_consumers(self):
+        q = BoundedDataQueue(10**9)
+        raised: list[object] = []
+        lock = threading.Lock()
+
+        def consumer():
+            try:
+                q.get()
+            except QueueFailed as exc:
+                with lock:
+                    raised.append(exc.cause)
+
+        threads = [threading.Thread(target=consumer, daemon=True) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        boom = ValueError("poison")
+        q.fail(boom)
+        for t in threads:
+            t.join(timeout=2)
+        assert raised == [boom] * 3
 
 
 class TestQueueStress:
