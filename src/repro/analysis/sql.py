@@ -89,18 +89,20 @@ _REGION_RE = re.compile(r"^REGION\s*\((?P<body>[^)]*)\)$", re.IGNORECASE)
 def _split_where(text: str) -> list[str]:
     """Split WHERE clauses on AND, but not the AND inside BETWEEN."""
     parts: list[str] = []
-    tokens = re.split(r"\s+AND\s+", text, flags=re.IGNORECASE)
+    tokens = re.split(r"\bAND\b", text, flags=re.IGNORECASE)
     i = 0
     while i < len(tokens):
         token = tokens[i]
-        if re.search(r"\bBETWEEN\s+[-\d.eE+]+$", token, re.IGNORECASE):
-            if i + 1 >= len(tokens):
-                raise QueryError(f"dangling BETWEEN in {token!r}")
+        if re.search(r"\bBETWEEN\s+[-\d.eE+]+\s*$", token, re.IGNORECASE):
+            if i + 1 >= len(tokens) or not tokens[i + 1].strip():
+                raise QueryError(f"dangling BETWEEN in {token.strip()!r}")
             token = f"{token} AND {tokens[i + 1]}"
             i += 1
         parts.append(token.strip())
         i += 1
-    return [p for p in parts if p]
+    if any(not p for p in parts):
+        raise QueryError(f"dangling AND in WHERE clause {text.strip()!r}")
+    return parts
 
 
 def parse_query(text: str) -> Query:
@@ -117,10 +119,17 @@ def parse_query(text: str) -> Query:
     query = Query(metric, m.group("a"), m.group("b"), text=text.strip())
 
     where = m.group("where")
+    if where is not None and not where.strip():
+        raise QueryError("empty WHERE clause")
     if where:
         for clause in _split_where(where):
             if bm := _BETWEEN_RE.match(clause):
                 lo, hi = float(bm.group("lo")), float(bm.group("hi"))
+                if hi < lo:
+                    raise QueryError(
+                        f"inverted BETWEEN bounds on {bm.group('var')!r}: "
+                        f"[{lo}, {hi}]"
+                    )
                 _merge_predicate(query, bm.group("var"), ValueSubset(lo, hi))
             elif cm := _CMP_RE.match(clause):
                 val = float(cm.group("val"))
@@ -164,17 +173,27 @@ def _parse_region(body: str) -> SpatialSubset:
     return SpatialSubset(tuple(lo), tuple(hi))
 
 
-def _clamped(subset: ValueSubset, index: BitmapIndex) -> ValueSubset:
-    """Replace +-inf bounds with the binning's extremes."""
-    edges = getattr(index.binning, "edges", None)
+def clamp_subset(subset: ValueSubset, binning) -> ValueSubset:
+    """Replace +-inf bounds with the binning's extremes.
+
+    Public because the query service's planner
+    (:mod:`repro.service.executor`) must clamp predicates against a
+    *binning alone* -- before any bitvector is loaded -- to pick the same
+    bins this module would.
+    """
+    edges = getattr(binning, "edges", None)
     if edges is None:
-        values = getattr(index.binning, "values", None)
+        values = getattr(binning, "values", None)
         domain_lo, domain_hi = float(values[0]), float(values[-1])
     else:
         domain_lo, domain_hi = float(edges[0]), float(edges[-1])
     lo = domain_lo if np.isneginf(subset.lo) else subset.lo
     hi = domain_hi if np.isposinf(subset.hi) else subset.hi
     return ValueSubset(min(lo, hi), max(lo, hi))
+
+
+def _clamped(subset: ValueSubset, index: BitmapIndex) -> ValueSubset:
+    return clamp_subset(subset, index.binning)
 
 
 def execute_query(

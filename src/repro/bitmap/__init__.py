@@ -58,6 +58,7 @@ from repro.bitmap.ops import (
     xor_count_streaming,
 )
 from repro.bitmap.serialization import (
+    LazyBitmapIndex,
     index_from_bytes,
     index_to_bytes,
     load_index,
@@ -128,6 +129,7 @@ __all__ = [
     "or_count_streaming",
     "xor_count",
     "xor_count_streaming",
+    "LazyBitmapIndex",
     "index_from_bytes",
     "index_to_bytes",
     "load_index",

@@ -128,12 +128,7 @@ class BitmapIndex:
 
     def query_value_range(self, lo: float, hi: float) -> WAHBitVector:
         """Elements whose *bin* overlaps [lo, hi] (bin-granular, like FastBit)."""
-        hits = [
-            b
-            for b in range(self.n_bins)
-            if _bin_overlaps(self.binning, b, lo, hi)
-        ]
-        return self.query_bins(np.asarray(hits, dtype=np.int64))
+        return self.query_bins(overlapping_bins(self.binning, lo, hi))
 
     # ------------------------------------------------------------ geometry
     @property
@@ -159,6 +154,19 @@ class BitmapIndex:
             f"BitmapIndex(n_elements={self.n_elements}, n_bins={self.n_bins}, "
             f"nbytes={self.nbytes})"
         )
+
+
+def overlapping_bins(binning: Binning, lo: float, hi: float) -> np.ndarray:
+    """Bin ids whose value range overlaps [lo, hi].
+
+    Needs only the binning, not materialised bitvectors -- this is what
+    lets the query service (:mod:`repro.service`) plan the *minimal* set
+    of bin loads for a value predicate before touching the store.
+    """
+    hits = [
+        b for b in range(binning.n_bins) if _bin_overlaps(binning, b, lo, hi)
+    ]
+    return np.asarray(hits, dtype=np.int64)
 
 
 def _bin_overlaps(binning: Binning, bin_id: int, lo: float, hi: float) -> bool:

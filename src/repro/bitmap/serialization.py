@@ -11,12 +11,31 @@ module defines that byte format:
 
 All integers are little-endian.  The format is versioned so stored bitmaps
 outlive code changes.
+
+Two record versions exist:
+
+* **V1** -- header + bitvector records, readable only front to back.
+* **V2** (default for new writes) -- V1's layout followed by an *offset
+  table* (``n_bins + 1`` int64 byte offsets, relative to the record
+  start; the final entry is the table's own offset) and a 12-byte footer
+  (``<q table_offset>`` + ``RBOT``).  The table makes every bitvector
+  independently addressable, which is what :class:`LazyBitmapIndex` and
+  the query service (:mod:`repro.service`) build on: a single-bin query
+  against a stored index reads only that bin's bytes.
+
+Sequential readers consume V2 records exactly (table and footer
+included), so V2 indices still embed in containers with trailing data;
+V1 files written by older code load unchanged.
 """
 
 from __future__ import annotations
 
 import io
+import mmap
+import os
 import struct
+import threading
+from pathlib import Path
 from typing import BinaryIO
 
 import numpy as np
@@ -30,9 +49,17 @@ from repro.bitmap.binning import (
 )
 from repro.bitmap.index import BitmapIndex
 from repro.bitmap.wah import WAHBitVector
+from repro.util.bits import groups_needed
 
 MAGIC = b"RBMP"
+FOOTER_MAGIC = b"RBOT"
 VERSION = 1
+VERSION_V2 = 2
+#: Version used for new writes (V1 remains fully readable).
+DEFAULT_VERSION = VERSION_V2
+_SUPPORTED_VERSIONS = (VERSION, VERSION_V2)
+
+_FOOTER_SIZE = 12  # <q table_offset> + FOOTER_MAGIC
 
 
 def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
@@ -41,6 +68,17 @@ def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
     if len(raw) != n:
         raise EOFError(f"truncated {what}: wanted {n} bytes, got {len(raw)}")
     return raw
+
+
+def _bytes_remaining(fh: BinaryIO) -> int | None:
+    """Bytes left in a seekable stream, or ``None`` when unknowable."""
+    try:
+        cur = fh.tell()
+        end = fh.seek(0, os.SEEK_END)
+        fh.seek(cur)
+    except (OSError, AttributeError, io.UnsupportedOperation):
+        return None
+    return end - cur
 
 _BINNING_TAGS: dict[type, int] = {
     EqualWidthBinning: 1,
@@ -60,14 +98,42 @@ def write_bitvector(fh: BinaryIO, vector: WAHBitVector) -> int:
     return len(header) + len(payload)
 
 
+def _check_bitvector_header(n_bits: int, n_words: int) -> None:
+    """Reject word counts no valid WAH stream of ``n_bits`` can have.
+
+    Every WAH word covers at least one 31-bit group, so a stream can never
+    hold more words than groups.  Checking this *before* reading the
+    payload means a corrupt header cannot demand gigabytes from
+    ``_read_exact``.
+    """
+    if n_bits < 0 or n_words < 0:
+        raise ValueError(
+            f"corrupt bitvector header: n_bits={n_bits}, n_words={n_words}"
+        )
+    if n_words > groups_needed(n_bits):
+        raise ValueError(
+            f"corrupt bitvector header: {n_words} words cannot encode "
+            f"{n_bits} bits ({groups_needed(n_bits)} groups max)"
+        )
+
+
 def read_bitvector(fh: BinaryIO) -> WAHBitVector:
     """Read one bitvector record."""
     header = _read_exact(fh, 12, "bitvector header")
     n_bits, n_words = struct.unpack("<qi", header)
-    if n_bits < 0 or n_words < 0:
-        raise ValueError(f"corrupt bitvector header: n_bits={n_bits}, n_words={n_words}")
+    _check_bitvector_header(n_bits, n_words)
+    remaining = _bytes_remaining(fh)
+    if remaining is not None and 4 * n_words > remaining:
+        # Checked *before* the read so a corrupt word count can never
+        # demand a giant allocation from _read_exact.
+        raise EOFError(
+            f"truncated bitvector payload: {4 * n_words} bytes demanded "
+            f"but only {remaining} remain in the stream"
+        )
     raw = _read_exact(fh, 4 * n_words, "bitvector payload")
-    words = np.frombuffer(raw, dtype="<u4").astype(np.uint32)
+    words = np.frombuffer(raw, dtype="<u4")
+    if words.dtype != np.uint32:  # big-endian host: byte-swapped copy
+        words = words.astype(np.uint32)
     return WAHBitVector(words, n_bits)
 
 
@@ -121,25 +187,62 @@ def read_binning(fh: BinaryIO) -> Binning:
 
 
 # ------------------------------------------------------------------ index
-def write_index(fh: BinaryIO, index: BitmapIndex) -> int:
-    """Serialise a full bitmap index; returns bytes written."""
+def _header_size(binning: Binning) -> int:
+    """Bytes before the first bitvector record."""
+    return 4 + 4 + _binning_size(binning) + 12
+
+
+def write_index(
+    fh: BinaryIO, index: BitmapIndex, *, version: int = DEFAULT_VERSION
+) -> int:
+    """Serialise a full bitmap index; returns bytes written.
+
+    ``version=2`` (the default) appends the per-bitvector offset table and
+    footer enabling random access; ``version=1`` writes the legacy layout.
+    """
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"cannot write index version {version}")
     start = fh.tell()
     fh.write(MAGIC)
-    fh.write(struct.pack("<HH", VERSION, 0))
+    fh.write(struct.pack("<HH", version, 0))
     write_binning(fh, index.binning)
     fh.write(struct.pack("<qi", index.n_elements, index.n_bins))
-    for vector in index.bitvectors:
-        write_bitvector(fh, vector)
+    offsets = np.empty(index.n_bins + 1, dtype=np.int64)
+    pos = _header_size(index.binning)
+    for b, vector in enumerate(index.bitvectors):
+        offsets[b] = pos
+        pos += write_bitvector(fh, vector)
+    offsets[index.n_bins] = pos
+    if version == VERSION_V2:
+        fh.write(offsets.astype("<i8").tobytes())
+        fh.write(struct.pack("<q", pos) + FOOTER_MAGIC)
     return fh.tell() - start
 
 
+def _read_offset_table(fh: BinaryIO, n_bins: int, expected: np.ndarray) -> None:
+    """Consume and validate a V2 offset table + footer (sequential path).
+
+    The table is redundant for a front-to-back read, but validating it
+    against the offsets actually observed catches silent corruption (and
+    keeps lazy readers honest about what they would have read).
+    """
+    raw = _read_exact(fh, 8 * (n_bins + 1), "offset table")
+    table = np.frombuffer(raw, dtype="<i8")
+    footer = _read_exact(fh, _FOOTER_SIZE, "index footer")
+    (table_offset,) = struct.unpack("<q", footer[:8])
+    if footer[8:] != FOOTER_MAGIC:
+        raise ValueError(f"bad footer magic {footer[8:]!r}")
+    if table_offset != expected[-1] or not np.array_equal(table, expected):
+        raise ValueError("corrupt offset table: offsets disagree with records")
+
+
 def read_index(fh: BinaryIO) -> BitmapIndex:
-    """Inverse of :func:`write_index`."""
+    """Inverse of :func:`write_index` (reads V1 and V2 records)."""
     magic = fh.read(4)
     if magic != MAGIC:
         raise ValueError(f"bad magic {magic!r}; not a repro bitmap index")
     version, _flags = struct.unpack("<HH", _read_exact(fh, 4, "index version"))
-    if version != VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported index version {version}")
     binning = read_binning(fh)
     n_elements, n_bins = struct.unpack("<qi", _read_exact(fh, 12, "index header"))
@@ -147,14 +250,24 @@ def read_index(fh: BinaryIO) -> BitmapIndex:
         raise ValueError(
             f"corrupt index header: n_elements={n_elements}, n_bins={n_bins}"
         )
-    vectors = [read_bitvector(fh) for _ in range(n_bins)]
+    offsets = np.empty(n_bins + 1, dtype=np.int64)
+    pos = _header_size(binning)
+    vectors = []
+    for b in range(n_bins):
+        offsets[b] = pos
+        vector = read_bitvector(fh)
+        pos += 12 + 4 * vector.n_words
+        vectors.append(vector)
+    offsets[n_bins] = pos
+    if version == VERSION_V2:
+        _read_offset_table(fh, n_bins, offsets)
     return BitmapIndex(binning, vectors, n_elements)
 
 
-def index_to_bytes(index: BitmapIndex) -> bytes:
+def index_to_bytes(index: BitmapIndex, *, version: int = DEFAULT_VERSION) -> bytes:
     """Serialise an index to a bytes object."""
     buf = io.BytesIO()
-    write_index(buf, index)
+    write_index(buf, index, version=version)
     return buf.getvalue()
 
 
@@ -163,10 +276,10 @@ def index_from_bytes(data: bytes) -> BitmapIndex:
     return read_index(io.BytesIO(data))
 
 
-def save_index(path, index: BitmapIndex) -> int:
+def save_index(path, index: BitmapIndex, *, version: int = DEFAULT_VERSION) -> int:
     """Write an index to ``path``; returns file size in bytes."""
     with open(path, "wb") as fh:
-        return write_index(fh, index)
+        return write_index(fh, index, version=version)
 
 
 def load_index(path) -> BitmapIndex:
@@ -175,13 +288,15 @@ def load_index(path) -> BitmapIndex:
         return read_index(fh)
 
 
-def serialized_size(index: BitmapIndex) -> int:
+def serialized_size(index: BitmapIndex, *, version: int = DEFAULT_VERSION) -> int:
     """Exact on-disk size without materialising the bytes."""
-    size = 4 + 4  # magic + version
-    size += _binning_size(index.binning)
-    size += 12  # n_elements + n_bins
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"cannot size index version {version}")
+    size = _header_size(index.binning)
     for v in index.bitvectors:
         size += 12 + 4 * v.n_words
+    if version == VERSION_V2:
+        size += 8 * (index.n_bins + 1) + _FOOTER_SIZE
     return size
 
 
@@ -193,3 +308,183 @@ def _binning_size(binning: Binning) -> int:
     if isinstance(binning, DistinctValueBinning):
         return 1 + 8 + 8 * np.asarray(binning.values).size
     raise TypeError(type(binning).__name__)
+
+
+# ------------------------------------------------------------- lazy loads
+class LazyBitmapIndex:
+    """Random access to one stored index without materialising it.
+
+    Opens an index *file* (memory-mapped when possible), parses only the
+    header, and resolves each bin's byte range from the V2 offset table --
+    or, for V1 files and V2 records whose footer cannot be trusted (e.g.
+    trailing bytes appended to the file), from a one-pass scan of the
+    bitvector *headers* that never touches payload bytes.  Individual
+    :class:`~repro.bitmap.wah.WAHBitVector`\\ s are decoded on demand by
+    :meth:`get`.
+
+    ``bytes_read`` / ``reads`` count the record bytes actually decoded,
+    which is the accounting the query service's cold/warm assertions and
+    ``QueryStats.bytes_loaded`` are built on.  Concurrent :meth:`get`
+    calls are safe: mmap slicing is lock-free, the file-handle fallback
+    serialises around a lock.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.bytes_read = 0
+        self.reads = 0
+        self._lock = threading.Lock()
+        self._fh: BinaryIO | None = open(self.path, "rb")
+        self._mm: mmap.mmap | None = None
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):  # empty or unmappable file
+            self._mm = None
+        try:
+            self._parse_header()
+        except Exception:
+            self.close()
+            raise
+
+    @classmethod
+    def open(cls, path: Path | str) -> "LazyBitmapIndex":
+        """Alias constructor, symmetric with :func:`load_index`."""
+        return cls(path)
+
+    # ----------------------------------------------------------- plumbing
+    def _parse_header(self) -> None:
+        fh = self._fh
+        fh.seek(0)
+        magic = fh.read(4)
+        if magic != MAGIC:
+            raise ValueError(f"bad magic {magic!r}; not a repro bitmap index")
+        version, _flags = struct.unpack("<HH", _read_exact(fh, 4, "index version"))
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported index version {version}")
+        self.version = int(version)
+        self.binning = read_binning(fh)
+        n_elements, n_bins = struct.unpack(
+            "<qi", _read_exact(fh, 12, "index header")
+        )
+        if n_elements < 0 or n_bins < 0:
+            raise ValueError(
+                f"corrupt index header: n_elements={n_elements}, n_bins={n_bins}"
+            )
+        self.n_elements = int(n_elements)
+        self.n_bins = int(n_bins)
+        self._data_start = _header_size(self.binning)
+        self.offsets = None
+        if self.version == VERSION_V2:
+            self.offsets = self._offsets_from_footer()
+        if self.offsets is None:
+            self.offsets = self._offsets_from_scan()
+
+    def _offsets_from_footer(self) -> np.ndarray | None:
+        """Load the V2 offset table via the footer; ``None`` if untrusted."""
+        fh = self._fh
+        size = fh.seek(0, os.SEEK_END)
+        if size < self._data_start + 8 * (self.n_bins + 1) + _FOOTER_SIZE:
+            return None
+        fh.seek(size - _FOOTER_SIZE)
+        footer = _read_exact(fh, _FOOTER_SIZE, "index footer")
+        (table_offset,) = struct.unpack("<q", footer[:8])
+        if footer[8:] != FOOTER_MAGIC:
+            return None
+        table_end = size - _FOOTER_SIZE
+        if table_offset + 8 * (self.n_bins + 1) != table_end:
+            return None
+        fh.seek(table_offset)
+        raw = _read_exact(fh, 8 * (self.n_bins + 1), "offset table")
+        offsets = np.frombuffer(raw, dtype="<i8").astype(np.int64)
+        if (
+            offsets[0] != self._data_start
+            or offsets[-1] != table_offset
+            or np.any(np.diff(offsets) < 12)
+        ):
+            raise ValueError("corrupt offset table: implausible offsets")
+        return offsets
+
+    def _offsets_from_scan(self) -> np.ndarray:
+        """Build the offset table by hopping over bitvector *headers* only."""
+        fh = self._fh
+        offsets = np.empty(self.n_bins + 1, dtype=np.int64)
+        pos = self._data_start
+        for b in range(self.n_bins):
+            offsets[b] = pos
+            fh.seek(pos)
+            n_bits, n_words = struct.unpack(
+                "<qi", _read_exact(fh, 12, "bitvector header")
+            )
+            _check_bitvector_header(n_bits, n_words)
+            if n_bits != self.n_elements:
+                raise ValueError(
+                    f"bitvector {b} covers {n_bits} bits, index covers "
+                    f"{self.n_elements} elements"
+                )
+            pos += 12 + 4 * n_words
+        offsets[self.n_bins] = pos
+        return offsets
+
+    def _read_range(self, lo: int, hi: int, what: str) -> bytes:
+        if self._mm is not None:
+            raw = self._mm[lo:hi]
+            if len(raw) != hi - lo:
+                raise EOFError(
+                    f"truncated {what}: wanted {hi - lo} bytes, got {len(raw)}"
+                )
+            return raw
+        with self._lock:
+            self._fh.seek(lo)
+            return _read_exact(self._fh, hi - lo, what)
+
+    # ------------------------------------------------------------ reading
+    def nbytes_of(self, bin_id: int) -> int:
+        """On-disk record size of one bin's bitvector."""
+        self._check_bin(bin_id)
+        return int(self.offsets[bin_id + 1] - self.offsets[bin_id])
+
+    def get(self, bin_id: int) -> WAHBitVector:
+        """Decode one bin's bitvector, reading only its byte range."""
+        self._check_bin(bin_id)
+        lo, hi = int(self.offsets[bin_id]), int(self.offsets[bin_id + 1])
+        raw = self._read_range(lo, hi, f"bitvector record {bin_id}")
+        vector = read_bitvector(io.BytesIO(raw))
+        if vector.n_bits != self.n_elements:
+            raise ValueError(
+                f"bitvector {bin_id} covers {vector.n_bits} bits, index "
+                f"covers {self.n_elements} elements"
+            )
+        self.bytes_read += hi - lo
+        self.reads += 1
+        return vector
+
+    def materialize(self) -> BitmapIndex:
+        """Load every bin into a regular :class:`BitmapIndex`."""
+        vectors = [self.get(b) for b in range(self.n_bins)]
+        return BitmapIndex(self.binning, vectors, self.n_elements)
+
+    def _check_bin(self, bin_id: int) -> None:
+        if not 0 <= bin_id < self.n_bins:
+            raise IndexError(f"bin {bin_id} out of range [0, {self.n_bins})")
+
+    # ---------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "LazyBitmapIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyBitmapIndex({str(self.path)!r}, v{self.version}, "
+            f"n_elements={self.n_elements}, n_bins={self.n_bins}, "
+            f"bytes_read={self.bytes_read})"
+        )

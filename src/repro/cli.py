@@ -5,7 +5,9 @@ without writing Python:
 
 * ``repro insitu``  -- run the in-situ pipeline on a built-in workload;
 * ``repro index``   -- build a bitmap index from a ``.npy`` array;
-* ``repro query``   -- inspect a stored index (stats, range counts);
+* ``repro query``   -- inspect stored indices, or run SQL against them;
+* ``repro serve``   -- batch-execute SQL queries over a bitmap store
+  through the query service (catalog + cache + thread pool);
 * ``repro mine``    -- correlation mining on the POP-like ocean data;
 * ``repro model``   -- print a modelled figure table (Figures 7-13/15).
 """
@@ -55,10 +57,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--zorder", action="store_true",
                    help="linearise multi-dimensional input in Z-order")
 
-    p = sub.add_parser("query", help="inspect a stored bitmap index")
-    p.add_argument("index", type=Path)
+    p = sub.add_parser(
+        "query", help="inspect stored bitmap indices or run SQL against them"
+    )
+    p.add_argument("index", type=Path, nargs="+")
     p.add_argument("--range", nargs=2, type=float, metavar=("LO", "HI"),
                    default=None, help="count elements with value in [LO, HI]")
+    p.add_argument("--sql", default=None, metavar="QUERY",
+                   help="run an analysis SQL string against the indices "
+                        "(variable names are the file stems)")
+    p.add_argument("--zorder-shape", default=None, metavar="SHAPE",
+                   help="grid shape for REGION predicates, e.g. 8,16,32")
 
     p = sub.add_parser("mine", help="correlation mining on ocean-like data")
     p.add_argument("--shape", default="8,48,96")
@@ -80,6 +89,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--shape", default="16,32,64")
     p.add_argument("--repeats", type=int, default=3)
+
+    p = sub.add_parser(
+        "serve",
+        help="batch-execute SQL queries over a bitmap store via the "
+             "query service",
+    )
+    p.add_argument("root", type=Path, help="bitmap store directory")
+    p.add_argument("--sql", action="append", required=True, metavar="QUERY",
+                   help="query to run (repeatable)")
+    p.add_argument("--step", type=int, default=None,
+                   help="time step to query (default: latest stored)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="run the batch N times (warm-cache demonstration)")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--max-pending", type=int, default=32)
+    p.add_argument("--cache-mb", type=float, default=64.0,
+                   help="bitvector cache budget in MiB")
+    p.add_argument("--zorder-shape", default=None, metavar="SHAPE",
+                   help="grid shape for REGION predicates, e.g. 8,16,32")
 
     p = sub.add_parser("store", help="inspect a bitmap time-series store")
     p.add_argument("root", type=Path)
@@ -163,19 +191,38 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_layout(text: str | None):
+    if text is None:
+        return None
+    from repro.bitmap import ZOrderLayout
+
+    return ZOrderLayout.for_shape(tuple(int(x) for x in text.split(",")))
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.bitmap import load_index
     from repro.metrics import shannon_entropy_bitmap
 
-    index = load_index(args.index)
-    print(
-        f"{args.index}: {index.n_elements} elements, {index.n_bins} bins, "
-        f"{index.nbytes} bytes, entropy {shannon_entropy_bitmap(index):.4f} bits"
-    )
-    if args.range is not None:
-        lo, hi = args.range
-        hits = index.query_value_range(lo, hi)
-        print(f"values in [{lo}, {hi}] (bin-granular): {hits.count()} elements")
+    for path in args.index:
+        index = load_index(path)
+        print(
+            f"{path}: {index.n_elements} elements, {index.n_bins} bins, "
+            f"{index.nbytes} bytes, entropy {shannon_entropy_bitmap(index):.4f} bits"
+        )
+        if args.range is not None:
+            lo, hi = args.range
+            hits = index.query_value_range(lo, hi)
+            print(f"values in [{lo}, {hi}] (bin-granular): {hits.count()} elements")
+    if args.sql is not None:
+        from repro.service import Catalog, QueryService
+
+        catalog = Catalog.from_files(args.index)
+        with QueryService(
+            catalog, layout=_parse_layout(args.zorder_shape)
+        ) as service:
+            result = service.execute(args.sql)
+            print(f"{result.metric} = {result.value:.6g}")
+            print(f"  {result.stats.summary()}")
     return 0
 
 
@@ -298,6 +345,36 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryService
+
+    with QueryService(
+        args.root,
+        cache_bytes=int(args.cache_mb * 2**20),
+        max_workers=args.workers,
+        max_pending=args.max_pending,
+        layout=_parse_layout(args.zorder_shape),
+    ) as service:
+        print(f"serving {service.catalog!r}")
+        for round_id in range(max(1, args.repeat)):
+            label = "cold" if round_id == 0 else f"warm#{round_id}"
+            results = service.execute_many(args.sql, step=args.step)
+            for result in results:
+                print(
+                    f"[{label}] step={result.step} {result.metric} = "
+                    f"{result.value:.6g}  ({result.text})"
+                )
+                print(f"  {result.stats.summary()}")
+        print(f"cache: {service.cache.stats()!r}")
+        stats = service.service_stats()
+        print(
+            f"served={stats['served']} rejected={stats['rejected']} "
+            f"file_reads={service.file_reads()} "
+            f"file_bytes_read={service.file_bytes_read()}"
+        )
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from repro.io.timeseries import BitmapStore
     from repro.metrics import conditional_entropy_bitmap, emd_count_bitmap
@@ -327,6 +404,7 @@ _HANDLERS = {
     "mine": _cmd_mine,
     "model": _cmd_model,
     "calibrate": _cmd_calibrate,
+    "serve": _cmd_serve,
     "store": _cmd_store,
 }
 

@@ -1,0 +1,40 @@
+"""Query serving over persisted bitmap stores (systems layer above S1-S7).
+
+The paper's §2.3/§4 endgame -- *stored bitmaps replace raw data for
+offline analysis* -- needs more than a file format: it needs an
+addressable catalog of compressed segments, lazy per-bitvector loads, a
+bounded cache, and an executor that turns a SQL string into the minimal
+set of bitvector reads.  This package provides that serving path:
+
+* :class:`~repro.service.catalog.Catalog` -- persisted manifest of a
+  store directory (variable x step -> file, sizes, checksums);
+* :class:`~repro.service.cache.BitvectorCache` -- byte-budget LRU under
+  all lazy loads, with hit/miss/eviction counters;
+* :class:`~repro.service.executor.QueryService` -- concurrent executor
+  for :mod:`repro.analysis.sql` query strings with per-query
+  :class:`~repro.service.executor.QueryStats` and overload rejection.
+
+``repro serve`` (:mod:`repro.cli`) is the command-line entry point.
+"""
+
+from repro.service.cache import BitvectorCache, CacheKey, CacheStats
+from repro.service.catalog import Catalog, CatalogEntry, CatalogError
+from repro.service.executor import (
+    QueryResult,
+    QueryService,
+    QueryStats,
+    ServiceOverloadError,
+)
+
+__all__ = [
+    "BitvectorCache",
+    "CacheKey",
+    "CacheStats",
+    "Catalog",
+    "CatalogEntry",
+    "CatalogError",
+    "QueryResult",
+    "QueryService",
+    "QueryStats",
+    "ServiceOverloadError",
+]

@@ -1,0 +1,266 @@
+"""Store catalog: an addressable manifest over persisted bitmap indices.
+
+A :class:`repro.io.timeseries.BitmapStore` directory holds
+``step_XXXXX/<variable>.rbmp`` files.  The catalog scans that layout once
+into a manifest -- (variable x time-step) -> file, format version,
+binning description, element/bin counts, byte size, checksum -- and
+persists it as ``catalog.json`` next to the data, so a query server can
+resolve "which file holds salinity at step 40?" without touching any
+index bytes.
+
+The manifest is *derived* state: on any mismatch with the directory
+(files added, removed, rewritten, or a schema bump) it is rebuilt from
+scratch and re-persisted.  Loose ``.rbmp`` files can also be cataloged
+directly (:meth:`Catalog.from_files`) for one-off query sessions without
+a store layout.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import struct
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.bitmap.serialization import (
+    MAGIC,
+    _SUPPORTED_VERSIONS,
+    LazyBitmapIndex,
+)
+
+CATALOG_NAME = "catalog.json"
+#: Manifest schema version; bump to force rebuilds on format changes.
+CATALOG_FORMAT = 1
+
+_STEP_DIR_RE = re.compile(r"^step_(\d+)$")
+
+
+class CatalogError(ValueError):
+    """Raised for unresolvable variables/steps or unusable stores."""
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One stored index: where it lives and what it contains."""
+
+    variable: str
+    step: int
+    file: str  # relative to the catalog root
+    version: int
+    n_elements: int
+    n_bins: int
+    nbytes: int  # file size on disk
+    mtime_ns: int
+    checksum: int  # crc32 of the header bytes (cheap, catches rewrites)
+    binning: str  # human-readable description
+
+    @property
+    def key(self) -> tuple[int, str]:
+        return (self.step, self.variable)
+
+
+def _probe(root: Path, rel: str, step: int, variable: str) -> CatalogEntry:
+    """Build one entry by parsing an index file's header (no payloads)."""
+    path = root / rel
+    stat = path.stat()
+    with LazyBitmapIndex(path) as lazy:
+        with path.open("rb") as fh:
+            header = fh.read(int(lazy.offsets[0]))
+        return CatalogEntry(
+            variable=variable,
+            step=step,
+            file=rel,
+            version=lazy.version,
+            n_elements=lazy.n_elements,
+            n_bins=lazy.n_bins,
+            nbytes=stat.st_size,
+            mtime_ns=stat.st_mtime_ns,
+            checksum=zlib.crc32(header),
+            binning=repr(lazy.binning),
+        )
+
+
+def _scan_layout(root: Path) -> list[tuple[str, int, str]]:
+    """(relative file, step, variable) triples for the store layout."""
+    found: list[tuple[str, int, str]] = []
+    for step_dir in sorted(root.iterdir()) if root.is_dir() else []:
+        m = _STEP_DIR_RE.match(step_dir.name)
+        if not m or not step_dir.is_dir():
+            continue
+        step = int(m.group(1))
+        for path in sorted(step_dir.glob("*.rbmp")):
+            found.append((str(path.relative_to(root)), step, path.stem))
+    return found
+
+
+class Catalog:
+    """A persisted manifest of every stored index under one root."""
+
+    def __init__(self, root: Path | str, entries: list[CatalogEntry]) -> None:
+        self.root = Path(root)
+        self._entries: dict[tuple[int, str], CatalogEntry] = {
+            e.key: e for e in entries
+        }
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def build(cls, root: Path | str, *, persist: bool = True) -> "Catalog":
+        """Scan ``root``'s store layout into a fresh catalog."""
+        root = Path(root)
+        if not root.is_dir():
+            raise CatalogError(f"store root {root} is not a directory")
+        entries = [
+            _probe(root, rel, step, var) for rel, step, var in _scan_layout(root)
+        ]
+        catalog = cls(root, entries)
+        if persist:
+            catalog.save()
+        return catalog
+
+    @classmethod
+    def open(cls, root: Path | str) -> "Catalog":
+        """Load ``catalog.json`` if it still matches the directory, else
+        rebuild (and re-persist) it."""
+        root = Path(root)
+        path = root / CATALOG_NAME
+        if not path.exists():
+            return cls.build(root)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format") != CATALOG_FORMAT:
+                raise ValueError(f"catalog format {payload.get('format')}")
+            entries = [CatalogEntry(**raw) for raw in payload["entries"]]
+        except (ValueError, KeyError, TypeError):
+            return cls.build(root)
+        catalog = cls(root, entries)
+        if catalog._stale():
+            return cls.build(root)
+        return catalog
+
+    @classmethod
+    def from_files(cls, paths: list[Path | str]) -> "Catalog":
+        """Catalog loose index files (variable = file stem, step = 0).
+
+        Used by one-shot CLI queries; nothing is persisted.
+        """
+        if not paths:
+            raise CatalogError("no index files given")
+        paths = [Path(p) for p in paths]
+        root = paths[0].parent
+        entries = []
+        for p in paths:
+            rel = str(p.relative_to(root)) if p.parent == root else str(p)
+            entries.append(_probe(root, rel, 0, p.stem))
+        return cls(root, entries)
+
+    def _stale(self) -> bool:
+        """True when the directory no longer matches the manifest."""
+        layout = {(step, var): rel for rel, step, var in _scan_layout(self.root)}
+        if set(layout) != set(self._entries):
+            return True
+        for key, entry in self._entries.items():
+            if layout[key] != entry.file:
+                return True
+            path = self.root / entry.file
+            try:
+                stat = path.stat()
+            except OSError:
+                return True
+            if stat.st_size != entry.nbytes or stat.st_mtime_ns != entry.mtime_ns:
+                return True
+        return False
+
+    def save(self) -> Path:
+        """Persist the manifest as ``catalog.json`` under the root."""
+        path = self.root / CATALOG_NAME
+        payload = {
+            "format": CATALOG_FORMAT,
+            "entries": [asdict(e) for e in sorted(
+                self._entries.values(), key=lambda e: e.key
+            )],
+        }
+        path.write_text(json.dumps(payload, indent=1))
+        return path
+
+    # ----------------------------------------------------------- resolving
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[CatalogEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.key)
+
+    def steps(self) -> list[int]:
+        return sorted({step for step, _ in self._entries})
+
+    def variables(self, step: int | None = None) -> list[str]:
+        if step is None:
+            return sorted({var for _, var in self._entries})
+        return sorted(var for s, var in self._entries if s == step)
+
+    def entry(self, variable: str, step: int) -> CatalogEntry:
+        try:
+            return self._entries[(step, variable)]
+        except KeyError:
+            raise CatalogError(
+                f"no index for {variable!r} at step {step}; "
+                f"stored steps: {self.steps()}"
+            ) from None
+
+    def resolve(self, variable: str, step: int | None = None) -> CatalogEntry:
+        """Find ``variable``'s entry; ``step=None`` takes the latest step
+        holding it."""
+        if step is not None:
+            return self.entry(variable, step)
+        steps = sorted(
+            (s for s, var in self._entries if var == variable), reverse=True
+        )
+        if not steps:
+            raise CatalogError(
+                f"variable {variable!r} not in catalog; "
+                f"available: {self.variables()}"
+            )
+        return self._entries[(steps[0], variable)]
+
+    def path_of(self, entry: CatalogEntry) -> Path:
+        return self.root / entry.file
+
+    def verify(self, entry: CatalogEntry) -> bool:
+        """Re-checksum one entry's header against the file on disk."""
+        path = self.root / entry.file
+        try:
+            fresh = _probe(self.root, entry.file, entry.step, entry.variable)
+        except (OSError, ValueError, EOFError):
+            return False
+        return (
+            fresh.checksum == entry.checksum and fresh.nbytes == entry.nbytes
+        )
+
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog({str(self.root)!r}, entries={len(self)}, "
+            f"steps={len(self.steps())}, bytes={self.total_bytes()})"
+        )
+
+
+# Re-exported for callers that sanity-check files before cataloging.
+def looks_like_index(path: Path | str) -> bool:
+    """Cheap sniff: does ``path`` start with the index magic?"""
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(4)
+    except OSError:
+        return False
+    if head != MAGIC:
+        return False
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(4)
+            version = struct.unpack("<HH", fh.read(4))[0]
+    except (OSError, struct.error):
+        return False
+    return version in _SUPPORTED_VERSIONS

@@ -1,0 +1,396 @@
+"""Concurrent SQL-query executor over stored bitmap indices.
+
+This is the serving path the paper's offline-analysis story implies
+(§2.3, §4): once the in-situ pipeline has written selected indices, every
+later query runs against those files -- never against raw data.  The
+:class:`QueryService` takes the query strings of :mod:`repro.analysis.sql`
+and executes them against a :class:`~repro.service.catalog.Catalog` in
+four phases, each timed into :class:`QueryStats`:
+
+* **parse** -- :func:`repro.analysis.sql.parse_query`;
+* **plan** -- resolve FROM variables through the catalog, validate
+  predicates, and compile them to the *minimal* set of bin vectors:
+  a ``COUNT`` query touches only the bins its predicates overlap, while
+  distribution metrics (``MI``/``CE``/``EMD``) need every bin of both
+  variables for the joint histogram;
+* **load** -- fetch each planned bitvector through the shared
+  :class:`~repro.service.cache.BitvectorCache`; misses fall through to
+  :class:`~repro.bitmap.serialization.LazyBitmapIndex`, reading only that
+  record's byte range;
+* **execute** -- combine masks with the density-dispatched kernels
+  (:func:`~repro.bitmap.ops.auto_op` / :func:`~repro.bitmap.ops.auto_count`)
+  and evaluate the metric.
+
+Concurrency: queries run on a thread pool behind a *bounded* admission
+count -- :meth:`QueryService.submit` raises :class:`ServiceOverloadError`
+once ``max_pending`` queries are in flight instead of queueing without
+bound, so an overloaded server degrades by rejecting, not by dying.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import reduce
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.queries import spatial_subset_mask
+from repro.analysis.sql import Query, QueryError, clamp_subset, execute_query, parse_query
+from repro.bitmap.index import BitmapIndex, overlapping_bins
+from repro.bitmap.ops import auto_count, auto_op
+from repro.bitmap.serialization import LazyBitmapIndex
+from repro.bitmap.wah import WAHBitVector
+from repro.bitmap.zorder import ZOrderLayout
+from repro.service.cache import BitvectorCache, CacheKey
+from repro.service.catalog import Catalog, CatalogEntry, CatalogError
+
+
+class ServiceOverloadError(RuntimeError):
+    """Raised when a query is rejected because the service is saturated."""
+
+    def __init__(self, pending: int, capacity: int) -> None:
+        super().__init__(
+            f"query rejected: {pending} queries already in flight "
+            f"(capacity {capacity}); retry later"
+        )
+        self.pending = pending
+        self.capacity = capacity
+
+
+@dataclass
+class QueryStats:
+    """Per-query cost accounting across the four execution phases."""
+
+    parse_s: float = 0.0
+    plan_s: float = 0.0
+    load_s: float = 0.0
+    execute_s: float = 0.0
+    bytes_loaded: int = 0  # record bytes read from disk (cache misses)
+    bitvectors_planned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.parse_s + self.plan_s + self.load_s + self.execute_s
+
+    def summary(self) -> str:
+        return (
+            f"total={self.total_s * 1e3:.2f}ms "
+            f"(parse={self.parse_s * 1e3:.2f} plan={self.plan_s * 1e3:.2f} "
+            f"load={self.load_s * 1e3:.2f} exec={self.execute_s * 1e3:.2f}) "
+            f"bitvectors={self.bitvectors_planned} "
+            f"cache={self.cache_hits}h/{self.cache_misses}m "
+            f"loaded={self.bytes_loaded}B"
+        )
+
+
+@dataclass
+class QueryResult:
+    """A finished query: its value plus where the time and bytes went."""
+
+    value: float
+    text: str
+    metric: str
+    step: int
+    stats: QueryStats
+
+
+@dataclass
+class _Plan:
+    """Resolved execution plan: which bins of which stored files to load."""
+
+    query: Query
+    step: int
+    entries: dict[str, CatalogEntry]
+    lazies: dict[str, LazyBitmapIndex]
+    #: variable -> bin ids to load (minimal for COUNT, all bins otherwise)
+    needed: dict[str, np.ndarray]
+    #: variable -> bin ids forming that variable's predicate mask
+    predicate_bins: dict[str, np.ndarray]
+    count_only: bool = False
+    n_elements: int = 0
+
+
+class QueryService:
+    """Serves :mod:`repro.analysis.sql` queries from a stored catalog.
+
+    Parameters
+    ----------
+    catalog:
+        A :class:`Catalog`, or a store root path to open one over.
+    cache:
+        Shared :class:`BitvectorCache`; built from ``cache_bytes`` when
+        omitted.
+    max_workers:
+        Thread-pool width for :meth:`submit`.
+    max_pending:
+        Hard cap on in-flight (queued + running) submitted queries;
+        beyond it :meth:`submit` raises :class:`ServiceOverloadError`.
+    layout:
+        Optional :class:`ZOrderLayout` for ``REGION`` predicates.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | Path | str,
+        *,
+        cache: BitvectorCache | None = None,
+        cache_bytes: int = 64 << 20,
+        max_workers: int = 4,
+        max_pending: int = 32,
+        layout: ZOrderLayout | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"need >= 1 worker, got {max_workers}")
+        if max_pending < 1:
+            raise ValueError(f"need max_pending >= 1, got {max_pending}")
+        self.catalog = (
+            catalog if isinstance(catalog, Catalog) else Catalog.open(catalog)
+        )
+        self.cache = cache if cache is not None else BitvectorCache(cache_bytes)
+        self.layout = layout
+        self.max_pending = int(max_pending)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-query"
+        )
+        self._admission = threading.Lock()
+        self._pending = 0
+        self._files_lock = threading.Lock()
+        self._files: dict[str, LazyBitmapIndex] = {}
+        self._served = 0
+        self._rejected = 0
+        self._closed = False
+
+    # ----------------------------------------------------------- frontend
+    def execute(self, sql: str, *, step: int | None = None) -> QueryResult:
+        """Run one query synchronously in the calling thread."""
+        return self._run(sql, step)
+
+    def submit(self, sql: str, *, step: int | None = None) -> "Future[QueryResult]":
+        """Enqueue one query on the pool; bounded, rejecting on overload."""
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        with self._admission:
+            if self._pending >= self.max_pending:
+                self._rejected += 1
+                raise ServiceOverloadError(self._pending, self.max_pending)
+            self._pending += 1
+        try:
+            future = self._pool.submit(self._run, sql, step)
+        except BaseException:
+            with self._admission:
+                self._pending -= 1
+            raise
+        future.add_done_callback(self._release)
+        return future
+
+    def execute_many(
+        self, sqls: list[str], *, step: int | None = None
+    ) -> list[QueryResult]:
+        """Run a batch concurrently (blocking); admission still applies."""
+        futures = [self.submit(sql, step=step) for sql in sqls]
+        return [f.result() for f in futures]
+
+    def _release(self, _future: "Future[QueryResult]") -> None:
+        with self._admission:
+            self._pending -= 1
+
+    # ------------------------------------------------------------- phases
+    def _run(self, sql: str, step: int | None) -> QueryResult:
+        stats = QueryStats()
+        t0 = time.perf_counter()
+        query = parse_query(sql)
+        stats.parse_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        plan = self._plan(query, step)
+        stats.plan_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        loaded = self._load(plan, stats)
+        stats.load_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        value = self._execute(plan, loaded)
+        stats.execute_s = time.perf_counter() - t0
+        self._served += 1
+        return QueryResult(
+            value=value,
+            text=query.text,
+            metric=query.metric,
+            step=plan.step,
+            stats=stats,
+        )
+
+    def _plan(self, query: Query, step: int | None) -> _Plan:
+        try:
+            entry_a = self.catalog.resolve(query.var_a, step)
+            resolved_step = entry_a.step if step is None else step
+            entry_b = self.catalog.resolve(query.var_b, resolved_step)
+        except CatalogError as exc:
+            raise QueryError(f"unknown variable in FROM clause: {exc}") from exc
+        entries = {query.var_a: entry_a, query.var_b: entry_b}
+        if entry_a.n_elements != entry_b.n_elements:
+            raise QueryError("FROM variables cover different element sets")
+        for var in query.value_predicates:
+            if var not in entries:
+                raise QueryError(
+                    f"predicate on {var!r}, which is not in the FROM clause"
+                )
+        if query.region is not None and self.layout is None:
+            raise QueryError("REGION clause requires a ZOrderLayout")
+
+        lazies = {var: self._open(entries[var]) for var in entries}
+        predicate_bins: dict[str, np.ndarray] = {}
+        for var, subset in query.value_predicates.items():
+            clamped = clamp_subset(subset, lazies[var].binning)
+            predicate_bins[var] = overlapping_bins(
+                lazies[var].binning, clamped.lo, clamped.hi
+            )
+
+        count_only = query.metric == "COUNT"
+        if count_only:
+            needed = {var: bins for var, bins in predicate_bins.items()}
+        else:
+            needed = {
+                var: np.arange(lazies[var].n_bins, dtype=np.int64)
+                for var in entries
+            }
+        return _Plan(
+            query=query,
+            step=resolved_step,
+            entries=entries,
+            lazies=lazies,
+            needed=needed,
+            predicate_bins=predicate_bins,
+            count_only=count_only,
+            n_elements=entry_a.n_elements,
+        )
+
+    def _load(
+        self, plan: _Plan, stats: QueryStats
+    ) -> dict[str, dict[int, WAHBitVector]]:
+        loaded: dict[str, dict[int, WAHBitVector]] = {}
+        for var, bins in plan.needed.items():
+            entry = plan.entries[var]
+            lazy = plan.lazies[var]
+            path = str(self.catalog.path_of(entry))
+            vectors: dict[int, WAHBitVector] = {}
+            for bin_id in bins:
+                bin_id = int(bin_id)
+                key = CacheKey.for_bin(path, var, bin_id)
+                vector, hit = self.cache.get_or_load(
+                    key, lambda b=bin_id: lazy.get(b)
+                )
+                if hit:
+                    stats.cache_hits += 1
+                else:
+                    stats.cache_misses += 1
+                    stats.bytes_loaded += lazy.nbytes_of(bin_id)
+                vectors[bin_id] = vector
+            stats.bitvectors_planned += len(vectors)
+            loaded[var] = vectors
+        return loaded
+
+    def _execute(
+        self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
+    ) -> float:
+        query = plan.query
+        if plan.count_only:
+            return self._execute_count(plan, loaded)
+        indices = {
+            var: BitmapIndex(
+                plan.lazies[var].binning,
+                [loaded[var][b] for b in range(plan.lazies[var].n_bins)],
+                plan.n_elements,
+            )
+            for var in plan.entries
+        }
+        return execute_query(query, indices, layout=self.layout)
+
+    def _execute_count(
+        self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
+    ) -> float:
+        """COUNT from the minimal bin set: OR within a predicate, AND across.
+
+        Matches ``execute_query``'s ``joint.sum()`` exactly -- the bins
+        partition the element set, so the joint histogram's total is the
+        popcount of the combined mask -- without ever touching bins the
+        predicates don't overlap.
+        """
+        n = plan.n_elements
+        masks: list[WAHBitVector] = []
+        for var, bins in plan.predicate_bins.items():
+            if bins.size == 0:
+                return 0.0  # predicate overlaps no bin: empty result set
+            vectors = [loaded[var][int(b)] for b in bins]
+            masks.append(reduce(lambda x, y: auto_op(x, y, "or"), vectors))
+        if plan.query.region is not None:
+            masks.append(
+                spatial_subset_mask(n, plan.query.region, self.layout)
+            )
+        if not masks:
+            return float(n)
+        if len(masks) == 1:
+            return float(masks[0].count())
+        acc = reduce(lambda x, y: auto_op(x, y, "and"), masks[:-1])
+        return float(auto_count(acc, masks[-1], "and"))
+
+    # ------------------------------------------------------------ backend
+    def _open(self, entry: CatalogEntry) -> LazyBitmapIndex:
+        """Shared per-file lazy reader (header parsed once, then reused)."""
+        path = str(self.catalog.path_of(entry))
+        with self._files_lock:
+            lazy = self._files.get(path)
+            if lazy is None:
+                lazy = LazyBitmapIndex(path)
+                self._files[path] = lazy
+            return lazy
+
+    def file_bytes_read(self) -> int:
+        """Total record bytes read from disk across every open file."""
+        with self._files_lock:
+            return sum(lazy.bytes_read for lazy in self._files.values())
+
+    def file_reads(self) -> int:
+        """Total bitvector record reads issued against the store."""
+        with self._files_lock:
+            return sum(lazy.reads for lazy in self._files.values())
+
+    def service_stats(self) -> dict[str, int]:
+        with self._admission:
+            pending = self._pending
+        return {
+            "served": self._served,
+            "rejected": self._rejected,
+            "pending": pending,
+            "open_files": len(self._files),
+        }
+
+    # ---------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        with self._files_lock:
+            for lazy in self._files.values():
+                lazy.close()
+            self._files.clear()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self.catalog!r}, cache={self.cache.stats()!r}, "
+            f"stats={self.service_stats()!r})"
+        )

@@ -66,6 +66,55 @@ class TestParsing:
             parse_query("SELECT MI FROM a, b WHERE REGION(0:1) AND REGION(1:2)")
 
 
+class TestParserEdgeCases:
+    def test_missing_from(self):
+        with pytest.raises(QueryError, match="cannot parse"):
+            parse_query("SELECT MI temperature, salinity")
+        with pytest.raises(QueryError, match="cannot parse"):
+            parse_query("SELECT MI FROM")
+
+    def test_single_from_variable(self):
+        with pytest.raises(QueryError, match="cannot parse"):
+            parse_query("SELECT MI FROM temperature")
+
+    def test_dangling_and(self):
+        with pytest.raises(QueryError, match="dangling AND"):
+            parse_query("SELECT MI FROM a, b WHERE a >= 1 AND")
+        with pytest.raises(QueryError, match="dangling AND"):
+            parse_query("SELECT MI FROM a, b WHERE AND a >= 1")
+        with pytest.raises(QueryError, match="dangling AND"):
+            parse_query("SELECT MI FROM a, b WHERE a >= 1 AND AND b <= 2")
+
+    def test_empty_where(self):
+        with pytest.raises(QueryError, match="empty WHERE"):
+            parse_query("SELECT MI FROM a, b WHERE ")
+
+    def test_dangling_between(self):
+        with pytest.raises(QueryError, match="dangling BETWEEN"):
+            parse_query("SELECT MI FROM a, b WHERE a BETWEEN 1 AND")
+        with pytest.raises(QueryError, match="dangling BETWEEN"):
+            parse_query("SELECT MI FROM a, b WHERE a BETWEEN 1")
+
+    def test_inverted_between_bounds(self):
+        with pytest.raises(QueryError, match="inverted BETWEEN"):
+            parse_query("SELECT MI FROM a, b WHERE a BETWEEN 9 AND 2")
+
+    def test_keywords_are_case_insensitive(self):
+        q = parse_query(
+            "SeLeCt CoUnT fRoM Temp, Salt "
+            "wHeRe Temp BeTwEeN 1 aNd 2 AnD ReGiOn(0:4, 0:4)"
+        )
+        assert q.metric == "COUNT"
+        # Variable names keep their case; only keywords fold.
+        assert (q.var_a, q.var_b) == ("Temp", "Salt")
+        assert "Temp" in q.value_predicates
+        assert q.region.lo == (0, 0)
+
+    def test_between_equal_bounds_allowed(self):
+        q = parse_query("SELECT MI FROM a, b WHERE a BETWEEN 3 AND 3")
+        assert (q.value_predicates["a"].lo, q.value_predicates["a"].hi) == (3, 3)
+
+
 class TestExecution:
     def test_unrestricted_mi_matches_fulldata(self, env):
         tz, sz, layout, indices = env

@@ -13,6 +13,8 @@ from repro.bitmap.binning import (
 )
 from repro.bitmap.index import BitmapIndex
 from repro.bitmap.serialization import (
+    FOOTER_MAGIC,
+    LazyBitmapIndex,
     index_from_bytes,
     index_to_bytes,
     load_index,
@@ -131,3 +133,122 @@ class TestIndexRecords:
         index = BitmapIndex.build(coherent_field, binning)
         raw_bytes = coherent_field.size * 8
         assert serialized_size(index) < 0.3 * raw_bytes
+
+
+class TestV2Format:
+    def _index(self, rng, n=2000, bins=20):
+        data = rng.normal(0, 1, n)
+        return BitmapIndex.build(data, EqualWidthBinning.from_data(data, bins))
+
+    def test_default_write_is_v2_with_footer(self, rng):
+        raw = index_to_bytes(self._index(rng))
+        assert raw.endswith(FOOTER_MAGIC)
+        assert raw[4] == 2  # version field
+
+    def test_both_versions_roundtrip(self, rng):
+        index = self._index(rng)
+        for version in (1, 2):
+            back = index_from_bytes(index_to_bytes(index, version=version))
+            assert back.bitvectors == index.bitvectors
+
+    def test_v1_has_no_table_and_is_smaller(self, rng):
+        index = self._index(rng)
+        v1 = index_to_bytes(index, version=1)
+        v2 = index_to_bytes(index, version=2)
+        assert not v1.endswith(FOOTER_MAGIC)
+        # V2 adds exactly the offset table + footer.
+        assert len(v2) - len(v1) == 8 * (index.n_bins + 1) + 12
+        assert serialized_size(index, version=1) == len(v1)
+        assert serialized_size(index, version=2) == len(v2)
+
+    def test_unknown_version_rejected(self, rng):
+        with pytest.raises(ValueError, match="version 7"):
+            index_to_bytes(self._index(rng, n=50, bins=2), version=7)
+        with pytest.raises(ValueError, match="version 7"):
+            serialized_size(self._index(rng, n=50, bins=2), version=7)
+
+    def test_corrupt_offset_table_detected(self, rng):
+        index = self._index(rng, n=500, bins=8)
+        raw = bytearray(index_to_bytes(index, version=2))
+        table_start = len(raw) - 12 - 8 * (index.n_bins + 1)
+        raw[table_start + 8] ^= 0xFF  # damage the second stored offset
+        with pytest.raises(ValueError, match="offset table"):
+            index_from_bytes(bytes(raw))
+
+
+class TestLazyBitmapIndex:
+    def _save(self, rng, tmp_path, *, version=2, n=3000, bins=16):
+        data = rng.normal(0, 1, n)
+        index = BitmapIndex.build(data, EqualWidthBinning.from_data(data, bins))
+        path = tmp_path / "lazy.rbmp"
+        save_index(path, index, version=version)
+        return path, index
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_single_bin_matches_eager(self, rng, tmp_path, version):
+        path, index = self._save(rng, tmp_path, version=version)
+        with LazyBitmapIndex.open(path) as lazy:
+            assert lazy.version == version
+            assert (lazy.n_elements, lazy.n_bins) == (3000, 16)
+            for b in (0, 7, 15):
+                assert lazy.get(b) == index.bitvectors[b]
+
+    def test_bytes_read_accounting(self, rng, tmp_path):
+        path, index = self._save(rng, tmp_path)
+        file_size = path.stat().st_size
+        with LazyBitmapIndex.open(path) as lazy:
+            assert lazy.bytes_read == 0
+            lazy.get(3)
+            assert lazy.reads == 1
+            assert lazy.bytes_read == lazy.nbytes_of(3)
+            assert lazy.bytes_read < file_size / 4
+            # Record sizes partition the data region exactly.
+            total = sum(lazy.nbytes_of(b) for b in range(lazy.n_bins))
+            overhead = 8 * (lazy.n_bins + 1) + 12  # table + footer
+            assert total == file_size - lazy.offsets[0] - overhead
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_materialize_equals_load(self, rng, tmp_path, version):
+        path, index = self._save(rng, tmp_path, version=version)
+        with LazyBitmapIndex.open(path) as lazy:
+            back = lazy.materialize()
+        assert back.bitvectors == index.bitvectors
+        assert back.n_elements == index.n_elements
+
+    def test_bad_bin_rejected(self, rng, tmp_path):
+        path, _ = self._save(rng, tmp_path)
+        with LazyBitmapIndex.open(path) as lazy:
+            with pytest.raises(IndexError):
+                lazy.get(16)
+            with pytest.raises(IndexError):
+                lazy.nbytes_of(-1)
+
+    def test_damaged_footer_falls_back_to_scan(self, rng, tmp_path):
+        """A V2 file whose footer was stomped still serves via the scan."""
+        path, index = self._save(rng, tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-4:] = b"XXXX"  # destroy FOOTER_MAGIC
+        path.write_bytes(bytes(raw))
+        with LazyBitmapIndex.open(path) as lazy:
+            assert lazy.get(5) == index.bitvectors[5]
+
+    def test_trailing_garbage_tolerated(self, rng, tmp_path):
+        path, index = self._save(rng, tmp_path)
+        with path.open("ab") as fh:
+            fh.write(b"\x00" * 97)
+        with LazyBitmapIndex.open(path) as lazy:
+            assert lazy.get(2) == index.bitvectors[2]
+
+    def test_truncated_file_rejected_on_access(self, rng, tmp_path):
+        path, _ = self._save(rng, tmp_path, version=1)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 5])
+        with pytest.raises((EOFError, ValueError)):
+            with LazyBitmapIndex.open(path) as lazy:
+                lazy.get(lazy.n_bins - 1)
+
+    def test_not_an_index(self, tmp_path):
+        bad = tmp_path / "bad.rbmp"
+        bad.write_bytes(b"NOPE" + b"\x00" * 40)
+        with pytest.raises(ValueError, match="bad magic"):
+            LazyBitmapIndex.open(bad)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the query-service suite: a small populated store."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, EqualWidthBinning, ZOrderLayout
+from repro.io.timeseries import BitmapStore
+from repro.sims import OceanDataGenerator
+
+SHAPE = (8, 16, 32)
+STEPS = 3
+BINS = 16
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return ZOrderLayout.for_shape(SHAPE)
+
+
+@pytest.fixture(scope="module")
+def store_env(tmp_path_factory, layout):
+    """A store with two correlated variables over three steps, plus the
+    in-memory indices for oracle comparisons."""
+    root = tmp_path_factory.mktemp("svc") / "store"
+    gen = OceanDataGenerator(SHAPE, seed=11)
+    snaps = [gen.advance() for _ in range(STEPS)]
+    flat = {
+        name: [layout.flatten(s.fields[name]) for s in snaps]
+        for name in ("temperature", "salinity")
+    }
+    binnings = {
+        name: EqualWidthBinning.from_data(np.concatenate(arrs), BINS)
+        for name, arrs in flat.items()
+    }
+    store = BitmapStore(root)
+    indices: dict[int, dict[str, BitmapIndex]] = {}
+    for step in range(STEPS):
+        indices[step] = {}
+        for name in flat:
+            index = BitmapIndex.build(flat[name][step], binnings[name])
+            store.write(step, name, index)
+            indices[step][name] = index
+    return root, indices, binnings

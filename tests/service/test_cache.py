@@ -1,0 +1,128 @@
+"""Tests for the byte-budget LRU bitvector cache (repro.service.cache)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bitmap.wah import WAHBitVector
+from repro.service.cache import BitvectorCache, CacheKey
+
+
+def _vector(rng, n=2000, density=0.3) -> WAHBitVector:
+    return WAHBitVector.from_bools(rng.random(n) < density)
+
+
+def _key(i: int) -> CacheKey:
+    return CacheKey.for_bin("file.rbmp", "t", i)
+
+
+class TestBasics:
+    def test_miss_then_hit(self, rng):
+        cache = BitvectorCache(1 << 20)
+        v = _vector(rng)
+        assert cache.get(_key(0)) is None
+        cache.put(_key(0), v)
+        assert cache.get(_key(0)) is v
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.bytes_cached == v.nbytes
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_get_or_load_loads_once(self, rng):
+        cache = BitvectorCache(1 << 20)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return _vector(rng)
+
+        v1, hit1 = cache.get_or_load(_key(1), loader)
+        v2, hit2 = cache.get_or_load(_key(1), loader)
+        assert (hit1, hit2) == (False, True)
+        assert v1 is v2
+        assert len(calls) == 1
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="positive"):
+            BitvectorCache(0)
+
+
+class TestEviction:
+    def test_lru_order(self, rng):
+        vectors = [_vector(rng) for _ in range(4)]
+        budget = sum(v.nbytes for v in vectors[:3])
+        cache = BitvectorCache(budget)
+        for i in range(3):
+            cache.put(_key(i), vectors[i])
+        cache.get(_key(0))  # refresh 0; 1 becomes LRU
+        cache.put(_key(3), vectors[3])
+        assert cache.get(_key(1)) is None  # evicted
+        assert cache.get(_key(0)) is not None
+        assert cache.stats().evictions >= 1
+        assert cache.stats().bytes_cached <= budget
+
+    def test_oversized_value_not_retained(self, rng):
+        small = _vector(rng, n=500)
+        cache = BitvectorCache(small.nbytes)
+        cache.put(_key(0), small)
+        big = WAHBitVector.from_bools(rng.random(50_000) < 0.5)
+        assert big.nbytes > cache.budget_bytes
+        cache.put(_key(1), big)
+        assert cache.get(_key(1)) is None  # never retained
+        assert cache.get(_key(0)) is not None  # working set survived
+
+    def test_replace_same_key_adjusts_bytes(self, rng):
+        cache = BitvectorCache(1 << 20)
+        a, b = _vector(rng, 4000), _vector(rng, 900)
+        cache.put(_key(0), a)
+        cache.put(_key(0), b)
+        assert cache.stats().bytes_cached == b.nbytes
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_invalidate_file(self, rng):
+        cache = BitvectorCache(1 << 20)
+        cache.put(CacheKey.for_bin("a.rbmp", "t", 0), _vector(rng))
+        cache.put(CacheKey.for_bin("a.rbmp", "t", 1), _vector(rng))
+        cache.put(CacheKey.for_bin("b.rbmp", "t", 0), _vector(rng))
+        assert cache.invalidate_file("a.rbmp") == 2
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().bytes_cached == 0
+
+
+class TestConcurrency:
+    def test_parallel_mixed_load(self, rng):
+        """Hammer one small cache from several threads; counters and byte
+        accounting must stay consistent."""
+        vectors = [_vector(np.random.default_rng(i), 3000) for i in range(16)]
+        budget = sum(v.nbytes for v in vectors) // 3
+        cache = BitvectorCache(budget)
+        errors = []
+
+        def worker(seed: int) -> None:
+            local = np.random.default_rng(seed)
+            try:
+                for _ in range(300):
+                    i = int(local.integers(0, len(vectors)))
+                    got, _ = cache.get_or_load(_key(i), lambda i=i: vectors[i])
+                    if got is not vectors[i]:
+                        errors.append(f"wrong vector for key {i}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.bytes_cached <= budget
+        assert stats.hits + stats.misses == 8 * 300
+        assert stats.bytes_cached == sum(
+            vectors[k.bin].nbytes for k in cache._entries
+        )

@@ -1,0 +1,128 @@
+"""Tests for the store catalog (repro.service.catalog)."""
+
+import json
+
+import pytest
+
+from repro.service.catalog import (
+    CATALOG_NAME,
+    Catalog,
+    CatalogError,
+    looks_like_index,
+)
+
+
+class TestBuild:
+    def test_scan_finds_everything(self, store_env):
+        root, indices, _ = store_env
+        catalog = Catalog.build(root)
+        assert catalog.steps() == [0, 1, 2]
+        assert catalog.variables(0) == ["salinity", "temperature"]
+        assert len(catalog) == 6
+
+    def test_entries_carry_header_facts(self, store_env):
+        root, indices, _ = store_env
+        catalog = Catalog.build(root)
+        entry = catalog.entry("temperature", 1)
+        index = indices[1]["temperature"]
+        assert entry.n_elements == index.n_elements
+        assert entry.n_bins == index.n_bins
+        assert entry.version == 2
+        assert entry.nbytes == (root / entry.file).stat().st_size
+        assert "EqualWidthBinning" in entry.binning
+
+    def test_persisted_and_reloaded(self, store_env):
+        root, _, _ = store_env
+        built = Catalog.build(root)
+        assert (root / CATALOG_NAME).exists()
+        reopened = Catalog.open(root)
+        assert [e.key for e in reopened.entries()] == [
+            e.key for e in built.entries()
+        ]
+
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(CatalogError, match="not a directory"):
+            Catalog.build(tmp_path / "nope")
+
+
+class TestRebuildOnMismatch:
+    def test_new_file_triggers_rebuild(self, store_env, tmp_path):
+        import shutil
+
+        root, _, _ = store_env
+        work = tmp_path / "copy"
+        shutil.copytree(root, work)
+        Catalog.build(work)
+        # Add a new variable behind the catalog's back.
+        src = work / "step_00000" / "temperature.rbmp"
+        (work / "step_00001" / "pressure.rbmp").write_bytes(src.read_bytes())
+        catalog = Catalog.open(work)
+        assert "pressure" in catalog.variables(1)
+
+    def test_corrupt_manifest_triggers_rebuild(self, store_env, tmp_path):
+        import shutil
+
+        root, _, _ = store_env
+        work = tmp_path / "copy"
+        shutil.copytree(root, work)
+        Catalog.build(work)
+        (work / CATALOG_NAME).write_text("{not json")
+        catalog = Catalog.open(work)
+        assert len(catalog) == 6
+
+    def test_schema_bump_triggers_rebuild(self, store_env, tmp_path):
+        import shutil
+
+        root, _, _ = store_env
+        work = tmp_path / "copy"
+        shutil.copytree(root, work)
+        path = Catalog.build(work).save()
+        payload = json.loads(path.read_text())
+        payload["format"] = 999
+        path.write_text(json.dumps(payload))
+        assert len(Catalog.open(work)) == 6
+
+
+class TestResolve:
+    def test_latest_step_default(self, store_env):
+        root, _, _ = store_env
+        catalog = Catalog.open(root)
+        assert catalog.resolve("temperature").step == 2
+        assert catalog.resolve("temperature", 0).step == 0
+
+    def test_unknown_variable(self, store_env):
+        root, _, _ = store_env
+        catalog = Catalog.open(root)
+        with pytest.raises(CatalogError, match="not in catalog"):
+            catalog.resolve("pressure")
+        with pytest.raises(CatalogError, match="no index"):
+            catalog.entry("temperature", 99)
+
+    def test_verify(self, store_env):
+        root, _, _ = store_env
+        catalog = Catalog.open(root)
+        entry = catalog.entry("salinity", 0)
+        assert catalog.verify(entry)
+
+
+class TestFromFiles:
+    def test_loose_files(self, store_env):
+        root, _, _ = store_env
+        paths = sorted((root / "step_00000").glob("*.rbmp"))
+        catalog = Catalog.from_files(paths)
+        assert catalog.variables(0) == ["salinity", "temperature"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError, match="no index files"):
+            Catalog.from_files([])
+
+
+class TestSniff:
+    def test_looks_like_index(self, store_env, tmp_path):
+        root, _, _ = store_env
+        good = next((root / "step_00000").glob("*.rbmp"))
+        assert looks_like_index(good)
+        bad = tmp_path / "bad.rbmp"
+        bad.write_bytes(b"XXXXXXXXXX")
+        assert not looks_like_index(bad)
+        assert not looks_like_index(tmp_path / "absent.rbmp")

@@ -1,0 +1,233 @@
+"""Tests for the concurrent query executor (repro.service.executor)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.sql import QueryError, query as oracle_query
+from repro.bitmap import BitmapIndex, EqualWidthBinning, save_index
+from repro.bitmap.index import overlapping_bins
+from repro.service import (
+    BitvectorCache,
+    Catalog,
+    QueryService,
+    ServiceOverloadError,
+)
+
+COUNT_ONE_BIN = (
+    "SELECT COUNT FROM temperature, salinity WHERE temperature BETWEEN {lo} AND {hi}"
+)
+
+
+@pytest.fixture
+def service(store_env, layout):
+    root, _, _ = store_env
+    with QueryService(root, layout=layout, max_workers=2) as svc:
+        yield svc
+
+
+def _one_bin_query(binnings) -> str:
+    """A value predicate that overlaps exactly one temperature bin."""
+    edges = binnings["temperature"].edges
+    lo = float(edges[3]) + 1e-9
+    hi = float(edges[4]) - 1e-9
+    sql = COUNT_ONE_BIN.format(lo=lo, hi=hi)
+    assert overlapping_bins(binnings["temperature"], lo, hi).size == 1
+    return sql
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT MI FROM temperature, salinity",
+            "SELECT CE FROM temperature, salinity",
+            "SELECT COUNT FROM temperature, salinity",
+            "SELECT COUNT FROM temperature, salinity WHERE temperature >= 12",
+            "SELECT MI FROM temperature, salinity WHERE salinity <= 33 "
+            "AND temperature BETWEEN 8 AND 20",
+            "SELECT COUNT FROM temperature, salinity WHERE REGION(0:4, 0:8, 0:16)",
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE temperature >= 12 AND REGION(0:8, 0:8, 0:8)",
+        ],
+    )
+    def test_matches_whole_index_oracle(self, service, store_env, layout, sql):
+        _, indices, _ = store_env
+        for step in (0, 2):
+            got = service.execute(sql, step=step)
+            expect = oracle_query(sql, indices[step], layout=layout)
+            assert got.value == pytest.approx(expect)
+            assert got.step == step
+
+    def test_default_step_is_latest(self, service, store_env, layout):
+        _, indices, _ = store_env
+        got = service.execute("SELECT MI FROM temperature, salinity")
+        expect = oracle_query(
+            "SELECT MI FROM temperature, salinity", indices[2], layout=layout
+        )
+        assert got.step == 2
+        assert got.value == pytest.approx(expect)
+
+    def test_emd_on_shared_scale(self, service, store_env, layout):
+        _, indices, _ = store_env
+        sql = "SELECT EMD FROM temperature, temperature"
+        got = service.execute(sql, step=1)
+        expect = oracle_query(sql, indices[1], layout=layout)
+        assert got.value == pytest.approx(expect)
+
+    def test_query_errors_propagate(self, service):
+        with pytest.raises(QueryError, match="unknown variable"):
+            service.execute("SELECT MI FROM temperature, pressure")
+        with pytest.raises(QueryError, match="not in the FROM"):
+            service.execute(
+                "SELECT COUNT FROM temperature, salinity WHERE depth >= 1"
+            )
+
+    def test_region_without_layout_rejected_in_plan(self, store_env):
+        root, _, _ = store_env
+        with QueryService(root) as svc:
+            with pytest.raises(QueryError, match="ZOrderLayout"):
+                svc.execute(
+                    "SELECT COUNT FROM temperature, salinity "
+                    "WHERE REGION(0:2, 0:2, 0:2)"
+                )
+            # Planning failed before any bitvector was touched.
+            assert svc.file_reads() == 0
+
+
+class TestLazyLoading:
+    def test_cold_single_bin_query_reads_one_record(self, store_env, layout):
+        """The acceptance criterion: a single-bin COUNT against a
+        multi-bin stored index reads exactly that bin's bytes."""
+        root, _, binnings = store_env
+        sql = _one_bin_query(binnings)
+        with QueryService(root, layout=layout) as svc:
+            result = svc.execute(sql, step=1)
+            entry = svc.catalog.entry("temperature", 1)
+            assert result.stats.bitvectors_planned == 1
+            assert result.stats.cache_misses == 1
+            # Bytes read from disk == that one record, << the whole file.
+            assert svc.file_bytes_read() == result.stats.bytes_loaded
+            assert 0 < result.stats.bytes_loaded < entry.nbytes / 4
+            assert svc.file_reads() == 1
+
+    def test_warm_repeat_reads_nothing(self, store_env, layout):
+        root, _, binnings = store_env
+        sql = _one_bin_query(binnings)
+        with QueryService(root, layout=layout) as svc:
+            cold = svc.execute(sql, step=1)
+            bytes_after_cold = svc.file_bytes_read()
+            warm = svc.execute(sql, step=1)
+            assert warm.value == cold.value
+            assert svc.file_bytes_read() == bytes_after_cold  # zero new reads
+            assert warm.stats.cache_misses == 0
+            assert warm.stats.cache_hits == cold.stats.cache_misses
+            assert warm.stats.bytes_loaded == 0
+
+    def test_unpredicated_count_loads_nothing(self, service):
+        result = service.execute(
+            "SELECT COUNT FROM temperature, salinity", step=0
+        )
+        assert result.stats.bitvectors_planned == 0
+        assert result.value == float(8 * 16 * 32)
+
+    def test_full_metric_loads_all_bins_once(self, store_env, layout):
+        root, indices, _ = store_env
+        n_bins = indices[0]["temperature"].n_bins
+        with QueryService(root, layout=layout) as svc:
+            result = svc.execute("SELECT MI FROM temperature, salinity", step=0)
+            assert result.stats.bitvectors_planned == 2 * n_bins
+            assert result.stats.cache_misses == 2 * n_bins
+            total = (
+                svc.catalog.entry("temperature", 0).nbytes
+                + svc.catalog.entry("salinity", 0).nbytes
+            )
+            assert result.stats.bytes_loaded < total  # headers/tables skipped
+
+    def test_tiny_cache_still_correct(self, store_env, layout):
+        """With a cache too small for the working set, queries still
+        return correct values -- they just reload."""
+        root, indices, _ = store_env
+        with QueryService(
+            root, layout=layout, cache=BitvectorCache(64)
+        ) as svc:
+            sql = "SELECT MI FROM temperature, salinity"
+            a = svc.execute(sql, step=0)
+            b = svc.execute(sql, step=0)
+            expect = oracle_query(sql, indices[0], layout=layout)
+            assert a.value == pytest.approx(expect)
+            assert b.value == pytest.approx(expect)
+            assert b.stats.cache_misses > 0  # nothing could be retained
+
+
+class TestV1Stores:
+    def test_v1_files_are_served(self, tmp_path, rng):
+        """A store written entirely in the legacy V1 format still serves."""
+        t = rng.uniform(0.0, 10.0, 4096)
+        s = np.where(rng.random(4096) < 0.5, t * 3.0, rng.uniform(0, 30, 4096))
+        indices = {
+            "temperature": BitmapIndex.build(t, EqualWidthBinning(0, 10, 12)),
+            "salinity": BitmapIndex.build(s, EqualWidthBinning(0, 30, 12)),
+        }
+        step_dir = tmp_path / "step_00000"
+        step_dir.mkdir()
+        for name, index in indices.items():
+            save_index(step_dir / f"{name}.rbmp", index, version=1)
+        with QueryService(tmp_path) as svc:
+            assert {e.version for e in svc.catalog.entries()} == {1}
+            sql = "SELECT MI FROM temperature, salinity WHERE temperature >= 5"
+            got = svc.execute(sql)
+            assert got.value == pytest.approx(oracle_query(sql, indices))
+            # Lazy single-bin access works on V1 too (offsets via scan).
+            one = svc.execute(
+                "SELECT COUNT FROM temperature, salinity "
+                "WHERE temperature BETWEEN 0.1 AND 0.8"
+            )
+            assert one.stats.bitvectors_planned == 1
+
+
+class TestConcurrency:
+    def test_concurrent_results_match(self, service, store_env, layout):
+        _, indices, _ = store_env
+        sqls = [
+            "SELECT MI FROM temperature, salinity",
+            "SELECT CE FROM temperature, salinity",
+            "SELECT COUNT FROM temperature, salinity WHERE salinity >= 33",
+            "SELECT COUNT FROM temperature, salinity WHERE temperature <= 14",
+        ] * 3
+        results = service.execute_many(sqls, step=1)
+        for sql, result in zip(sqls, results):
+            assert result.value == pytest.approx(
+                oracle_query(sql, indices[1], layout=layout)
+            )
+
+    def test_overload_burst_rejects_cleanly(self, store_env, layout):
+        """Saturating the pool raises the typed error instead of queueing
+        unboundedly or deadlocking; in-flight queries still finish."""
+        root, _, _ = store_env
+        gate = threading.Event()
+        with QueryService(
+            root, layout=layout, max_workers=1, max_pending=2
+        ) as svc:
+            blocker = svc._pool.submit(gate.wait)  # occupy the worker
+            sql = "SELECT COUNT FROM temperature, salinity"
+            admitted = [svc.submit(sql, step=0) for _ in range(2)]
+            with pytest.raises(ServiceOverloadError) as info:
+                svc.submit(sql, step=0)
+            assert info.value.pending == 2
+            assert info.value.capacity == 2
+            assert svc.service_stats()["rejected"] == 1
+            gate.set()
+            assert [f.result().value for f in admitted] == [4096.0, 4096.0]
+            blocker.result()
+        # After draining, admission is available again in a fresh service.
+        with QueryService(root, layout=layout, max_pending=2) as svc:
+            assert svc.submit(sql, step=0).result().value == 4096.0
+
+    def test_submit_after_close_rejected(self, store_env):
+        root, _, _ = store_env
+        svc = QueryService(root)
+        svc.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit("SELECT COUNT FROM temperature, salinity")

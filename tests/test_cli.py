@@ -77,6 +77,72 @@ class TestIndexAndQuery:
         assert "entropy" in capsys.readouterr().out
 
 
+class TestSqlQueryAndServe:
+    @pytest.fixture
+    def store(self, tmp_path, rng):
+        from repro.bitmap import BitmapIndex, EqualWidthBinning
+        from repro.io.timeseries import BitmapStore
+
+        t = rng.uniform(0.0, 10.0, 4096)
+        s = np.where(rng.random(4096) < 0.5, t * 3, rng.uniform(0, 30, 4096))
+        store = BitmapStore(tmp_path / "store")
+        for step in range(2):
+            store.write(step, "temperature",
+                        BitmapIndex.build(t, EqualWidthBinning(0, 10, 16)))
+            store.write(step, "salinity",
+                        BitmapIndex.build(s, EqualWidthBinning(0, 30, 16)))
+        return tmp_path / "store"
+
+    def test_query_sql_over_loose_files(self, capsys, store):
+        paths = sorted(str(p) for p in (store / "step_00000").glob("*.rbmp"))
+        rc = main(["query", *paths, "--sql",
+                   "SELECT MI FROM temperature, salinity"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MI = " in out
+        assert "cache=" in out and "loaded=" in out
+
+    def test_query_sql_count_with_predicate(self, capsys, store):
+        paths = sorted(str(p) for p in (store / "step_00000").glob("*.rbmp"))
+        rc = main(["query", *paths, "--sql",
+                   "SELECT COUNT FROM temperature, salinity "
+                   "WHERE temperature >= 5"])
+        assert rc == 0
+        assert "COUNT = " in capsys.readouterr().out
+
+    def test_query_sql_region_needs_layout(self, capsys, store):
+        from repro.analysis.sql import QueryError
+
+        paths = sorted(str(p) for p in (store / "step_00000").glob("*.rbmp"))
+        sql = "SELECT COUNT FROM temperature, salinity WHERE REGION(0:8,0:8,0:8)"
+        with pytest.raises(QueryError, match="ZOrderLayout"):
+            main(["query", *paths, "--sql", sql])
+        rc = main(["query", *paths, "--sql", sql,
+                   "--zorder-shape", "16,16,16"])
+        assert rc == 0
+
+    def test_serve_warm_round_hits_cache(self, capsys, store):
+        rc = main(["serve", str(store),
+                   "--sql", "SELECT MI FROM temperature, salinity",
+                   "--sql", "SELECT COUNT FROM temperature, salinity "
+                            "WHERE salinity <= 15",
+                   "--repeat", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[cold]" in out and "[warm#1]" in out
+        assert "step=1" in out  # latest step resolved by default
+        # The warm round must be served entirely from cache.
+        warm = out[out.index("[warm#1]"):]
+        assert "loaded=0B" in warm
+        assert "served=4 rejected=0" in out
+
+    def test_serve_explicit_step(self, capsys, store):
+        rc = main(["serve", str(store), "--step", "0",
+                   "--sql", "SELECT CE FROM temperature, salinity"])
+        assert rc == 0
+        assert "step=0" in capsys.readouterr().out
+
+
 class TestMineCommand:
     def test_mine(self, capsys):
         rc = main(["mine", "--shape", "6,24,48", "--bins", "8"])
