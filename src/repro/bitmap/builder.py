@@ -229,12 +229,54 @@ def concatenate_bitvectors(parts: list[WAHBitVector]) -> WAHBitVector:
     return WAHBitVector(words, sum(p.n_bits for p in parts))
 
 
+def bitvectors_to_buffers(vectors: list[WAHBitVector]) -> tuple[int, list[bytes]]:
+    """Flatten a partial build into ``(n_bits, per-bin raw word buffers)``.
+
+    The buffers are the bitvectors' little-endian ``uint32`` word streams
+    as ``bytes`` -- cheap to pickle across a process boundary (no numpy
+    array or dataclass overhead), and reversible with
+    :func:`bitvectors_from_buffers`.
+    """
+    n_bits = vectors[0].n_bits if vectors else 0
+    return n_bits, [v.words.tobytes() for v in vectors]
+
+
+def bitvectors_from_buffers(n_bits: int, buffers: list[bytes]) -> list[WAHBitVector]:
+    """Rehydrate :func:`bitvectors_to_buffers` output (zero-copy views)."""
+    return [
+        WAHBitVector(np.frombuffer(buf, dtype=np.uint32), n_bits)
+        for buf in buffers
+    ]
+
+
+def stitch_buffer_parts(
+    parts: list[tuple[int, list[bytes]]],
+) -> list[WAHBitVector]:
+    """Stitch ordered per-block partial builds shipped as raw buffers.
+
+    ``parts[k]`` is :func:`bitvectors_to_buffers` output for sub-block
+    ``k``; every block except the last must cover a multiple of 31 bits.
+    Returns one stitched vector per bin, word-identical to a serial build
+    over the concatenated blocks.
+    """
+    decoded = [bitvectors_from_buffers(nb, bufs) for nb, bufs in parts]
+    if not decoded:
+        return []
+    n_bins = len(decoded[0])
+    if any(len(d) != n_bins for d in decoded):
+        raise ValueError("all parts must carry the same number of bins")
+    return [
+        concatenate_bitvectors([d[b] for d in decoded]) for b in range(n_bins)
+    ]
+
+
 def build_bitvectors_parallel(
     data: np.ndarray,
     binning: Binning,
     *,
     n_workers: int,
     chunk_elements: int = 1 << 20,
+    executor: str = "threads",
 ) -> list[WAHBitVector]:
     """Figure 2's parallel generation: sub-blocks built concurrently.
 
@@ -244,8 +286,12 @@ def build_bitvectors_parallel(
     are stitched with :func:`concatenate_bitvectors`.  The result is
     word-identical to a serial build (tested).
 
-    Threads are the right tool in numpy-land: the binning/bincount/packbits
-    kernels release the GIL for their bulk work.
+    ``executor='threads'`` suits numpy-land one-shot calls (the
+    binning/bincount kernels release the GIL for their bulk work);
+    ``executor='processes'`` routes through the shared-memory
+    :class:`~repro.insitu.parallel.SharedCoresEngine`, paying a pool
+    start-up cost per call -- hold an engine open instead when building
+    many steps.
     """
     from concurrent.futures import ThreadPoolExecutor
 
@@ -253,8 +299,16 @@ def build_bitvectors_parallel(
     n = flat.size
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if executor not in ("threads", "processes"):
+        raise ValueError(f"unknown executor {executor!r}")
     if n_workers == 1 or n < n_workers * GROUP_BITS:
         return build_bitvectors(flat, binning, chunk_elements=chunk_elements)
+    if executor == "processes":
+        from repro.insitu.parallel import build_bitvectors_processes
+
+        return build_bitvectors_processes(
+            flat, binning, n_workers=n_workers, chunk_elements=chunk_elements
+        )
 
     # Block boundaries on 31-bit group boundaries.
     per_block = -(-n // n_workers)

@@ -46,6 +46,19 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=64)
     p.add_argument("--out", type=Path, default=None, help="output directory")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="total worker count; > 1 runs the parallel engine "
+                        "(bitmap mode only)")
+    p.add_argument("--allocation", choices=["shared", "separate", "auto"],
+                   default="shared",
+                   help="core-allocation strategy for --workers > 1 "
+                        "(auto calibrates the Eq. 1-2 split)")
+    p.add_argument("--executor", choices=["threads", "processes"],
+                   default="processes",
+                   help="parallel engine backend (processes = shared-memory "
+                        "multi-core; threads = GIL-bound escape hatch)")
+    p.add_argument("--queue-mb", type=float, default=64.0,
+                   help="separate-cores data-queue capacity in MiB")
 
     p = sub.add_parser("index", help="build a bitmap index from a .npy file")
     p.add_argument("input", type=Path)
@@ -156,7 +169,23 @@ def _cmd_insitu(args: argparse.Namespace) -> int:
         sim, binning, get_metric(metric_name), mode=args.mode,
         sampler=sampler, writer=writer,
     )
-    result = pipe.run(args.steps, args.select)
+    if args.workers > 1:
+        if args.mode != "bitmap":
+            raise SystemExit("--workers > 1 requires --mode bitmap")
+        from repro.insitu import resolve_allocation
+
+        result = pipe.run_parallel(
+            args.steps,
+            args.select,
+            allocation=resolve_allocation(args.allocation, args.workers),
+            n_workers=args.workers,
+            executor=args.executor,
+            queue_capacity_bytes=int(args.queue_mb * 2**20),
+        )
+        if result.queue_stats is not None:
+            print(f"queue: {result.queue_stats}")
+    else:
+        result = pipe.run(args.steps, args.select)
     print(result.summary())
     print(result.memory.report())
     return 0

@@ -6,6 +6,12 @@ from repro.insitu.allocation import (
     SharedCores,
     enumerate_separate_allocations,
     equation_1_2_allocation,
+    resolve_allocation,
+)
+from repro.insitu.parallel import (
+    SeparateCoresEngine,
+    SharedCoresEngine,
+    group_aligned_partitions,
 )
 from repro.insitu.memory import (
     MemoryTracker,
@@ -35,6 +41,10 @@ __all__ = [
     "SharedCores",
     "enumerate_separate_allocations",
     "equation_1_2_allocation",
+    "resolve_allocation",
+    "SeparateCoresEngine",
+    "SharedCoresEngine",
+    "group_aligned_partitions",
     "MemoryTracker",
     "bitmap_resident_model",
     "fulldata_resident_model",

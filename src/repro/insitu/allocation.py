@@ -78,6 +78,39 @@ def equation_1_2_allocation(
     return SeparateCores(sim, total_cores - sim)
 
 
+def resolve_allocation(
+    spec: "str | SharedCores | SeparateCores",
+    total_workers: int,
+    *,
+    time_simulate: float | None = None,
+    time_bitmap: float | None = None,
+) -> "SharedCores | SeparateCores | str":
+    """Turn a CLI-style spec into a strategy instance.
+
+    ``"shared"`` -> all ``total_workers`` build every step together;
+    ``"separate"`` -> one simulation core (the parent), the rest encode --
+    unless both phase times are given, in which case Equations 1-2 pick
+    the split; ``"auto"`` passes through (the pipeline calibrates phase
+    times itself) when no times are given.  Instances pass through
+    unchanged.
+    """
+    if isinstance(spec, (SharedCores, SeparateCores)):
+        return spec
+    if spec == "shared":
+        return SharedCores(total_workers)
+    if spec in ("separate", "auto"):
+        if time_simulate is not None and time_bitmap is not None:
+            return equation_1_2_allocation(total_workers, time_simulate, time_bitmap)
+        if spec == "auto":
+            return "auto"
+        if total_workers < 2:
+            raise ValueError(
+                f"separate-cores needs >= 2 workers, got {total_workers}"
+            )
+        return SeparateCores(1, total_workers - 1)
+    raise ValueError(f"unknown allocation spec {spec!r}")
+
+
 def enumerate_separate_allocations(total_cores: int) -> list[SeparateCores]:
     """Every valid split of ``total_cores`` -- the x axis of Figure 12."""
     if total_cores < 2:

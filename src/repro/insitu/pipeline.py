@@ -20,6 +20,12 @@ Cores* strategy for real: the simulation runs on the caller thread, bitmap
 construction on a worker pool, and a bounded
 :class:`~repro.insitu.queue.BoundedDataQueue` provides the paper's
 memory-capacity backpressure.
+
+:meth:`InSituPipeline.run_parallel` is the multi-core engine: it executes
+either strategy on **processes** (threads remain an escape hatch) through
+the shared-memory engines of :mod:`repro.insitu.parallel`, producing
+bitmaps bit-identical to :meth:`InSituPipeline.run` with real wall-clock
+speedup on multi-core hosts.
 """
 
 from __future__ import annotations
@@ -32,6 +38,11 @@ import numpy as np
 
 from repro.bitmap.binning import Binning
 from repro.bitmap.index import BitmapIndex
+from repro.insitu.allocation import (
+    SeparateCores,
+    SharedCores,
+    equation_1_2_allocation,
+)
 from repro.insitu.memory import MemoryTracker
 from repro.insitu.queue import BoundedDataQueue, QueueClosed, QueueFailed
 from repro.insitu.sampling import Sampler
@@ -259,6 +270,254 @@ class InSituPipeline:
             self.mode, timings, selection, memory, bytes_written, artifact_bytes
         )
         result.queue_stats = queue.stats
+        return result
+
+    # ------------------------------------------------------------- parallel
+    def run_parallel(
+        self,
+        n_steps: int,
+        select_k: int,
+        *,
+        allocation: SharedCores | SeparateCores | Literal["auto"] | None = None,
+        n_workers: int | None = None,
+        executor: Literal["threads", "processes"] = "processes",
+        queue_capacity_bytes: int | None = None,
+        calibration_steps: int = 2,
+        chunk_elements: int = 1 << 20,
+    ) -> PipelineResult:
+        """Multi-core execution of either §2.3 core-allocation strategy.
+
+        ``allocation`` picks the strategy: a
+        :class:`~repro.insitu.allocation.SharedCores` runs every step's
+        build spatially partitioned across all workers, a
+        :class:`~repro.insitu.allocation.SeparateCores` overlaps the
+        parent-side simulation with a persistent encoder pool
+        (``bitmap_cores`` workers) behind a bounded shared-memory ring,
+        and ``"auto"`` measures ``calibration_steps`` steps serially and
+        derives the split from the paper's Equations 1-2.  When
+        ``allocation`` is omitted, ``n_workers`` selects Shared Cores
+        with that many workers.
+
+        ``executor='processes'`` (default) uses the zero-copy
+        shared-memory engines of :mod:`repro.insitu.parallel`;
+        ``'threads'`` is the GIL-bound escape hatch (lower overhead for
+        tiny steps, no multi-core speedup for the Python fraction).
+
+        Bitmaps are bit-identical to :meth:`run` in every configuration
+        (the parallel builders use the vectorised kernel, as does
+        :meth:`run` by default; ``build_method='online'`` runs are
+        word-identical too, by construction).
+        """
+        if self.mode != "bitmap":
+            raise ValueError("parallel execution is defined for bitmap mode")
+        if executor not in ("threads", "processes"):
+            raise ValueError(f"unknown executor {executor!r}")
+        prebuilt: list[tuple[int, BitmapIndex]] = []
+        pre_timings = TimeBreakdown()
+        if allocation is None:
+            if n_workers is None:
+                raise ValueError("pass allocation=... or n_workers=...")
+            allocation = SharedCores(n_workers)
+        elif allocation == "auto":
+            if n_workers is None:
+                raise ValueError("allocation='auto' needs n_workers (total cores)")
+            total = n_workers
+            probe = min(max(1, calibration_steps), n_steps)
+            for _ in range(probe):
+                with pre_timings.timed("simulate"):
+                    step = self.simulation.advance()
+                payload = self.payload_fn(step)
+                with pre_timings.timed("reduce_bitmap"):
+                    index = self._build_index(payload)
+                prebuilt.append((step.step, index))
+            allocation = equation_1_2_allocation(
+                total,
+                pre_timings.phases["simulate"] / probe,
+                pre_timings.phases["reduce_bitmap"] / probe,
+            )
+            n_steps -= probe
+        if isinstance(allocation, SharedCores):
+            if prebuilt:
+                raise ValueError("'auto' calibration always yields SeparateCores")
+            return self._run_parallel_shared(
+                n_steps, select_k, allocation,
+                executor=executor, chunk_elements=chunk_elements,
+            )
+        if isinstance(allocation, SeparateCores):
+            if executor == "threads":
+                if prebuilt:
+                    raise ValueError(
+                        "allocation='auto' is only supported with processes"
+                    )
+                return self.run_threaded(
+                    n_steps,
+                    select_k,
+                    queue_capacity_bytes=queue_capacity_bytes
+                    or 4 * max(self.simulation.bytes_per_step, 1),
+                    n_workers=allocation.bitmap_cores,
+                )
+            return self._run_parallel_separate(
+                n_steps, select_k, allocation,
+                queue_capacity_bytes=queue_capacity_bytes,
+                chunk_elements=chunk_elements,
+                prebuilt=prebuilt, pre_timings=pre_timings,
+            )
+        raise ValueError(f"unknown allocation {allocation!r}")
+
+    def _parallel_spec(self) -> tuple[Binning | None, int]:
+        """(fixed binning or None for adaptive, adaptive digits)."""
+        if self._indexer is not None:
+            return None, self._indexer.digits
+        return self.binning, 1
+
+    def _run_parallel_shared(
+        self,
+        n_steps: int,
+        select_k: int,
+        allocation: SharedCores,
+        *,
+        executor: str,
+        chunk_elements: int,
+    ) -> PipelineResult:
+        """Shared Cores: phases alternate, every build spatially split."""
+        from repro.bitmap.builder import build_bitvectors_parallel
+
+        timings = TimeBreakdown()
+        memory = MemoryTracker()
+        memory.set("simulation_substrate", max(self.simulation.substrate_nbytes, 1))
+        binning, _digits = self._parallel_spec()
+
+        engine = None
+        if executor == "processes":
+            from repro.insitu.parallel import SharedCoresEngine
+
+            engine = SharedCoresEngine(
+                allocation.total_cores, binning, chunk_elements=chunk_elements
+            )
+        artifacts: list[BitmapIndex] = []
+        artifact_bytes: list[int] = []
+        steps_meta: list[int] = []
+        try:
+            for _ in range(n_steps):
+                with timings.timed("simulate"):
+                    step = self.simulation.advance()
+                payload = self.payload_fn(step)
+                steps_meta.append(step.step)
+                memory.set("current_step_raw", payload.nbytes)
+                with timings.timed("reduce_bitmap"):
+                    step_binning = (
+                        binning
+                        if binning is not None
+                        else self._indexer.binning_for(payload)
+                    )
+                    if engine is not None:
+                        index = engine.build_index(payload, binning=step_binning)
+                    else:
+                        vectors = build_bitvectors_parallel(
+                            payload,
+                            step_binning,
+                            n_workers=allocation.total_cores,
+                            chunk_elements=chunk_elements,
+                            executor="threads",
+                        )
+                        index = BitmapIndex(step_binning, vectors, payload.size)
+                artifacts.append(index)
+                artifact_bytes.append(index.nbytes)
+                memory.add("retained_window", index.nbytes)
+        finally:
+            if engine is not None:
+                engine.close()
+        memory.release("current_step_raw")
+        selection = self._select(artifacts, select_k, timings)
+        bytes_written = self._write(artifacts, steps_meta, selection, timings)
+        return PipelineResult(
+            self.mode, timings, selection, memory, bytes_written, artifact_bytes
+        )
+
+    def _run_parallel_separate(
+        self,
+        n_steps: int,
+        select_k: int,
+        allocation: SeparateCores,
+        *,
+        queue_capacity_bytes: int | None,
+        chunk_elements: int,
+        prebuilt: list[tuple[int, BitmapIndex]],
+        pre_timings: TimeBreakdown,
+    ) -> PipelineResult:
+        """Separate Cores on processes: simulation overlaps a bounded
+        shared-memory encoder ring."""
+        import time as _time
+
+        from repro.insitu.parallel import SeparateCoresEngine
+
+        timings = pre_timings
+        memory = MemoryTracker()
+        memory.set("simulation_substrate", max(self.simulation.substrate_nbytes, 1))
+        binning, digits = self._parallel_spec()
+
+        engine: SeparateCoresEngine | None = None
+        order = [step_id for step_id, _ in prebuilt]
+        results: dict[int, BitmapIndex] = dict(prebuilt)
+        t0 = _time.perf_counter()
+        sim_before = timings.phases.get("simulate", 0.0)
+        try:
+            try:
+                for _ in range(n_steps):
+                    with timings.timed("simulate"):
+                        step = self.simulation.advance()
+                    payload = self.payload_fn(step)
+                    order.append(step.step)
+                    if engine is None:
+                        slot_nbytes = max(payload.nbytes, 1)
+                        if queue_capacity_bytes:
+                            # Respect the byte bound, but cap the slot
+                            # count: each slot is one shared-memory
+                            # segment, and past a few per worker more
+                            # buffering adds nothing.
+                            n_slots = min(
+                                max(2, int(queue_capacity_bytes) // slot_nbytes),
+                                max(8, 4 * allocation.bitmap_cores),
+                            )
+                        else:
+                            n_slots = allocation.bitmap_cores + 1
+                        engine = SeparateCoresEngine(
+                            binning,
+                            n_workers=allocation.bitmap_cores,
+                            slot_nbytes=slot_nbytes,
+                            n_slots=n_slots,
+                            adaptive_digits=digits,
+                            chunk_elements=chunk_elements,
+                        )
+                    engine.submit(step.step, payload)
+                    memory.set("queue", engine.resident_bytes)
+            except QueueFailed:
+                # A worker died and poisoned the ring; finish() below
+                # re-raises the original exception once the pool drains.
+                pass
+            if engine is not None:
+                results.update(engine.finish())
+        finally:
+            if engine is not None:
+                engine.close()
+        wall = _time.perf_counter() - t0
+        # Bitmap time overlapped with simulation: report the *extra* wall
+        # time beyond this phase's simulation share as visible reduction.
+        timings.add(
+            "reduce_bitmap",
+            max(0.0, wall - (timings.phases.get("simulate", 0.0) - sim_before)),
+        )
+
+        artifacts = [results[s] for s in order]
+        artifact_bytes = [idx.nbytes for idx in artifacts]
+        for nbytes in artifact_bytes:
+            memory.add("retained_window", nbytes)
+        selection = self._select(artifacts, select_k, timings)
+        bytes_written = self._write(artifacts, order, selection, timings)
+        result = PipelineResult(
+            self.mode, timings, selection, memory, bytes_written, artifact_bytes
+        )
+        result.queue_stats = engine.stats if engine is not None else None
         return result
 
     # ------------------------------------------------------------ streaming

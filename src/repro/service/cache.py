@@ -48,6 +48,9 @@ class CacheStats:
     entries: int = 0
     bytes_cached: int = 0
     budget_bytes: int = 0
+    #: get_or_load calls that waited for another thread's in-flight load
+    #: instead of decoding the same bitvector again (counted as hits).
+    coalesced: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -59,8 +62,19 @@ class CacheStats:
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
             f"evictions={self.evictions}, entries={self.entries}, "
             f"bytes={self.bytes_cached}/{self.budget_bytes}, "
-            f"hit_rate={self.hit_rate:.1%})"
+            f"hit_rate={self.hit_rate:.1%}, coalesced={self.coalesced})"
         )
+
+
+class _InFlightLoad:
+    """One key's pending load: waiters park on the event, then share
+    ``vector`` (``None`` means the leader failed; waiters retry)."""
+
+    __slots__ = ("event", "vector")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.vector: WAHBitVector | None = None
 
 
 class BitvectorCache:
@@ -78,10 +92,12 @@ class BitvectorCache:
         self.budget_bytes = int(budget_bytes)
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, WAHBitVector] = OrderedDict()
+        self._inflight: dict[CacheKey, _InFlightLoad] = {}
         self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._coalesced = 0
 
     # ------------------------------------------------------------- access
     def get(self, key: CacheKey) -> WAHBitVector | None:
@@ -116,16 +132,53 @@ class BitvectorCache:
     ) -> tuple[WAHBitVector, bool]:
         """Fetch from cache or ``loader`` -- returns ``(vector, was_hit)``.
 
-        The loader runs outside the lock; concurrent misses on one key may
-        load twice (both results are identical, last insert wins), which
-        is cheaper than serialising every load behind the cache lock.
+        Single-flight per key: concurrent misses on the same key elect one
+        *leader* whose loader runs (outside the global lock, so unrelated
+        keys keep loading in parallel) while every other caller waits and
+        shares the result -- the same bitvector is never decoded twice
+        concurrently.  Waiters count as hits (plus the ``coalesced``
+        counter).  If the leader's loader raises, the exception propagates
+        to the leader only; waiters retry, and one of them becomes the
+        next leader.
         """
-        vector = self.get(key)
-        if vector is not None:
-            return vector, True
-        vector = loader()
-        self.put(key, vector)
-        return vector, False
+        while True:
+            with self._lock:
+                vector = self._entries.get(key)
+                if vector is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return vector, True
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = self._inflight[key] = _InFlightLoad()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                pending.event.wait()
+                if pending.vector is not None:
+                    with self._lock:
+                        self._hits += 1
+                        self._coalesced += 1
+                    return pending.vector, True
+                continue  # leader failed; contend for leadership again
+            try:
+                vector = loader()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                pending.event.set()  # vector stays None: waiters retry
+                raise
+            # Publish to waiters before (and regardless of) retention --
+            # an over-budget vector is served even though it is never
+            # cached.
+            self.put(key, vector)
+            with self._lock:
+                self._inflight.pop(key, None)
+                self._misses += 1
+            pending.vector = vector
+            pending.event.set()
+            return vector, False
 
     # ---------------------------------------------------------- lifecycle
     def invalidate_file(self, file: Path | str) -> int:
@@ -151,6 +204,7 @@ class BitvectorCache:
                 entries=len(self._entries),
                 bytes_cached=self._bytes,
                 budget_bytes=self.budget_bytes,
+                coalesced=self._coalesced,
             )
 
     def __len__(self) -> int:

@@ -5,13 +5,21 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bitmap.binning import EqualWidthBinning
+from repro.bitmap.binning import (
+    DistinctValueBinning,
+    EqualWidthBinning,
+    ExplicitBinning,
+    PrecisionBinning,
+)
 from repro.bitmap.builder import (
+    bitvectors_to_buffers,
     build_bitvectors,
     build_bitvectors_parallel,
     concatenate_bitvectors,
+    stitch_buffer_parts,
 )
 from repro.bitmap.wah import WAHBitVector
+from repro.insitu.parallel import group_aligned_partitions
 
 
 class TestConcatenate:
@@ -96,3 +104,79 @@ class TestParallelBuilder:
         binning = EqualWidthBinning(0.0, 1.0, 8)
         vectors = build_bitvectors_parallel(data, binning, n_workers=4)
         assert sum(v.count() for v in vectors) == 5000
+
+
+BINNING_KINDS = ["distinct", "equal_width", "precision", "explicit"]
+
+
+def _data_and_binning(kind: str, local, n: int):
+    """One (payload, binning) pair per binning family, domain-safe."""
+    if kind == "distinct":
+        data = local.integers(0, 7, n).astype(np.float64)
+        return data, DistinctValueBinning.from_data(data)
+    data = local.random(n)
+    if kind == "equal_width":
+        return data, EqualWidthBinning(0.0, 1.0, 8)
+    if kind == "precision":
+        return data, PrecisionBinning(0.0, 1.0, digits=1)
+    return data, ExplicitBinning(np.array([0.0, 0.1, 0.3, 0.55, 0.8, 1.0]))
+
+
+class TestStitchProperty:
+    """The Shared Cores contract: building arbitrary 31-aligned sub-blocks
+    independently and stitching their raw word buffers is word-identical
+    to one serial build -- for every binning family, any boundary layout,
+    and lengths not divisible by 31."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        kind=st.sampled_from(BINNING_KINDS),
+        cuts=st.lists(st.integers(1, 8), min_size=1, max_size=6),
+        ragged_tail=st.integers(0, 30),
+    )
+    def test_arbitrary_aligned_boundaries(self, seed, kind, cuts, ragged_tail):
+        local = np.random.default_rng(seed)
+        n = sum(cuts) * 31 + ragged_tail
+        data, binning = _data_and_binning(kind, local, n)
+        serial = build_bitvectors(data, binning)
+        bounds = np.cumsum(np.array(cuts) * 31)
+        bounds[-1] = n  # the last block absorbs the ragged tail
+        parts, lo = [], 0
+        for hi in bounds:
+            vectors = build_bitvectors(data[lo:hi], binning)
+            parts.append(bitvectors_to_buffers(vectors))
+            lo = hi
+        assert stitch_buffer_parts(parts) == serial
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        kind=st.sampled_from(BINNING_KINDS),
+        n=st.integers(32, 3000),
+        workers=st.integers(1, 9),
+    )
+    def test_worker_partitions_match_serial(self, seed, kind, n, workers):
+        """The engine's own partitioner, played out in-process."""
+        local = np.random.default_rng(seed)
+        data, binning = _data_and_binning(kind, local, n)
+        serial = build_bitvectors(data, binning)
+        parts = [
+            bitvectors_to_buffers(
+                build_bitvectors(data[block.start : block.stop], binning)
+            )
+            for block in group_aligned_partitions(n, workers)
+        ]
+        assert stitch_buffer_parts(parts) == serial
+        assert build_bitvectors_parallel(data, binning, n_workers=workers) == serial
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(0, 5000), parts=st.integers(1, 16))
+    def test_partitions_tile_and_align(self, n, parts):
+        blocks = group_aligned_partitions(n, parts)
+        assert blocks[0].start == 0
+        assert blocks[-1].stop == n
+        for prev, nxt in zip(blocks, blocks[1:]):
+            assert prev.stop == nxt.start
+        for block in blocks[:-1]:
+            assert len(block) % 31 == 0 and len(block) > 0

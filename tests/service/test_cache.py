@@ -94,6 +94,126 @@ class TestInvalidation:
         assert cache.stats().bytes_cached == 0
 
 
+class TestSingleFlight:
+    def test_concurrent_misses_share_one_load(self, rng):
+        """Regression: concurrent misses on one key used to decode the
+        same bitvector once per caller; now one leader loads and every
+        waiter shares the result."""
+        cache = BitvectorCache(1 << 20)
+        vector = _vector(rng)
+        n_threads = 8
+        calls = []
+        entered = threading.Barrier(n_threads)
+        release = threading.Event()
+
+        def loader():
+            calls.append(threading.get_ident())
+            release.wait(timeout=10)
+            return vector
+
+        results = []
+
+        def worker():
+            entered.wait(timeout=10)  # all threads miss together
+            results.append(cache.get_or_load(_key(0), loader))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        # Wait until every non-leader thread is parked on the in-flight
+        # event, then let the (single) leader finish.  Counting parked
+        # threads peeks at the Event's condition waiters (CPython detail,
+        # but the only way to make the coalesced count deterministic).
+        deadline = 1000
+        while deadline:
+            pending = cache._inflight.get(_key(0))
+            waiters = getattr(getattr(pending, "event", None), "_cond", None)
+            if pending and len(getattr(waiters, "_waiters", ())) == n_threads - 1:
+                break
+            threading.Event().wait(0.005)
+            deadline -= 1
+        assert deadline, "waiters never parked on the in-flight load"
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(calls) == 1, "loader ran more than once"
+        assert len(results) == n_threads
+        assert all(got is vector for got, _ in results)
+        assert sum(1 for _, hit in results if not hit) == 1  # only the leader missed
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == n_threads - 1
+        assert stats.coalesced == n_threads - 1
+
+    def test_leader_failure_releases_waiters(self, rng):
+        """A failing loader must not strand waiters: the exception goes to
+        the leader, a waiter retries and becomes the next leader."""
+        cache = BitvectorCache(1 << 20)
+        vector = _vector(rng)
+        attempts = []
+        failures = []
+        successes = []
+
+        def flaky_loader():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise OSError("disk hiccup")
+            return vector
+
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait(timeout=10)
+            try:
+                got, _ = cache.get_or_load(_key(0), flaky_loader)
+                successes.append(got)
+            except OSError:
+                failures.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(failures) == 1  # exactly the first leader
+        assert len(successes) == 3
+        assert all(got is vector for got in successes)
+        assert not cache._inflight  # nothing left parked
+
+    def test_oversized_result_still_shared(self, rng):
+        """A vector too large to retain is still handed to waiters."""
+        big = WAHBitVector.from_bools(rng.random(60_000) < 0.5)
+        cache = BitvectorCache(big.nbytes // 2)
+        got, hit = cache.get_or_load(_key(0), lambda: big)
+        assert got is big and not hit
+        assert cache.get(_key(0)) is None  # never retained
+
+    def test_distinct_keys_load_in_parallel(self, rng):
+        """Single-flight is per key: a slow load on one key must not
+        serialise loads of other keys behind it."""
+        cache = BitvectorCache(1 << 20)
+        slow_started = threading.Event()
+        slow_release = threading.Event()
+        slow_vector, fast_vector = _vector(rng), _vector(rng)
+
+        def slow_loader():
+            slow_started.set()
+            slow_release.wait(timeout=10)
+            return slow_vector
+
+        t = threading.Thread(
+            target=lambda: cache.get_or_load(_key(0), slow_loader)
+        )
+        t.start()
+        assert slow_started.wait(timeout=10)
+        # While key 0 is in flight, key 1 must load immediately.
+        got, hit = cache.get_or_load(_key(1), lambda: fast_vector)
+        assert got is fast_vector and not hit
+        slow_release.set()
+        t.join(timeout=10)
+        assert cache.get(_key(0)) is slow_vector
+
+
 class TestConcurrency:
     def test_parallel_mixed_load(self, rng):
         """Hammer one small cache from several threads; counters and byte
