@@ -71,17 +71,19 @@ class Query:
         return f"Query({self.text!r})"
 
 
+# Variable tokens admit "/" so the rank-qualified names the catalog
+# derives from cluster stores ("rank_0000/payload") stay addressable.
 _SELECT_RE = re.compile(
-    r"^\s*SELECT\s+(?P<metric>\w+)\s+FROM\s+(?P<a>\w+)\s*,\s*(?P<b>\w+)"
+    r"^\s*SELECT\s+(?P<metric>\w+)\s+FROM\s+(?P<a>[\w/]+)\s*,\s*(?P<b>[\w/]+)"
     r"(?:\s+WHERE\s+(?P<where>.*))?\s*$",
     re.IGNORECASE | re.DOTALL,
 )
 _BETWEEN_RE = re.compile(
-    r"^(?P<var>\w+)\s+BETWEEN\s+(?P<lo>-?[\d.eE+]+)\s+AND\s+(?P<hi>-?[\d.eE+]+)$",
+    r"^(?P<var>[\w/]+)\s+BETWEEN\s+(?P<lo>-?[\d.eE+]+)\s+AND\s+(?P<hi>-?[\d.eE+]+)$",
     re.IGNORECASE,
 )
 _CMP_RE = re.compile(
-    r"^(?P<var>\w+)\s*(?P<op>>=|<=)\s*(?P<val>-?[\d.eE+]+)$"
+    r"^(?P<var>[\w/]+)\s*(?P<op>>=|<=)\s*(?P<val>-?[\d.eE+]+)$"
 )
 _REGION_RE = re.compile(r"^REGION\s*\((?P<body>[^)]*)\)$", re.IGNORECASE)
 

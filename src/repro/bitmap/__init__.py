@@ -33,6 +33,7 @@ from repro.bitmap.builder import (
     build_bitvectors_batch,
     build_bitvectors_parallel,
     concatenate_bitvectors,
+    splice_bitvectors,
 )
 from repro.bitmap.index import BitmapIndex, LevelSpec, MultiLevelBitmapIndex
 from repro.bitmap.range_index import RangeBitmapIndex
@@ -106,6 +107,7 @@ __all__ = [
     "build_bitvectors_batch",
     "build_bitvectors_parallel",
     "concatenate_bitvectors",
+    "splice_bitvectors",
     "BitmapIndex",
     "RangeBitmapIndex",
     "RoaringBitVector",

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.bitmap.binning import Binning
 from repro.bitmap.wah import WAHBitVector, compress_groups
-from repro.util.bits import GROUP_BITS
+from repro.util.bits import GROUP_BITS, GROUP_FULL, groups_needed
 
 _SEG_FULL = 0x7FFFFFFF
 _FILL_MASK = 0xC0000000
@@ -227,6 +227,44 @@ def concatenate_bitvectors(parts: list[WAHBitVector]) -> WAHBitVector:
         blocks.append(np.asarray([carry[0]], dtype=np.uint32))
     words = np.concatenate(blocks) if blocks else np.empty(0, dtype=np.uint32)
     return WAHBitVector(words, sum(p.n_bits for p in parts))
+
+
+def splice_bitvectors(parts: list[WAHBitVector]) -> WAHBitVector:
+    """Concatenate bitvectors split at *arbitrary* bit boundaries.
+
+    Generalises :func:`concatenate_bitvectors` to ragged parts whose
+    lengths need not be multiples of 31 -- the situation for cluster slab
+    decompositions, where each rank's slab is ``rows x ny x nz`` elements
+    and row counts are whatever ``linspace`` hands out.  Misaligned parts
+    are decompressed to the group domain, bit-shifted into place, and the
+    union stream is recompressed; because the final words come from the
+    same ``compress_groups`` pass a serial build would use, the result is
+    word-identical to building over the concatenated data directly.
+
+    Aligned inputs take the O(words) seam-merge fast path.
+    """
+    if not parts:
+        return WAHBitVector(np.empty(0, dtype=np.uint32), 0)
+    if all(p.n_bits % GROUP_BITS == 0 for p in parts[:-1]):
+        return concatenate_bitvectors(parts)
+    total = sum(p.n_bits for p in parts)
+    out = np.zeros(groups_needed(total), dtype=np.uint64)
+    offset = 0
+    for p in parts:
+        if p.n_bits == 0:
+            continue
+        g = p.to_groups().astype(np.uint64)
+        q, r = divmod(offset, GROUP_BITS)
+        if r == 0:
+            out[q : q + g.size] |= g
+        else:
+            out[q : q + g.size] |= (g << np.uint64(r)) & np.uint64(GROUP_FULL)
+            # Bits spilling into the next group; anything past the end of
+            # ``out`` is padding (zero by the WAH invariant), safe to clip.
+            spill = out[q + 1 : q + 1 + g.size]
+            spill |= g[: spill.size] >> np.uint64(GROUP_BITS - r)
+        offset += p.n_bits
+    return WAHBitVector.from_groups(out.astype(np.uint32), total)
 
 
 def bitvectors_to_buffers(vectors: list[WAHBitVector]) -> tuple[int, list[bytes]]:

@@ -9,7 +9,9 @@ without writing Python:
 * ``repro serve``   -- batch-execute SQL queries over a bitmap store
   through the query service (catalog + cache + thread pool);
 * ``repro mine``    -- correlation mining on the POP-like ocean data;
-* ``repro model``   -- print a modelled figure table (Figures 7-13/15).
+* ``repro model``   -- print a modelled figure table (Figures 7-13/15);
+* ``repro cluster`` -- run the multi-rank cluster pipeline, optionally
+  verifying it against a single-node reference run.
 """
 
 from __future__ import annotations
@@ -127,6 +129,39 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pairwise", metavar="VARIABLE", default=None,
                    help="walk consecutive steps with count-EMD and "
                         "conditional entropy")
+
+    p = sub.add_parser(
+        "cluster",
+        help="run the cluster-scale in-situ pipeline (one process per rank)",
+    )
+    p.add_argument("--ranks", type=int, default=2)
+    p.add_argument("--shape", default="8,6,6", help="grid, e.g. 8,6,6")
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--select", type=int, default=3)
+    p.add_argument("--metric", choices=["conditional_entropy", "emd_count",
+                                        "emd_spatial"],
+                   default="conditional_entropy")
+    p.add_argument("--partitioning", choices=["fixed", "info_volume"],
+                   default="fixed")
+    p.add_argument("--adaptive", action="store_true",
+                   help="per-step adaptive precision binning (global "
+                        "min/max allreduce) instead of the fixed heat3d "
+                        "binning")
+    p.add_argument("--digits", type=int, default=1,
+                   help="decimal digits for --adaptive binning")
+    p.add_argument("--engine", choices=["serial", "shared", "separate"],
+                   default="serial", help="per-rank bitmap build engine")
+    p.add_argument("--workers-per-rank", type=int, default=1)
+    p.add_argument("--transport", choices=["local", "mpi"], default="local")
+    p.add_argument("--out", type=Path, default=None,
+                   help="store root for rank_*/step_*/ output + manifest")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="collective timeout in seconds")
+    p.add_argument("--verify", action="store_true",
+                   help="also run the single-node pipeline and check the "
+                        "selection matches and reassembled stores are "
+                        "bit-identical (exit 1 on mismatch)")
     return parser
 
 
@@ -426,6 +461,118 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import functools
+    import tempfile
+
+    from repro.bitmap import PrecisionBinning
+    from repro.cluster import ClusterFailed, ClusterSpec, run_cluster
+    from repro.sims import DecomposedHeat3D
+
+    shape = _parse_shape(args.shape)
+    if args.ranks < 1:
+        raise SystemExit("--ranks must be >= 1")
+    factory = functools.partial(
+        DecomposedHeat3D, shape, n_ranks=args.ranks, seed=args.seed
+    )
+    binning = None if args.adaptive else PrecisionBinning(19.0, 101.0, digits=1)
+    out = args.out
+    tmp = None
+    if out is None and args.verify:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        out = Path(tmp.name) / "store"
+    try:
+        spec = ClusterSpec(
+            factory,
+            args.steps,
+            args.select,
+            metric=args.metric,
+            binning=binning,
+            adaptive_digits=args.digits,
+            partitioning=args.partitioning,
+            out=str(out) if out is not None else None,
+            engine=args.engine,
+            workers_per_rank=args.workers_per_rank,
+        )
+        try:
+            result = run_cluster(
+                spec,
+                args.ranks,
+                transport=args.transport,
+                collective_timeout=args.timeout,
+            )
+        except ClusterFailed as exc:
+            raise SystemExit(f"cluster failed: {exc}") from exc
+        if args.transport == "mpi" and result.reports[0].rank != 0:
+            return 0  # non-root MPI ranks stay quiet
+        selection = result.selection
+        print(
+            f"cluster: {args.ranks} ranks over {shape}, "
+            f"{args.steps} steps, metric={selection.metric_name}"
+        )
+        print(f"  selected steps: {result.selected_steps}")
+        print(f"  scores: {[f'{s:.4f}' for s in selection.scores[1:]]}")
+        for report in result.reports:
+            lo, hi = report.flat_bounds
+            print(
+                f"  rank {report.rank}: rows {report.row_bounds}, "
+                f"{hi - lo} elements, {report.nbytes} bytes written"
+            )
+        if result.manifest_path is not None:
+            print(f"  manifest: {result.manifest_path}")
+        if args.verify:
+            return _verify_cluster(args, factory, binning, result, out)
+        return 0
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def _verify_cluster(args, factory, binning, result, out) -> int:
+    """Differential check: cluster run vs. single-node reference."""
+    import tempfile
+
+    from repro.bitmap import save_index
+    from repro.cluster import assemble_global_index
+    from repro.insitu import InSituPipeline, OutputWriter
+    from repro.selection import get_metric
+
+    with tempfile.TemporaryDirectory(prefix="repro-serial-") as td:
+        serial_out = Path(td) / "serial"
+        pipe = InSituPipeline(
+            factory(),
+            binning,
+            get_metric(args.metric),
+            writer=OutputWriter(serial_out),
+            partitioning=args.partitioning,
+            adaptive_digits=args.digits,
+        )
+        ref = pipe.run(args.steps, args.select)
+        ok = result.selection.selected == ref.selection.selected
+        print(
+            f"  verify selection: cluster={result.selected_steps} "
+            f"serial={[s for s in ref.selection.selected]} "
+            f"{'MATCH' if ok else 'MISMATCH'}"
+        )
+        if out is not None:
+            for step in result.selected_steps:
+                assembled = assemble_global_index(out, step)
+                spliced = Path(td) / "assembled.rbmp"
+                save_index(spliced, assembled)
+                serial_file = serial_out / f"step_{step:05d}" / "payload.rbmp"
+                same = spliced.read_bytes() == serial_file.read_bytes()
+                ok = ok and same
+                print(
+                    f"  verify step {step}: reassembled store "
+                    f"{'bit-identical' if same else 'DIFFERS'}"
+                )
+        if not ok:
+            print("  VERIFICATION FAILED")
+            return 1
+        print("  verification passed")
+        return 0
+
+
 _HANDLERS = {
     "insitu": _cmd_insitu,
     "index": _cmd_index,
@@ -435,6 +582,7 @@ _HANDLERS = {
     "calibrate": _cmd_calibrate,
     "serve": _cmd_serve,
     "store": _cmd_store,
+    "cluster": _cmd_cluster,
 }
 
 

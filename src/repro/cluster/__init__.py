@@ -1,0 +1,54 @@
+"""Cluster-scale in-situ runtime (Figure 13's regime, executed).
+
+Transport-abstracted MPI-style layer: each rank runs a per-rank in-situ
+pipeline over its slab of the domain decomposition, a distributed
+selection merge keeps scores and selections exactly equal to a
+single-node run, and per-rank stores plus a global manifest land in the
+``rank_*/step_*/`` layout :class:`repro.service.Catalog` scans.
+"""
+
+from repro.cluster.merge import MergeSpec, distributed_select, merge_spec
+from repro.cluster.runtime import (
+    MANIFEST_NAME,
+    ClusterResult,
+    ClusterSpec,
+    RankReport,
+    SlabDecomposition,
+    assemble_global_index,
+    read_manifest,
+    run_cluster,
+    run_rank,
+)
+from repro.cluster.transport import (
+    ALLREDUCE_OPS,
+    ClusterFailed,
+    FaultPlan,
+    FaultyTransport,
+    LocalClusterTransport,
+    MPITransport,
+    Transport,
+    mpi_available,
+)
+
+__all__ = [
+    "ALLREDUCE_OPS",
+    "ClusterFailed",
+    "ClusterResult",
+    "ClusterSpec",
+    "FaultPlan",
+    "FaultyTransport",
+    "LocalClusterTransport",
+    "MANIFEST_NAME",
+    "MPITransport",
+    "MergeSpec",
+    "RankReport",
+    "SlabDecomposition",
+    "Transport",
+    "assemble_global_index",
+    "distributed_select",
+    "merge_spec",
+    "mpi_available",
+    "read_manifest",
+    "run_cluster",
+    "run_rank",
+]

@@ -1,0 +1,388 @@
+"""Cluster runtime: per-rank in-situ pipelines over a slab decomposition.
+
+Each rank advances its own simulation twin, slices out its axis-0 slab of
+every time-step (C-order flattening makes slabs contiguous in the flat
+payload), builds per-step bitmap indices with the single-node machinery --
+serially or through the §2.3 process engines of
+:mod:`repro.insitu.parallel` -- and joins the distributed selection merge
+of :mod:`repro.cluster.merge`.  Selected steps land under
+``rank_*/step_*/`` with a global ``cluster.json`` manifest;
+:func:`assemble_global_index` splices the per-rank stores back into an
+index word-identical to a single-node build, which is how the equivalence
+suite (and ``repro cluster --verify``) checks the whole stack.
+
+Collectives used per run: one ``allreduce`` per step in adaptive-binning
+mode (global min/max), two per selection interval (packed counts + the
+pick broadcast), one optional packed allreduce for info-volume
+partitioning, and one final ``gather`` of rank reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.bitmap.binning import Binning, PrecisionBinning
+from repro.bitmap.builder import build_bitvectors, splice_bitvectors
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.serialization import load_index
+from repro.cluster.merge import distributed_select
+from repro.cluster.transport import (
+    ClusterFailed,
+    FaultPlan,
+    LocalClusterTransport,
+    MPITransport,
+    Transport,
+)
+from repro.insitu.writer import OutputWriter
+from repro.selection.greedy import Partitioning, SelectionResult
+from repro.selection.metrics import get_metric
+from repro.sims.base import Simulation
+
+#: Name of the global manifest rank 0 writes at the store root.
+MANIFEST_NAME = "cluster.json"
+MANIFEST_FORMAT = 1
+
+
+# ------------------------------------------------------------ decomposition
+@dataclass(frozen=True)
+class SlabDecomposition:
+    """Axis-0 slabs of a grid, one per rank.
+
+    Uses the same ``linspace`` bounds as
+    :class:`~repro.sims.heat3d_mpi.DecomposedHeat3D`, so a cluster run
+    over that workload sees exactly the slab its simulated rank owns.
+    Because fields are C-ordered, rank ``r``'s slab is the contiguous
+    flat range ``[row_lo * stride, row_hi * stride)``.
+    """
+
+    shape: tuple[int, ...]
+    n_ranks: int
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {self.n_ranks}")
+        if not self.shape or self.shape[0] < self.n_ranks:
+            raise ValueError(
+                f"axis 0 of {self.shape} cannot host {self.n_ranks} non-empty slabs"
+            )
+
+    @property
+    def _bounds(self) -> np.ndarray:
+        return np.linspace(0, self.shape[0], self.n_ranks + 1).astype(int)
+
+    @property
+    def stride(self) -> int:
+        """Flat elements per axis-0 row."""
+        return int(np.prod(self.shape[1:], dtype=np.int64)) if len(self.shape) > 1 else 1
+
+    def row_bounds(self, rank: int) -> tuple[int, int]:
+        b = self._bounds
+        return int(b[rank]), int(b[rank + 1])
+
+    def flat_bounds(self, rank: int) -> tuple[int, int]:
+        lo, hi = self.row_bounds(rank)
+        return lo * self.stride, hi * self.stride
+
+
+# -------------------------------------------------------------------- spec
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster run, fully picklable (it ships to every rank).
+
+    ``sim_factory`` must build a deterministic simulation: every rank
+    constructs its own twin and extracts its slab, so any nondeterminism
+    would silently break the ranks' agreement on the data.  ``binning=None``
+    selects per-step adaptive precision binning with a global min/max
+    allreduce, matching the serial pipeline's adaptive mode exactly.
+    """
+
+    sim_factory: Callable[[], Simulation]
+    n_steps: int
+    select_k: int
+    metric: str = "conditional_entropy"
+    binning: Binning | None = None
+    adaptive_digits: int = 1
+    partitioning: Partitioning = "fixed"
+    out: str | None = None
+    engine: str = "serial"  # serial | shared | separate
+    workers_per_rank: int = 1
+    chunk_elements: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {self.n_steps}")
+        if not 1 <= self.select_k <= self.n_steps:
+            raise ValueError(
+                f"select_k must be in [1, {self.n_steps}], got {self.select_k}"
+            )
+        if self.engine not in ("serial", "shared", "separate"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.workers_per_rank < 1:
+            raise ValueError(
+                f"workers_per_rank must be >= 1, got {self.workers_per_rank}"
+            )
+
+
+@dataclass
+class RankReport:
+    """What one rank did: its slab, its selection view, its store files."""
+
+    rank: int
+    row_bounds: tuple[int, int]
+    flat_bounds: tuple[int, int]
+    selection: SelectionResult
+    step_ids: list[int]
+    files: list[str] = field(default_factory=list)
+    nbytes: int = 0
+
+
+@dataclass
+class ClusterResult:
+    """Parent-side outcome of :func:`run_cluster`."""
+
+    selection: SelectionResult
+    n_ranks: int
+    reports: list[RankReport]
+    out: Path | None = None
+
+    @property
+    def selected_steps(self) -> list[int]:
+        """Simulation step ids of the selected time-steps."""
+        report = self.reports[0]
+        return [report.step_ids[pos] for pos in report.selection.selected]
+
+    @property
+    def manifest_path(self) -> Path | None:
+        return self.out / MANIFEST_NAME if self.out is not None else None
+
+
+# --------------------------------------------------------------- rank body
+def _rank_payload(step_fields: dict, variable: str, lo: int, hi: int) -> np.ndarray:
+    """The rank's slab of the canonical float64 flat payload."""
+    flat = np.asarray(step_fields[variable], dtype=np.float64).ravel()
+    return flat[lo:hi]
+
+
+def _step_binning(
+    transport: Transport, spec: ClusterSpec, slab: np.ndarray
+) -> Binning:
+    """The step's binning: fixed, or globally-reduced adaptive precision.
+
+    The adaptive case allreduces ``[min, -max]`` under ``op='min'`` --
+    the global minimum of rank minima and maximum of rank maxima are the
+    exact floats ``PrecisionBinning.from_data`` would read off the
+    undecomposed array, so every rank (and the serial reference) agrees
+    on the step's binning bit-for-bit.
+    """
+    if spec.binning is not None:
+        return spec.binning
+    extremes = transport.allreduce(
+        np.array([slab.min(), -slab.max()], dtype=np.float64), op="min"
+    )
+    return PrecisionBinning(
+        float(extremes[0]), float(-extremes[1]), digits=spec.adaptive_digits
+    )
+
+
+def run_rank(transport: Transport, spec: ClusterSpec) -> RankReport:
+    """SPMD body executed by every rank (the per-rank `InSituPipeline`)."""
+    sim = spec.sim_factory()
+    if len(sim.variable_names) != 1:
+        raise ValueError(
+            "the cluster runtime decomposes one spatial field; got variables "
+            f"{sim.variable_names}"
+        )
+    variable = sim.variable_names[0]
+    decomp = SlabDecomposition(tuple(sim.shape), transport.size)
+    lo, hi = decomp.flat_bounds(transport.rank)
+
+    step_ids: list[int] = []
+    indices: list[BitmapIndex] = []
+
+    if spec.engine == "separate":
+        from repro.insitu.parallel import SeparateCoresEngine
+
+        slab_nbytes = max((hi - lo) * 8, 1)
+        engine = SeparateCoresEngine(
+            spec.binning,
+            n_workers=spec.workers_per_rank,
+            slot_nbytes=slab_nbytes,
+            adaptive_digits=spec.adaptive_digits,
+            chunk_elements=spec.chunk_elements,
+        )
+        try:
+            for _ in range(spec.n_steps):
+                step = sim.advance()
+                slab = _rank_payload(step.fields, variable, lo, hi)
+                step_ids.append(step.step)
+                binning = _step_binning(transport, spec, slab)
+                engine.submit(
+                    step.step,
+                    slab,
+                    binning=binning if spec.binning is None else None,
+                )
+            results = engine.finish()
+        finally:
+            engine.close()
+        indices = [results[s] for s in step_ids]
+    elif spec.engine == "shared":
+        from repro.insitu.parallel import SharedCoresEngine
+
+        with SharedCoresEngine(
+            spec.workers_per_rank,
+            spec.binning,
+            chunk_elements=spec.chunk_elements,
+        ) as engine:
+            for _ in range(spec.n_steps):
+                step = sim.advance()
+                slab = _rank_payload(step.fields, variable, lo, hi)
+                step_ids.append(step.step)
+                binning = _step_binning(transport, spec, slab)
+                indices.append(engine.build_index(slab, binning=binning))
+    else:
+        for _ in range(spec.n_steps):
+            step = sim.advance()
+            slab = _rank_payload(step.fields, variable, lo, hi)
+            step_ids.append(step.step)
+            binning = _step_binning(transport, spec, slab)
+            vectors = build_bitvectors(
+                slab, binning, chunk_elements=spec.chunk_elements
+            )
+            indices.append(BitmapIndex(binning, vectors, slab.size))
+
+    selection = distributed_select(
+        transport,
+        indices,
+        spec.select_k,
+        spec.metric,
+        partitioning=spec.partitioning,
+        aligned=spec.binning is None,
+    )
+
+    files: list[str] = []
+    nbytes = 0
+    if spec.out is not None:
+        rank_dir = f"rank_{transport.rank:04d}"
+        writer = OutputWriter(Path(spec.out) / rank_dir)
+        for pos in selection.selected:
+            writer.write_bitmap_step(step_ids[pos], {"payload": indices[pos]})
+            files.append(f"{rank_dir}/step_{step_ids[pos]:05d}/payload.rbmp")
+        nbytes = writer.stats.bytes_written
+
+    report = RankReport(
+        rank=transport.rank,
+        row_bounds=decomp.row_bounds(transport.rank),
+        flat_bounds=(lo, hi),
+        selection=selection,
+        step_ids=step_ids,
+        files=files,
+        nbytes=nbytes,
+    )
+    summaries = transport.gather(
+        {
+            "rank": report.rank,
+            "row_bounds": list(report.row_bounds),
+            "flat_bounds": list(report.flat_bounds),
+            "files": report.files,
+            "nbytes": report.nbytes,
+        }
+    )
+    if transport.rank == 0 and spec.out is not None:
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "n_ranks": transport.size,
+            "shape": list(sim.shape),
+            "variable": variable,
+            "metric": selection.metric_name,
+            "n_steps": spec.n_steps,
+            "step_ids": step_ids,
+            "selected_steps": [step_ids[pos] for pos in selection.selected],
+            "scores": selection.scores,
+            "ranks": summaries,
+        }
+        path = Path(spec.out) / MANIFEST_NAME
+        path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return report
+
+
+# ------------------------------------------------------------------ driver
+def run_cluster(
+    spec: ClusterSpec,
+    n_ranks: int,
+    *,
+    transport: str = "local",
+    collective_timeout: float = 120.0,
+    fault: FaultPlan | None = None,
+    start_method: str | None = None,
+) -> ClusterResult:
+    """Run the cluster pipeline; returns the (rank-agreed) selection.
+
+    ``transport='local'`` spawns ``n_ranks`` real processes under a
+    parent coordinator -- always available.  ``transport='mpi'`` assumes
+    this process *is* one rank of an ``mpiexec`` launch and requires
+    ``mpi4py``; ``n_ranks`` must then match the communicator size.
+    """
+    if transport == "local":
+        cluster = LocalClusterTransport(
+            n_ranks,
+            collective_timeout=collective_timeout,
+            start_method=start_method,
+        )
+        reports = cluster.run(run_rank, spec, fault=fault)
+    elif transport == "mpi":
+        mpi = MPITransport()
+        if mpi.size != n_ranks:
+            raise ClusterFailed(
+                f"MPI world size {mpi.size} != requested n_ranks {n_ranks}"
+            )
+        reports = [run_rank(mpi, spec)]
+    else:
+        raise ValueError(f"unknown transport {transport!r}; use 'local' or 'mpi'")
+    return ClusterResult(
+        selection=reports[0].selection,
+        n_ranks=n_ranks,
+        reports=reports,
+        out=Path(spec.out) if spec.out is not None else None,
+    )
+
+
+# ------------------------------------------------------------ reassembly
+def read_manifest(root: Path | str) -> dict[str, Any]:
+    """Load and sanity-check the ``cluster.json`` manifest."""
+    path = Path(root) / MANIFEST_NAME
+    manifest = json.loads(path.read_text())
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"unsupported cluster manifest format {manifest.get('format')!r}"
+        )
+    return manifest
+
+
+def assemble_global_index(root: Path | str, step_id: int) -> BitmapIndex:
+    """Splice one selected step's per-rank stores into the global index.
+
+    Loads every rank's ``rank_*/step_*/payload.rbmp``, verifies they
+    agree on the binning, and splices each bin's bitvectors in rank order
+    at the (generally ragged) slab boundaries.  The result is
+    word-identical to indexing the undecomposed payload on one node --
+    the property the differential suite asserts byte-for-byte.
+    """
+    root = Path(root)
+    manifest = read_manifest(root)
+    parts: list[BitmapIndex] = []
+    for rank in range(int(manifest["n_ranks"])):
+        path = root / f"rank_{rank:04d}" / f"step_{step_id:05d}" / "payload.rbmp"
+        parts.append(load_index(path))
+    n_bins = parts[0].n_bins
+    if any(p.n_bins != n_bins for p in parts):
+        raise ValueError("per-rank stores disagree on the binning")
+    vectors = [
+        splice_bitvectors([p.bitvectors[b] for p in parts]) for b in range(n_bins)
+    ]
+    n_elements = sum(p.n_elements for p in parts)
+    return BitmapIndex(parts[0].binning, vectors, n_elements)

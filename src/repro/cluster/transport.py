@@ -1,0 +1,647 @@
+"""Transport abstraction for the cluster runtime (Figure 13's regime).
+
+Three implementations of one small collective surface -- ``gather``,
+``allreduce`` and ``bcast``, the only operations the distributed selection
+merge needs:
+
+* :class:`LocalClusterTransport` -- real OS processes wired to a parent
+  coordinator over pipes.  Always available; what the tests and CI run.
+  The parent routes every collective and *poisons* the cluster on any rank
+  death, protocol desync, or straggler timeout, mirroring the
+  :class:`~repro.insitu.queue.QueueFailed` contract: a failed collective
+  raises :class:`ClusterFailed` on every surviving rank instead of
+  deadlocking it.
+* :class:`MPITransport` -- thin adapter over ``mpi4py`` for real clusters,
+  gated behind an optional import (the test container does not ship MPI).
+* :class:`FaultyTransport` -- a fault-injection wrapper that kills, delays
+  or drops a chosen rank at a chosen collective; the differential test
+  suite uses it to exercise every failure path.
+
+Collective payloads are tiny (per-bin count vectors, selection picks,
+store reports), so correctness and failure semantics dominate the design,
+not bandwidth.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as _conn_wait
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.insitu.parallel import _dump_exc, _load_exc, _pick_context
+
+#: Reduction operators allowed in :meth:`Transport.allreduce`.
+ALLREDUCE_OPS = ("sum", "min", "max")
+
+#: Seconds granted for voluntary child shutdown before termination.
+_JOIN_SECONDS = 10.0
+#: Poll interval of the coordinator's routing loop.
+_POLL_SECONDS = 0.05
+
+
+class ClusterFailed(RuntimeError):
+    """A collective could not complete: a rank died, hung, or desynced.
+
+    The cross-node sibling of :class:`~repro.insitu.queue.QueueFailed`:
+    once raised, the whole cluster is poisoned -- every surviving rank
+    gets this exception out of its current (or next) collective, so no
+    rank ever blocks forever on a peer that will not answer.  ``cause``
+    carries the originating worker exception when one was shipped.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
+class Transport(ABC):
+    """The collective surface the distributed merge is written against."""
+
+    @property
+    @abstractmethod
+    def rank(self) -> int:
+        """This participant's 0-based rank."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of ranks in the cluster."""
+
+    @abstractmethod
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Collect one object per rank; returns the rank-ordered list on
+        ``root`` and ``None`` elsewhere."""
+
+    @abstractmethod
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        """Elementwise reduction of equal-shape arrays; result on all ranks."""
+
+    @abstractmethod
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``root``'s object to every rank."""
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+
+def _reduce(parts: list[np.ndarray], op: str) -> np.ndarray:
+    if op not in ALLREDUCE_OPS:
+        raise ValueError(f"unknown allreduce op {op!r}; expected one of {ALLREDUCE_OPS}")
+    arrays = [np.asarray(p) for p in parts]
+    shape = arrays[0].shape
+    for a in arrays[1:]:
+        if a.shape != shape:
+            raise ValueError(
+                f"allreduce shape mismatch: {a.shape} vs {shape}"
+            )
+    if op == "sum":
+        return np.sum(arrays, axis=0)
+    if op == "min":
+        return np.minimum.reduce(arrays)
+    return np.maximum.reduce(arrays)
+
+
+# --------------------------------------------------------------- local child
+class _PipeTransport(Transport):
+    """Child-side transport: one duplex pipe to the coordinator."""
+
+    def __init__(self, rank: int, size: int, conn: Connection) -> None:
+        self._rank = int(rank)
+        self._size = int(size)
+        self._conn = conn
+        self._seq = 0
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _collective(self, op: str, payload: Any) -> Any:
+        self._seq += 1
+        try:
+            self._conn.send(("coll", op, self._seq, pickle.dumps(payload)))
+        except (BrokenPipeError, OSError) as exc:
+            raise ClusterFailed(
+                f"rank {self._rank}: coordinator unreachable during {op}", exc
+            ) from exc
+        return self._recv_reply(op)
+
+    def _recv_reply(self, op: str) -> Any:
+        try:
+            kind, blob = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ClusterFailed(
+                f"rank {self._rank}: coordinator vanished during {op}", exc
+            ) from exc
+        if kind == "fail":
+            exc = _load_exc(blob)
+            if isinstance(exc, ClusterFailed):
+                raise exc
+            raise ClusterFailed(
+                f"rank {self._rank}: cluster poisoned during {op}: {exc!r}", exc
+            ) from exc
+        return pickle.loads(blob)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        return self._collective("gather", {"root": int(root), "value": obj})
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        if op not in ALLREDUCE_OPS:
+            raise ValueError(
+                f"unknown allreduce op {op!r}; expected one of {ALLREDUCE_OPS}"
+            )
+        return self._collective("allreduce", {"op": op, "value": np.asarray(array)})
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return self._collective("bcast", {"root": int(root), "value": obj})
+
+
+# --------------------------------------------------------- fault injection
+@dataclass(frozen=True)
+class FaultPlan:
+    """Where and how :class:`FaultyTransport` misbehaves.
+
+    The fault fires on the ``call_index``-th collective (0-based) whose
+    operation matches ``collective`` (``None`` matches any), at phase
+    ``when``:
+
+    * ``"before"`` -- before the rank contributes,
+    * ``"during"`` -- after contributing, before receiving the result
+      (the collective is in flight),
+    * ``"after"`` -- after the collective completed on this rank.
+
+    Kinds: ``"die"`` hard-exits the process (no exception, no cleanup --
+    a crashed node); ``"raise"`` raises a ``RuntimeError`` (an
+    application failure the parent should re-raise); ``"delay"`` sleeps
+    ``delay_s`` then proceeds normally; ``"drop"`` never contributes and
+    waits for the coordinator's verdict (a hung node -- only the
+    straggler timeout can clear it).
+    """
+
+    rank: int
+    kind: str  # die | raise | delay | drop
+    collective: str | None = None
+    call_index: int = 0
+    when: str = "before"  # before | during | after
+    delay_s: float = 0.25
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("die", "raise", "delay", "drop"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.when not in ("before", "during", "after"):
+            raise ValueError(f"unknown fault phase {self.when!r}")
+        if self.collective is not None and self.collective not in (
+            "gather",
+            "allreduce",
+            "bcast",
+        ):
+            raise ValueError(f"unknown collective {self.collective!r}")
+
+
+class FaultyTransport(Transport):
+    """Wraps a transport and injects one planned fault on this rank."""
+
+    def __init__(self, inner: Transport, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._matched = 0
+
+    @property
+    def rank(self) -> int:
+        return self._inner.rank
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    def _trigger(self) -> None:
+        plan = self._plan
+        if plan.kind == "die":
+            os._exit(plan.exit_code)
+        if plan.kind == "raise":
+            raise RuntimeError(
+                f"injected fault on rank {self.rank} "
+                f"({plan.collective or 'any'}[{plan.call_index}] {plan.when})"
+            )
+        if plan.kind == "delay":
+            time.sleep(plan.delay_s)
+
+    def _run(self, op: str, call: Callable[[], Any]) -> Any:
+        plan = self._plan
+        if plan.collective is not None and plan.collective != op:
+            return call()
+        fire = self._matched == plan.call_index
+        self._matched += 1
+        if not fire:
+            return call()
+        if plan.kind == "drop":
+            # Never contribute: sit in recv until the coordinator's
+            # straggler timeout poisons the cluster.
+            if not isinstance(self._inner, _PipeTransport):
+                raise ClusterFailed(
+                    f"rank {self.rank}: dropped out of {op} (injected)"
+                )
+            return self._inner._recv_reply(op)
+        if plan.when == "before":
+            self._trigger()
+            return call()
+        if plan.when == "during" and isinstance(self._inner, _PipeTransport):
+            inner = self._inner
+            inner._seq += 1
+            inner._conn.send(("coll", op, inner._seq, pickle.dumps(self._payload)))
+            self._trigger()
+            return inner._recv_reply(op)
+        result = call()
+        self._trigger()
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._payload = {"root": int(root), "value": obj}
+        return self._run("gather", lambda: self._inner.gather(obj, root))
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        self._payload = {"op": op, "value": np.asarray(array)}
+        return self._run("allreduce", lambda: self._inner.allreduce(array, op))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._payload = {"root": int(root), "value": obj}
+        return self._run("bcast", lambda: self._inner.bcast(obj, root))
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+# ------------------------------------------------------------- local cluster
+def _rank_main(
+    rank: int,
+    size: int,
+    conn: Connection,
+    fn_blob: bytes,
+    fault: FaultPlan | None,
+) -> None:
+    """Child entry point: run ``fn(transport, *args)`` and report back."""
+    transport: Transport = _PipeTransport(rank, size, conn)
+    if fault is not None and fault.rank == rank:
+        transport = FaultyTransport(transport, fault)
+    try:
+        fn, args = pickle.loads(fn_blob)
+        result = fn(transport, *args)
+    except ClusterFailed as exc:
+        # Secondary failure: this rank was poisoned by someone else's
+        # death.  Report it as such so the parent keeps the primary.
+        try:
+            conn.send(("poisoned", _dump_exc(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+    except BaseException as exc:
+        try:
+            conn.send(("error", _dump_exc(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+    try:
+        conn.send(("done", pickle.dumps(result)))
+    except (BrokenPipeError, OSError):
+        pass
+
+
+class LocalClusterTransport:
+    """Run an SPMD function on ``n_ranks`` real processes, coordinated here.
+
+    The parent is *not* a rank: it routes collectives, detects dead or
+    hung ranks, and poisons every survivor with :class:`ClusterFailed`
+    so no collective ever deadlocks.  ``run`` returns the rank-ordered
+    list of return values on success; on failure it re-raises the first
+    *original* worker exception if one was shipped, else a
+    :class:`ClusterFailed` describing the death/timeout.  The raised
+    exception carries ``cluster_outcomes`` -- ``{rank: status}`` with
+    statuses ``done / error / poisoned / dead / hung`` -- so tests can
+    assert that every surviving rank failed *cleanly*.
+
+    ``collective_timeout`` bounds how long a collective may sit
+    incomplete before the missing ranks are declared hung.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        *,
+        collective_timeout: float = 120.0,
+        start_method: str | None = None,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self.collective_timeout = float(collective_timeout)
+        self._ctx = _pick_context(start_method)
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        fault: FaultPlan | None = None,
+    ) -> list[Any]:
+        n = self.n_ranks
+        fn_blob = pickle.dumps((fn, args))
+        parent_conns: list[Connection] = []
+        procs = []
+        for rank in range(n):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_rank_main,
+                args=(rank, n, child_conn, fn_blob, fault),
+                name=f"cluster-rank-{rank}",
+                # Non-daemonic: ranks spawn their own engine workers
+                # (daemonic processes may not have children).  The finally
+                # block below joins or terminates every rank.
+                daemon=False,
+            )
+            parent_conns.append(parent_conn)
+            procs.append(proc)
+        for proc in procs:
+            proc.start()
+        try:
+            return self._route(procs, parent_conns)
+        finally:
+            for conn in parent_conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            for proc in procs:
+                proc.join(timeout=_JOIN_SECONDS)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=_JOIN_SECONDS)
+
+    # ---------------------------------------------------------------- route
+    def _route(self, procs: list, conns: list[Connection]) -> list[Any]:
+        n = self.n_ranks
+        status = {rank: "running" for rank in range(n)}
+        results: dict[int, Any] = {}
+        primary: BaseException | None = None
+        # In-flight collective: rank -> (op, seq, body); completes when all
+        # n ranks (every rank participates in every collective) have sent
+        # a matching contribution.
+        pending: dict[int, tuple[str, int, dict]] = {}
+        pending_since: float | None = None
+
+        def fail_all(exc: ClusterFailed) -> None:
+            blob = _dump_exc(exc)
+            for rank, conn in enumerate(conns):
+                if status[rank] == "running":
+                    try:
+                        conn.send(("fail", blob))
+                    except (BrokenPipeError, OSError):
+                        pass
+
+        def finish(exc: BaseException | None) -> list[Any]:
+            # Give poisoned ranks a moment to acknowledge, then collect
+            # final statuses without blocking on the hung/dead.  Each
+            # pipe is drained fully -- a "poisoned" report may be queued
+            # behind a stale collective contribution.
+            deadline = time.monotonic() + _JOIN_SECONDS
+            while exc is not None and time.monotonic() < deadline and any(
+                s == "running" for s in status.values()
+            ):
+                for rank, conn in enumerate(conns):
+                    while status[rank] == "running" and conn.poll():
+                        self._consume_final(rank, conn, status, results)
+                    if (
+                        status[rank] == "running"
+                        and procs[rank].exitcode is not None
+                        and not conn.poll()
+                    ):
+                        status[rank] = "dead"
+                time.sleep(_POLL_SECONDS / 5)
+            if exc is not None:
+                for rank in range(n):
+                    if status[rank] == "running":
+                        status[rank] = (
+                            "dead" if procs[rank].exitcode is not None else "hung"
+                        )
+                exc.cluster_outcomes = dict(status)
+                raise exc
+            return [results[rank] for rank in range(n)]
+
+        while len(results) < n:
+            ready = _conn_wait(
+                [conns[r] for r in range(n) if status[r] == "running"],
+                timeout=_POLL_SECONDS,
+            )
+            for conn in ready:
+                rank = conns.index(conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # The pipe hit EOF before the exitcode scan below saw
+                    # the death; promote it to the primary failure here or
+                    # the collective would sit until the straggler timeout.
+                    status[rank] = "dead"
+                    if primary is None:
+                        primary = ClusterFailed(
+                            f"rank {rank} died with exit code "
+                            f"{procs[rank].exitcode} during a collective"
+                        )
+                    continue
+                kind = msg[0]
+                if kind == "coll":
+                    _, op, seq, blob = msg
+                    pending[rank] = (op, seq, pickle.loads(blob))
+                    if pending_since is None:
+                        pending_since = time.monotonic()
+                elif kind == "done":
+                    status[rank] = "done"
+                    results[rank] = pickle.loads(msg[1])
+                elif kind == "error":
+                    status[rank] = "error"
+                    if primary is None:
+                        primary = _load_exc(msg[1])
+                elif kind == "poisoned":
+                    status[rank] = "poisoned"
+                    if primary is None:
+                        # A rank failed a collective on its own (e.g. an
+                        # injected drop outside pipe transport); promote
+                        # its report so the loop cannot spin forever.
+                        primary = _load_exc(msg[1])
+
+            # Rank death: a process that exited without reporting.
+            for rank in range(n):
+                if status[rank] == "running" and procs[rank].exitcode is not None:
+                    if conns[rank].poll():
+                        continue  # let its last message drain first
+                    status[rank] = "dead"
+                    if primary is None:
+                        primary = ClusterFailed(
+                            f"rank {rank} died with exit code "
+                            f"{procs[rank].exitcode} during a collective"
+                        )
+
+            if primary is not None:
+                poison = (
+                    primary
+                    if isinstance(primary, ClusterFailed)
+                    else ClusterFailed(
+                        f"cluster poisoned by rank failure: {primary!r}", primary
+                    )
+                )
+                fail_all(poison)
+                return finish(primary)
+
+            # Complete a collective once every rank has contributed.
+            if len(pending) == n:
+                ops = {(op, seq) for op, seq, _ in pending.values()}
+                if len(ops) != 1:
+                    desync = ClusterFailed(
+                        f"collective desync: ranks disagree on {sorted(ops)}"
+                    )
+                    fail_all(desync)
+                    return finish(desync)
+                op = next(iter(ops))[0]
+                try:
+                    replies = self._complete(op, pending)
+                except Exception as exc:
+                    bad = ClusterFailed(f"collective {op} failed: {exc!r}", exc)
+                    fail_all(bad)
+                    return finish(bad)
+                for rank, reply in replies.items():
+                    try:
+                        conns[rank].send(("ok", pickle.dumps(reply)))
+                    except (BrokenPipeError, OSError):
+                        pass  # the death scan will pick this rank up
+                pending.clear()
+                pending_since = None
+            elif pending and pending_since is not None:
+                if time.monotonic() - pending_since > self.collective_timeout:
+                    op = next(iter(pending.values()))[0]
+                    missing = sorted(set(range(n)) - set(pending) - {
+                        r for r, s in status.items() if s != "running"
+                    })
+                    timeout_exc = ClusterFailed(
+                        f"collective {op} timed out after "
+                        f"{self.collective_timeout:.1f}s waiting for ranks "
+                        f"{missing or sorted(set(range(n)) - set(pending))}"
+                    )
+                    fail_all(timeout_exc)
+                    return finish(timeout_exc)
+
+        return finish(None)
+
+    @staticmethod
+    def _consume_final(
+        rank: int, conn: Connection, status: dict, results: dict
+    ) -> None:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            status[rank] = "dead"
+            return
+        kind = msg[0]
+        if kind == "done":
+            status[rank] = "done"
+            results[rank] = pickle.loads(msg[1])
+        elif kind == "poisoned":
+            status[rank] = "poisoned"
+        elif kind == "error":
+            status[rank] = "error"
+        # A late "coll" contribution after poisoning is simply dropped.
+
+    @staticmethod
+    def _complete(op: str, pending: dict[int, tuple[str, int, dict]]) -> dict[int, Any]:
+        bodies = {rank: body for rank, (_, _, body) in pending.items()}
+        ranks = sorted(bodies)
+        if op == "gather":
+            roots = {bodies[r]["root"] for r in ranks}
+            if len(roots) != 1:
+                raise ValueError(f"gather root mismatch: {sorted(roots)}")
+            root = roots.pop()
+            ordered = [bodies[r]["value"] for r in ranks]
+            return {r: (ordered if r == root else None) for r in ranks}
+        if op == "allreduce":
+            ops = {bodies[r]["op"] for r in ranks}
+            if len(ops) != 1:
+                raise ValueError(f"allreduce op mismatch: {sorted(ops)}")
+            reduced = _reduce([bodies[r]["value"] for r in ranks], ops.pop())
+            return {r: reduced for r in ranks}
+        if op == "bcast":
+            roots = {bodies[r]["root"] for r in ranks}
+            if len(roots) != 1:
+                raise ValueError(f"bcast root mismatch: {sorted(roots)}")
+            root = roots.pop()
+            return {r: bodies[root]["value"] for r in ranks}
+        raise ValueError(f"unknown collective {op!r}")
+
+
+# ---------------------------------------------------------------------- MPI
+def mpi_available() -> bool:
+    """True if ``mpi4py`` can be imported (not shipped in the test image)."""
+    try:
+        import mpi4py  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class MPITransport(Transport):
+    """``mpi4py`` adapter for real clusters; optional dependency.
+
+    ``allreduce`` routes through ``allgather`` + a local elementwise
+    reduce so min/max are elementwise over arrays (object-mode
+    ``MPI.MIN`` would compare whole arrays), keeping the semantics
+    identical to :class:`LocalClusterTransport`.
+    """
+
+    def __init__(self, comm: Any = None) -> None:
+        try:
+            from mpi4py import MPI
+        except ImportError as exc:
+            raise ClusterFailed(
+                "MPITransport requires mpi4py, which is not installed; "
+                "use LocalClusterTransport instead",
+                exc,
+            ) from exc
+        self._MPI = MPI
+        self._comm = comm if comm is not None else MPI.COMM_WORLD
+
+    @property
+    def rank(self) -> int:
+        return int(self._comm.Get_rank())
+
+    @property
+    def size(self) -> int:
+        return int(self._comm.Get_size())
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        try:
+            return self._comm.gather(obj, root=root)
+        except self._MPI.Exception as exc:  # pragma: no cover - needs MPI
+            raise ClusterFailed(f"MPI gather failed: {exc!r}", exc) from exc
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        if op not in ALLREDUCE_OPS:
+            raise ValueError(
+                f"unknown allreduce op {op!r}; expected one of {ALLREDUCE_OPS}"
+            )
+        try:
+            parts = self._comm.allgather(np.asarray(array))
+        except self._MPI.Exception as exc:  # pragma: no cover - needs MPI
+            raise ClusterFailed(f"MPI allreduce failed: {exc!r}", exc) from exc
+        return _reduce(parts, op)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        try:
+            return self._comm.bcast(obj, root=root)
+        except self._MPI.Exception as exc:  # pragma: no cover - needs MPI
+            raise ClusterFailed(f"MPI bcast failed: {exc!r}", exc) from exc

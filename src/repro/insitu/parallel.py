@@ -205,10 +205,14 @@ def _separate_cores_worker(spec_blob: bytes, task_q, result_q, free_q) -> None:
             task = task_q.get()
             if task is None:
                 return
-            slot_id, step_id, shm_name, dtype, n_elements = task
+            slot_id, step_id, shm_name, dtype, n_elements, binning_blob = task
             try:
                 data = attachments.view(shm_name, dtype, 0, n_elements)
-                binning = spec.resolve_binning(data)
+                binning = (
+                    pickle.loads(binning_blob)
+                    if binning_blob is not None
+                    else spec.resolve_binning(data)
+                )
                 vectors = build_bitvectors(
                     data, binning, chunk_elements=spec.chunk_elements
                 )
@@ -545,13 +549,21 @@ class SeparateCoresEngine:
                 ) from self._failure
 
     # -------------------------------------------------------------- producer
-    def submit(self, step_id: int, payload: np.ndarray) -> None:
+    def submit(
+        self,
+        step_id: int,
+        payload: np.ndarray,
+        *,
+        binning: Binning | None = None,
+    ) -> None:
         """Ship one step's payload to the encoder pool (blocking).
 
         Blocks while every slot is in flight; raises
         :class:`~repro.insitu.queue.QueueFailed` once the pool is
         poisoned, and :class:`~repro.insitu.queue.QueueClosed` after
-        :meth:`finish`.
+        :meth:`finish`.  ``binning`` overrides the engine's binning for
+        this one step -- the cluster runtime uses it to hand every rank
+        the same globally-reduced adaptive binning.
         """
         if self._finished or self._closed:
             raise QueueClosed("engine already finished")
@@ -578,7 +590,14 @@ class SeparateCoresEngine:
             self._in_flight += 1
             self.stats.max_depth = max(self.stats.max_depth, self._in_flight)
         self._task_q.put(
-            (slot_id, int(step_id), shm.name, flat.dtype.str, flat.size)
+            (
+                slot_id,
+                int(step_id),
+                shm.name,
+                flat.dtype.str,
+                flat.size,
+                pickle.dumps(binning) if binning is not None else None,
+            )
         )
         self.stats.puts += 1
 

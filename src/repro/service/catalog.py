@@ -35,6 +35,7 @@ CATALOG_NAME = "catalog.json"
 CATALOG_FORMAT = 1
 
 _STEP_DIR_RE = re.compile(r"^step_(\d+)$")
+_RANK_DIR_RE = re.compile(r"^rank_(\d+)$")
 
 
 class CatalogError(ValueError):
@@ -82,16 +83,37 @@ def _probe(root: Path, rel: str, step: int, variable: str) -> CatalogEntry:
         )
 
 
-def _scan_layout(root: Path) -> list[tuple[str, int, str]]:
-    """(relative file, step, variable) triples for the store layout."""
+def _scan_step_dirs(
+    root: Path, base: Path, variable_prefix: str
+) -> list[tuple[str, int, str]]:
+    """(relative file, step, variable) triples under one ``step_*`` parent."""
     found: list[tuple[str, int, str]] = []
-    for step_dir in sorted(root.iterdir()) if root.is_dir() else []:
+    for step_dir in sorted(base.iterdir()):
         m = _STEP_DIR_RE.match(step_dir.name)
         if not m or not step_dir.is_dir():
             continue
         step = int(m.group(1))
         for path in sorted(step_dir.glob("*.rbmp")):
-            found.append((str(path.relative_to(root)), step, path.stem))
+            found.append(
+                (str(path.relative_to(root)), step, variable_prefix + path.stem)
+            )
+    return found
+
+
+def _scan_layout(root: Path) -> list[tuple[str, int, str]]:
+    """(relative file, step, variable) triples for the store layout.
+
+    Two layouts are understood: the single-node ``step_*/<var>.rbmp``
+    store, and the cluster runtime's ``rank_*/step_*/<var>.rbmp`` -- rank
+    stores keep the (step, variable) key unique by qualifying the
+    variable as ``rank_NNNN/<var>``.
+    """
+    if not root.is_dir():
+        return []
+    found = _scan_step_dirs(root, root, "")
+    for rank_dir in sorted(root.iterdir()):
+        if _RANK_DIR_RE.match(rank_dir.name) and rank_dir.is_dir():
+            found.extend(_scan_step_dirs(root, rank_dir, f"{rank_dir.name}/"))
     return found
 
 

@@ -12,6 +12,7 @@ from repro.sims.heat3d import Heat3D, HeatSource
 from repro.sims.heat3d_mpi import DecomposedHeat3D, HaloStats
 from repro.sims.lulesh import LuleshProxy
 from repro.sims.ocean import CorrelatedRegion, OceanDataGenerator
+from repro.sims.replay import ReplaySimulation
 
 __all__ = [
     "Simulation",
@@ -23,4 +24,5 @@ __all__ = [
     "LuleshProxy",
     "CorrelatedRegion",
     "OceanDataGenerator",
+    "ReplaySimulation",
 ]

@@ -1,0 +1,60 @@
+"""Deterministic replay of a pre-recorded field sequence.
+
+A :class:`ReplaySimulation` wraps a stack of arrays and emits one per
+:meth:`advance` call.  It is trivially picklable and bit-reproducible, which
+makes it the workhorse of the cluster differential tests: every rank can
+construct an identical twin from the same recorded steps and slice out its
+slab, so distributed-vs-serial comparisons are over *exactly* the same data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sims.base import Simulation, TimeStepData
+
+
+class ReplaySimulation(Simulation):
+    """Replays ``steps[k]`` as the field of time-step ``k``.
+
+    ``steps`` is a sequence of equal-shape arrays (or one array whose first
+    axis is time).  Arrays are copied once at construction and never
+    mutated, so two instances built from the same data advance identically.
+    """
+
+    name = "replay"
+
+    def __init__(self, steps, variable: str = "value") -> None:
+        arrays = [np.array(s, dtype=np.float64) for s in steps]
+        if not arrays:
+            raise ValueError("ReplaySimulation needs at least one step")
+        shape = arrays[0].shape
+        if any(a.shape != shape for a in arrays):
+            raise ValueError("all replay steps must share one shape")
+        self._steps = arrays
+        self._variable = variable
+        self._cursor = 0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._steps[0].shape
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return (self._variable,)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of recorded steps available."""
+        return len(self._steps)
+
+    def advance(self) -> TimeStepData:
+        if self._cursor >= len(self._steps):
+            raise RuntimeError(
+                f"replay exhausted after {len(self._steps)} steps"
+            )
+        data = TimeStepData(
+            step=self._cursor, fields={self._variable: self._steps[self._cursor]}
+        )
+        self._cursor += 1
+        return data

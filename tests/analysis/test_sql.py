@@ -41,6 +41,18 @@ class TestParsing:
         assert q.region.lo == (0, 10, 0)
         assert q.region.hi == (4, 20, 48)
 
+    def test_rank_qualified_variables(self):
+        """Cluster stores catalog as rank_XXXX/<name>; the grammar must
+        address them, predicates included."""
+        q = parse_query(
+            "SELECT COUNT FROM rank_0000/payload, rank_0001/payload "
+            "WHERE rank_0000/payload >= 19 "
+            "AND rank_0001/payload BETWEEN 20 AND 30"
+        )
+        assert (q.var_a, q.var_b) == ("rank_0000/payload", "rank_0001/payload")
+        assert q.value_predicates["rank_0000/payload"].lo == 19
+        assert q.value_predicates["rank_0001/payload"].hi == 30
+
     def test_predicate_intersection(self):
         q = parse_query("SELECT MI FROM a, b WHERE a >= 1 AND a <= 5")
         assert (q.value_predicates["a"].lo, q.value_predicates["a"].hi) == (1, 5)

@@ -14,6 +14,8 @@ from repro.bitmap.builder import (
     OnlineBitmapBuilder,
     build_bitvectors,
     build_bitvectors_batch,
+    concatenate_bitvectors,
+    splice_bitvectors,
 )
 from repro.bitmap.wah import WAHBitVector
 
@@ -171,3 +173,54 @@ class TestBatchBuilder:
             expect = data == binning.values[b]
             assert np.array_equal(v.to_bools(), expect)
             assert v == WAHBitVector.from_bools(expect)
+
+
+class TestSpliceBitvectors:
+    """splice_bitvectors: ragged concatenation at arbitrary bit offsets.
+
+    The cluster runtime's reassembly primitive: per-rank slab bitvectors
+    splice back into the vector a single node would have built, even when
+    slab lengths are not multiples of the 31-bit WAH group."""
+
+    def _from_bools(self, bools):
+        return splice_bitvectors([WAHBitVector.from_bools(b) for b in bools])
+
+    def test_matches_unsplit_build(self, rng):
+        bits = rng.random(2_000) < 0.3
+        cuts = sorted(rng.integers(0, bits.size, size=4).tolist())
+        parts = np.split(bits, cuts)
+        spliced = self._from_bools(parts)
+        assert spliced == WAHBitVector.from_bools(bits)
+        spliced.check_invariants()
+
+    def test_aligned_parts_take_concatenate_path(self, rng):
+        bits = rng.random(31 * 40) < 0.5
+        parts = [
+            WAHBitVector.from_bools(b) for b in np.split(bits, [31 * 10, 31 * 25])
+        ]
+        assert splice_bitvectors(parts) == concatenate_bitvectors(parts)
+        assert splice_bitvectors(parts) == WAHBitVector.from_bools(bits)
+
+    def test_empty_inputs(self):
+        empty = splice_bitvectors([])
+        assert empty.n_bits == 0
+        only_empty = splice_bitvectors(
+            [WAHBitVector.from_bools(np.zeros(0, dtype=bool))]
+        )
+        assert only_empty.n_bits == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 400),
+        n_cuts=st.integers(0, 6),
+        density=st.sampled_from([0.02, 0.5, 0.98]),
+    )
+    def test_property_equals_oracle(self, seed, n, n_cuts, density):
+        local = np.random.default_rng(seed)
+        bits = local.random(n) < density
+        cuts = sorted(local.integers(0, n, size=n_cuts).tolist())
+        spliced = self._from_bools(np.split(bits, cuts))
+        oracle = WAHBitVector.from_bools(bits)
+        assert spliced == oracle
+        spliced.check_invariants()

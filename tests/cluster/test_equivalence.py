@@ -1,0 +1,253 @@
+"""Differential equivalence: the cluster runtime vs. a single-node run.
+
+The headline property of the cluster subsystem (and of the paper's "no
+accuracy loss" claim under a domain decomposition): for any binning
+family, rank count and (generally ragged) slab split, the distributed
+run selects *exactly* the steps a single-node pipeline selects, with
+bit-identical scores, and the per-rank stores splice back into indices
+byte-identical to the serial store.
+"""
+
+import functools
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import save_index
+from repro.bitmap.binning import (
+    DistinctValueBinning,
+    EqualWidthBinning,
+    ExplicitBinning,
+    PrecisionBinning,
+)
+from repro.cluster import (
+    ClusterSpec,
+    SlabDecomposition,
+    assemble_global_index,
+    read_manifest,
+    run_cluster,
+)
+from repro.insitu.pipeline import InSituPipeline
+from repro.insitu.writer import OutputWriter
+from repro.selection import get_metric
+from repro.sims import DecomposedHeat3D, ReplaySimulation
+
+pytestmark = pytest.mark.timeout(600)
+
+RANK_COUNTS = [1, 2, 3, 5]
+
+#: The four binning families, each built from the pooled step data so
+#: every step (and every rank) shares one scale, as §3.1 requires.
+BINNING_FAMILIES = {
+    "equal_width": lambda pooled: EqualWidthBinning.from_data(pooled, 7),
+    "precision": lambda pooled: PrecisionBinning.from_data(pooled, digits=1),
+    "distinct": lambda pooled: DistinctValueBinning.from_data(pooled),
+    "explicit": lambda pooled: ExplicitBinning(
+        np.linspace(pooled.min() - 0.25, pooled.max() + 0.25, 6)
+    ),
+}
+
+
+def _replay_steps(seed: int, n_steps: int, rows: int, cols: int) -> list:
+    """Piecewise-constant drifting fields: compressible, few distinct values."""
+    rng = np.random.default_rng(seed)
+    levels = np.round(rng.uniform(0.0, 4.0, size=6), 1)
+    steps = []
+    for k in range(n_steps):
+        ids = rng.integers(0, len(levels), size=((rows + 1) // 2, cols))
+        field = levels[np.repeat(ids, 2, axis=0)[:rows]]
+        steps.append(field + 0.5 * (k % 2))
+    return steps
+
+
+def assert_cluster_matches_serial(
+    factory,
+    binning,
+    tmp: Path,
+    *,
+    n_ranks: int,
+    n_steps: int,
+    select_k: int,
+    metric: str = "conditional_entropy",
+    engine: str = "serial",
+    workers_per_rank: int = 1,
+    partitioning: str = "fixed",
+):
+    """Run both sides and assert selection + store equivalence."""
+    cluster_out = tmp / "cluster"
+    serial_out = tmp / "serial"
+    spec = ClusterSpec(
+        factory,
+        n_steps,
+        select_k,
+        metric=metric,
+        binning=binning,
+        out=str(cluster_out),
+        engine=engine,
+        workers_per_rank=workers_per_rank,
+        partitioning=partitioning,
+    )
+    result = run_cluster(spec, n_ranks, collective_timeout=60.0)
+    pipe = InSituPipeline(
+        factory(),
+        binning,
+        get_metric(metric),
+        writer=OutputWriter(serial_out),
+        partitioning=partitioning,
+    )
+    ref = pipe.run(n_steps, select_k)
+
+    assert result.selection.selected == ref.selection.selected
+    assert np.array_equal(
+        np.array(result.selection.scores),
+        np.array(ref.selection.scores),
+        equal_nan=True,
+    )
+    assert result.selection.metric_name == ref.selection.metric_name
+    # Every rank returned the identical selection (SPMD agreement).
+    for report in result.reports:
+        assert report.selection.selected == ref.selection.selected
+
+    for step in result.selected_steps:
+        assembled = assemble_global_index(cluster_out, step)
+        spliced_file = tmp / "assembled.rbmp"
+        save_index(spliced_file, assembled)
+        serial_file = serial_out / f"step_{step:05d}" / "payload.rbmp"
+        assert spliced_file.read_bytes() == serial_file.read_bytes()
+    return result
+
+
+class TestReplayEquivalence:
+    """Deterministic sweep: every binning family, every rank count."""
+
+    @pytest.mark.parametrize("family", sorted(BINNING_FAMILIES))
+    def test_binning_families(self, family, tmp_path):
+        steps = _replay_steps(seed=7, n_steps=5, rows=9, cols=13)
+        binning = BINNING_FAMILIES[family](np.concatenate([s.ravel() for s in steps]))
+        factory = functools.partial(ReplaySimulation, steps)
+        assert_cluster_matches_serial(
+            factory, binning, tmp_path, n_ranks=3, n_steps=5, select_k=2
+        )
+
+    @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+    def test_rank_counts_with_ragged_slabs(self, n_ranks, tmp_path):
+        # 11 rows over 5 ranks: slab bounds [0,2,4,6,8,11] -- ragged rows,
+        # and 13 columns keeps every slab off the 31-bit group boundary.
+        steps = _replay_steps(seed=23, n_steps=4, rows=11, cols=13)
+        binning = EqualWidthBinning.from_data(
+            np.concatenate([s.ravel() for s in steps]), 6
+        )
+        factory = functools.partial(ReplaySimulation, steps)
+        assert_cluster_matches_serial(
+            factory, binning, tmp_path, n_ranks=n_ranks, n_steps=4, select_k=2
+        )
+
+    @pytest.mark.parametrize("metric", ["emd_count", "emd_spatial"])
+    def test_other_metrics(self, metric, tmp_path):
+        steps = _replay_steps(seed=41, n_steps=5, rows=8, cols=9)
+        binning = PrecisionBinning.from_data(
+            np.concatenate([s.ravel() for s in steps]), digits=1
+        )
+        factory = functools.partial(ReplaySimulation, steps)
+        assert_cluster_matches_serial(
+            factory, binning, tmp_path, n_ranks=2, n_steps=5, select_k=2,
+            metric=metric,
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        family=st.sampled_from(sorted(BINNING_FAMILIES)),
+        n_ranks=st.sampled_from(RANK_COUNTS),
+        rows_extra=st.integers(0, 5),
+        cols=st.integers(1, 9),
+        n_steps=st.integers(3, 5),
+    )
+    def test_property_any_split_any_family(
+        self, seed, family, n_ranks, rows_extra, cols, n_steps
+    ):
+        rows = n_ranks + rows_extra  # always >= one row per rank
+        steps = _replay_steps(seed, n_steps, rows, cols)
+        binning = BINNING_FAMILIES[family](
+            np.concatenate([s.ravel() for s in steps])
+        )
+        factory = functools.partial(ReplaySimulation, steps)
+        # hypothesis reuses tmp_path across examples; isolate each run.
+        with tempfile.TemporaryDirectory(prefix="repro-eq-") as td:
+            assert_cluster_matches_serial(
+                factory, binning, Path(td),
+                n_ranks=n_ranks, n_steps=n_steps, select_k=2,
+            )
+
+
+class TestHeat3DEndToEnd:
+    """The workload-level acceptance check: DecomposedHeat3D, 2+ ranks."""
+
+    def test_fixed_binning_matches_serial(self, tmp_path):
+        factory = functools.partial(DecomposedHeat3D, (8, 6, 6), n_ranks=2, seed=11)
+        binning = PrecisionBinning(19.0, 101.0, digits=1)
+        result = assert_cluster_matches_serial(
+            factory, binning, tmp_path, n_ranks=2, n_steps=8, select_k=3
+        )
+        manifest = read_manifest(result.out)
+        assert manifest["n_ranks"] == 2
+        assert manifest["selected_steps"] == result.selected_steps
+        assert len(manifest["ranks"]) == 2
+
+    def test_adaptive_binning_matches_serial(self, tmp_path):
+        # binning=None: per-step precision binning from a global min/max
+        # allreduce; the serial side derives the same binning from the
+        # undecomposed array.
+        factory = functools.partial(DecomposedHeat3D, (9, 5, 5), n_ranks=3, seed=5)
+        result = assert_cluster_matches_serial(
+            factory, None, tmp_path, n_ranks=3, n_steps=6, select_k=2
+        )
+        assert result.selection.metric_name.endswith("@adaptive")
+
+    @pytest.mark.parametrize("engine", ["shared", "separate"])
+    def test_parallel_rank_engines(self, engine, tmp_path):
+        factory = functools.partial(DecomposedHeat3D, (8, 5, 5), n_ranks=2, seed=3)
+        binning = PrecisionBinning(19.0, 101.0, digits=1)
+        assert_cluster_matches_serial(
+            factory, binning, tmp_path, n_ranks=2, n_steps=6, select_k=2,
+            engine=engine, workers_per_rank=2,
+        )
+
+    def test_info_volume_partitioning(self, tmp_path):
+        factory = functools.partial(DecomposedHeat3D, (8, 5, 5), n_ranks=2, seed=9)
+        binning = PrecisionBinning(19.0, 101.0, digits=1)
+        assert_cluster_matches_serial(
+            factory, binning, tmp_path, n_ranks=2, n_steps=6, select_k=3,
+            partitioning="info_volume",
+        )
+
+
+class TestSlabDecomposition:
+    def test_bounds_partition_exactly(self):
+        decomp = SlabDecomposition((11, 4, 3), 5)
+        rows = [decomp.row_bounds(r) for r in range(5)]
+        assert rows[0][0] == 0 and rows[-1][1] == 11
+        for (_, hi), (lo, _) in zip(rows, rows[1:]):
+            assert hi == lo
+        flat = [decomp.flat_bounds(r) for r in range(5)]
+        assert flat[-1][1] == 11 * 4 * 3
+        assert all(hi - lo == (r[1] - r[0]) * 12 for (lo, hi), r in zip(flat, rows))
+
+    def test_matches_decomposed_heat3d_bounds(self):
+        # The cluster runtime must slice exactly the slab the simulated
+        # rank owns, or ranks would disagree on the data.
+        shape, n = (9, 4, 4), 3
+        decomp = SlabDecomposition(shape, n)
+        expected = np.linspace(0, shape[0], n + 1).astype(int)
+        for r in range(n):
+            assert decomp.row_bounds(r) == (expected[r], expected[r + 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            SlabDecomposition((8, 8), 0)
+        with pytest.raises(ValueError, match="cannot host"):
+            SlabDecomposition((2, 8), 3)

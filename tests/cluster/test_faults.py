@@ -1,0 +1,183 @@
+"""Fault injection: every collective's failure path, without deadlock.
+
+The contract under test mirrors ``QueueFailed`` poisoning: when a rank
+dies, hangs, or raises, every *surviving* rank must get a
+:class:`ClusterFailed` out of its current or next collective -- never a
+hang -- and the parent must re-raise the primary failure with a
+``cluster_outcomes`` map proving the survivors failed cleanly.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.bitmap import PrecisionBinning
+from repro.cluster import (
+    ClusterFailed,
+    ClusterSpec,
+    FaultPlan,
+    LocalClusterTransport,
+    run_cluster,
+)
+from repro.sims import ReplaySimulation
+
+# Hard wall-clock limits: a deadlocked collective must fail the test,
+# not stall the suite (pytest-timeout, or the conftest SIGALRM fallback).
+pytestmark = pytest.mark.timeout(120)
+
+N_RANKS = 3
+COLLECTIVES = ["gather", "allreduce", "bcast"]
+PHASES = ["before", "during", "after"]
+
+
+def _spmd_rounds(transport, rounds=3):
+    """Several rounds of every collective, so a fault at any phase of any
+    collective leaves the survivors inside (or entering) a later one."""
+    trace = []
+    for i in range(rounds):
+        gathered = transport.gather((i, transport.rank))
+        reduced = transport.allreduce(
+            np.array([i, transport.rank], dtype=np.int64)
+        )
+        token = transport.bcast(("round", i) if transport.rank == 0 else None)
+        trace.append((gathered, reduced.tolist(), token))
+    return trace
+
+
+def _run_with_fault(plan, timeout=30.0):
+    cluster = LocalClusterTransport(N_RANKS, collective_timeout=timeout)
+    return cluster.run(_spmd_rounds, fault=plan)
+
+
+def _assert_survivors_failed_cleanly(outcomes, faulty_rank, faulty_status):
+    assert outcomes[faulty_rank] == faulty_status
+    survivors = {r: s for r, s in outcomes.items() if r != faulty_rank}
+    assert set(survivors.values()) == {"poisoned"}, (
+        f"survivors must raise ClusterFailed, not hang: {outcomes}"
+    )
+
+
+class TestRankDeath:
+    """A rank hard-exits at every phase of every collective."""
+
+    @pytest.mark.parametrize("when", PHASES)
+    @pytest.mark.parametrize("collective", COLLECTIVES)
+    def test_death_poisons_survivors(self, collective, when):
+        plan = FaultPlan(
+            rank=1, kind="die", collective=collective, call_index=1, when=when
+        )
+        with pytest.raises(ClusterFailed, match="died with exit code 17") as err:
+            _run_with_fault(plan)
+        _assert_survivors_failed_cleanly(err.value.cluster_outcomes, 1, "dead")
+
+    def test_death_of_root_rank(self):
+        plan = FaultPlan(rank=0, kind="die", collective="bcast", when="before")
+        with pytest.raises(ClusterFailed, match="died") as err:
+            _run_with_fault(plan)
+        _assert_survivors_failed_cleanly(err.value.cluster_outcomes, 0, "dead")
+
+    def test_death_on_first_ever_collective(self):
+        plan = FaultPlan(rank=2, kind="die", collective="gather", call_index=0)
+        with pytest.raises(ClusterFailed, match="died") as err:
+            _run_with_fault(plan)
+        _assert_survivors_failed_cleanly(err.value.cluster_outcomes, 2, "dead")
+
+
+class TestRankException:
+    """An application error must surface as itself, not as a hang."""
+
+    @pytest.mark.parametrize("collective", COLLECTIVES)
+    def test_original_exception_rethrown(self, collective):
+        plan = FaultPlan(rank=1, kind="raise", collective=collective, when="before")
+        with pytest.raises(RuntimeError, match="injected fault on rank 1") as err:
+            _run_with_fault(plan)
+        assert not isinstance(err.value, ClusterFailed)
+        _assert_survivors_failed_cleanly(err.value.cluster_outcomes, 1, "error")
+
+
+class TestHungRank:
+    """A rank that stops contributing trips the straggler timeout."""
+
+    @pytest.mark.parametrize("collective", COLLECTIVES)
+    def test_drop_times_out_instead_of_deadlocking(self, collective):
+        plan = FaultPlan(rank=2, kind="drop", collective=collective, call_index=1)
+        with pytest.raises(ClusterFailed, match="timed out") as err:
+            _run_with_fault(plan, timeout=1.5)
+        outcomes = err.value.cluster_outcomes
+        # The dropped rank sits in recv, gets the poison verdict, and
+        # reports poisoned like everyone else: nobody hangs.
+        assert set(outcomes.values()) == {"poisoned"}
+
+
+class TestDelayedRank:
+    def test_slow_rank_only_delays_the_collective(self):
+        plan = FaultPlan(
+            rank=1, kind="delay", collective="allreduce", call_index=1,
+            delay_s=0.3,
+        )
+        results = _run_with_fault(plan)
+        assert len(results) == N_RANKS
+        for rank, trace in enumerate(results):
+            for i, (gathered, reduced, token) in enumerate(trace):
+                # gather is root-only; reduce/bcast results match everywhere.
+                expected = [(i, r) for r in range(N_RANKS)] if rank == 0 else None
+                assert gathered == expected
+                assert reduced == [i * N_RANKS, sum(range(N_RANKS))]
+                assert token == ("round", i)
+
+
+class TestFaultsThroughTheRuntime:
+    """Faults injected under the full per-rank pipeline, not a toy body."""
+
+    @staticmethod
+    def _spec(tmp_path):
+        rng = np.random.default_rng(3)
+        steps = [np.round(rng.random((6, 5)), 1) for _ in range(4)]
+        return ClusterSpec(
+            functools.partial(ReplaySimulation, steps),
+            4,
+            2,
+            binning=PrecisionBinning(0.0, 1.0, digits=1),
+            out=str(tmp_path / "store"),
+        )
+
+    def test_rank_death_mid_selection(self, tmp_path):
+        plan = FaultPlan(rank=1, kind="die", collective="allreduce")
+        with pytest.raises(ClusterFailed, match="died") as err:
+            run_cluster(self._spec(tmp_path), N_RANKS, fault=plan,
+                        collective_timeout=30.0)
+        _assert_survivors_failed_cleanly(err.value.cluster_outcomes, 1, "dead")
+
+    def test_adaptive_mode_death_in_binning_allreduce(self, tmp_path):
+        spec = ClusterSpec(
+            self._spec(tmp_path).sim_factory, 4, 2, binning=None,
+            out=str(tmp_path / "store"),
+        )
+        # call_index 0 of allreduce is the first step's global min/max.
+        plan = FaultPlan(rank=0, kind="die", collective="allreduce", call_index=0)
+        with pytest.raises(ClusterFailed, match="died") as err:
+            run_cluster(spec, N_RANKS, fault=plan, collective_timeout=30.0)
+        _assert_survivors_failed_cleanly(err.value.cluster_outcomes, 0, "dead")
+
+    def test_delay_leaves_result_exact(self, tmp_path):
+        spec = self._spec(tmp_path)
+        baseline = run_cluster(spec, N_RANKS, collective_timeout=30.0)
+        plan = FaultPlan(rank=2, kind="delay", collective="bcast", delay_s=0.2)
+        delayed = run_cluster(spec, N_RANKS, fault=plan, collective_timeout=30.0)
+        assert delayed.selection.selected == baseline.selection.selected
+        assert np.array_equal(
+            np.array(delayed.selection.scores),
+            np.array(baseline.selection.scores),
+            equal_nan=True,
+        )
+
+
+class TestFaultPlanValidation:
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultPlan(rank=0, kind="explode")
+        with pytest.raises(ValueError, match="phase"):
+            FaultPlan(rank=0, kind="die", when="sometime")
+        with pytest.raises(ValueError, match="collective"):
+            FaultPlan(rank=0, kind="die", collective="scatter")

@@ -1,0 +1,155 @@
+"""Tests for the cluster transport layer (repro.cluster.transport).
+
+The SPMD bodies are module-level functions: they ship to rank processes
+by pickle, so they cannot be closures or lambdas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterFailed,
+    LocalClusterTransport,
+    MPITransport,
+    mpi_available,
+)
+from repro.cluster.transport import _reduce
+
+# Every test here spawns real processes; a hang must fail, not stall CI.
+pytestmark = pytest.mark.timeout(120)
+
+
+def _spmd_roundtrip(transport):
+    """One of each collective; returns what this rank observed."""
+    rank, size = transport.rank, transport.size
+    gathered = transport.gather(("rank", rank))
+    if rank == 0:
+        assert gathered == [("rank", r) for r in range(size)]
+    else:
+        assert gathered is None
+    total = transport.allreduce(np.array([rank, 1], dtype=np.int64))
+    lo = transport.allreduce(np.array([float(rank), -3.5]), op="min")
+    hi = transport.allreduce(np.array([float(rank), -3.5]), op="max")
+    token = transport.bcast(f"pick-from-{rank}" if rank == 0 else None)
+    return {
+        "sum": total.tolist(),
+        "min": lo.tolist(),
+        "max": hi.tolist(),
+        "token": token,
+    }
+
+
+def _spmd_mismatched_shapes(transport):
+    transport.allreduce(np.zeros(transport.rank + 1, dtype=np.int64))
+
+
+def _spmd_desync(transport):
+    if transport.rank == 0:
+        transport.bcast("x")
+    else:
+        transport.gather("y")
+
+
+def _spmd_root_mismatch(transport):
+    transport.gather(transport.rank, root=transport.rank)
+
+
+def _spmd_bad_op(transport):
+    transport.allreduce(np.zeros(2), op="prod")
+
+
+def _spmd_error_on_rank_one(transport):
+    if transport.rank == 1:
+        raise ValueError("rank one exploded before contributing")
+    transport.allreduce(np.ones(3))
+
+
+def _spmd_rank_identity(transport):
+    transport.bcast(None)  # one collective so ranks synchronise at all
+    return transport.rank
+
+
+class TestLocalCollectives:
+    @pytest.mark.parametrize("n_ranks", [1, 3])
+    def test_roundtrip_every_collective(self, n_ranks):
+        cluster = LocalClusterTransport(n_ranks, collective_timeout=30.0)
+        results = cluster.run(_spmd_roundtrip)
+        assert len(results) == n_ranks
+        expected_sum = [sum(range(n_ranks)), n_ranks]
+        for view in results:
+            assert view["sum"] == expected_sum
+            assert view["min"] == [0.0, -3.5]
+            assert view["max"] == [float(n_ranks - 1), -3.5]
+            assert view["token"] == "pick-from-0"
+
+    def test_results_are_rank_ordered(self):
+        cluster = LocalClusterTransport(3, collective_timeout=30.0)
+
+        results = cluster.run(_spmd_rank_identity)
+        assert results == [0, 1, 2]
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            LocalClusterTransport(0)
+
+
+class TestProtocolFailures:
+    """Malformed collectives must poison the cluster, never hang it."""
+
+    def test_shape_mismatch_fails_cleanly(self):
+        cluster = LocalClusterTransport(2, collective_timeout=30.0)
+        with pytest.raises(ClusterFailed, match="shape mismatch") as err:
+            cluster.run(_spmd_mismatched_shapes)
+        outcomes = err.value.cluster_outcomes
+        assert set(outcomes.values()) <= {"poisoned", "error", "dead"}
+
+    def test_collective_desync_detected(self):
+        cluster = LocalClusterTransport(2, collective_timeout=30.0)
+        with pytest.raises(ClusterFailed, match="desync"):
+            cluster.run(_spmd_desync)
+
+    def test_gather_root_disagreement(self):
+        cluster = LocalClusterTransport(2, collective_timeout=30.0)
+        with pytest.raises(ClusterFailed, match="root mismatch"):
+            cluster.run(_spmd_root_mismatch)
+
+    def test_unknown_allreduce_op_raises_in_rank(self):
+        cluster = LocalClusterTransport(2, collective_timeout=30.0)
+        with pytest.raises(ValueError, match="unknown allreduce op"):
+            cluster.run(_spmd_bad_op)
+
+    def test_worker_exception_rethrown_with_outcomes(self):
+        cluster = LocalClusterTransport(3, collective_timeout=30.0)
+        with pytest.raises(ValueError, match="rank one exploded") as err:
+            cluster.run(_spmd_error_on_rank_one)
+        outcomes = err.value.cluster_outcomes
+        assert outcomes[1] == "error"
+        # The survivors were waiting in the allreduce; they must have been
+        # poisoned out of it, not left running or hung.
+        assert outcomes[0] == "poisoned"
+        assert outcomes[2] == "poisoned"
+
+
+class TestReduce:
+    def test_elementwise_ops(self):
+        parts = [np.array([1.0, -2.0, 3.0]), np.array([0.5, 5.0, 3.0])]
+        assert _reduce(parts, "sum").tolist() == [1.5, 3.0, 6.0]
+        assert _reduce(parts, "min").tolist() == [0.5, -2.0, 3.0]
+        assert _reduce(parts, "max").tolist() == [1.0, 5.0, 3.0]
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown allreduce op"):
+            _reduce([np.zeros(2)], "mean")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            _reduce([np.zeros(2), np.zeros(3)], "sum")
+
+
+class TestMPIGate:
+    def test_missing_mpi4py_raises_cluster_failed(self):
+        if mpi_available():  # pragma: no cover - image has no MPI
+            pytest.skip("mpi4py installed; the unavailability gate is moot")
+        with pytest.raises(ClusterFailed, match="mpi4py") as err:
+            MPITransport()
+        assert isinstance(err.value.cause, ImportError)

@@ -1,7 +1,55 @@
 """Shared fixtures for the repro test suite."""
 
+import signal
+import threading
+
 import numpy as np
 import pytest
+
+
+def pytest_configure(config) -> None:
+    if not config.pluginmanager.hasplugin("timeout"):
+        # pytest-timeout registers this marker itself when installed.
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): hard wall-clock limit per test "
+            "(pytest-timeout when installed, SIGALRM fallback otherwise)",
+        )
+
+
+@pytest.fixture(autouse=True)
+def _timeout_fallback(request):
+    """Honor ``@pytest.mark.timeout`` when pytest-timeout is missing.
+
+    Multiprocess tests (``tests/insitu/test_parallel.py``,
+    ``tests/cluster/``) must fail loudly rather than hang CI if a
+    collective or queue deadlocks.  With the plugin installed this
+    fixture defers to it entirely; without it, a SIGALRM turns the
+    budget overrun into an ordinary test failure.
+    """
+    marker = request.node.get_closest_marker("timeout")
+    if (
+        marker is None
+        or request.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    seconds = int(marker.args[0] if marker.args else marker.kwargs["timeout"])
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the {seconds}s timeout mark"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -19,6 +19,10 @@ from repro.insitu.queue import QueueClosed, QueueFailed
 from repro.selection import CONDITIONAL_ENTROPY
 from repro.sims.heat3d import Heat3D
 
+# Multiprocess engines under test: a stuck queue or worker must fail the
+# test (pytest-timeout, or the conftest SIGALRM fallback), never hang CI.
+pytestmark = pytest.mark.timeout(300)
+
 
 class TestGroupAlignedPartitions:
     def test_tiles_exactly(self):

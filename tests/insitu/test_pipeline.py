@@ -82,6 +82,23 @@ class TestBitmapPipeline:
         result = pipe.run(n_steps=6, select_k=2)
         assert result.selection.k == 2
 
+    @pytest.mark.timeout(120)
+    def test_auto_allocation_probe_consumes_every_step(self):
+        """allocation='auto' with calibration_steps >= n_steps: the serial
+        calibration probe builds every index and the separate-cores engine
+        is never started, yet the run must equal the serial pipeline."""
+        sim = Heat3D((8, 8, 8), seed=11)
+        base = InSituPipeline(sim, _heat_binning(), CONDITIONAL_ENTROPY).run(4, 2)
+        sim = Heat3D((8, 8, 8), seed=11)
+        pipe = InSituPipeline(sim, _heat_binning(), CONDITIONAL_ENTROPY)
+        result = pipe.run_parallel(
+            4, 2, allocation="auto", n_workers=2, calibration_steps=8
+        )
+        assert result.selection.selected == base.selection.selected
+        assert result.artifact_bytes == base.artifact_bytes
+        # No steps were left for the engine, so no queue ever existed.
+        assert result.queue_stats is None
+
 
 class TestThreadedPipeline:
     def test_separate_cores_equivalent_output(self):
