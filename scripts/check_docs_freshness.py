@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Docs-freshness gate: every ``repro.*`` dotted name the docs mention
+must actually import.
+
+Scans ``docs/*.md``, ``README.md``, and ``DESIGN.md`` for dotted names
+rooted at the package (``repro.cluster.run_rank``, ``repro.service``,
+...), resolves each by importing the longest module prefix and walking
+the remainder with ``getattr``, and exits non-zero listing every name
+that no longer resolves.  Renaming an API without updating its docs —
+or documenting an API that never existed — fails CI here instead of
+rotting silently.
+
+Usage: ``python scripts/check_docs_freshness.py [--verbose]``
+(run from the repo root; ``src/`` is put on ``sys.path`` automatically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: A dotted name rooted at the package: ``repro.x``, ``repro.x.y``, ...
+#: Trailing ``()`` (call spelling) is stripped before resolution.
+DOTTED_NAME = re.compile(r"\brepro(?:\.[A-Za-z_]\w*)+")
+
+
+def doc_files() -> list[Path]:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    files += [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md"]
+    return [f for f in files if f.is_file()]
+
+
+def extract_names(text: str) -> set[str]:
+    return {m.group(0).rstrip(".") for m in DOTTED_NAME.finditer(text)}
+
+
+def resolve(name: str) -> bool:
+    """Import the longest module prefix, then getattr the rest."""
+    parts = name.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every name checked, not just failures")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    found: dict[str, list[Path]] = {}
+    for path in doc_files():
+        for name in extract_names(path.read_text()):
+            found.setdefault(name, []).append(path)
+    if not found:
+        print("docs-freshness: no repro.* names found — is this the repo root?")
+        return 2
+
+    stale = {n: ps for n, ps in sorted(found.items()) if not resolve(n)}
+    if args.verbose:
+        for name in sorted(found):
+            mark = "STALE" if name in stale else "ok"
+            print(f"  {mark:5s} {name}")
+    if stale:
+        print(f"docs-freshness: {len(stale)} stale name(s) "
+              f"out of {len(found)}:")
+        for name, paths in stale.items():
+            where = ", ".join(str(p.relative_to(REPO_ROOT)) for p in paths)
+            print(f"  {name}  ({where})")
+        return 1
+    print(f"docs-freshness: all {len(found)} documented repro.* names import")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

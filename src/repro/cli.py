@@ -158,6 +158,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timeout", type=float, default=120.0,
                    help="collective timeout in seconds")
+    p.add_argument("--on-fault", choices=["fail", "respawn", "shrink"],
+                   default="fail",
+                   help="rank-fault policy: fail the run (default), "
+                        "re-spawn a replacement process, or shrink onto "
+                        "a surviving host (local transport only)")
+    p.add_argument("--max-recoveries", type=int, default=4,
+                   help="recovery budget before the run is declared lost")
+    p.add_argument("--inject", action="append", default=None,
+                   metavar="RANK:KIND[:COLLECTIVE[:CALL_INDEX]]",
+                   help="inject a fault for demonstration, e.g. "
+                        "1:die:allreduce:0 (kinds: die, raise, delay, "
+                        "drop; repeatable)")
     p.add_argument("--verify", action="store_true",
                    help="also run the single-node pipeline and check the "
                         "selection matches and reassembled stores are "
@@ -461,6 +473,33 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_specs(specs: list[str] | None):
+    """``RANK:KIND[:COLLECTIVE[:CALL_INDEX]]`` strings -> FaultPlan tuple."""
+    if not specs:
+        return None
+    from repro.cluster import FaultPlan
+
+    plans = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise SystemExit(
+                f"--inject needs RANK:KIND[:COLLECTIVE[:CALL_INDEX]], "
+                f"got {spec!r}"
+            )
+        try:
+            rank = int(parts[0])
+            collective = parts[2] if len(parts) > 2 and parts[2] else None
+            call_index = int(parts[3]) if len(parts) > 3 else 0
+            plans.append(
+                FaultPlan(rank, parts[1], collective=collective,
+                          call_index=call_index)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad --inject spec {spec!r}: {exc}") from exc
+    return tuple(plans)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     import functools
     import tempfile
@@ -472,6 +511,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     shape = _parse_shape(args.shape)
     if args.ranks < 1:
         raise SystemExit("--ranks must be >= 1")
+    fault = _parse_fault_specs(args.inject)
     factory = functools.partial(
         DecomposedHeat3D, shape, n_ranks=args.ranks, seed=args.seed
     )
@@ -493,6 +533,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             out=str(out) if out is not None else None,
             engine=args.engine,
             workers_per_rank=args.workers_per_rank,
+            on_fault=args.on_fault,
+            max_recoveries=args.max_recoveries,
         )
         try:
             result = run_cluster(
@@ -500,6 +542,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 args.ranks,
                 transport=args.transport,
                 collective_timeout=args.timeout,
+                fault=fault,
             )
         except ClusterFailed as exc:
             raise SystemExit(f"cluster failed: {exc}") from exc
@@ -520,6 +563,27 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             )
         if result.manifest_path is not None:
             print(f"  manifest: {result.manifest_path}")
+        if result.recovery:
+            total = sum(e.elapsed_s for e in result.recovery)
+            print(
+                f"  recovery: {len(result.recovery)} event(s), "
+                f"{total:.2f}s total"
+            )
+            for event in result.recovery:
+                where = (
+                    f" onto rank {event.host_rank}"
+                    if event.host_rank is not None
+                    else ""
+                )
+                print(
+                    f"    rank {event.rank} {event.reason} after "
+                    f"{event.at_collective} collective(s) -> {event.mode}"
+                    f"{where} (incarnation {event.incarnation}, "
+                    f"{event.elapsed_s:.2f}s, "
+                    f"{'ok' if event.recovered else 'FAILED'})"
+                )
+        elif args.on_fault != "fail":
+            print(f"  recovery: 0 events (policy {args.on_fault})")
         if args.verify:
             return _verify_cluster(args, factory, binning, result, out)
         return 0

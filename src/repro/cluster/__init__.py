@@ -4,9 +4,18 @@ Transport-abstracted MPI-style layer: each rank runs a per-rank in-situ
 pipeline over its slab of the domain decomposition, a distributed
 selection merge keeps scores and selections exactly equal to a
 single-node run, and per-rank stores plus a global manifest land in the
-``rank_*/step_*/`` layout :class:`repro.service.Catalog` scans.
+``rank_*/step_*/`` layout :class:`repro.service.Catalog` scans.  Elastic
+recovery (checkpointed rank state + respawn/shrink replay) keeps runs
+exact across rank faults; see :mod:`repro.cluster.checkpoint` and the
+recovery notes in :mod:`repro.cluster.transport`.
 """
 
+from repro.cluster.checkpoint import (
+    CKPT_NAME,
+    CheckpointStore,
+    RankCheckpoint,
+    StepCheckpoint,
+)
 from repro.cluster.merge import MergeSpec, distributed_select, merge_spec
 from repro.cluster.runtime import (
     MANIFEST_NAME,
@@ -21,17 +30,22 @@ from repro.cluster.runtime import (
 )
 from repro.cluster.transport import (
     ALLREDUCE_OPS,
+    ON_FAULT_POLICIES,
     ClusterFailed,
     FaultPlan,
     FaultyTransport,
     LocalClusterTransport,
     MPITransport,
+    RecoveryEvent,
+    RecoveryPolicy,
     Transport,
     mpi_available,
 )
 
 __all__ = [
     "ALLREDUCE_OPS",
+    "CKPT_NAME",
+    "CheckpointStore",
     "ClusterFailed",
     "ClusterResult",
     "ClusterSpec",
@@ -41,8 +55,13 @@ __all__ = [
     "MANIFEST_NAME",
     "MPITransport",
     "MergeSpec",
+    "ON_FAULT_POLICIES",
+    "RankCheckpoint",
     "RankReport",
+    "RecoveryEvent",
+    "RecoveryPolicy",
     "SlabDecomposition",
+    "StepCheckpoint",
     "Transport",
     "assemble_global_index",
     "distributed_select",

@@ -1,0 +1,256 @@
+"""Per-rank checkpoint layer for elastic cluster recovery.
+
+WAH bitmaps are the *only* state a rank accumulates — small (the paper's
+whole point), append-only per step, and sliceable per rank — so a rank's
+entire progress fits in (a) the per-step index files it has already
+built and (b) a tiny ``ckpt.json`` of accumulator state: the step ids
+completed so far, each step's slab min/max (the rank's contribution to
+the adaptive-binning allreduce), its per-bin histogram counts, and the
+selection picked so far.  A replacement rank — or a survivor adopting
+the dead rank's slab under the shrink policy — reloads this state and
+replays only what is missing.
+
+Every write is atomic: payloads and the manifest land in a temp file
+first and are ``os.replace``d into place, so a crash mid-write is
+indistinguishable from no write.  Loading is correspondingly defensive:
+a truncated/corrupt manifest reads as "no checkpoint", and a manifest
+entry whose payload file is missing or unreadable is simply dropped —
+that step is rebuilt from the simulation instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.serialization import load_index, save_index
+
+#: Checkpoint manifest file name, one per ``rank_XXXX/`` directory.
+CKPT_NAME = "ckpt.json"
+CKPT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class StepCheckpoint:
+    """One completed step: where its index lives and what went into it."""
+
+    step_id: int
+    file: str  # relative to the rank directory
+    n_elements: int
+    vmin: float  # slab minimum (the rank's adaptive-binning contribution)
+    vmax: float  # slab maximum
+    bin_counts: list[int]  # streaming histogram of the step's index
+    binning: str  # human-readable description, for diagnostics
+
+
+@dataclass
+class RankCheckpoint:
+    """Everything a replacement rank needs to resume: accumulator state."""
+
+    rank: int
+    n_ranks: int
+    flat_bounds: tuple[int, int]
+    steps: list[StepCheckpoint] = field(default_factory=list)
+    #: Selection-so-far: positions picked and their scores, updated after
+    #: every closed interval of the distributed greedy loop.
+    selected: list[int] = field(default_factory=list)
+    scores: list[float] = field(default_factory=list)
+
+    @property
+    def global_min(self) -> float:
+        return min((s.vmin for s in self.steps), default=float("inf"))
+
+    @property
+    def global_max(self) -> float:
+        return max((s.vmax for s in self.steps), default=float("-inf"))
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class CheckpointStore:
+    """Atomic per-rank checkpoint directory (``rank_XXXX/`` under a root).
+
+    The directory doubles as the rank's output store: step payloads are
+    written to the exact ``step_XXXXX/payload.rbmp`` paths the output
+    phase would use, so checkpointing never writes a selected step's
+    bytes twice, and :func:`~repro.cluster.runtime.assemble_global_index`
+    reads recovered stores unchanged.
+    """
+
+    def __init__(self, root: Path | str, rank: int) -> None:
+        self.root = Path(root)
+        self.rank = int(rank)
+        self.rank_dir = self.root / f"rank_{self.rank:04d}"
+        self._state: RankCheckpoint | None = None
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.rank_dir / CKPT_NAME
+
+    def step_file(self, step_id: int) -> str:
+        return f"step_{step_id:05d}/payload.rbmp"
+
+    # -------------------------------------------------------------- writing
+    def begin(self, n_ranks: int, flat_bounds: tuple[int, int]) -> None:
+        """Start (or restart) recording for this incarnation of the rank."""
+        self.rank_dir.mkdir(parents=True, exist_ok=True)
+        self._state = RankCheckpoint(
+            rank=self.rank, n_ranks=int(n_ranks),
+            flat_bounds=(int(flat_bounds[0]), int(flat_bounds[1])),
+        )
+        self._flush()
+
+    def record_step(
+        self, step_id: int, index: BitmapIndex, vmin: float, vmax: float
+    ) -> None:
+        """Persist one step boundary: the index bytes, then the manifest.
+
+        Ordering matters: the payload is renamed into place before the
+        manifest names it, so the manifest never points at bytes that do
+        not exist.  A crash between the two leaves an orphan payload the
+        next incarnation will verify (and happily reuse) or rebuild.
+        """
+        assert self._state is not None, "begin() before record_step()"
+        rel = self.step_file(step_id)
+        path = self.rank_dir / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        save_index(tmp, index)
+        os.replace(tmp, path)
+        self._state.steps.append(
+            StepCheckpoint(
+                step_id=int(step_id),
+                file=rel,
+                n_elements=int(index.n_elements),
+                vmin=float(vmin),
+                vmax=float(vmax),
+                bin_counts=[int(c) for c in index.bin_counts()],
+                binning=repr(index.binning),
+            )
+        )
+        self._flush()
+
+    def record_selection(self, selected: list[int], scores: list[float]) -> None:
+        """Persist the greedy selection's progress (selected-set-so-far)."""
+        assert self._state is not None, "begin() before record_selection()"
+        self._state.selected = [int(p) for p in selected]
+        self._state.scores = [float(s) for s in scores]
+        self._flush()
+
+    def _flush(self) -> None:
+        assert self._state is not None
+        payload = {
+            "format": CKPT_FORMAT,
+            "rank": self._state.rank,
+            "n_ranks": self._state.n_ranks,
+            "flat_bounds": list(self._state.flat_bounds),
+            "steps": [asdict(s) for s in self._state.steps],
+            "selected": self._state.selected,
+            "scores": self._state.scores,
+        }
+        _atomic_write_text(self.manifest_path, json.dumps(payload, indent=1) + "\n")
+
+    # -------------------------------------------------------------- loading
+    def load(self) -> RankCheckpoint | None:
+        """Read the manifest; ``None`` on absence or any corruption."""
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+            if payload.get("format") != CKPT_FORMAT:
+                return None
+            state = RankCheckpoint(
+                rank=int(payload["rank"]),
+                n_ranks=int(payload["n_ranks"]),
+                flat_bounds=(
+                    int(payload["flat_bounds"][0]),
+                    int(payload["flat_bounds"][1]),
+                ),
+                steps=[StepCheckpoint(**raw) for raw in payload["steps"]],
+                selected=[int(p) for p in payload["selected"]],
+                scores=[float(s) for s in payload["scores"]],
+            )
+        except (OSError, ValueError, KeyError, TypeError, IndexError):
+            return None
+        return state
+
+    def load_step_index(self, step: StepCheckpoint) -> BitmapIndex | None:
+        """Load one checkpointed step's index; ``None`` if unusable."""
+        path = self.rank_dir / step.file
+        try:
+            index = load_index(path)
+        except (OSError, ValueError, EOFError):
+            return None
+        if index.n_elements != step.n_elements:
+            return None
+        return index
+
+    def resume(
+        self, n_ranks: int, flat_bounds: tuple[int, int]
+    ) -> dict[int, tuple[StepCheckpoint, BitmapIndex]]:
+        """Adopt a prior incarnation's state; returns usable steps by position.
+
+        Only checkpoints recorded under the same decomposition are
+        trusted (a different rank count or slab would poison exactness).
+        Steps whose payloads are missing or unreadable are dropped —
+        the caller rebuilds them.  After this call the store continues
+        recording from the recovered state.
+        """
+        prior = self.load()
+        usable: dict[int, tuple[StepCheckpoint, BitmapIndex]] = {}
+        self.rank_dir.mkdir(parents=True, exist_ok=True)
+        if (
+            prior is None
+            or prior.rank != self.rank
+            or prior.n_ranks != int(n_ranks)
+            or prior.flat_bounds != (int(flat_bounds[0]), int(flat_bounds[1]))
+        ):
+            self.begin(n_ranks, flat_bounds)
+            return usable
+        kept: list[StepCheckpoint] = []
+        for pos, step in enumerate(prior.steps):
+            index = self.load_step_index(step)
+            if index is None:
+                # A hole (pruned or torn file): this and later steps are
+                # rebuilt.  Stopping at the first hole keeps `steps` a
+                # contiguous prefix, which is what resume consumes.
+                break
+            usable[pos] = (step, index)
+            kept.append(step)
+        self._state = RankCheckpoint(
+            rank=prior.rank,
+            n_ranks=prior.n_ranks,
+            flat_bounds=prior.flat_bounds,
+            steps=kept,
+            selected=prior.selected,
+            scores=prior.scores,
+        )
+        self._flush()
+        return usable
+
+    # ------------------------------------------------------------ finalize
+    def prune(self, keep_step_ids: list[int]) -> int:
+        """Remove step directories not in ``keep_step_ids``; returns count.
+
+        Run at the end of a successful run so the store converges to the
+        selected-steps-only layout a fault-free run writes.  The
+        manifest stays behind as recovery metadata — payload presence,
+        not the manifest, is authoritative on resume.
+        """
+        keep = {f"step_{sid:05d}" for sid in keep_step_ids}
+        removed = 0
+        if not self.rank_dir.is_dir():
+            return removed
+        for child in sorted(self.rank_dir.iterdir()):
+            if child.is_dir() and child.name.startswith("step_") and (
+                child.name not in keep
+            ):
+                shutil.rmtree(child)
+                removed += 1
+        return removed

@@ -122,6 +122,7 @@ def distributed_select(
     *,
     partitioning: Partitioning = "fixed",
     aligned: bool = False,
+    on_pick: Callable[[list[int], list[float]], None] | None = None,
 ) -> SelectionResult:
     """SPMD greedy selection, exact w.r.t. a single-node run.
 
@@ -131,6 +132,10 @@ def distributed_select(
     adaptive-binning mode, matching
     :func:`~repro.bitmap.adaptive.aligned_metric`.  Returns the same
     :class:`~repro.selection.greedy.SelectionResult` on every rank.
+
+    ``on_pick(selected, scores)`` is invoked after every closed interval
+    with the selection-so-far; the cluster checkpoint layer uses it to
+    persist selection progress at each pick boundary.
     """
     spec = merge_spec(metric_name)
     n = len(indices)
@@ -178,6 +183,8 @@ def distributed_select(
         selected.append(best_step)
         scores.append(best_score)
         prev = best_step
+        if on_pick is not None:
+            on_pick(list(selected), list(scores))
     name = metric_name if metric_name.endswith("@adaptive") or not aligned else (
         f"{metric_name}@adaptive"
     )

@@ -30,12 +30,16 @@ from repro.bitmap.binning import Binning, PrecisionBinning
 from repro.bitmap.builder import build_bitvectors, splice_bitvectors
 from repro.bitmap.index import BitmapIndex
 from repro.bitmap.serialization import load_index
+from repro.cluster.checkpoint import CheckpointStore, StepCheckpoint
 from repro.cluster.merge import distributed_select
 from repro.cluster.transport import (
+    ON_FAULT_POLICIES,
     ClusterFailed,
     FaultPlan,
     LocalClusterTransport,
     MPITransport,
+    RecoveryEvent,
+    RecoveryPolicy,
     Transport,
 )
 from repro.insitu.writer import OutputWriter
@@ -112,6 +116,10 @@ class ClusterSpec:
     engine: str = "serial"  # serial | shared | separate
     workers_per_rank: int = 1
     chunk_elements: int = 1 << 20
+    on_fault: str = "fail"  # fail | respawn | shrink
+    max_recoveries: int = 4
+    recovery_timeout: float = 60.0
+    checkpoint: bool | None = None  # None = on iff recovering with a store
 
     def __post_init__(self) -> None:
         if self.n_steps < 1:
@@ -126,6 +134,31 @@ class ClusterSpec:
             raise ValueError(
                 f"workers_per_rank must be >= 1, got {self.workers_per_rank}"
             )
+        if self.on_fault not in ON_FAULT_POLICIES:
+            raise ValueError(
+                f"unknown on_fault policy {self.on_fault!r}; "
+                f"expected one of {ON_FAULT_POLICIES}"
+            )
+        if self.checkpoint and self.out is None:
+            raise ValueError("checkpointing requires an output store (out=...)")
+
+    @property
+    def checkpoint_enabled(self) -> bool:
+        """Checkpoint at step boundaries?  Defaults to on exactly when a
+        recovery policy is active and there is a store to persist into;
+        without a checkpoint a replacement rank still recovers exactly,
+        it just rebuilds every step from the simulation."""
+        if self.checkpoint is not None:
+            return bool(self.checkpoint)
+        return self.on_fault != "fail" and self.out is not None
+
+    @property
+    def recovery_policy(self) -> RecoveryPolicy:
+        return RecoveryPolicy(
+            on_fault=self.on_fault,
+            max_recoveries=self.max_recoveries,
+            recovery_timeout=self.recovery_timeout,
+        )
 
 
 @dataclass
@@ -149,6 +182,9 @@ class ClusterResult:
     n_ranks: int
     reports: list[RankReport]
     out: Path | None = None
+    #: Replacement attempts the coordinator made (empty on fault-free or
+    #: ``fail``-policy runs); also persisted into ``cluster.json``.
+    recovery: list[RecoveryEvent] = field(default_factory=list)
 
     @property
     def selected_steps(self) -> list[int]:
@@ -169,7 +205,7 @@ def _rank_payload(step_fields: dict, variable: str, lo: int, hi: int) -> np.ndar
 
 
 def _step_binning(
-    transport: Transport, spec: ClusterSpec, slab: np.ndarray
+    transport: Transport, spec: ClusterSpec, vmin: float, vmax: float
 ) -> Binning:
     """The step's binning: fixed, or globally-reduced adaptive precision.
 
@@ -177,12 +213,15 @@ def _step_binning(
     the global minimum of rank minima and maximum of rank maxima are the
     exact floats ``PrecisionBinning.from_data`` would read off the
     undecomposed array, so every rank (and the serial reference) agrees
-    on the step's binning bit-for-bit.
+    on the step's binning bit-for-bit.  ``vmin``/``vmax`` are this rank's
+    slab extremes -- computed from the slab, or replayed from a
+    checkpoint for an already-built step (the allreduce must be issued
+    either way: the collective schedule is lockstep).
     """
     if spec.binning is not None:
         return spec.binning
     extremes = transport.allreduce(
-        np.array([slab.min(), -slab.max()], dtype=np.float64), op="min"
+        np.array([vmin, -vmax], dtype=np.float64), op="min"
     )
     return PrecisionBinning(
         float(extremes[0]), float(-extremes[1]), digits=spec.adaptive_digits
@@ -190,7 +229,15 @@ def _step_binning(
 
 
 def run_rank(transport: Transport, spec: ClusterSpec) -> RankReport:
-    """SPMD body executed by every rank (the per-rank `InSituPipeline`)."""
+    """SPMD body executed by every rank (the per-rank `InSituPipeline`).
+
+    When ``transport.resume`` is set (this body is a recovery
+    replacement), the checkpointed prefix of steps is reloaded from the
+    rank's store, the simulation is fast-forwarded past it with
+    :meth:`~repro.sims.base.Simulation.skip`, and only the missing steps
+    are rebuilt -- but every collective of the schedule is still issued,
+    so the coordinator can replay completed ones from its log.
+    """
     sim = spec.sim_factory()
     if len(sim.variable_names) != 1:
         raise ValueError(
@@ -201,8 +248,25 @@ def run_rank(transport: Transport, spec: ClusterSpec) -> RankReport:
     decomp = SlabDecomposition(tuple(sim.shape), transport.size)
     lo, hi = decomp.flat_bounds(transport.rank)
 
+    ckpt: CheckpointStore | None = None
+    recovered: dict[int, tuple[StepCheckpoint, BitmapIndex]] = {}
+    if spec.checkpoint_enabled:
+        ckpt = CheckpointStore(Path(spec.out), transport.rank)
+        if getattr(transport, "resume", False):
+            recovered = ckpt.resume(transport.size, (lo, hi))
+            # Only a contiguous prefix is usable: the simulation can be
+            # fast-forwarded exactly once, before the first rebuilt step.
+            sim.skip(len(recovered))
+        else:
+            ckpt.begin(transport.size, (lo, hi))
+
     step_ids: list[int] = []
     indices: list[BitmapIndex] = []
+
+    def _advance_slab() -> tuple[int, np.ndarray, float, float]:
+        step = sim.advance()
+        slab = _rank_payload(step.fields, variable, lo, hi)
+        return step.step, slab, float(slab.min()), float(slab.max())
 
     if spec.engine == "separate":
         from repro.insitu.parallel import SeparateCoresEngine
@@ -215,45 +279,77 @@ def run_rank(transport: Transport, spec: ClusterSpec) -> RankReport:
             adaptive_digits=spec.adaptive_digits,
             chunk_elements=spec.chunk_elements,
         )
+        extremes: dict[int, tuple[float, float]] = {}
         try:
-            for _ in range(spec.n_steps):
-                step = sim.advance()
-                slab = _rank_payload(step.fields, variable, lo, hi)
-                step_ids.append(step.step)
-                binning = _step_binning(transport, spec, slab)
+            for pos in range(spec.n_steps):
+                if pos in recovered:
+                    sc, _ = recovered[pos]
+                    step_ids.append(sc.step_id)
+                    _step_binning(transport, spec, sc.vmin, sc.vmax)
+                    continue
+                step_id, slab, vmin, vmax = _advance_slab()
+                step_ids.append(step_id)
+                extremes[step_id] = (vmin, vmax)
+                binning = _step_binning(transport, spec, vmin, vmax)
                 engine.submit(
-                    step.step,
+                    step_id,
                     slab,
                     binning=binning if spec.binning is None else None,
                 )
             results = engine.finish()
         finally:
             engine.close()
-        indices = [results[s] for s in step_ids]
-    elif spec.engine == "shared":
-        from repro.insitu.parallel import SharedCoresEngine
-
-        with SharedCoresEngine(
-            spec.workers_per_rank,
-            spec.binning,
-            chunk_elements=spec.chunk_elements,
-        ) as engine:
-            for _ in range(spec.n_steps):
-                step = sim.advance()
-                slab = _rank_payload(step.fields, variable, lo, hi)
-                step_ids.append(step.step)
-                binning = _step_binning(transport, spec, slab)
-                indices.append(engine.build_index(slab, binning=binning))
+        indices = [
+            recovered[pos][1] if pos in recovered else results[step_ids[pos]]
+            for pos in range(spec.n_steps)
+        ]
+        if ckpt is not None:
+            # The separate engine builds asynchronously; its step
+            # boundary for checkpointing purposes is finish().
+            for pos in range(spec.n_steps):
+                if pos not in recovered:
+                    vmin, vmax = extremes[step_ids[pos]]
+                    ckpt.record_step(step_ids[pos], indices[pos], vmin, vmax)
     else:
-        for _ in range(spec.n_steps):
-            step = sim.advance()
-            slab = _rank_payload(step.fields, variable, lo, hi)
-            step_ids.append(step.step)
-            binning = _step_binning(transport, spec, slab)
+        if spec.engine == "shared":
+            from repro.insitu.parallel import SharedCoresEngine
+
+            engine_cm = SharedCoresEngine(
+                spec.workers_per_rank,
+                spec.binning,
+                chunk_elements=spec.chunk_elements,
+            )
+        else:
+            engine_cm = None
+
+        def _build(slab: np.ndarray, binning: Binning) -> BitmapIndex:
+            if engine_cm is not None:
+                return engine_cm.build_index(slab, binning=binning)
             vectors = build_bitvectors(
                 slab, binning, chunk_elements=spec.chunk_elements
             )
-            indices.append(BitmapIndex(binning, vectors, slab.size))
+            return BitmapIndex(binning, vectors, slab.size)
+
+        if engine_cm is not None:
+            engine_cm.__enter__()
+        try:
+            for pos in range(spec.n_steps):
+                if pos in recovered:
+                    sc, index = recovered[pos]
+                    step_ids.append(sc.step_id)
+                    indices.append(index)
+                    _step_binning(transport, spec, sc.vmin, sc.vmax)
+                    continue
+                step_id, slab, vmin, vmax = _advance_slab()
+                step_ids.append(step_id)
+                binning = _step_binning(transport, spec, vmin, vmax)
+                index = _build(slab, binning)
+                indices.append(index)
+                if ckpt is not None:
+                    ckpt.record_step(step_id, index, vmin, vmax)
+        finally:
+            if engine_cm is not None:
+                engine_cm.__exit__(None, None, None)
 
     selection = distributed_select(
         transport,
@@ -262,17 +358,30 @@ def run_rank(transport: Transport, spec: ClusterSpec) -> RankReport:
         spec.metric,
         partitioning=spec.partitioning,
         aligned=spec.binning is None,
+        on_pick=ckpt.record_selection if ckpt is not None else None,
     )
 
     files: list[str] = []
     nbytes = 0
     if spec.out is not None:
         rank_dir = f"rank_{transport.rank:04d}"
-        writer = OutputWriter(Path(spec.out) / rank_dir)
-        for pos in selection.selected:
-            writer.write_bitmap_step(step_ids[pos], {"payload": indices[pos]})
-            files.append(f"{rank_dir}/step_{step_ids[pos]:05d}/payload.rbmp")
-        nbytes = writer.stats.bytes_written
+        if ckpt is not None:
+            # Every step is already persisted at its boundary; converge
+            # the store to the selected-steps-only layout a fault-free
+            # non-checkpointed run writes (save_index is deterministic,
+            # so the surviving files are byte-identical).
+            keep = [step_ids[pos] for pos in selection.selected]
+            ckpt.prune(keep)
+            for step_id in keep:
+                rel = f"{rank_dir}/{ckpt.step_file(step_id)}"
+                files.append(rel)
+                nbytes += (Path(spec.out) / rel).stat().st_size
+        else:
+            writer = OutputWriter(Path(spec.out) / rank_dir)
+            for pos in selection.selected:
+                writer.write_bitmap_step(step_ids[pos], {"payload": indices[pos]})
+                files.append(f"{rank_dir}/step_{step_ids[pos]:05d}/payload.rbmp")
+            nbytes = writer.stats.bytes_written
 
     report = RankReport(
         rank=transport.rank,
@@ -317,7 +426,7 @@ def run_cluster(
     *,
     transport: str = "local",
     collective_timeout: float = 120.0,
-    fault: FaultPlan | None = None,
+    fault: FaultPlan | tuple | list | None = None,
     start_method: str | None = None,
 ) -> ClusterResult:
     """Run the cluster pipeline; returns the (rank-agreed) selection.
@@ -326,15 +435,28 @@ def run_cluster(
     parent coordinator -- always available.  ``transport='mpi'`` assumes
     this process *is* one rank of an ``mpiexec`` launch and requires
     ``mpi4py``; ``n_ranks`` must then match the communicator size.
+    ``spec.on_fault`` selects the recovery policy (local transport only):
+    ``fail`` poisons the cluster on any rank fault, ``respawn``/``shrink``
+    replace the failed rank and replay it from the checkpoint, producing
+    the exact fault-free result.
     """
+    recovery_events: list[RecoveryEvent] = []
     if transport == "local":
         cluster = LocalClusterTransport(
             n_ranks,
             collective_timeout=collective_timeout,
             start_method=start_method,
         )
-        reports = cluster.run(run_rank, spec, fault=fault)
+        reports = cluster.run(
+            run_rank, spec, fault=fault, recovery=spec.recovery_policy
+        )
+        recovery_events = list(cluster.recovery_events)
     elif transport == "mpi":
+        if spec.on_fault != "fail":
+            raise ClusterFailed(
+                f"on_fault={spec.on_fault!r} recovery requires the local "
+                "transport; the MPI adapter cannot replace ranks"
+            )
         mpi = MPITransport()
         if mpi.size != n_ranks:
             raise ClusterFailed(
@@ -343,12 +465,38 @@ def run_cluster(
         reports = [run_rank(mpi, spec)]
     else:
         raise ValueError(f"unknown transport {transport!r}; use 'local' or 'mpi'")
+    if spec.out is not None and spec.on_fault != "fail":
+        _amend_manifest_recovery(Path(spec.out), spec, recovery_events)
     return ClusterResult(
         selection=reports[0].selection,
         n_ranks=n_ranks,
         reports=reports,
         out=Path(spec.out) if spec.out is not None else None,
+        recovery=recovery_events,
     )
+
+
+def _amend_manifest_recovery(
+    root: Path, spec: ClusterSpec, events: list[RecoveryEvent]
+) -> None:
+    """Record recovery counters/timings in ``cluster.json``.
+
+    Only the coordinator knows the replacement history, and only after
+    the ranks are done -- so the section is appended parent-side after
+    rank 0 wrote the manifest.  ``fail``-policy manifests are never
+    touched (byte-stable with pre-recovery runs).
+    """
+    path = root / MANIFEST_NAME
+    manifest = json.loads(path.read_text())
+    manifest["recovery"] = {
+        "on_fault": spec.on_fault,
+        "max_recoveries": spec.max_recoveries,
+        "checkpoint": spec.checkpoint_enabled,
+        "n_recoveries": len(events),
+        "total_recovery_s": round(sum(e.elapsed_s for e in events), 6),
+        "events": [e.to_json() for e in events],
+    }
+    path.write_text(json.dumps(manifest, indent=2) + "\n")
 
 
 # ------------------------------------------------------------ reassembly

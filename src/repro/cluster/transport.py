@@ -6,29 +6,62 @@ merge needs:
 
 * :class:`LocalClusterTransport` -- real OS processes wired to a parent
   coordinator over pipes.  Always available; what the tests and CI run.
-  The parent routes every collective and *poisons* the cluster on any rank
-  death, protocol desync, or straggler timeout, mirroring the
+  The parent routes every collective and, under the default ``fail``
+  policy, *poisons* the cluster on any rank death, protocol desync, or
+  straggler timeout, mirroring the
   :class:`~repro.insitu.queue.QueueFailed` contract: a failed collective
   raises :class:`ClusterFailed` on every surviving rank instead of
-  deadlocking it.
+  deadlocking it.  Under a :class:`RecoveryPolicy` of ``respawn`` or
+  ``shrink`` the parent instead pauses the collective schedule and
+  replaces the failed rank (see *Elastic recovery* below).
 * :class:`MPITransport` -- thin adapter over ``mpi4py`` for real clusters,
   gated behind an optional import (the test container does not ship MPI).
 * :class:`FaultyTransport` -- a fault-injection wrapper that kills, delays
   or drops a chosen rank at a chosen collective; the differential test
-  suite uses it to exercise every failure path.
+  suite uses it to exercise every failure and recovery path.
 
 Collective payloads are tiny (per-bin count vectors, selection picks,
 store reports), so correctness and failure semantics dominate the design,
 not bandwidth.
+
+Elastic recovery
+----------------
+Every rank issues the *same* sequence of collectives (the SPMD schedule
+is lockstep -- contribution ``seq`` numbers line up across ranks), so the
+parent can keep a **collective log**: for each completed collective, the
+per-rank replies it handed out.  When a rank dies, the parent pauses the
+schedule (survivors simply wait inside their current collective -- their
+contributions are already parked in ``pending``) and starts a replacement:
+
+* ``respawn`` -- a fresh process for the same rank slot, or
+* ``shrink``  -- a surviving host process *adopts* the dead rank's body
+  as an extra thread, so the cluster continues on fewer processes.
+
+Either way the replacement re-executes the rank body from the top with
+``transport.resume = True``; checkpoint-aware bodies (see
+:mod:`repro.cluster.checkpoint`) reload persisted per-step state and skip
+the expensive rebuild work, but still *issue every collective*.  The
+parent serves contributions with ``seq`` at or below the log head straight
+from the log -- zero survivor involvement -- until the replacement reaches
+the live collective and the schedule resumes.  Because all cross-rank
+state flows through (logged) collectives, a recovered run is exactly the
+fault-free run.
+
+Messages are rank-tagged so one host process can carry several virtual
+ranks after a shrink: child -> parent ``("coll", rank, op, seq, blob)`` /
+``("done"|"error"|"poisoned", rank, blob)``; parent -> child
+``("ok"|"fail", rank, blob)`` / ``("adopt", rank, incarnation)``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import queue
+import threading
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as _conn_wait
 from typing import Any, Callable
 
@@ -38,6 +71,9 @@ from repro.insitu.parallel import _dump_exc, _load_exc, _pick_context
 
 #: Reduction operators allowed in :meth:`Transport.allreduce`.
 ALLREDUCE_OPS = ("sum", "min", "max")
+
+#: Recovery policies accepted by :class:`RecoveryPolicy`.
+ON_FAULT_POLICIES = ("fail", "respawn", "shrink")
 
 #: Seconds granted for voluntary child shutdown before termination.
 _JOIN_SECONDS = 10.0
@@ -62,6 +98,11 @@ class ClusterFailed(RuntimeError):
 
 class Transport(ABC):
     """The collective surface the distributed merge is written against."""
+
+    #: True when this rank is a *replacement* replaying after a fault.
+    #: Checkpoint-aware bodies use it to reload persisted state; the
+    #: collective schedule must be re-issued in full either way.
+    resume: bool = False
 
     @property
     @abstractmethod
@@ -108,14 +149,85 @@ def _reduce(parts: list[np.ndarray], op: str) -> np.ndarray:
 
 
 # --------------------------------------------------------------- local child
-class _PipeTransport(Transport):
-    """Child-side transport: one duplex pipe to the coordinator."""
+class _PipeEndpoint:
+    """Child-side demultiplexer: one pipe shared by every hosted rank.
 
-    def __init__(self, rank: int, size: int, conn: Connection) -> None:
+    A daemon reader thread drains the pipe, dispatching ``adopt`` orders
+    to the host and routing rank-tagged replies to per-rank inboxes, so
+    several virtual ranks (one thread each after a shrink) can block on
+    their own replies concurrently.  EOF poisons every inbox: no hosted
+    rank ever hangs on a coordinator that has gone away.
+    """
+
+    def __init__(
+        self,
+        conn: Connection,
+        on_adopt: Callable[[int, int], None] | None = None,
+    ) -> None:
+        self._conn = conn
+        self._send_lock = threading.Lock()
+        self._inbox_lock = threading.Lock()
+        self._inboxes: dict[int, queue.Queue] = {}
+        self._on_adopt = on_adopt
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="pipe-endpoint-reader", daemon=True
+        )
+        self._reader.start()
+
+    def _inbox(self, rank: int) -> queue.Queue:
+        with self._inbox_lock:
+            box = self._inboxes.get(rank)
+            if box is None:
+                box = self._inboxes[rank] = queue.Queue()
+                if self._closed:
+                    box.put(("eof", b""))
+            return box
+
+    def send(self, msg: tuple) -> None:
+        with self._send_lock:
+            self._conn.send(msg)
+
+    def try_send(self, msg: tuple) -> None:
+        try:
+            self.send(msg)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def recv_for(self, rank: int) -> tuple[str, bytes]:
+        return self._inbox(rank).get()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                msg = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "adopt":
+                _, rank, incarnation = msg
+                if self._on_adopt is not None:
+                    self._on_adopt(int(rank), int(incarnation))
+                continue
+            _, rank, blob = msg
+            self._inbox(int(rank)).put((kind, blob))
+        with self._inbox_lock:
+            self._closed = True
+            for box in self._inboxes.values():
+                box.put(("eof", b""))
+
+
+class _PipeTransport(Transport):
+    """Child-side transport: one virtual rank over a shared endpoint."""
+
+    def __init__(
+        self, rank: int, size: int, endpoint: _PipeEndpoint, *, resume: bool = False
+    ) -> None:
         self._rank = int(rank)
         self._size = int(size)
-        self._conn = conn
+        self._ep = endpoint
         self._seq = 0
+        self.resume = bool(resume)
 
     @property
     def rank(self) -> int:
@@ -125,23 +237,27 @@ class _PipeTransport(Transport):
     def size(self) -> int:
         return self._size
 
-    def _collective(self, op: str, payload: Any) -> Any:
+    def _send_contribution(self, op: str, payload: Any) -> None:
         self._seq += 1
         try:
-            self._conn.send(("coll", op, self._seq, pickle.dumps(payload)))
+            self._ep.send(
+                ("coll", self._rank, op, self._seq, pickle.dumps(payload))
+            )
         except (BrokenPipeError, OSError) as exc:
             raise ClusterFailed(
                 f"rank {self._rank}: coordinator unreachable during {op}", exc
             ) from exc
+
+    def _collective(self, op: str, payload: Any) -> Any:
+        self._send_contribution(op, payload)
         return self._recv_reply(op)
 
     def _recv_reply(self, op: str) -> Any:
-        try:
-            kind, blob = self._conn.recv()
-        except (EOFError, OSError) as exc:
+        kind, blob = self._ep.recv_for(self._rank)
+        if kind == "eof":
             raise ClusterFailed(
-                f"rank {self._rank}: coordinator vanished during {op}", exc
-            ) from exc
+                f"rank {self._rank}: coordinator vanished during {op}"
+            )
         if kind == "fail":
             exc = _load_exc(blob)
             if isinstance(exc, ClusterFailed):
@@ -185,6 +301,13 @@ class FaultPlan:
     ``delay_s`` then proceeds normally; ``"drop"`` never contributes and
     waits for the coordinator's verdict (a hung node -- only the
     straggler timeout can clear it).
+
+    ``incarnation`` selects which *incarnation* of the rank the fault
+    targets: 0 (default) is the original process; a replacement spawned
+    by recovery runs incarnation 1, and so on.  A plan with
+    ``incarnation=1`` therefore injects a fault *during recovery*, and a
+    replacement never re-fires the incarnation-0 plan that killed its
+    predecessor.
     """
 
     rank: int
@@ -194,6 +317,7 @@ class FaultPlan:
     when: str = "before"  # before | during | after
     delay_s: float = 0.25
     exit_code: int = 17
+    incarnation: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ("die", "raise", "delay", "drop"):
@@ -206,6 +330,18 @@ class FaultPlan:
             "bcast",
         ):
             raise ValueError(f"unknown collective {self.collective!r}")
+        if self.incarnation < 0:
+            raise ValueError(f"incarnation must be >= 0, got {self.incarnation}")
+
+
+def _normalize_faults(
+    fault: FaultPlan | tuple | list | None,
+) -> tuple[FaultPlan, ...]:
+    if fault is None:
+        return ()
+    if isinstance(fault, FaultPlan):
+        return (fault,)
+    return tuple(fault)
 
 
 class FaultyTransport(Transport):
@@ -223,6 +359,16 @@ class FaultyTransport(Transport):
     @property
     def size(self) -> int:
         return self._inner.size
+
+    @property
+    def resume(self) -> bool:  # type: ignore[override]
+        return self._inner.resume
+
+    def _base_pipe(self) -> _PipeTransport | None:
+        inner = self._inner
+        while isinstance(inner, FaultyTransport):
+            inner = inner._inner
+        return inner if isinstance(inner, _PipeTransport) else None
 
     def _trigger(self) -> None:
         plan = self._plan
@@ -244,23 +390,22 @@ class FaultyTransport(Transport):
         self._matched += 1
         if not fire:
             return call()
+        pipe = self._base_pipe()
         if plan.kind == "drop":
             # Never contribute: sit in recv until the coordinator's
-            # straggler timeout poisons the cluster.
-            if not isinstance(self._inner, _PipeTransport):
+            # straggler timeout poisons (or recovers) the cluster.
+            if pipe is None:
                 raise ClusterFailed(
                     f"rank {self.rank}: dropped out of {op} (injected)"
                 )
-            return self._inner._recv_reply(op)
+            return pipe._recv_reply(op)
         if plan.when == "before":
             self._trigger()
             return call()
-        if plan.when == "during" and isinstance(self._inner, _PipeTransport):
-            inner = self._inner
-            inner._seq += 1
-            inner._conn.send(("coll", op, inner._seq, pickle.dumps(self._payload)))
+        if plan.when == "during" and pipe is not None:
+            pipe._send_contribution(op, self._payload)
             self._trigger()
-            return inner._recv_reply(op)
+            return pipe._recv_reply(op)
         result = call()
         self._trigger()
         return result
@@ -281,53 +426,181 @@ class FaultyTransport(Transport):
         self._inner.close()
 
 
+# ----------------------------------------------------------- recovery policy
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What the coordinator does when a rank fails mid-run.
+
+    ``on_fault``:
+
+    * ``"fail"`` (default) -- poison the whole cluster, today's behavior.
+    * ``"respawn"`` -- start a fresh process for the failed rank slot.
+    * ``"shrink"`` -- a surviving host process adopts the failed rank's
+      body as an extra thread (fewer processes, same rank count, same
+      results); falls back to respawn when no survivor can adopt.
+
+    ``max_recoveries`` bounds the total number of replacement attempts
+    across the run (a crash-looping rank must not retry forever);
+    exceeding it poisons the cluster with ``recovery budget exhausted``.
+    ``recovery_timeout`` bounds how long a single replacement may go
+    without progress (a served or live contribution) before it is itself
+    declared failed and retried -- counted against the budget.
+    """
+
+    on_fault: str = "fail"
+    max_recoveries: int = 4
+    recovery_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.on_fault not in ON_FAULT_POLICIES:
+            raise ValueError(
+                f"unknown on_fault policy {self.on_fault!r}; "
+                f"expected one of {ON_FAULT_POLICIES}"
+            )
+        if self.max_recoveries < 0:
+            raise ValueError(
+                f"max_recoveries must be >= 0, got {self.max_recoveries}"
+            )
+        if self.recovery_timeout <= 0:
+            raise ValueError(
+                f"recovery_timeout must be > 0, got {self.recovery_timeout}"
+            )
+
+
+@dataclass
+class RecoveryEvent:
+    """One replacement attempt, as surfaced in ``cluster.json``/CLI."""
+
+    rank: int
+    incarnation: int
+    mode: str  # respawn | shrink
+    reason: str  # died | error | poisoned | hung | stalled
+    host_rank: int | None  # adopting host's own rank (shrink), else None
+    at_collective: int  # collectives completed when recovery began
+    elapsed_s: float = 0.0
+    recovered: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "rank": self.rank,
+            "incarnation": self.incarnation,
+            "mode": self.mode,
+            "reason": self.reason,
+            "host_rank": self.host_rank,
+            "at_collective": self.at_collective,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "recovered": self.recovered,
+        }
+
+
+@dataclass
+class _Recovery:
+    """Parent-side tracking of one in-flight replacement."""
+
+    event: RecoveryEvent
+    started: float
+    last_progress: float = 0.0
+
+
+class _Host:
+    """Parent-side view of one child process (may host several ranks)."""
+
+    def __init__(self, proc: Any, conn: Connection, ranks: set[int]) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.ranks = set(ranks)
+        self.alive = True
+
+
 # ------------------------------------------------------------- local cluster
-def _rank_main(
+def _virtual_rank_body(
+    endpoint: _PipeEndpoint,
     rank: int,
     size: int,
-    conn: Connection,
     fn_blob: bytes,
-    fault: FaultPlan | None,
+    faults: tuple[FaultPlan, ...],
+    resume: bool,
+    incarnation: int,
 ) -> None:
-    """Child entry point: run ``fn(transport, *args)`` and report back."""
-    transport: Transport = _PipeTransport(rank, size, conn)
-    if fault is not None and fault.rank == rank:
-        transport = FaultyTransport(transport, fault)
+    """Run one rank's body over the shared endpoint and report back."""
+    transport: Transport = _PipeTransport(rank, size, endpoint, resume=resume)
+    for plan in faults:
+        if plan.rank == rank and plan.incarnation == incarnation:
+            transport = FaultyTransport(transport, plan)
     try:
         fn, args = pickle.loads(fn_blob)
         result = fn(transport, *args)
     except ClusterFailed as exc:
         # Secondary failure: this rank was poisoned by someone else's
         # death.  Report it as such so the parent keeps the primary.
-        try:
-            conn.send(("poisoned", _dump_exc(exc)))
-        except (BrokenPipeError, OSError):
-            pass
+        endpoint.try_send(("poisoned", rank, _dump_exc(exc)))
         return
     except BaseException as exc:
-        try:
-            conn.send(("error", _dump_exc(exc)))
-        except (BrokenPipeError, OSError):
-            pass
+        endpoint.try_send(("error", rank, _dump_exc(exc)))
         return
-    try:
-        conn.send(("done", pickle.dumps(result)))
-    except (BrokenPipeError, OSError):
-        pass
+    endpoint.try_send(("done", rank, pickle.dumps(result)))
+
+
+def _rank_main(
+    rank: int,
+    size: int,
+    conn: Connection,
+    fn_blob: bytes,
+    faults: tuple[FaultPlan, ...],
+    resume: bool = False,
+    incarnation: int = 0,
+) -> None:
+    """Child entry point: own rank body plus any shrink-adopted ranks."""
+    adopted: list[threading.Thread] = []
+    adopted_lock = threading.Lock()
+    endpoint_ref: list[_PipeEndpoint] = []
+
+    def on_adopt(new_rank: int, new_incarnation: int) -> None:
+        thread = threading.Thread(
+            target=_virtual_rank_body,
+            args=(
+                endpoint_ref[0], new_rank, size, fn_blob, faults,
+                True, new_incarnation,
+            ),
+            name=f"adopted-rank-{new_rank}",
+        )
+        with adopted_lock:
+            adopted.append(thread)
+            thread.start()
+
+    endpoint = _PipeEndpoint(conn, on_adopt=on_adopt)
+    endpoint_ref.append(endpoint)
+    _virtual_rank_body(endpoint, rank, size, fn_blob, faults, resume, incarnation)
+    # Linger until every adopted body (including any adopted while we were
+    # joining) has finished; the parent's recovery stall timer covers the
+    # narrow race of an adopt order arriving as the process exits.
+    while True:
+        with adopted_lock:
+            threads = list(adopted)
+        for thread in threads:
+            thread.join()
+        with adopted_lock:
+            if len(adopted) == len(threads):
+                break
 
 
 class LocalClusterTransport:
     """Run an SPMD function on ``n_ranks`` real processes, coordinated here.
 
     The parent is *not* a rank: it routes collectives, detects dead or
-    hung ranks, and poisons every survivor with :class:`ClusterFailed`
-    so no collective ever deadlocks.  ``run`` returns the rank-ordered
-    list of return values on success; on failure it re-raises the first
-    *original* worker exception if one was shipped, else a
-    :class:`ClusterFailed` describing the death/timeout.  The raised
-    exception carries ``cluster_outcomes`` -- ``{rank: status}`` with
-    statuses ``done / error / poisoned / dead / hung`` -- so tests can
-    assert that every surviving rank failed *cleanly*.
+    hung ranks, and -- under the default ``fail`` policy -- poisons every
+    survivor with :class:`ClusterFailed` so no collective ever deadlocks.
+    ``run`` returns the rank-ordered list of return values on success; on
+    failure it re-raises the first *original* worker exception if one was
+    shipped, else a :class:`ClusterFailed` describing the death/timeout.
+    The raised exception carries ``cluster_outcomes`` -- ``{rank: status}``
+    with statuses ``done / error / poisoned / dead / hung`` -- so tests
+    can assert that every surviving rank failed *cleanly*.
+
+    Under a ``respawn``/``shrink`` :class:`RecoveryPolicy` the parent
+    instead replaces failed ranks (see the module docstring); the
+    replacement attempts of the last ``run`` are exposed as
+    ``self.recovery_events``.
 
     ``collective_timeout`` bounds how long a collective may sit
     incomplete before the missing ranks are declared hung.
@@ -345,65 +618,102 @@ class LocalClusterTransport:
         self.n_ranks = int(n_ranks)
         self.collective_timeout = float(collective_timeout)
         self._ctx = _pick_context(start_method)
+        #: Replacement attempts of the most recent :meth:`run`.
+        self.recovery_events: list[RecoveryEvent] = []
 
     # ------------------------------------------------------------------ run
     def run(
         self,
         fn: Callable[..., Any],
         *args: Any,
-        fault: FaultPlan | None = None,
+        fault: FaultPlan | tuple | list | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> list[Any]:
         n = self.n_ranks
+        policy = recovery if recovery is not None else RecoveryPolicy()
+        faults = _normalize_faults(fault)
         fn_blob = pickle.dumps((fn, args))
-        parent_conns: list[Connection] = []
-        procs = []
+        self.recovery_events = []
+        hosts: list[_Host] = []
         for rank in range(n):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_rank_main,
-                args=(rank, n, child_conn, fn_blob, fault),
-                name=f"cluster-rank-{rank}",
-                # Non-daemonic: ranks spawn their own engine workers
-                # (daemonic processes may not have children).  The finally
-                # block below joins or terminates every rank.
-                daemon=False,
-            )
-            parent_conns.append(parent_conn)
-            procs.append(proc)
-        for proc in procs:
-            proc.start()
+            hosts.append(self._spawn_host(rank, fn_blob, faults, False, 0))
         try:
-            return self._route(procs, parent_conns)
+            return self._route(hosts, fn_blob, faults, policy)
         finally:
-            for conn in parent_conns:
+            for host in hosts:
                 try:
-                    conn.close()
+                    host.conn.close()
                 except OSError:  # pragma: no cover - already closed
                     pass
-            for proc in procs:
-                proc.join(timeout=_JOIN_SECONDS)
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=_JOIN_SECONDS)
+            for host in hosts:
+                host.proc.join(timeout=_JOIN_SECONDS)
+                if host.proc.is_alive():
+                    host.proc.terminate()
+                    host.proc.join(timeout=_JOIN_SECONDS)
+
+    def _spawn_host(
+        self,
+        rank: int,
+        fn_blob: bytes,
+        faults: tuple[FaultPlan, ...],
+        resume: bool,
+        incarnation: int,
+    ) -> _Host:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        suffix = f"-r{incarnation}" if incarnation else ""
+        proc = self._ctx.Process(
+            target=_rank_main,
+            args=(rank, self.n_ranks, child_conn, fn_blob, faults,
+                  resume, incarnation),
+            name=f"cluster-rank-{rank}{suffix}",
+            # Non-daemonic: ranks spawn their own engine workers
+            # (daemonic processes may not have children).  run()'s finally
+            # block joins or terminates every host.
+            daemon=False,
+        )
+        proc.start()
+        child_conn.close()
+        return _Host(proc, parent_conn, {rank})
 
     # ---------------------------------------------------------------- route
-    def _route(self, procs: list, conns: list[Connection]) -> list[Any]:
+    def _route(
+        self,
+        hosts: list[_Host],
+        fn_blob: bytes,
+        faults: tuple[FaultPlan, ...],
+        policy: RecoveryPolicy,
+    ) -> list[Any]:
         n = self.n_ranks
+        recover = policy.on_fault != "fail"
         status = {rank: "running" for rank in range(n)}
+        incarnation = {rank: 0 for rank in range(n)}
+        rank_host: dict[int, _Host] = {r: hosts[r] for r in range(n)}
         results: dict[int, Any] = {}
         primary: BaseException | None = None
         # In-flight collective: rank -> (op, seq, body); completes when all
         # n ranks (every rank participates in every collective) have sent
-        # a matching contribution.
+        # a matching contribution at the live seq.
         pending: dict[int, tuple[str, int, dict]] = {}
         pending_since: float | None = None
+        # Collective log for recovery: per completed collective, the op and
+        # the reply handed to each rank.  Only kept when recovery is on.
+        completed: list[tuple[str, dict[int, Any]]] = []
+        n_completed = 0
+        recovering: dict[int, _Recovery] = {}
+        recoveries_used = 0
+
+        def active_ranks(host: _Host) -> list[int]:
+            return [
+                r for r in sorted(host.ranks)
+                if status[r] in ("running", "recovering")
+            ]
 
         def fail_all(exc: ClusterFailed) -> None:
             blob = _dump_exc(exc)
-            for rank, conn in enumerate(conns):
-                if status[rank] == "running":
+            for rank in range(n):
+                if status[rank] in ("running", "recovering"):
                     try:
-                        conn.send(("fail", blob))
+                        rank_host[rank].conn.send(("fail", rank, blob))
                     except (BrokenPipeError, OSError):
                         pass
 
@@ -414,80 +724,235 @@ class LocalClusterTransport:
             # behind a stale collective contribution.
             deadline = time.monotonic() + _JOIN_SECONDS
             while exc is not None and time.monotonic() < deadline and any(
-                s == "running" for s in status.values()
+                s in ("running", "recovering") for s in status.values()
             ):
-                for rank, conn in enumerate(conns):
-                    while status[rank] == "running" and conn.poll():
-                        self._consume_final(rank, conn, status, results)
+                for host in hosts:
+                    if not host.alive:
+                        continue
+                    while host.conn.poll():
+                        try:
+                            msg = host.conn.recv()
+                        except (EOFError, OSError):
+                            host.alive = False
+                            break
+                        kind = msg[0]
+                        if kind == "coll":
+                            continue  # late contribution after poisoning
+                        rank = int(msg[1])
+                        if status[rank] not in ("running", "recovering"):
+                            continue
+                        if kind == "done":
+                            status[rank] = "done"
+                            results[rank] = pickle.loads(msg[2])
+                        elif kind == "poisoned":
+                            status[rank] = "poisoned"
+                        elif kind == "error":
+                            status[rank] = "error"
                     if (
-                        status[rank] == "running"
-                        and procs[rank].exitcode is not None
-                        and not conn.poll()
+                        host.alive
+                        and host.proc.exitcode is not None
+                        and not host.conn.poll()
                     ):
-                        status[rank] = "dead"
+                        host.alive = False
+                        for rank in active_ranks(host):
+                            status[rank] = "dead"
                 time.sleep(_POLL_SECONDS / 5)
             if exc is not None:
                 for rank in range(n):
-                    if status[rank] == "running":
+                    if status[rank] in ("running", "recovering"):
                         status[rank] = (
-                            "dead" if procs[rank].exitcode is not None else "hung"
+                            "dead"
+                            if rank_host[rank].proc.exitcode is not None
+                            else "hung"
                         )
                 exc.cluster_outcomes = dict(status)
                 raise exc
             return [results[rank] for rank in range(n)]
 
-        while len(results) < n:
-            ready = _conn_wait(
-                [conns[r] for r in range(n) if status[r] == "running"],
-                timeout=_POLL_SECONDS,
+        def start_recovery(rank: int, reason: str) -> None:
+            nonlocal recoveries_used, primary
+            pending.pop(rank, None)
+            old = rank_host.get(rank)
+            if old is not None:
+                old.ranks.discard(rank)
+            recovering.pop(rank, None)
+            recoveries_used += 1
+            if recoveries_used > policy.max_recoveries:
+                if primary is None:
+                    primary = ClusterFailed(
+                        f"recovery budget exhausted after "
+                        f"{policy.max_recoveries} replacement(s); "
+                        f"rank {rank} {reason} and cannot be replaced"
+                    )
+                status[rank] = "dead"
+                return
+            incarnation[rank] += 1
+            status[rank] = "recovering"
+            mode = policy.on_fault
+            host_rank: int | None = None
+            if mode == "shrink":
+                candidates = [
+                    h for h in hosts
+                    if h.alive and any(status[r] == "running" for r in h.ranks)
+                ]
+                if candidates:
+                    target = min(candidates, key=lambda h: len(active_ranks(h)))
+                    try:
+                        target.conn.send(("adopt", rank, incarnation[rank]))
+                    except (BrokenPipeError, OSError):
+                        target = None  # host raced to exit: respawn instead
+                    if target is not None:
+                        target.ranks.add(rank)
+                        rank_host[rank] = target
+                        host_rank = min(
+                            (r for r in target.ranks
+                             if r != rank and status[r] == "running"),
+                            default=None,
+                        )
+                    else:
+                        mode = "respawn"
+                else:
+                    mode = "respawn"
+            if mode == "respawn":
+                host = self._spawn_host(
+                    rank, fn_blob, faults, True, incarnation[rank]
+                )
+                hosts.append(host)
+                rank_host[rank] = host
+            now = time.monotonic()
+            event = RecoveryEvent(
+                rank=rank,
+                incarnation=incarnation[rank],
+                mode=mode,
+                reason=reason,
+                host_rank=host_rank,
+                at_collective=n_completed,
             )
+            self.recovery_events.append(event)
+            recovering[rank] = _Recovery(
+                event=event, started=now, last_progress=now
+            )
+
+        def host_failed(host: _Host, reason: str, detail: str) -> None:
+            nonlocal primary
+            host.alive = False
+            victims = active_ranks(host)
+            if not victims:
+                return  # every hosted rank already reported; clean exit
+            if not recover:
+                for rank in victims:
+                    status[rank] = "dead"
+                if primary is None:
+                    primary = ClusterFailed(detail.format(rank=victims[0]))
+                return
+            for rank in victims:
+                start_recovery(rank, reason)
+
+        def rank_failed(rank: int, reason: str, exc: BaseException) -> None:
+            nonlocal primary
+            host = rank_host[rank]
+            host.ranks.discard(rank)
+            if not recover:
+                status[rank] = reason if reason in ("error", "poisoned") else "dead"
+                if primary is None:
+                    primary = exc
+                return
+            start_recovery(rank, reason)
+
+        while len(results) < n:
+            conn_host = {h.conn: h for h in hosts if h.alive}
+            ready = _conn_wait(list(conn_host), timeout=_POLL_SECONDS)
             for conn in ready:
-                rank = conns.index(conn)
+                host = conn_host[conn]
+                if not host.alive:
+                    continue
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
                     # The pipe hit EOF before the exitcode scan below saw
-                    # the death; promote it to the primary failure here or
-                    # the collective would sit until the straggler timeout.
-                    status[rank] = "dead"
-                    if primary is None:
-                        primary = ClusterFailed(
-                            f"rank {rank} died with exit code "
-                            f"{procs[rank].exitcode} during a collective"
-                        )
+                    # the death; reap the process (EOF means it already
+                    # exited) and handle it here or the collective would
+                    # sit until the straggler timeout.
+                    host.proc.join(timeout=_JOIN_SECONDS)
+                    host_failed(
+                        host, "died",
+                        "rank {rank} died with exit code "
+                        f"{host.proc.exitcode} during a collective",
+                    )
                     continue
                 kind = msg[0]
                 if kind == "coll":
-                    _, op, seq, blob = msg
+                    _, rank, op, seq, blob = msg
+                    rank, seq = int(rank), int(seq)
+                    if status[rank] not in ("running", "recovering"):
+                        continue  # stale contribution from a replaced body
+                    if recover and seq <= n_completed:
+                        # A recovering rank replaying the schedule: serve
+                        # the logged reply, zero survivor involvement.
+                        logged_op, replies = completed[seq - 1]
+                        if logged_op != op:
+                            desync = ClusterFailed(
+                                f"collective desync during recovery: rank "
+                                f"{rank} replayed {op}[{seq}] but the log "
+                                f"has {logged_op}"
+                            )
+                            fail_all(desync)
+                            return finish(desync)
+                        try:
+                            host.conn.send(
+                                ("ok", rank, pickle.dumps(replies[rank]))
+                            )
+                        except (BrokenPipeError, OSError):
+                            pass  # the death scan will pick this host up
+                        rec = recovering.get(rank)
+                        if rec is not None:
+                            rec.last_progress = time.monotonic()
+                        continue
+                    if seq != n_completed + 1:
+                        desync = ClusterFailed(
+                            f"collective desync: rank {rank} sent "
+                            f"{op}[{seq}] but the cluster is at "
+                            f"[{n_completed + 1}]"
+                        )
+                        fail_all(desync)
+                        return finish(desync)
                     pending[rank] = (op, seq, pickle.loads(blob))
+                    rec = recovering.pop(rank, None)
+                    if rec is not None:
+                        # Caught up with the live collective: recovered.
+                        now = time.monotonic()
+                        rec.event.recovered = True
+                        rec.event.elapsed_s = now - rec.started
+                        status[rank] = "running"
+                        if not recovering:
+                            pending_since = now
                     if pending_since is None:
                         pending_since = time.monotonic()
                 elif kind == "done":
+                    rank = int(msg[1])
                     status[rank] = "done"
-                    results[rank] = pickle.loads(msg[1])
+                    results[rank] = pickle.loads(msg[2])
+                    host.ranks.discard(rank)
                 elif kind == "error":
-                    status[rank] = "error"
-                    if primary is None:
-                        primary = _load_exc(msg[1])
+                    rank = int(msg[1])
+                    rank_failed(rank, "error", _load_exc(msg[2]))
                 elif kind == "poisoned":
-                    status[rank] = "poisoned"
-                    if primary is None:
-                        # A rank failed a collective on its own (e.g. an
-                        # injected drop outside pipe transport); promote
-                        # its report so the loop cannot spin forever.
-                        primary = _load_exc(msg[1])
+                    rank = int(msg[1])
+                    # Under fail: a rank failed a collective on its own
+                    # (e.g. an injected drop outside pipe transport);
+                    # promote its report so the loop cannot spin forever.
+                    rank_failed(rank, "poisoned", _load_exc(msg[2]))
 
-            # Rank death: a process that exited without reporting.
-            for rank in range(n):
-                if status[rank] == "running" and procs[rank].exitcode is not None:
-                    if conns[rank].poll():
-                        continue  # let its last message drain first
-                    status[rank] = "dead"
-                    if primary is None:
-                        primary = ClusterFailed(
-                            f"rank {rank} died with exit code "
-                            f"{procs[rank].exitcode} during a collective"
-                        )
+            # Host death: a process that exited while still owing ranks.
+            for host in hosts:
+                if host.alive and host.proc.exitcode is not None:
+                    if host.conn.poll():
+                        continue  # let its last messages drain first
+                    host_failed(
+                        host, "died",
+                        "rank {rank} died with exit code "
+                        f"{host.proc.exitcode} during a collective",
+                    )
 
             if primary is not None:
                 poison = (
@@ -516,19 +981,30 @@ class LocalClusterTransport:
                     bad = ClusterFailed(f"collective {op} failed: {exc!r}", exc)
                     fail_all(bad)
                     return finish(bad)
+                if recover:
+                    completed.append((op, dict(replies)))
+                n_completed += 1
                 for rank, reply in replies.items():
                     try:
-                        conns[rank].send(("ok", pickle.dumps(reply)))
+                        rank_host[rank].conn.send(
+                            ("ok", rank, pickle.dumps(reply))
+                        )
                     except (BrokenPipeError, OSError):
                         pass  # the death scan will pick this rank up
                 pending.clear()
                 pending_since = None
-            elif pending and pending_since is not None:
-                if time.monotonic() - pending_since > self.collective_timeout:
-                    op = next(iter(pending.values()))[0]
-                    missing = sorted(set(range(n)) - set(pending) - {
-                        r for r, s in status.items() if s != "running"
-                    })
+            elif (
+                pending
+                and pending_since is not None
+                and not recovering
+                and time.monotonic() - pending_since > self.collective_timeout
+            ):
+                op = next(iter(pending.values()))[0]
+                missing = sorted(
+                    r for r in range(n)
+                    if status[r] == "running" and r not in pending
+                )
+                if not recover:
                     timeout_exc = ClusterFailed(
                         f"collective {op} timed out after "
                         f"{self.collective_timeout:.1f}s waiting for ranks "
@@ -536,27 +1012,40 @@ class LocalClusterTransport:
                     )
                     fail_all(timeout_exc)
                     return finish(timeout_exc)
+                # Hung ranks under a recovery policy: terminate their
+                # hosts (a stuck body cannot be interrupted any other
+                # way) and replace every rank those hosts were carrying.
+                # All implicated hosts are retired first so a shrink
+                # recovery cannot adopt into one about to be killed.
+                doomed = {id(rank_host[r]): rank_host[r] for r in missing}
+                for host in doomed.values():
+                    host.alive = False
+                    host.proc.terminate()
+                for host in doomed.values():
+                    for rank in active_ranks(host):
+                        start_recovery(
+                            rank, "hung" if rank in missing else "evicted"
+                        )
+                pending_since = time.monotonic()
+
+            # A replacement that stopped making progress (e.g. adopted by
+            # a host that exited first, or crash-looping) is itself failed
+            # and retried, against the same budget.
+            if recovering:
+                now = time.monotonic()
+                for rank, rec in list(recovering.items()):
+                    if now - rec.last_progress > policy.recovery_timeout:
+                        host = rank_host[rank]
+                        host.alive = False
+                        if host.proc.exitcode is None:
+                            host.proc.terminate()
+                        for victim in active_ranks(host):
+                            start_recovery(
+                                victim,
+                                "stalled" if victim == rank else "evicted",
+                            )
 
         return finish(None)
-
-    @staticmethod
-    def _consume_final(
-        rank: int, conn: Connection, status: dict, results: dict
-    ) -> None:
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            status[rank] = "dead"
-            return
-        kind = msg[0]
-        if kind == "done":
-            status[rank] = "done"
-            results[rank] = pickle.loads(msg[1])
-        elif kind == "poisoned":
-            status[rank] = "poisoned"
-        elif kind == "error":
-            status[rank] = "error"
-        # A late "coll" contribution after poisoning is simply dropped.
 
     @staticmethod
     def _complete(op: str, pending: dict[int, tuple[str, int, dict]]) -> dict[int, Any]:

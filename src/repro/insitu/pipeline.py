@@ -145,8 +145,25 @@ class InSituPipeline:
             self.metric = metric
 
     # ----------------------------------------------------------- sequential
-    def run(self, n_steps: int, select_k: int) -> PipelineResult:
-        """Sequential (Shared-Cores-like) execution: phases alternate."""
+    def run(
+        self,
+        n_steps: int,
+        select_k: int,
+        *,
+        resume: list[tuple[int, BitmapIndex]] | None = None,
+    ) -> PipelineResult:
+        """Sequential (Shared-Cores-like) execution: phases alternate.
+
+        ``resume`` hands the pipeline an already-built prefix of per-step
+        indices as ``(step_id, index)`` pairs (e.g. reloaded from a
+        :class:`~repro.cluster.checkpoint.CheckpointStore` after a
+        crash): the simulation is fast-forwarded past them with
+        :meth:`~repro.sims.base.Simulation.skip` and only the remaining
+        steps are simulated and reduced.  Because selection runs over the
+        full artifact list either way, a resumed run returns exactly the
+        selection an uninterrupted run would.  Bitmap mode only -- the
+        other modes retain raw/sampled arrays, which no checkpoint holds.
+        """
         timings = TimeBreakdown()
         memory = MemoryTracker()
         memory.set("simulation_substrate", max(self.simulation.substrate_nbytes, 1))
@@ -156,7 +173,24 @@ class InSituPipeline:
         steps_meta: list[int] = []
         payload_sizes: list[int] = []
 
-        for _ in range(n_steps):
+        if resume:
+            if self.mode != "bitmap":
+                raise ValueError("resume is defined for bitmap mode only")
+            if len(resume) > n_steps:
+                raise ValueError(
+                    f"resume prefix of {len(resume)} steps exceeds "
+                    f"n_steps={n_steps}"
+                )
+            with timings.timed("simulate"):
+                self.simulation.skip(len(resume))
+            for step_id, index in resume:
+                artifacts.append(index)
+                artifact_bytes.append(index.nbytes)
+                steps_meta.append(step_id)
+                payload_sizes.append(index.n_elements)
+                memory.add("retained_window", index.nbytes)
+
+        for _ in range(n_steps - len(steps_meta)):
             with timings.timed("simulate"):
                 step = self.simulation.advance()
             payload = self.payload_fn(step)

@@ -77,6 +77,19 @@ class Simulation(ABC):
         for _ in range(n_steps):
             yield self.advance()
 
+    def skip(self, n_steps: int) -> None:
+        """Fast-forward past ``n_steps`` time-steps without emitting them.
+
+        Used by cluster recovery: a replacement rank whose first K steps
+        are already checkpointed skips them and resumes building at step
+        K.  The default advances and discards — exact for any simulation
+        whose state evolution does not depend on observation (all of
+        ours).  Replay-style simulations override this with an O(1)
+        cursor jump.
+        """
+        for _ in range(n_steps):
+            self.advance()
+
     @property
     def bytes_per_step(self) -> int:
         """Raw output bytes per time-step (8-byte floats assumed)."""

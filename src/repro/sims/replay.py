@@ -48,6 +48,16 @@ class ReplaySimulation(Simulation):
         """Number of recorded steps available."""
         return len(self._steps)
 
+    def skip(self, n_steps: int) -> None:
+        """O(1) fast-forward: jump the cursor instead of replaying arrays."""
+        if n_steps < 0:
+            raise ValueError("cannot skip a negative number of steps")
+        if self._cursor + n_steps > len(self._steps):
+            raise RuntimeError(
+                f"replay exhausted after {len(self._steps)} steps"
+            )
+        self._cursor += n_steps
+
     def advance(self) -> TimeStepData:
         if self._cursor >= len(self._steps):
             raise RuntimeError(

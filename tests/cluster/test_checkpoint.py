@@ -1,0 +1,188 @@
+"""Checkpoint layer: atomic persistence and exact resumption.
+
+The recovery contract rests on two properties tested here in isolation
+from the cluster: (a) a checkpoint store never reads back torn state --
+corruption, truncation, or holes degrade to "rebuild that step", never
+to wrong bytes; (b) resuming a pipeline from a checkpointed prefix gives
+results identical to the uninterrupted run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import BitmapIndex, PrecisionBinning, save_index
+from repro.cluster import CKPT_NAME, CheckpointStore
+from repro.insitu import InSituPipeline
+from repro.selection import get_metric
+from repro.sims import ReplaySimulation
+
+BINNING = PrecisionBinning(0.0, 1.0, digits=1)
+
+
+def _steps(seed=5, n=6, shape=(6, 5)):
+    rng = np.random.default_rng(seed)
+    return [np.round(rng.random(shape), 1) for _ in range(n)]
+
+
+def _indices(steps):
+    return [BitmapIndex.build(s.ravel(), BINNING) for s in steps]
+
+
+def _populated_store(tmp_path, steps, rank=0, n_ranks=2, bounds=(0, 30)):
+    store = CheckpointStore(tmp_path / "store", rank)
+    store.begin(n_ranks, bounds)
+    for i, (step, index) in enumerate(zip(steps, _indices(steps))):
+        store.record_step(i, index, float(step.min()), float(step.max()))
+    return store
+
+
+class TestRoundTrip:
+    def test_load_returns_recorded_state(self, tmp_path):
+        steps = _steps()
+        store = _populated_store(tmp_path, steps)
+        store.record_selection([0, 3], [float("nan"), 1.25])
+        state = store.load()
+        assert state is not None
+        assert (state.rank, state.n_ranks, state.flat_bounds) == (0, 2, (0, 30))
+        assert [s.step_id for s in state.steps] == list(range(len(steps)))
+        assert state.selected == [0, 3]
+        assert state.scores[1] == 1.25
+        assert state.global_min == min(float(s.min()) for s in steps)
+        assert state.global_max == max(float(s.max()) for s in steps)
+
+    def test_resume_restores_identical_indices(self, tmp_path):
+        steps = _steps()
+        _populated_store(tmp_path, steps)
+        fresh = CheckpointStore(tmp_path / "store", 0)
+        recovered = fresh.resume(2, (0, 30))
+        assert sorted(recovered) == list(range(len(steps)))
+        for pos, (meta, index) in recovered.items():
+            a, b = tmp_path / "a.rbmp", tmp_path / "b.rbmp"
+            save_index(a, index)
+            save_index(b, _indices(steps)[pos])
+            assert a.read_bytes() == b.read_bytes()
+            assert meta.vmin == float(steps[pos].min())
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = _populated_store(tmp_path, _steps())
+        leftovers = list((tmp_path / "store").rglob("*.tmp"))
+        assert leftovers == []
+        assert store.manifest_path.exists()
+
+
+class TestDefensiveLoading:
+    def test_missing_manifest_reads_as_no_checkpoint(self, tmp_path):
+        assert CheckpointStore(tmp_path / "store", 0).load() is None
+
+    @pytest.mark.parametrize("garbage", ["", "{not json", '{"format": 99}',
+                                         '{"format": 1}'])
+    def test_corrupt_manifest_reads_as_no_checkpoint(self, tmp_path, garbage):
+        store = _populated_store(tmp_path, _steps())
+        store.manifest_path.write_text(garbage)
+        assert store.load() is None
+        assert CheckpointStore(tmp_path / "store", 0).resume(2, (0, 30)) == {}
+
+    def test_payload_hole_truncates_to_contiguous_prefix(self, tmp_path):
+        steps = _steps(n=4)
+        store = _populated_store(tmp_path, steps)
+        (store.rank_dir / store.step_file(1)).unlink()
+        recovered = CheckpointStore(tmp_path / "store", 0).resume(2, (0, 30))
+        assert sorted(recovered) == [0]
+
+    def test_torn_payload_is_dropped(self, tmp_path):
+        store = _populated_store(tmp_path, _steps(n=3))
+        target = store.rank_dir / store.step_file(2)
+        target.write_bytes(target.read_bytes()[:10])
+        recovered = CheckpointStore(tmp_path / "store", 0).resume(2, (0, 30))
+        assert sorted(recovered) == [0, 1]
+
+    @pytest.mark.parametrize("n_ranks,bounds", [(3, (0, 30)), (2, (0, 31))])
+    def test_mismatched_decomposition_starts_fresh(self, tmp_path, n_ranks,
+                                                   bounds):
+        _populated_store(tmp_path, _steps())
+        fresh = CheckpointStore(tmp_path / "store", 0)
+        assert fresh.resume(n_ranks, bounds) == {}
+        # The store restarted recording under the new decomposition.
+        state = json.loads(fresh.manifest_path.read_text())
+        assert state["n_ranks"] == n_ranks
+        assert state["steps"] == []
+
+
+class TestPrune:
+    def test_prune_keeps_only_selected_steps(self, tmp_path):
+        store = _populated_store(tmp_path, _steps(n=5))
+        removed = store.prune([1, 4])
+        assert removed == 3
+        dirs = sorted(p.name for p in store.rank_dir.iterdir() if p.is_dir())
+        assert dirs == ["step_00001", "step_00004"]
+        assert store.manifest_path.exists()  # recovery metadata stays
+
+
+class TestResumeEqualsUninterrupted:
+    """The headline property: interrupt anywhere, resume, get the same
+    run -- selection and scores identical to never having stopped."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        n_steps=st.integers(3, 7),
+        data=st.data(),
+    )
+    def test_property_resume_prefix(self, seed, n_steps, data):
+        cut = data.draw(st.integers(0, n_steps - 1), label="cut")
+        steps = _steps(seed=seed, n=n_steps)
+        metric = get_metric("conditional_entropy")
+
+        full = InSituPipeline(
+            ReplaySimulation(steps), BINNING, metric
+        ).run(n_steps, 2)
+
+        resume = [(i, idx) for i, idx in enumerate(_indices(steps[:cut]))]
+        resumed = InSituPipeline(
+            ReplaySimulation(steps), BINNING, metric
+        ).run(n_steps, 2, resume=resume)
+
+        assert resumed.selection.selected == full.selection.selected
+        assert resumed.selection.scores[1:] == full.selection.scores[1:]
+        assert resumed.artifact_bytes == full.artifact_bytes
+
+    def test_resume_through_checkpoint_store(self, tmp_path):
+        # End to end through CheckpointStore: record a prefix, resume it,
+        # and hand the recovered indices to the pipeline.
+        steps = _steps(seed=11, n=6)
+        metric = get_metric("conditional_entropy")
+        full = InSituPipeline(
+            ReplaySimulation(steps), BINNING, metric
+        ).run(6, 3)
+
+        _populated_store(tmp_path, steps[:4])
+        recovered = CheckpointStore(tmp_path / "store", 0).resume(2, (0, 30))
+        resume = [(recovered[p][0].step_id, recovered[p][1])
+                  for p in sorted(recovered)]
+        resumed = InSituPipeline(
+            ReplaySimulation(steps), BINNING, metric
+        ).run(6, 3, resume=resume)
+        assert resumed.selection.selected == full.selection.selected
+
+    def test_resume_rejects_non_bitmap_modes(self):
+        steps = _steps(n=3)
+        pipe = InSituPipeline(
+            ReplaySimulation(steps), BINNING,
+            get_metric("conditional_entropy"), mode="fulldata",
+        )
+        with pytest.raises(ValueError, match="bitmap mode"):
+            pipe.run(3, 1, resume=[(0, _indices(steps)[0])])
+
+    def test_resume_rejects_overlong_prefix(self):
+        steps = _steps(n=3)
+        pipe = InSituPipeline(
+            ReplaySimulation(steps), BINNING,
+            get_metric("conditional_entropy"),
+        )
+        with pytest.raises(ValueError, match="exceeds n_steps"):
+            pipe.run(2, 1, resume=[(i, idx) for i, idx in
+                                   enumerate(_indices(steps))])

@@ -1,0 +1,277 @@
+"""Elastic recovery: faults that *heal* instead of failing the run.
+
+PR 4 proved every fault poisons the cluster cleanly under the default
+``fail`` policy.  This suite proves the other two policies repair it:
+with ``respawn`` a dead rank is replaced by a fresh process, with
+``shrink`` a survivor adopts the dead rank's slab, and in both cases the
+replacement replays the collective log (plus its checkpointed bitmaps)
+until the run completes with results *identical* to a fault-free run --
+selections, scores, and the spliced per-step stores, byte for byte.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.bitmap import PrecisionBinning, save_index
+from repro.cluster import (
+    ClusterFailed,
+    ClusterSpec,
+    FaultPlan,
+    LocalClusterTransport,
+    RecoveryPolicy,
+    assemble_global_index,
+    read_manifest,
+    run_cluster,
+)
+from repro.insitu import InSituPipeline, OutputWriter
+from repro.selection import get_metric
+from repro.sims import ReplaySimulation
+
+pytestmark = pytest.mark.timeout(300)
+
+N_RANKS = 3
+COLLECTIVES = ["gather", "allreduce", "bcast"]
+POLICIES = ["respawn", "shrink"]
+
+
+def _spmd_rounds(transport, rounds=3):
+    """Deterministic SPMD body exercising every collective every round."""
+    trace = []
+    for i in range(rounds):
+        gathered = transport.gather((i, transport.rank))
+        reduced = transport.allreduce(
+            np.array([i, transport.rank], dtype=np.int64)
+        )
+        token = transport.bcast(("round", i) if transport.rank == 0 else None)
+        trace.append((gathered, reduced.tolist(), token))
+    return trace
+
+
+def _run(fault=None, policy=None, timeout=30.0):
+    cluster = LocalClusterTransport(N_RANKS, collective_timeout=timeout)
+    results = cluster.run(_spmd_rounds, fault=fault, recovery=policy)
+    return results, list(cluster.recovery_events)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    results, events = _run()
+    assert events == []
+    return results
+
+
+class TestToyBodyRecovery:
+    """Replacement ranks replay the collective log to exact results."""
+
+    @pytest.mark.parametrize("collective", COLLECTIVES)
+    @pytest.mark.parametrize("mode", POLICIES)
+    def test_death_recovers_exactly(self, mode, collective, baseline):
+        plan = FaultPlan(rank=1, kind="die", collective=collective, call_index=1)
+        results, events = _run(plan, RecoveryPolicy(on_fault=mode))
+        assert results == baseline
+        (event,) = events
+        assert event.mode == mode
+        assert event.reason == "died"
+        assert event.incarnation == 1
+        assert event.recovered
+        assert (event.host_rank is not None) == (mode == "shrink")
+
+    @pytest.mark.parametrize("mode", POLICIES)
+    def test_application_error_recovers(self, mode, baseline):
+        plan = FaultPlan(rank=2, kind="raise", collective="allreduce")
+        results, events = _run(plan, RecoveryPolicy(on_fault=mode))
+        assert results == baseline
+        (event,) = events
+        assert event.reason == "error"
+        assert event.recovered
+
+    def test_root_rank_death(self, baseline):
+        plan = FaultPlan(rank=0, kind="die", collective="bcast", when="before")
+        results, events = _run(plan, RecoveryPolicy(on_fault="respawn"))
+        assert results == baseline
+        assert events[0].rank == 0 and events[0].recovered
+
+    @pytest.mark.parametrize("mode", POLICIES)
+    def test_hung_rank_is_evicted_and_replaced(self, mode, baseline):
+        plan = FaultPlan(rank=2, kind="drop", collective="allreduce",
+                         call_index=1)
+        results, events = _run(plan, RecoveryPolicy(on_fault=mode),
+                               timeout=1.5)
+        assert results == baseline
+        assert events[0].reason == "hung"
+        assert all(e.recovered for e in events)
+
+    def test_double_fault_two_ranks(self, baseline):
+        plans = (
+            FaultPlan(rank=0, kind="die", collective="allreduce", call_index=1),
+            FaultPlan(rank=2, kind="die", collective="bcast", call_index=2),
+        )
+        results, events = _run(plans, RecoveryPolicy(on_fault="respawn"))
+        assert results == baseline
+        assert {e.rank for e in events} == {0, 2}
+        assert all(e.recovered for e in events)
+
+    def test_fault_during_recovery(self, baseline):
+        # The first replacement (incarnation 1) is itself killed mid-replay;
+        # incarnation 2 must complete the run.
+        plans = (
+            FaultPlan(rank=1, kind="die", collective="allreduce", call_index=1),
+            FaultPlan(rank=1, kind="die", collective="allreduce", call_index=1,
+                      incarnation=1),
+        )
+        results, events = _run(plans, RecoveryPolicy(on_fault="respawn"))
+        assert results == baseline
+        assert [e.incarnation for e in events] == [1, 2]
+        assert [e.recovered for e in events] == [False, True]
+
+    def test_recovery_budget_exhausted(self):
+        plan = FaultPlan(rank=1, kind="die", collective="allreduce")
+        policy = RecoveryPolicy(on_fault="respawn", max_recoveries=0)
+        with pytest.raises(ClusterFailed, match="recovery budget exhausted"):
+            _run(plan, policy)
+
+    def test_fail_policy_still_poisons(self):
+        # The default policy must keep PR 4's semantics bit for bit.
+        plan = FaultPlan(rank=1, kind="die", collective="allreduce")
+        with pytest.raises(ClusterFailed, match="died with exit code 17") as err:
+            _run(plan, RecoveryPolicy())
+        outcomes = err.value.cluster_outcomes
+        assert outcomes[1] == "dead"
+        assert set(outcomes[r] for r in (0, 2)) == {"poisoned"}
+
+
+def _replay_steps(n_steps=6):
+    rng = np.random.default_rng(3)
+    return [np.round(rng.random((6, 5)), 1) for _ in range(n_steps)]
+
+
+class TestRecoveryThroughTheRuntime:
+    """Injected deaths under the full pipeline heal to byte-identical
+    output: same selection, same scores, and every selected step's
+    spliced global index equal to the fault-free serial store file."""
+
+    N_STEPS = 6
+    SELECT_K = 3
+
+    def _assert_recovers_exactly(self, tmp_path, fault, on_fault, *,
+                                 adaptive=False):
+        steps = _replay_steps(self.N_STEPS)
+        factory = functools.partial(ReplaySimulation, steps)
+        binning = None if adaptive else PrecisionBinning(0.0, 1.0, digits=1)
+        cluster_out = tmp_path / "cluster"
+        spec = ClusterSpec(
+            factory, self.N_STEPS, self.SELECT_K, binning=binning,
+            out=str(cluster_out), on_fault=on_fault,
+        )
+        result = run_cluster(spec, N_RANKS, fault=fault,
+                             collective_timeout=30.0)
+
+        serial_out = tmp_path / "serial"
+        pipe = InSituPipeline(
+            factory(), binning, get_metric("conditional_entropy"),
+            writer=OutputWriter(serial_out),
+        )
+        ref = pipe.run(self.N_STEPS, self.SELECT_K)
+
+        assert result.selection.selected == ref.selection.selected
+        assert np.array_equal(
+            np.array(result.selection.scores),
+            np.array(ref.selection.scores),
+            equal_nan=True,
+        )
+        assert len(result.recovery) >= 1
+        assert all(e.recovered for e in result.recovery)
+        for step in result.selected_steps:
+            assembled = assemble_global_index(cluster_out, step)
+            spliced = tmp_path / "assembled.rbmp"
+            save_index(spliced, assembled)
+            serial_file = serial_out / f"step_{step:05d}" / "payload.rbmp"
+            assert spliced.read_bytes() == serial_file.read_bytes()
+        return result
+
+    # With the fixed binning, allreduces happen only inside the selection
+    # merge (two intervals for select_k=3); adaptive binning prepends one
+    # global min/max allreduce per step.
+    @pytest.mark.parametrize("on_fault", POLICIES)
+    def test_death_in_selection_allreduce(self, on_fault, tmp_path):
+        fault = FaultPlan(rank=1, kind="die", collective="allreduce",
+                          call_index=1)
+        self._assert_recovers_exactly(tmp_path, fault, on_fault)
+
+    @pytest.mark.parametrize("on_fault", POLICIES)
+    def test_death_in_adaptive_binning_allreduce(self, on_fault, tmp_path):
+        fault = FaultPlan(rank=2, kind="die", collective="allreduce",
+                          call_index=2)
+        self._assert_recovers_exactly(tmp_path, fault, on_fault,
+                                      adaptive=True)
+
+    @pytest.mark.parametrize("on_fault", POLICIES)
+    def test_death_in_selection_bcast(self, on_fault, tmp_path):
+        fault = FaultPlan(rank=0, kind="die", collective="bcast",
+                          call_index=0, when="after")
+        self._assert_recovers_exactly(tmp_path, fault, on_fault)
+
+    def test_death_in_final_gather(self, tmp_path):
+        fault = FaultPlan(rank=1, kind="die", collective="gather",
+                          call_index=0)
+        self._assert_recovers_exactly(tmp_path, fault, "respawn")
+
+    def test_store_prunes_to_selected_steps(self, tmp_path):
+        fault = FaultPlan(rank=1, kind="die", collective="allreduce",
+                          call_index=0)
+        result = self._assert_recovers_exactly(tmp_path, fault, "respawn")
+        expected = {f"step_{s:05d}" for s in result.selected_steps}
+        for rank in range(N_RANKS):
+            rank_dir = tmp_path / "cluster" / f"rank_{rank:04d}"
+            step_dirs = {p.name for p in rank_dir.iterdir() if p.is_dir()}
+            assert step_dirs == expected
+
+    def test_manifest_records_recovery(self, tmp_path):
+        fault = FaultPlan(rank=1, kind="die", collective="allreduce",
+                          call_index=1)
+        result = self._assert_recovers_exactly(tmp_path, fault, "shrink")
+        manifest = read_manifest(result.out)
+        rec = manifest["recovery"]
+        assert rec["on_fault"] == "shrink"
+        assert rec["checkpoint"] is True
+        assert rec["n_recoveries"] == len(result.recovery) >= 1
+        assert rec["events"][0]["rank"] == 1
+        assert rec["events"][0]["recovered"] is True
+
+    def test_fail_policy_manifest_has_no_recovery_section(self, tmp_path):
+        steps = _replay_steps(4)
+        spec = ClusterSpec(
+            functools.partial(ReplaySimulation, steps), 4, 2,
+            binning=PrecisionBinning(0.0, 1.0, digits=1),
+            out=str(tmp_path / "store"),
+        )
+        result = run_cluster(spec, 2, collective_timeout=30.0)
+        assert "recovery" not in read_manifest(result.out)
+        assert result.recovery == []
+
+
+class TestSpecValidation:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="on_fault"):
+            ClusterSpec(lambda: None, 2, 1, on_fault="retry")
+
+    def test_checkpoint_requires_store(self):
+        with pytest.raises(ValueError, match="output store"):
+            ClusterSpec(lambda: None, 2, 1, checkpoint=True)
+
+    def test_recovery_requires_local_transport(self, tmp_path):
+        spec = ClusterSpec(
+            functools.partial(ReplaySimulation, _replay_steps(2)), 2, 1,
+            binning=PrecisionBinning(0.0, 1.0, digits=1),
+            out=str(tmp_path / "s"), on_fault="respawn",
+        )
+        with pytest.raises(ClusterFailed, match="local transport"):
+            run_cluster(spec, 2, transport="mpi")
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="on_fault"):
+            RecoveryPolicy(on_fault="reboot")
+        with pytest.raises(ValueError, match="max_recoveries"):
+            RecoveryPolicy(on_fault="respawn", max_recoveries=-1)

@@ -222,3 +222,27 @@ class TestClusterLayout:
         save_index(step_dir / "payload.rbmp", index)
         catalog = Catalog.open(rank_store)
         assert "rank_0002/payload" in catalog.variables(0)
+
+    def test_checkpoint_manifests_are_invisible(self, rank_store):
+        # Elastic recovery leaves a ckpt.json beside each rank's step
+        # dirs; the catalog must neither index it as a variable nor treat
+        # its appearance as store drift.
+        from repro.cluster import CKPT_NAME
+
+        for rank_dir in rank_store.glob("rank_*"):
+            (rank_dir / CKPT_NAME).write_text(
+                '{"format": 1, "rank": 0, "steps": []}'
+            )
+        catalog = Catalog.build(rank_store)
+        assert len(catalog) == 4
+        assert catalog.variables() == [
+            "rank_0000/payload", "rank_0001/payload",
+        ]
+        # Reopening after checkpoints appear must reuse the saved catalog
+        # (same layout), not rescan or surface new entries.
+        reopened = Catalog.open(rank_store)
+        assert [e.key for e in reopened.entries()] == [
+            e.key for e in catalog.entries()
+        ]
+        entry = reopened.entry("rank_0000/payload", 0)
+        assert reopened.verify(entry)

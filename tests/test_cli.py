@@ -218,3 +218,39 @@ class TestCalibrateCommand:
         out = capsys.readouterr().out
         assert "simulate" in out and "size_fraction" in out
         assert "s/elem" in out
+
+
+class TestClusterCommand:
+    def test_basic_run(self, capsys, tmp_path):
+        rc = main(
+            ["cluster", "--ranks", "2", "--shape", "6,5,5", "--steps", "4",
+             "--select", "2", "--out", str(tmp_path / "store")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selected steps" in out and "manifest:" in out
+
+    def test_injected_death_recovers_under_respawn(self, capsys, tmp_path):
+        rc = main(
+            ["cluster", "--ranks", "3", "--shape", "6,5,5", "--steps", "4",
+             "--select", "2", "--out", str(tmp_path / "store"),
+             "--on-fault", "respawn", "--inject", "1:die:allreduce:0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovery: 1 event(s)" in out
+        assert "rank 1 died" in out and "respawn" in out
+
+    def test_injected_death_fails_under_default_policy(self, tmp_path):
+        with pytest.raises(SystemExit, match="cluster failed"):
+            main(
+                ["cluster", "--ranks", "2", "--shape", "6,5,5", "--steps",
+                 "4", "--select", "2", "--out", str(tmp_path / "store"),
+                 "--inject", "1:die:allreduce:0"]
+            )
+
+    @pytest.mark.parametrize("spec", ["bogus", "1:die:allreduce:0:extra",
+                                      "x:die"])
+    def test_bad_inject_spec_rejected(self, spec):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--ranks", "2", "--inject", spec])
