@@ -73,17 +73,20 @@ class Query:
 
 # Variable tokens admit "/" so the rank-qualified names the catalog
 # derives from cluster stores ("rank_0000/payload") stay addressable.
+# Numeric literals are real floats: sign, decimals, signed exponent --
+# "[-\d.eE+]+"-style character classes silently rejected "1e-3".
+_NUM = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?"
 _SELECT_RE = re.compile(
     r"^\s*SELECT\s+(?P<metric>\w+)\s+FROM\s+(?P<a>[\w/]+)\s*,\s*(?P<b>[\w/]+)"
-    r"(?:\s+WHERE\s+(?P<where>.*))?\s*$",
+    r"(?:\s+WHERE\b(?P<where>.*))?\s*$",
     re.IGNORECASE | re.DOTALL,
 )
 _BETWEEN_RE = re.compile(
-    r"^(?P<var>[\w/]+)\s+BETWEEN\s+(?P<lo>-?[\d.eE+]+)\s+AND\s+(?P<hi>-?[\d.eE+]+)$",
+    rf"^(?P<var>[\w/]+)\s+BETWEEN\s+(?P<lo>{_NUM})\s+AND\s+(?P<hi>{_NUM})$",
     re.IGNORECASE,
 )
 _CMP_RE = re.compile(
-    r"^(?P<var>[\w/]+)\s*(?P<op>>=|<=)\s*(?P<val>-?[\d.eE+]+)$"
+    rf"^(?P<var>[\w/]+)\s*(?P<op>>=|<=)\s*(?P<val>{_NUM})$"
 )
 _REGION_RE = re.compile(r"^REGION\s*\((?P<body>[^)]*)\)$", re.IGNORECASE)
 
@@ -95,7 +98,7 @@ def _split_where(text: str) -> list[str]:
     i = 0
     while i < len(tokens):
         token = tokens[i]
-        if re.search(r"\bBETWEEN\s+[-\d.eE+]+\s*$", token, re.IGNORECASE):
+        if re.search(rf"\bBETWEEN\s+{_NUM}\s*$", token, re.IGNORECASE):
             if i + 1 >= len(tokens) or not tokens[i + 1].strip():
                 raise QueryError(f"dangling BETWEEN in {token.strip()!r}")
             token = f"{token} AND {tokens[i + 1]}"
@@ -109,7 +112,11 @@ def _split_where(text: str) -> list[str]:
 
 def parse_query(text: str) -> Query:
     """Parse query text; raises :class:`QueryError` with a useful message."""
-    m = _SELECT_RE.match(text)
+    # Interactive clients habitually terminate statements with ";".
+    core = text.strip()
+    while core.endswith(";"):
+        core = core[:-1].rstrip()
+    m = _SELECT_RE.match(core)
     if not m:
         raise QueryError(
             f"cannot parse {text!r}: expected "
@@ -198,6 +205,70 @@ def _clamped(subset: ValueSubset, index: BitmapIndex) -> ValueSubset:
     return clamp_subset(subset, index.binning)
 
 
+def predicate_mask(
+    query: Query,
+    index_a: BitmapIndex,
+    index_b: BitmapIndex,
+    *,
+    layout: ZOrderLayout | None = None,
+) -> WAHBitVector:
+    """The combined element mask a query's WHERE clause selects.
+
+    AND of every value predicate's bin-granular mask plus the optional
+    region mask; all-ones when there is no WHERE clause.  Public because
+    the query service's scatter-gather path computes this per rank slab
+    and splices the parts (`repro.service.shard`).
+    """
+    n = index_a.n_elements
+    mask = WAHBitVector.ones(n)
+    for var, subset in query.value_predicates.items():
+        if var not in (query.var_a, query.var_b):
+            raise QueryError(
+                f"predicate on {var!r}, which is not in the FROM clause"
+            )
+        index = index_a if var == query.var_a else index_b
+        mask = logical_and(mask, value_subset_mask(index, _clamped(subset, index)))
+    if query.region is not None:
+        if layout is None:
+            raise QueryError("REGION clause requires a ZOrderLayout")
+        mask = logical_and(mask, spatial_subset_mask(n, query.region, layout))
+    return mask
+
+
+def query_joint_counts(
+    query: Query,
+    index_a: BitmapIndex,
+    index_b: BitmapIndex,
+    *,
+    layout: ZOrderLayout | None = None,
+) -> np.ndarray:
+    """The restricted joint histogram a query's metric is computed from.
+
+    Integer counts: over a domain decomposition the elementwise sum of
+    per-slab results equals the single-node histogram exactly, which is
+    what makes sharded metric queries bit-identical to serial ones.
+    """
+    if index_b.n_elements != index_a.n_elements:
+        raise QueryError("FROM variables cover different element sets")
+    mask = predicate_mask(query, index_a, index_b, layout=layout)
+    return restricted_joint_counts(index_a, index_b, mask)
+
+
+def finish_metric(metric: str, joint: np.ndarray) -> float:
+    """Apply a metric's float formula to a (possibly merged) joint
+    histogram.  The EMD same-binning-scale requirement is the caller's
+    to enforce (it needs the binnings, which the counts don't carry)."""
+    if metric == "MI":
+        return mutual_information_from_joint(joint)
+    if metric == "CE":
+        return conditional_entropy_from_joint(joint)
+    if metric == "COUNT":
+        return float(joint.sum())
+    if metric == "EMD":
+        return emd_from_counts(joint.sum(axis=1), joint.sum(axis=0))
+    raise QueryError(f"unknown metric {metric!r}; supported: {_METRICS}")
+
+
 def execute_query(
     query: Query,
     indices: dict[str, BitmapIndex],
@@ -212,34 +283,11 @@ def execute_query(
         raise QueryError(
             f"unknown variable {exc.args[0]!r}; available: {sorted(indices)}"
         ) from None
-    n = index_a.n_elements
-    if index_b.n_elements != n:
-        raise QueryError("FROM variables cover different element sets")
-
-    mask = WAHBitVector.ones(n)
-    for var, subset in query.value_predicates.items():
-        if var not in (query.var_a, query.var_b):
-            raise QueryError(
-                f"predicate on {var!r}, which is not in the FROM clause"
-            )
-        index = index_a if var == query.var_a else index_b
-        mask = logical_and(mask, value_subset_mask(index, _clamped(subset, index)))
-    if query.region is not None:
-        if layout is None:
-            raise QueryError("REGION clause requires a ZOrderLayout")
-        mask = logical_and(mask, spatial_subset_mask(n, query.region, layout))
-
-    joint = restricted_joint_counts(index_a, index_b, mask)
-    if query.metric == "MI":
-        return mutual_information_from_joint(joint)
-    if query.metric == "CE":
-        return conditional_entropy_from_joint(joint)
-    if query.metric == "COUNT":
-        return float(joint.sum())
-    # EMD over the restricted marginals (requires one binning scale).
-    if index_a.binning != index_b.binning:
+    if query.metric == "EMD" and index_a.binning != index_b.binning:
+        # EMD over the restricted marginals requires one binning scale.
         raise QueryError("EMD requires both variables on one binning scale")
-    return emd_from_counts(joint.sum(axis=1), joint.sum(axis=0))
+    joint = query_joint_counts(query, index_a, index_b, layout=layout)
+    return finish_metric(query.metric, joint)
 
 
 def query(

@@ -6,8 +6,9 @@ without writing Python:
 * ``repro insitu``  -- run the in-situ pipeline on a built-in workload;
 * ``repro index``   -- build a bitmap index from a ``.npy`` array;
 * ``repro query``   -- inspect stored indices, or run SQL against them;
-* ``repro serve``   -- batch-execute SQL queries over a bitmap store
-  through the query service (catalog + cache + thread pool);
+* ``repro serve``   -- serve SQL queries over a bitmap store: batch mode
+  (``--sql``) through the query service, or a sharded network server
+  (``--port``/``--shards``) speaking length-prefixed JSON over TCP;
 * ``repro mine``    -- correlation mining on the POP-like ocean data;
 * ``repro model``   -- print a modelled figure table (Figures 7-13/15);
 * ``repro cluster`` -- run the multi-rank cluster pipeline, optionally
@@ -107,12 +108,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="batch-execute SQL queries over a bitmap store via the "
-             "query service",
+        help="serve SQL queries over a bitmap store: batch mode (--sql) "
+             "or a sharded network server (--port)",
     )
     p.add_argument("root", type=Path, help="bitmap store directory")
-    p.add_argument("--sql", action="append", required=True, metavar="QUERY",
-                   help="query to run (repeatable)")
+    p.add_argument("--sql", action="append", metavar="QUERY",
+                   help="batch mode: query to run (repeatable)")
     p.add_argument("--step", type=int, default=None,
                    help="time step to query (default: latest stored)")
     p.add_argument("--repeat", type=int, default=1,
@@ -120,9 +121,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--max-pending", type=int, default=32)
     p.add_argument("--cache-mb", type=float, default=64.0,
-                   help="bitvector cache budget in MiB")
+                   help="bitvector cache budget in MiB "
+                        "(network mode: per shard)")
     p.add_argument("--zorder-shape", default=None, metavar="SHAPE",
                    help="grid shape for REGION predicates, e.g. 8,16,32")
+    p.add_argument("--port", type=int, default=None,
+                   help="network mode: listen on this TCP port (0 = pick)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="network mode: bind address")
+    p.add_argument("--shards", type=int, default=1,
+                   help="network mode: query worker process count")
 
     p = sub.add_parser("store", help="inspect a bitmap time-series store")
     p.add_argument("root", type=Path)
@@ -422,6 +430,12 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return _cmd_serve_network(args)
+    if not args.sql:
+        print("serve: batch mode needs --sql (or use --port for the "
+              "network server)", file=sys.stderr)
+        return 2
     from repro.service import QueryService
 
     with QueryService(
@@ -448,6 +462,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"file_reads={service.file_reads()} "
             f"file_bytes_read={service.file_bytes_read()}"
         )
+    return 0
+
+
+def _cmd_serve_network(args: argparse.Namespace) -> int:
+    from repro.service import QueryServer
+
+    server = QueryServer(
+        args.root,
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        cache_bytes=int(args.cache_mb * 2**20),
+        layout=_parse_layout(args.zorder_shape),
+    )
+    try:
+        server.launch()
+        print(
+            f"serving {server.catalog!r}\n"
+            f"listening on {server.host}:{server.port} "
+            f"shards={args.shards} max_pending={server.max_pending}",
+            flush=True,
+        )
+        try:
+            while True:
+                server._thread.join(timeout=1.0)
+                if not server._thread.is_alive():
+                    break
+        except KeyboardInterrupt:
+            print("\nshutting down ...", flush=True)
+        stats = server.server_stats()
+        print(
+            f"served={stats['served']} rejected={stats['rejected']} "
+            f"errors={stats['errors']} connections={stats['connections']}"
+        )
+    finally:
+        server.close()
     return 0
 
 

@@ -93,6 +93,29 @@ def merge_spec(metric_name: str) -> MergeSpec:
         )
 
 
+def merge_query_counts(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Elementwise ``int64`` sum of per-slab count arrays -- exact.
+
+    The query-serving analogue of this module's selection merge: ranks
+    hold disjoint slabs of the element set, so summing their integer
+    joint histograms (or predicate counts) reproduces the single-node
+    counts with no rounding, and any metric formula applied to the sum
+    is bit-identical to a serial evaluation.  Used by the sharded query
+    path (:mod:`repro.service.shard`) to gather partial results.
+    """
+    if not parts:
+        raise ValueError("no partial count arrays to merge")
+    merged = np.zeros_like(np.asarray(parts[0], dtype=np.int64))
+    for part in parts:
+        arr = np.asarray(part, dtype=np.int64)
+        if arr.shape != merged.shape:
+            raise ValueError(
+                f"partial count shapes differ: {arr.shape} vs {merged.shape}"
+            )
+        merged += arr
+    return merged
+
+
 def _global_importance(
     transport: Transport, indices: Sequence[BitmapIndex]
 ) -> np.ndarray:

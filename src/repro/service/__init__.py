@@ -12,19 +12,36 @@ set of bitvector reads.  This package provides that serving path:
   all lazy loads, with hit/miss/eviction counters;
 * :class:`~repro.service.executor.QueryService` -- concurrent executor
   for :mod:`repro.analysis.sql` query strings with per-query
-  :class:`~repro.service.executor.QueryStats` and overload rejection.
+  :class:`~repro.service.executor.QueryStats` and overload rejection;
+* :class:`~repro.service.server.QueryServer` -- networked front end
+  (length-prefixed JSON over TCP, :mod:`repro.service.protocol`)
+  scatter-gathering across :class:`~repro.service.shard.ShardPool`
+  worker processes, exact w.r.t. the in-process service.
 
-``repro serve`` (:mod:`repro.cli`) is the command-line entry point.
+``repro serve`` (:mod:`repro.cli`) is the command-line entry point for
+both the batch and the networked mode.
 """
 
 from repro.service.cache import BitvectorCache, CacheKey, CacheStats
 from repro.service.catalog import Catalog, CatalogEntry, CatalogError
 from repro.service.executor import (
+    GlobalQuery,
     QueryResult,
     QueryService,
     QueryStats,
+    RankPartial,
     ServiceOverloadError,
+    merge_rank_partials,
+    resolve_global,
 )
+from repro.service.protocol import (
+    ProtocolError,
+    RemoteOverloadError,
+    RemoteQueryError,
+    ServiceClient,
+)
+from repro.service.server import QueryServer
+from repro.service.shard import ShardError, ShardPool
 
 __all__ = [
     "BitvectorCache",
@@ -33,8 +50,19 @@ __all__ = [
     "Catalog",
     "CatalogEntry",
     "CatalogError",
+    "GlobalQuery",
+    "ProtocolError",
     "QueryResult",
+    "QueryServer",
     "QueryService",
     "QueryStats",
+    "RankPartial",
+    "RemoteOverloadError",
+    "RemoteQueryError",
+    "ServiceClient",
     "ServiceOverloadError",
+    "ShardError",
+    "ShardPool",
+    "merge_rank_partials",
+    "resolve_global",
 ]

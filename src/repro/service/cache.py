@@ -57,6 +57,19 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (the network server's ``stats`` op)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "bytes_cached": self.bytes_cached,
+            "budget_bytes": self.budget_bytes,
+            "hit_rate": self.hit_rate,
+            "coalesced": self.coalesced,
+        }
+
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
@@ -186,6 +199,23 @@ class BitvectorCache:
         name = str(file)
         with self._lock:
             doomed = [k for k in self._entries if k.file == name]
+            for k in doomed:
+                self._bytes -= self._entries.pop(k).nbytes
+            return len(doomed)
+
+    def invalidate_prefix(self, prefix: Path | str) -> int:
+        """Drop every entry whose file path sits under ``prefix``.
+
+        Directory-granular invalidation: when a ``step_*``/``rank_*``
+        store directory is deleted behind the server's back, the stale
+        catalog handler evicts everything loaded from it in one pass.
+        """
+        name = str(prefix).rstrip("/") + "/"
+        with self._lock:
+            doomed = [
+                k for k in self._entries
+                if k.file.startswith(name) or k.file == name[:-1]
+            ]
             for k in doomed:
                 self._bytes -= self._entries.pop(k).nbytes
             return len(doomed)

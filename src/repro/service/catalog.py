@@ -129,17 +129,40 @@ class Catalog:
     # ------------------------------------------------------------ building
     @classmethod
     def build(cls, root: Path | str, *, persist: bool = True) -> "Catalog":
-        """Scan ``root``'s store layout into a fresh catalog."""
+        """Scan ``root``'s store layout into a fresh catalog.
+
+        Files that vanish between the directory scan and the header probe
+        (a concurrent cleanup deleting a ``step_*``/``rank_*`` directory)
+        are skipped rather than failing the whole build -- the catalog
+        describes what is still there.
+        """
         root = Path(root)
         if not root.is_dir():
             raise CatalogError(f"store root {root} is not a directory")
-        entries = [
-            _probe(root, rel, step, var) for rel, step, var in _scan_layout(root)
-        ]
+        entries = []
+        for rel, step, var in _scan_layout(root):
+            try:
+                entries.append(_probe(root, rel, step, var))
+            except FileNotFoundError:
+                continue
         catalog = cls(root, entries)
         if persist:
             catalog.save()
         return catalog
+
+    def refresh(self, *, persist: bool = True) -> "Catalog":
+        """Re-scan the root, replacing this catalog's entries in place.
+
+        The serving path calls this when a lookup hits a file that no
+        longer exists (a store directory deleted after ``catalog.json``
+        was written): the manifest is derived state, so the answer to
+        staleness is always a rebuild, never an error.  Returns ``self``.
+        The entry map is swapped atomically, so concurrent readers see
+        either the old or the new manifest, never a partial one.
+        """
+        fresh = Catalog.build(self.root, persist=persist)
+        self._entries = fresh._entries
+        return self
 
     @classmethod
     def open(cls, root: Path | str) -> "Catalog":
@@ -244,6 +267,33 @@ class Catalog:
                 f"available: {self.variables()}"
             )
         return self._entries[(steps[0], variable)]
+
+    def rank_members(
+        self, variable: str, step: int | None = None
+    ) -> list[CatalogEntry]:
+        """The per-rank slabs of one *global* variable, in rank order.
+
+        A cluster store qualifies each rank's files as
+        ``rank_NNNN/<variable>``; the unqualified name denotes the global
+        variable whose element set is the rank slabs concatenated in rank
+        order.  Returns those entries at ``step`` (``None``: the latest
+        step holding any member), or ``[]`` when the name has no
+        rank-qualified members -- i.e. it is not a global variable here.
+        """
+        pattern = re.compile(rf"^rank_(\d+)/{re.escape(variable)}$")
+        hits: list[tuple[int, int, CatalogEntry]] = []
+        for (s, var), entry in self._entries.items():
+            m = pattern.match(var)
+            if m:
+                hits.append((s, int(m.group(1)), entry))
+        if not hits:
+            return []
+        if step is None:
+            step = max(s for s, _, _ in hits)
+        members = sorted(
+            (rank, entry) for s, rank, entry in hits if s == step
+        )
+        return [entry for _, entry in members]
 
     def path_of(self, entry: CatalogEntry) -> Path:
         return self.root / entry.file

@@ -22,9 +22,27 @@ four phases, each timed into :class:`QueryStats`:
   and evaluate the metric.
 
 Concurrency: queries run on a thread pool behind a *bounded* admission
-count -- :meth:`QueryService.submit` raises :class:`ServiceOverloadError`
-once ``max_pending`` queries are in flight instead of queueing without
-bound, so an overloaded server degrades by rejecting, not by dying.
+count -- both :meth:`QueryService.submit` and :meth:`QueryService.execute`
+raise :class:`ServiceOverloadError` once ``max_pending`` queries are in
+flight instead of queueing without bound, so an overloaded server degrades
+by rejecting, not by dying.  The check and the increment happen atomically
+under one lock, so hammering the boundary from many threads can never
+admit more than ``max_pending`` queries.
+
+Two capabilities feed the sharded network server
+(:mod:`repro.service.server`):
+
+* **mask results** -- :meth:`QueryService.execute_mask` returns the
+  WHERE clause's combined element bitvector (the SELECT result *set*)
+  alongside its popcount;
+* **global variables** -- over a cluster store (``rank_NNNN/<var>``
+  slabs) an *unqualified* variable name scatter-gathers across every
+  rank: per-slab partials merge via
+  :func:`~repro.bitmap.builder.splice_bitvectors` (masks) and exact
+  integer count-merge (COUNT and the joint histograms behind MI/CE/EMD),
+  so results are bit-identical to a single-node evaluation over the
+  undecomposed data.  :meth:`QueryService.rank_partial` exposes one
+  rank's contribution -- the unit of work a shard worker executes.
 """
 
 from __future__ import annotations
@@ -32,6 +50,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import reduce
 from pathlib import Path
@@ -39,12 +58,22 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.queries import spatial_subset_mask
-from repro.analysis.sql import Query, QueryError, clamp_subset, execute_query, parse_query
+from repro.analysis.sql import (
+    Query,
+    QueryError,
+    clamp_subset,
+    execute_query,
+    finish_metric,
+    parse_query,
+    query_joint_counts,
+)
+from repro.bitmap.builder import splice_bitvectors
 from repro.bitmap.index import BitmapIndex, overlapping_bins
 from repro.bitmap.ops import auto_count, auto_op
 from repro.bitmap.serialization import LazyBitmapIndex
 from repro.bitmap.wah import WAHBitVector
 from repro.bitmap.zorder import ZOrderLayout
+from repro.cluster.merge import merge_query_counts
 from repro.service.cache import BitvectorCache, CacheKey
 from repro.service.catalog import Catalog, CatalogEntry, CatalogError
 
@@ -78,6 +107,36 @@ class QueryStats:
     def total_s(self) -> float:
         return self.parse_s + self.plan_s + self.load_s + self.execute_s
 
+    def absorb(self, other: "QueryStats") -> None:
+        """Accumulate another phase breakdown into this one.
+
+        The scatter-gather front end sums the per-shard stats: the result
+        reads as cumulative work across every process that touched the
+        query (so phase times can exceed wall clock, like CPU time).
+        """
+        self.parse_s += other.parse_s
+        self.plan_s += other.plan_s
+        self.load_s += other.load_s
+        self.execute_s += other.execute_s
+        self.bytes_loaded += other.bytes_loaded
+        self.bitvectors_planned += other.bitvectors_planned
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for the wire protocol."""
+        return {
+            "parse_s": self.parse_s,
+            "plan_s": self.plan_s,
+            "load_s": self.load_s,
+            "execute_s": self.execute_s,
+            "total_s": self.total_s,
+            "bytes_loaded": self.bytes_loaded,
+            "bitvectors_planned": self.bitvectors_planned,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
     def summary(self) -> str:
         return (
             f"total={self.total_s * 1e3:.2f}ms "
@@ -91,13 +150,153 @@ class QueryStats:
 
 @dataclass
 class QueryResult:
-    """A finished query: its value plus where the time and bytes went."""
+    """A finished query: its value plus where the time and bytes went.
+
+    ``mask`` is populated only by :meth:`QueryService.execute_mask` (and
+    the server's ``mask`` op): the combined WHERE bitvector whose
+    popcount is ``value``.
+    """
 
     value: float
     text: str
     metric: str
     step: int
     stats: QueryStats
+    mask: WAHBitVector | None = None
+
+
+@dataclass
+class RankPartial:
+    """One rank slab's contribution to a global scatter-gather query.
+
+    Exactly one of ``count`` / ``joint`` / ``mask`` is set, per ``kind``:
+    ``"count"`` for COUNT queries, ``"joint"`` for metric queries
+    (MI/CE/EMD joint histograms), ``"mask"`` for mask queries.  Partials
+    merge with :func:`merge_rank_partials`; ``same_scale`` carries the
+    per-rank EMD binning-scale check to the merge point.
+    """
+
+    rank: str
+    kind: str
+    count: float | None = None
+    joint: np.ndarray | None = None
+    mask: WAHBitVector | None = None
+    same_scale: bool = True
+    stats: QueryStats = field(default_factory=QueryStats)
+
+
+@dataclass(frozen=True)
+class GlobalQuery:
+    """A query over unqualified (multi-rank) variables: the resolved
+    step plus the rank directories to scatter over, in slab order."""
+
+    step: int
+    ranks: tuple[str, ...]
+
+
+def partial_kind(metric: str, want_mask: bool) -> str:
+    """Which partial a rank must produce for a metric."""
+    if want_mask:
+        return "mask"
+    return "count" if metric == "COUNT" else "joint"
+
+
+def qualify_query(query: Query, rank: str) -> Query:
+    """Rewrite a global query onto one rank's qualified variable names."""
+    prefix = f"{rank}/"
+    return Query(
+        metric=query.metric,
+        var_a=prefix + query.var_a,
+        var_b=prefix + query.var_b,
+        value_predicates={
+            prefix + var: subset
+            for var, subset in query.value_predicates.items()
+        },
+        region=query.region,
+        text=query.text,
+    )
+
+
+def resolve_global(
+    catalog: Catalog, query: Query, step: int | None
+) -> GlobalQuery | None:
+    """Decide whether a query needs the scatter-gather path.
+
+    Returns ``None`` when ``var_a`` resolves directly (single-file
+    queries, including explicitly rank-qualified names -- the direct
+    name always wins over a global interpretation).  Otherwise looks for
+    rank-qualified members; both FROM variables must decompose over the
+    same rank set at one step.  Raises :class:`QueryError` for global
+    queries that cannot merge (REGION clauses, mismatched rank sets).
+    Shared by the in-process service and the network front end so both
+    route identically.
+    """
+    try:
+        catalog.resolve(query.var_a, step)
+        return None
+    except CatalogError:
+        pass
+    members_a = catalog.rank_members(query.var_a, step)
+    if not members_a:
+        return None
+    resolved_step = members_a[0].step
+    for var in query.value_predicates:
+        if var not in (query.var_a, query.var_b):
+            raise QueryError(
+                f"predicate on {var!r}, which is not in the FROM clause"
+            )
+    if query.region is not None:
+        raise QueryError(
+            "REGION is not supported for multi-rank variables: a Z-order "
+            "layout does not span a slab-decomposed store"
+        )
+    ranks_a = tuple(e.variable.split("/", 1)[0] for e in members_a)
+    if query.var_b == query.var_a:
+        return GlobalQuery(step=resolved_step, ranks=ranks_a)
+    members_b = catalog.rank_members(query.var_b, resolved_step)
+    ranks_b = tuple(e.variable.split("/", 1)[0] for e in members_b)
+    if ranks_b != ranks_a:
+        raise QueryError(
+            f"FROM variables decompose over different rank sets: "
+            f"{query.var_a!r} on {list(ranks_a)}, "
+            f"{query.var_b!r} on {list(ranks_b)}"
+        )
+    return GlobalQuery(step=resolved_step, ranks=ranks_a)
+
+
+def merge_rank_partials(
+    metric: str, want_mask: bool, partials: list[RankPartial]
+) -> tuple[float, WAHBitVector | None]:
+    """Gather per-rank partials into the final result.
+
+    Masks splice in rank (slab) order via
+    :func:`~repro.bitmap.builder.splice_bitvectors` -- byte-identical to
+    a mask computed over the undecomposed store; COUNT and joint
+    histograms merge by exact integer summation
+    (:func:`~repro.cluster.merge.merge_query_counts`) before the metric
+    formula runs once on the global counts.  Used verbatim by both the
+    in-process path and the network front end.
+    """
+    if not partials:
+        raise QueryError("global query produced no rank partials")
+    if want_mask:
+        mask = splice_bitvectors([p.mask for p in partials])
+        return float(mask.count()), mask
+    if metric == "COUNT":
+        return float(sum(p.count for p in partials)), None
+    if metric == "EMD" and not all(p.same_scale for p in partials):
+        raise QueryError("EMD requires both variables on one binning scale")
+    joint = merge_query_counts([p.joint for p in partials])
+    return finish_metric(metric, joint), None
+
+
+@contextmanager
+def _timed(stats: QueryStats, phase: str):
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        setattr(stats, phase, getattr(stats, phase) + time.perf_counter() - t0)
 
 
 @dataclass
@@ -166,27 +365,64 @@ class QueryService:
         self._rejected = 0
         self._closed = False
 
-    # ----------------------------------------------------------- frontend
-    def execute(self, sql: str, *, step: int | None = None) -> QueryResult:
-        """Run one query synchronously in the calling thread."""
-        return self._run(sql, step)
+    # ----------------------------------------------------------- admission
+    def _admit(self) -> None:
+        """Atomically claim one admission slot or reject.
 
-    def submit(self, sql: str, *, step: int | None = None) -> "Future[QueryResult]":
-        """Enqueue one query on the pool; bounded, rejecting on overload."""
-        if self._closed:
-            raise RuntimeError("QueryService is closed")
+        Both the check and the increment happen under ``_admission``, so
+        any mix of concurrent :meth:`execute` / :meth:`execute_mask` /
+        :meth:`submit` callers can never push the in-flight count past
+        ``max_pending``.
+        """
         with self._admission:
             if self._pending >= self.max_pending:
                 self._rejected += 1
                 raise ServiceOverloadError(self._pending, self.max_pending)
             self._pending += 1
+
+    def _unadmit(self) -> None:
+        with self._admission:
+            self._pending -= 1
+
+    # ----------------------------------------------------------- frontend
+    def execute(self, sql: str, *, step: int | None = None) -> QueryResult:
+        """Run one query synchronously in the calling thread.
+
+        Counts against ``max_pending`` like :meth:`submit` does: a server
+        fanning synchronous ``execute`` calls across its own threads gets
+        the same bounded-admission guarantee as the pool path.
+        """
+        self._admit()
+        try:
+            return self._run(sql, step)
+        finally:
+            self._unadmit()
+
+    def execute_mask(self, sql: str, *, step: int | None = None) -> QueryResult:
+        """Run a COUNT query and also return its WHERE bitvector.
+
+        The result's ``mask`` is the combined predicate bitvector -- the
+        query's element *set* -- and ``value`` is its popcount.  Only
+        ``COUNT`` queries have a mask result (a metric's result is a
+        scalar over a joint histogram, not a row set).
+        """
+        self._admit()
+        try:
+            return self._run(sql, step, want_mask=True)
+        finally:
+            self._unadmit()
+
+    def submit(self, sql: str, *, step: int | None = None) -> "Future[QueryResult]":
+        """Enqueue one query on the pool; bounded, rejecting on overload."""
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        self._admit()
         try:
             future = self._pool.submit(self._run, sql, step)
         except BaseException:
-            with self._admission:
-                self._pending -= 1
+            self._unadmit()
             raise
-        future.add_done_callback(self._release)
+        future.add_done_callback(lambda _f: self._unadmit())
         return future
 
     def execute_many(
@@ -196,36 +432,157 @@ class QueryService:
         futures = [self.submit(sql, step=step) for sql in sqls]
         return [f.result() for f in futures]
 
-    def _release(self, _future: "Future[QueryResult]") -> None:
-        with self._admission:
-            self._pending -= 1
+    def rank_partial(
+        self,
+        sql: str,
+        *,
+        rank: str,
+        step: int | None = None,
+        want_mask: bool = False,
+    ) -> RankPartial:
+        """One rank slab's partial for a global query -- the shard unit.
+
+        Parses ``sql``, rewrites it onto ``rank``'s qualified variables,
+        and evaluates just that slab, returning the summable partial
+        (count / joint histogram / slab mask) for
+        :func:`merge_rank_partials`.  Called by shard workers
+        (:mod:`repro.service.shard`); also the building block of this
+        service's own in-process global path, which keeps the two
+        byte-identical by construction.
+        """
+        query = parse_query(sql)
+        if want_mask and query.metric != "COUNT":
+            raise QueryError(
+                f"mask results require COUNT, not {query.metric}"
+            )
+        for attempt in (0, 1):
+            try:
+                return self._rank_partial(query, rank, step, want_mask)
+            except FileNotFoundError as exc:
+                if attempt:
+                    raise QueryError(
+                        f"store file vanished and rebuild did not recover "
+                        f"it: {exc}"
+                    ) from exc
+                self._refresh_catalog()
 
     # ------------------------------------------------------------- phases
-    def _run(self, sql: str, step: int | None) -> QueryResult:
+    def _run(
+        self, sql: str, step: int | None, want_mask: bool = False
+    ) -> QueryResult:
         stats = QueryStats()
-        t0 = time.perf_counter()
-        query = parse_query(sql)
-        stats.parse_s = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        plan = self._plan(query, step)
-        stats.plan_s = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        loaded = self._load(plan, stats)
-        stats.load_s = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        value = self._execute(plan, loaded)
-        stats.execute_s = time.perf_counter() - t0
+        with _timed(stats, "parse_s"):
+            query = parse_query(sql)
+        if want_mask and query.metric != "COUNT":
+            raise QueryError(
+                f"mask results require COUNT, not {query.metric}"
+            )
+        # A lookup can trip over files deleted after catalog.json was
+        # written.  The manifest is derived state: rebuild it once and
+        # retry; a second failure means the data is really gone and
+        # surfaces as a clean QueryError from the re-plan.
+        for attempt in (0, 1):
+            try:
+                result = self._attempt(query, step, want_mask, stats)
+                break
+            except FileNotFoundError as exc:
+                if attempt:
+                    raise QueryError(
+                        f"store file vanished and rebuild did not recover "
+                        f"it: {exc}"
+                    ) from exc
+                self._refresh_catalog()
         self._served += 1
+        return result
+
+    def _attempt(
+        self,
+        query: Query,
+        step: int | None,
+        want_mask: bool,
+        stats: QueryStats,
+    ) -> QueryResult:
+        glob = resolve_global(self.catalog, query, step)
+        if glob is not None:
+            return self._run_global(query, glob, want_mask, stats)
+
+        with _timed(stats, "plan_s"):
+            plan = self._plan(query, step)
+        with _timed(stats, "load_s"):
+            loaded = self._load(plan, stats)
+        with _timed(stats, "execute_s"):
+            if want_mask:
+                mask = self._mask_vector(plan, loaded)
+                value, result_mask = float(mask.count()), mask
+            else:
+                value, result_mask = self._execute(plan, loaded), None
         return QueryResult(
             value=value,
             text=query.text,
             metric=query.metric,
             step=plan.step,
             stats=stats,
+            mask=result_mask,
         )
+
+    def _run_global(
+        self,
+        query: Query,
+        glob: GlobalQuery,
+        want_mask: bool,
+        stats: QueryStats,
+    ) -> QueryResult:
+        """Scatter over rank slabs in-process, then the exact merge."""
+        partials = [
+            self._rank_partial(query, rank, glob.step, want_mask)
+            for rank in glob.ranks
+        ]
+        for partial in partials:
+            stats.absorb(partial.stats)
+        with _timed(stats, "execute_s"):
+            value, mask = merge_rank_partials(query.metric, want_mask, partials)
+        return QueryResult(
+            value=value,
+            text=query.text,
+            metric=query.metric,
+            step=glob.step,
+            stats=stats,
+            mask=mask,
+        )
+
+    def _rank_partial(
+        self, query: Query, rank: str, step: int | None, want_mask: bool
+    ) -> RankPartial:
+        stats = QueryStats()
+        local = qualify_query(query, rank)
+        with _timed(stats, "plan_s"):
+            plan = self._plan(local, step)
+        with _timed(stats, "load_s"):
+            loaded = self._load(plan, stats)
+        kind = partial_kind(query.metric, want_mask)
+        with _timed(stats, "execute_s"):
+            if kind == "mask":
+                return RankPartial(
+                    rank=rank,
+                    kind=kind,
+                    mask=self._mask_vector(plan, loaded),
+                    stats=stats,
+                )
+            if kind == "count":
+                return RankPartial(
+                    rank=rank,
+                    kind=kind,
+                    count=self._execute_count(plan, loaded),
+                    stats=stats,
+                )
+            joint, same_scale = self._joint_partial(plan, loaded)
+            return RankPartial(
+                rank=rank,
+                kind=kind,
+                joint=joint,
+                same_scale=same_scale,
+                stats=stats,
+            )
 
     def _plan(self, query: Query, step: int | None) -> _Plan:
         try:
@@ -341,6 +698,48 @@ class QueryService:
         acc = reduce(lambda x, y: auto_op(x, y, "and"), masks[:-1])
         return float(auto_count(acc, masks[-1], "and"))
 
+    def _mask_vector(
+        self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
+    ) -> WAHBitVector:
+        """The combined WHERE bitvector from the minimal COUNT plan.
+
+        Same combination as :meth:`_execute_count` (OR within each
+        variable's predicate bins, AND across variables and the region)
+        but materialising the vector instead of short-circuiting to a
+        popcount.
+        """
+        n = plan.n_elements
+        masks: list[WAHBitVector] = []
+        for var, bins in plan.predicate_bins.items():
+            if bins.size == 0:
+                return WAHBitVector.zeros(n)
+            vectors = [loaded[var][int(b)] for b in bins]
+            masks.append(reduce(lambda x, y: auto_op(x, y, "or"), vectors))
+        if plan.query.region is not None:
+            masks.append(spatial_subset_mask(n, plan.query.region, self.layout))
+        if not masks:
+            return WAHBitVector.ones(n)
+        return reduce(lambda x, y: auto_op(x, y, "and"), masks)
+
+    def _joint_partial(
+        self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
+    ) -> tuple[np.ndarray, bool]:
+        """One slab's restricted joint histogram (+ binning-scale flag)."""
+        indices = {
+            var: BitmapIndex(
+                plan.lazies[var].binning,
+                [loaded[var][b] for b in range(plan.lazies[var].n_bins)],
+                plan.n_elements,
+            )
+            for var in plan.entries
+        }
+        index_a = indices[plan.query.var_a]
+        index_b = indices[plan.query.var_b]
+        joint = query_joint_counts(
+            plan.query, index_a, index_b, layout=self.layout
+        )
+        return joint, index_a.binning == index_b.binning
+
     # ------------------------------------------------------------ backend
     def _open(self, entry: CatalogEntry) -> LazyBitmapIndex:
         """Shared per-file lazy reader (header parsed once, then reused)."""
@@ -351,6 +750,25 @@ class QueryService:
                 lazy = LazyBitmapIndex(path)
                 self._files[path] = lazy
             return lazy
+
+    def _refresh_catalog(self) -> None:
+        """Recover from store files vanishing behind the manifest.
+
+        Closes and drops every open reader whose file is gone (an open
+        handle would keep serving deleted bytes on POSIX, silently
+        answering queries from a directory that no longer exists), evicts
+        their cache entries, then rebuilds the catalog from what is still
+        on disk.
+        """
+        with self._files_lock:
+            vanished = [
+                path for path in self._files if not Path(path).exists()
+            ]
+            for path in vanished:
+                self._files.pop(path).close()
+        for path in vanished:
+            self.cache.invalidate_file(path)
+        self.catalog.refresh()
 
     def file_bytes_read(self) -> int:
         """Total record bytes read from disk across every open file."""

@@ -1,0 +1,308 @@
+"""Shard layer: the query service partitioned across worker processes.
+
+The network front end (:mod:`repro.service.server`) does not execute
+queries itself; it routes them to a pool of *shard workers*, each a
+forked process running its own :class:`~repro.service.executor.QueryService`
+(private bitvector cache, private file handles) over the shared store
+root.  Partitioning is by **rank directory**: rank ``rank_NNNN`` belongs
+to shard ``NNNN mod n_shards``, so a cluster store's slabs spread evenly
+and a global query becomes a scatter -- each owning shard computes its
+ranks' :class:`~repro.service.executor.RankPartial`\\ s -- followed by the
+exact gather of :func:`~repro.service.executor.merge_rank_partials`.
+Single-file queries (unsharded stores, or explicitly rank-qualified
+names) hash to one worker.  Ownership is a routing policy, not a
+visibility boundary: every worker can read the whole store, which is what
+makes the policy free to change without data movement.
+
+Transport is one :func:`multiprocessing.Pipe` per worker carrying pickled
+request dicts and replies (``RankPartial`` / ``QueryResult`` objects ride
+the pickle).  A per-handle lock serializes each pipe; cross-shard
+parallelism comes from the front end fanning requests from different
+threads.  Workers are spawned *before* the asyncio loop starts (fork
+safety) and answer until told to stop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import re
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.sql import QueryError
+from repro.bitmap.zorder import ZOrderLayout
+from repro.insitu.parallel import _pick_context
+from repro.service.executor import QueryResult, QueryService, RankPartial
+
+_RANK_RE = re.compile(r"^rank_(\d+)$")
+
+
+class ShardError(RuntimeError):
+    """A shard worker failed outside the query's own fault domain."""
+
+
+def shard_for_rank(rank: str, n_shards: int) -> int:
+    """Owning shard of one rank directory: ``rank id mod n_shards``.
+
+    Deterministic and density-free -- consecutive ranks round-robin
+    across shards, so slab-ordered scatters land evenly.
+    """
+    m = _RANK_RE.match(rank)
+    if m:
+        return int(m.group(1)) % n_shards
+    return zlib.crc32(rank.encode()) % n_shards
+
+
+def shard_for_variable(variable: str, n_shards: int) -> int:
+    """Owning shard of a single-file query: stable hash of ``var_a``.
+
+    A ``rank_NNNN/<var>`` qualified name routes to the rank's owner so
+    qualified and global access to the same slab warm the same worker's
+    cache.
+    """
+    head = variable.split("/", 1)[0]
+    if _RANK_RE.match(head):
+        return shard_for_rank(head, n_shards)
+    return zlib.crc32(variable.encode()) % n_shards
+
+
+def _worker_main(
+    conn,
+    root: str,
+    shard_id: int,
+    cache_bytes: int,
+    layout: ZOrderLayout | None,
+) -> None:
+    """Shard worker loop: serve pickled requests until ``stop``.
+
+    Every fault is converted to a reply -- the worker never dies on a bad
+    query, so one malformed request cannot take a shard (and every rank it
+    owns) out of rotation.
+    """
+    service = QueryService(
+        root,
+        cache_bytes=cache_bytes,
+        max_workers=1,
+        # The front end owns admission; a worker pipe carries one request
+        # at a time, so its own bound never binds.
+        max_pending=1_000_000,
+        layout=layout,
+    )
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:
+                break
+            op = request.get("op")
+            try:
+                if op == "stop":
+                    conn.send({"ok": True})
+                    break
+                elif op == "partial":
+                    partial = service.rank_partial(
+                        request["sql"],
+                        rank=request["rank"],
+                        step=request.get("step"),
+                        want_mask=bool(request.get("want_mask")),
+                    )
+                    conn.send({"ok": True, "partial": partial})
+                elif op == "query":
+                    if request.get("want_mask"):
+                        result = service.execute_mask(
+                            request["sql"], step=request.get("step")
+                        )
+                    else:
+                        result = service.execute(
+                            request["sql"], step=request.get("step")
+                        )
+                    conn.send({"ok": True, "result": result})
+                elif op == "stats":
+                    conn.send({
+                        "ok": True,
+                        "stats": {
+                            "shard": shard_id,
+                            "service": service.service_stats(),
+                            "cache": service.cache.stats().as_dict(),
+                            "file_reads": service.file_reads(),
+                            "file_bytes_read": service.file_bytes_read(),
+                        },
+                    })
+                else:
+                    conn.send({
+                        "ok": False,
+                        "kind": "protocol",
+                        "message": f"unknown shard op {op!r}",
+                    })
+            except QueryError as exc:
+                conn.send({"ok": False, "kind": "query", "message": str(exc)})
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                conn.send({
+                    "ok": False,
+                    "kind": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+    finally:
+        service.close()
+        conn.close()
+
+
+@dataclass
+class _ShardHandle:
+    """One worker: its process, pipe end, and the pipe's serializer."""
+
+    shard_id: int
+    process: Any
+    conn: Any
+    lock: threading.Lock
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        with self.lock:
+            if not self.process.is_alive():
+                raise ShardError(
+                    f"shard {self.shard_id} worker died "
+                    f"(exitcode {self.process.exitcode})"
+                )
+            self.conn.send(payload)
+            try:
+                return self.conn.recv()
+            except EOFError as exc:
+                raise ShardError(
+                    f"shard {self.shard_id} closed mid-request"
+                ) from exc
+
+
+class ShardPool:
+    """N forked shard workers over one store root.
+
+    Spawn the pool before starting any event loop (workers fork from the
+    calling process).  Request methods are thread-safe; concurrent
+    requests to *different* shards run in parallel, requests to the same
+    shard serialize on its pipe.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        n_shards: int,
+        *,
+        cache_bytes: int = 64 << 20,
+        layout: ZOrderLayout | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need >= 1 shard, got {n_shards}")
+        self.root = str(root)
+        self.n_shards = int(n_shards)
+        ctx = _pick_context(start_method)
+        self._handles: list[_ShardHandle] = []
+        for shard_id in range(self.n_shards):
+            parent, child = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child, self.root, shard_id, cache_bytes, layout),
+                name=f"repro-shard-{shard_id}",
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            self._handles.append(
+                _ShardHandle(shard_id, process, parent, threading.Lock())
+            )
+        self._closed = False
+
+    # ------------------------------------------------------------ routing
+    def handle_for_rank(self, rank: str) -> _ShardHandle:
+        return self._handles[shard_for_rank(rank, self.n_shards)]
+
+    def handle_for_variable(self, variable: str) -> _ShardHandle:
+        return self._handles[shard_for_variable(variable, self.n_shards)]
+
+    # ----------------------------------------------------------- requests
+    @staticmethod
+    def _unwrap(reply: dict[str, Any]) -> dict[str, Any]:
+        if reply.get("ok"):
+            return reply
+        kind = reply.get("kind", "internal")
+        message = reply.get("message", "shard failure")
+        if kind == "query":
+            raise QueryError(message)
+        raise ShardError(f"[{kind}] {message}")
+
+    def partial(
+        self,
+        sql: str,
+        rank: str,
+        *,
+        step: int | None = None,
+        want_mask: bool = False,
+    ) -> RankPartial:
+        """One rank's partial, computed on its owning shard."""
+        reply = self.handle_for_rank(rank).request({
+            "op": "partial",
+            "sql": sql,
+            "rank": rank,
+            "step": step,
+            "want_mask": want_mask,
+        })
+        return self._unwrap(reply)["partial"]
+
+    def query(
+        self,
+        sql: str,
+        variable: str,
+        *,
+        step: int | None = None,
+        want_mask: bool = False,
+    ) -> QueryResult:
+        """A single-file query, routed by ``var_a``'s stable hash."""
+        reply = self.handle_for_variable(variable).request({
+            "op": "query",
+            "sql": sql,
+            "step": step,
+            "want_mask": want_mask,
+        })
+        return self._unwrap(reply)["result"]
+
+    def stats(self) -> list[dict[str, Any]]:
+        """Per-shard service/cache counters, in shard order."""
+        return [
+            self._unwrap(handle.request({"op": "stats"}))["stats"]
+            for handle in self._handles
+        ]
+
+    # ---------------------------------------------------------- lifecycle
+    def close(self, *, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            try:
+                with handle.lock:
+                    if handle.process.is_alive():
+                        handle.conn.send({"op": "stop"})
+                        handle.conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            finally:
+                handle.conn.close()
+        for handle in self._handles:
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=timeout)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        alive = sum(1 for h in self._handles if h.process.is_alive())
+        return (
+            f"ShardPool({self.root!r}, shards={self.n_shards}, alive={alive})"
+        )

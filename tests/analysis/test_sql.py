@@ -126,6 +126,61 @@ class TestParserEdgeCases:
         q = parse_query("SELECT MI FROM a, b WHERE a BETWEEN 3 AND 3")
         assert (q.value_predicates["a"].lo, q.value_predicates["a"].hi) == (3, 3)
 
+    # Table-driven acceptance: every row must parse to the same
+    # (metric, predicates) despite case, whitespace, literal-format, and
+    # terminator variation.
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT COUNT FROM a, b WHERE a BETWEEN 1 AND 2",
+            "select count from a, b where a between 1 and 2",
+            "Select Count From a , b Where a Between 1 And 2",
+            "SELECT COUNT FROM a, b WHERE a   BETWEEN   1   AND   2",
+            "\n SELECT COUNT\n FROM a, b\n WHERE a BETWEEN 1 AND 2 \n",
+            "SELECT COUNT FROM a, b WHERE a BETWEEN 1 AND 2;",
+            "SELECT COUNT FROM a, b WHERE a BETWEEN 1 AND 2 ;;",
+            "SELECT COUNT FROM a, b WHERE a BETWEEN 1.0 AND 2.0",
+            "SELECT COUNT FROM a, b WHERE a BETWEEN 1e0 AND 2E0",
+            "SELECT COUNT FROM a, b WHERE a BETWEEN +1 AND 2.0e+0",
+            "SELECT COUNT FROM a, b WHERE a BETWEEN 10e-1 AND .2e1",
+        ],
+    )
+    def test_equivalent_spellings(self, text):
+        q = parse_query(text)
+        assert q.metric == "COUNT"
+        assert (q.var_a, q.var_b) == ("a", "b")
+        pred = q.value_predicates["a"]
+        assert (pred.lo, pred.hi) == (1.0, 2.0)
+        assert q.region is None
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("SELECT COUNT FROM a, b WHERE", "empty WHERE"),
+            ("SELECT COUNT FROM a, b WHERE ;", "empty WHERE"),
+            ("SELECT COUNT FROM a, b WHERE a >= ", "cannot parse WHERE"),
+            ("SELECT COUNT FROM a, b WHERE a = 3", "cannot parse WHERE"),
+            ("SELECT COUNT FROM a, b WHERE a BETWEEN x AND 2",
+             "cannot parse WHERE"),
+            ("SELECT MEDIAN FROM a, b", "unknown metric"),
+            (";", "cannot parse"),
+        ],
+    )
+    def test_rejections_are_query_errors(self, text, match):
+        # Every malformed query must surface as QueryError with a
+        # pointed message -- never a traceback from deeper layers.
+        with pytest.raises(QueryError, match=match):
+            parse_query(text)
+
+    def test_scientific_notation_comparison(self):
+        q = parse_query("SELECT COUNT FROM a, b WHERE a >= 1.5e-3")
+        assert q.value_predicates["a"].lo == 1.5e-3
+
+    def test_negative_bounds(self):
+        q = parse_query("SELECT COUNT FROM a, b WHERE a BETWEEN -2.5 AND -1")
+        pred = q.value_predicates["a"]
+        assert (pred.lo, pred.hi) == (-2.5, -1.0)
+
 
 class TestExecution:
     def test_unrestricted_mi_matches_fulldata(self, env):

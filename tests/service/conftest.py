@@ -41,3 +41,41 @@ def store_env(tmp_path_factory, layout):
             store.write(step, name, index)
             indices[step][name] = index
     return root, indices, binnings
+
+
+RANKS = 3
+#: Deliberately unequal, non-word-aligned slab sizes: splice boundaries
+#: land mid-word, the hard case for mask merging.
+RANK_ELEMENTS = [217, 340, 155]
+RANK_STEPS = (0, 2)
+
+
+@pytest.fixture(scope="module")
+def rank_store_env(tmp_path_factory):
+    """A cluster-layout store (rank_NNNN/step_XXXXX/<var>.rbmp) plus the
+    *concatenated* in-memory indices for single-node oracle comparisons."""
+    from repro.bitmap import save_index
+
+    root = tmp_path_factory.mktemp("cluster") / "store"
+    rng = np.random.default_rng(23)
+    binnings = {
+        "temperature": EqualWidthBinning(0.0, 10.0, BINS),
+        "salinity": EqualWidthBinning(20.0, 40.0, BINS),
+    }
+    serial: dict[int, dict[str, BitmapIndex]] = {}
+    for step in RANK_STEPS:
+        slabs: dict[str, list[np.ndarray]] = {v: [] for v in binnings}
+        for rank in range(RANKS):
+            d = root / f"rank_{rank:04d}" / f"step_{step:05d}"
+            d.mkdir(parents=True, exist_ok=True)
+            n = RANK_ELEMENTS[rank]
+            for var, binning in binnings.items():
+                lo, hi = float(binning.edges[0]), float(binning.edges[-1])
+                data = rng.uniform(lo, hi, n)
+                slabs[var].append(data)
+                save_index(d / f"{var}.rbmp", BitmapIndex.build(data, binning))
+        serial[step] = {
+            var: BitmapIndex.build(np.concatenate(parts), binnings[var])
+            for var, parts in slabs.items()
+        }
+    return root, serial, binnings

@@ -246,3 +246,87 @@ class TestConcurrency:
         assert stats.bytes_cached == sum(
             vectors[k.bin].nbytes for k in cache._entries
         )
+
+
+class TestReputAccounting:
+    def test_grow_shrink_cycle_stays_exact(self, rng):
+        """Re-putting different-sized payloads under the same key must
+        keep the byte ledger exact through grow/shrink cycles -- the
+        accounting bug class where budget enforcement drifts."""
+        cache = BitvectorCache(1 << 20)
+        sizes = [500, 8000, 120, 4000, 500]
+        for n in sizes:
+            v = _vector(rng, n)
+            cache.put(_key(0), v)
+            assert cache.stats().bytes_cached == v.nbytes
+            assert len(cache) == 1
+
+    def test_reput_larger_still_evicts_correctly(self, rng):
+        # Budget sized so the grown entry forces the other key out.
+        small_a = _vector(rng, 600, density=0.5)
+        small_b = _vector(rng, 600, density=0.5)
+        cache = BitvectorCache(small_a.nbytes + small_b.nbytes + 8)
+        cache.put(_key(0), small_a)
+        cache.put(_key(1), small_b)
+        big = _vector(rng, 30_000, density=0.5)
+        assert big.nbytes > small_a.nbytes
+        cache.put(_key(0), big)
+        stats = cache.stats()
+        assert stats.bytes_cached <= cache.budget_bytes
+        assert stats.bytes_cached == sum(
+            v.nbytes for v in cache._entries.values()
+        )
+
+    def test_reput_over_budget_drops_entry_and_bytes(self, rng):
+        cache = BitvectorCache(10_000)
+        small = _vector(rng, 200)
+        cache.put(_key(0), small)
+        huge = _vector(rng, 200_000, density=0.5)
+        assert huge.nbytes > cache.budget_bytes
+        cache.put(_key(0), huge)  # larger than budget: serve, don't retain
+        assert len(cache) == 0
+        assert cache.stats().bytes_cached == 0
+
+
+class TestPrefixInvalidation:
+    def test_invalidate_prefix_drops_subtree(self, rng):
+        cache = BitvectorCache(1 << 20)
+        keep = _vector(rng)
+        cache.put(CacheKey.for_bin("store/step_00001/t.rbmp", "t", 0),
+                  _vector(rng))
+        cache.put(CacheKey.for_bin("store/step_00001/s.rbmp", "s", 0),
+                  _vector(rng))
+        cache.put(CacheKey.for_bin("store/step_00002/t.rbmp", "t", 0), keep)
+        assert cache.invalidate_prefix("store/step_00001") == 2
+        assert len(cache) == 1
+        assert cache.stats().bytes_cached == keep.nbytes
+
+    def test_trailing_slash_equivalent(self, rng):
+        cache = BitvectorCache(1 << 20)
+        cache.put(CacheKey.for_bin("root/rank_0000/s/t.rbmp", "t", 0),
+                  _vector(rng))
+        assert cache.invalidate_prefix("root/rank_0000/") == 1
+
+    def test_prefix_is_path_not_string_prefix(self, rng):
+        cache = BitvectorCache(1 << 20)
+        cache.put(CacheKey.for_bin("store/step_00010/t.rbmp", "t", 0),
+                  _vector(rng))
+        # "step_00001" is a string prefix of "step_00010" but not a path
+        # component prefix; it must not match.
+        assert cache.invalidate_prefix("store/step_00001") == 0
+        assert len(cache) == 1
+
+
+class TestStatsDict:
+    def test_as_dict_round_trips_counters(self, rng):
+        import json
+
+        cache = BitvectorCache(1 << 20)
+        cache.put(_key(0), _vector(rng))
+        cache.get(_key(0))
+        cache.get(_key(9))
+        d = cache.stats().as_dict()
+        assert d["hits"] == 1 and d["misses"] == 1
+        assert d["entries"] == 1
+        assert 0.0 < d["hit_rate"] < 1.0
+        json.dumps(d)  # must be wire-ready

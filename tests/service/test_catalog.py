@@ -246,3 +246,47 @@ class TestClusterLayout:
         ]
         entry = reopened.entry("rank_0000/payload", 0)
         assert reopened.verify(entry)
+
+
+class TestRankMembers:
+    def test_members_in_rank_order(self, rank_store):
+        catalog = Catalog.build(rank_store)
+        members = catalog.rank_members("payload", 3)
+        assert [e.variable for e in members] == [
+            "rank_0000/payload", "rank_0001/payload",
+        ]
+        assert all(e.step == 3 for e in members)
+
+    def test_default_step_is_latest_with_members(self, rank_store):
+        catalog = Catalog.build(rank_store)
+        assert all(e.step == 3 for e in catalog.rank_members("payload"))
+
+    def test_non_global_name_has_no_members(self, rank_store):
+        catalog = Catalog.build(rank_store)
+        assert catalog.rank_members("nosuch") == []
+        # A qualified name is itself not a global variable.
+        assert catalog.rank_members("rank_0000/payload") == []
+
+
+class TestRefresh:
+    def test_refresh_drops_vanished_entries_in_place(self, rank_store):
+        import shutil
+
+        catalog = Catalog.build(rank_store)
+        assert len(catalog) == 4
+        shutil.rmtree(rank_store / "rank_0001")
+        same = catalog.refresh()
+        assert same is catalog
+        assert len(catalog) == 4 - 2
+        assert catalog.variables() == ["rank_0000/payload"]
+        with pytest.raises(CatalogError):
+            catalog.resolve("rank_0001/payload")
+
+    def test_build_skips_files_vanishing_mid_scan(self, rank_store):
+        # Deleting a file but not its directory mimics a concurrent
+        # cleanup racing the header probe.
+        (rank_store / "rank_0000" / "step_00000" / "payload.rbmp").unlink()
+        catalog = Catalog.build(rank_store)
+        assert ("rank_0000/payload" not in
+                [e.variable for e in catalog.entries() if e.step == 0])
+        assert catalog.resolve("rank_0000/payload").step == 3

@@ -231,3 +231,250 @@ class TestConcurrency:
         svc.close()
         with pytest.raises(RuntimeError, match="closed"):
             svc.submit("SELECT COUNT FROM temperature, salinity")
+
+
+class TestAdmissionRace:
+    def test_hammering_never_exceeds_capacity(self, store_env):
+        """Check-then-act regression: mixed execute/submit callers racing
+        the admission boundary can never drive in-flight past the bound."""
+        root, _, _ = store_env
+        capacity = 3
+        svc = QueryService(root, max_workers=2, max_pending=capacity)
+        in_flight = 0
+        peak = 0
+        gauge = threading.Lock()
+        real_run = svc._run
+
+        def instrumented(sql, step, want_mask=False):
+            nonlocal in_flight, peak
+            with gauge:
+                in_flight += 1
+                peak = max(peak, in_flight)
+            try:
+                return real_run(sql, step, want_mask)
+            finally:
+                with gauge:
+                    in_flight -= 1
+        svc._run = instrumented
+
+        sql = "SELECT COUNT FROM temperature, salinity"
+        admitted = [0]
+        rejected = [0]
+        tally = threading.Lock()
+        start = threading.Barrier(16)
+
+        def hammer(tid):
+            start.wait()
+            for i in range(12):
+                try:
+                    if (tid + i) % 2:
+                        svc.execute(sql, step=0)
+                    else:
+                        svc.submit(sql, step=0).result()
+                    with tally:
+                        admitted[0] += 1
+                except ServiceOverloadError:
+                    with tally:
+                        rejected[0] += 1
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        try:
+            # The invariant under attack: admission is atomic, so the
+            # concurrently-running count can never exceed the bound.
+            assert peak <= capacity, f"{peak} in flight > {capacity}"
+            assert admitted[0] + rejected[0] == 16 * 12
+            assert admitted[0] > 0
+            assert svc.service_stats()["pending"] == 0
+            assert svc.service_stats()["rejected"] == rejected[0]
+        finally:
+            svc.close()
+
+
+class TestMaskResults:
+    def test_mask_matches_oracle_predicate_mask(self, service, store_env):
+        from repro.analysis.sql import parse_query, predicate_mask
+
+        _, indices, _ = store_env
+        sql = (
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE temperature >= 12 AND salinity <= 33"
+        )
+        result = service.execute_mask(sql, step=1)
+        q = parse_query(sql)
+        oracle = predicate_mask(
+            q, indices[1]["temperature"], indices[1]["salinity"]
+        )
+        assert result.mask is not None
+        assert result.mask.n_bits == oracle.n_bits
+        assert np.array_equal(result.mask.words, oracle.words)
+        assert result.value == float(oracle.count())
+
+    def test_mask_popcount_equals_count_query(self, service):
+        sql = "SELECT COUNT FROM temperature, salinity WHERE temperature >= 12"
+        assert (
+            service.execute_mask(sql, step=0).value
+            == service.execute(sql, step=0).value
+        )
+
+    def test_unpredicated_mask_is_all_ones(self, service, store_env):
+        _, indices, _ = store_env
+        n = indices[0]["temperature"].n_elements
+        result = service.execute_mask(
+            "SELECT COUNT FROM temperature, salinity", step=0
+        )
+        assert result.value == float(n)
+        assert result.mask.count() == n
+
+    def test_mask_requires_count(self, service):
+        with pytest.raises(QueryError, match="COUNT"):
+            service.execute_mask("SELECT MI FROM temperature, salinity")
+
+    def test_plain_results_carry_no_mask(self, service):
+        result = service.execute(
+            "SELECT COUNT FROM temperature, salinity", step=0
+        )
+        assert result.mask is None
+
+
+class TestGlobalQueries:
+    """Unqualified variables over a cluster store scatter-gather across
+    rank slabs; results must be bit-identical to the single-node oracle."""
+
+    @pytest.fixture(scope="class")
+    def rank_service(self, rank_store_env):
+        root, _, _ = rank_store_env
+        with QueryService(root, max_workers=2) as svc:
+            yield svc
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT MI FROM temperature, salinity",
+            "SELECT CE FROM temperature, salinity",
+            "SELECT EMD FROM temperature, temperature",
+            "SELECT COUNT FROM temperature, salinity",
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE temperature BETWEEN 2 AND 7",
+            "SELECT MI FROM temperature, salinity "
+            "WHERE temperature >= 3 AND salinity <= 35",
+        ],
+    )
+    @pytest.mark.parametrize("step", [0, 2])
+    def test_matches_concatenated_oracle(
+        self, rank_service, rank_store_env, sql, step
+    ):
+        _, serial, _ = rank_store_env
+        result = rank_service.execute(sql, step=step)
+        assert result.value == oracle_query(sql, serial[step])
+        assert result.step == step
+
+    def test_default_step_is_latest(self, rank_service, rank_store_env):
+        _, serial, _ = rank_store_env
+        result = rank_service.execute("SELECT MI FROM temperature, salinity")
+        assert result.step == 2
+        assert result.value == oracle_query(
+            "SELECT MI FROM temperature, salinity", serial[2]
+        )
+
+    def test_global_mask_splices_word_identical(
+        self, rank_service, rank_store_env
+    ):
+        from repro.analysis.sql import parse_query, predicate_mask
+
+        _, serial, _ = rank_store_env
+        sql = (
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE temperature BETWEEN 2 AND 7 AND salinity >= 30"
+        )
+        result = rank_service.execute_mask(sql, step=0)
+        q = parse_query(sql)
+        oracle = predicate_mask(
+            q, serial[0]["temperature"], serial[0]["salinity"]
+        )
+        assert result.mask.n_bits == oracle.n_bits
+        assert np.array_equal(result.mask.words, oracle.words)
+        assert result.value == float(oracle.count())
+
+    def test_qualified_name_stays_single_slab(
+        self, rank_service, rank_store_env
+    ):
+        # A rank-qualified name bypasses the global path entirely.
+        result = rank_service.execute(
+            "SELECT COUNT FROM rank_0001/temperature, rank_0001/salinity",
+            step=0,
+        )
+        assert result.value == 340.0  # RANK_ELEMENTS[1]
+
+    def test_region_on_global_rejected(self, rank_service):
+        with pytest.raises(QueryError, match="REGION"):
+            rank_service.execute(
+                "SELECT COUNT FROM temperature, salinity "
+                "WHERE REGION(0:2, 0:2)",
+                step=0,
+            )
+
+    def test_unknown_variable_still_clean(self, rank_service):
+        with pytest.raises(QueryError, match="unknown variable"):
+            rank_service.execute("SELECT MI FROM nosuch, salinity")
+
+
+class TestStaleCatalog:
+    """A store directory deleted after catalog.json is written must not
+    leak FileNotFoundError; the service rebuilds and answers cleanly."""
+
+    @pytest.fixture
+    def two_step_store(self, tmp_path):
+        rng = np.random.default_rng(5)
+        binning = EqualWidthBinning(0.0, 1.0, 8)
+        root = tmp_path / "store"
+        for step in (0, 1):
+            d = root / f"step_{step:05d}"
+            d.mkdir(parents=True)
+            for var in ("a", "b"):
+                save_index(
+                    d / f"{var}.rbmp",
+                    BitmapIndex.build(rng.random(100), binning),
+                )
+        Catalog.build(root)  # persist catalog.json covering both steps
+        return root
+
+    def test_deleted_step_yields_query_error(self, two_step_store):
+        import shutil
+
+        with QueryService(two_step_store) as svc:
+            # Cold service: catalog loaded, nothing opened yet.  Then the
+            # directory vanishes behind the manifest's back.
+            shutil.rmtree(two_step_store / "step_00001")
+            with pytest.raises(QueryError, match="unknown variable|vanished"):
+                svc.execute("SELECT COUNT FROM a, b", step=1)
+            # The rebuilt catalog serves what is still on disk.
+            assert svc.execute("SELECT COUNT FROM a, b", step=0).value == 100.0
+            assert svc.catalog.steps() == [0]
+
+    def test_default_step_falls_back_after_delete(self, two_step_store):
+        import shutil
+
+        with QueryService(two_step_store) as svc:
+            shutil.rmtree(two_step_store / "step_00001")
+            # step=None resolves through the stale manifest to step 1,
+            # hits the missing file, rebuilds, and retries onto step 0.
+            result = svc.execute("SELECT COUNT FROM a, b")
+            assert result.step == 0
+            assert result.value == 100.0
+
+    def test_vanished_open_files_are_dropped(self, two_step_store):
+        import shutil
+
+        with QueryService(two_step_store) as svc:
+            assert svc.execute("SELECT COUNT FROM a, b", step=1).value == 100.0
+            assert svc.service_stats()["open_files"] == 2
+            shutil.rmtree(two_step_store / "step_00001")
+            svc._refresh_catalog()
+            assert svc.service_stats()["open_files"] == 0
+            assert svc.execute("SELECT COUNT FROM a, b", step=0).value == 100.0

@@ -1,0 +1,105 @@
+"""Tests for the shard layer (repro.service.shard)."""
+
+import pytest
+
+from repro.analysis.sql import QueryError, query as oracle_query
+from repro.service.executor import merge_rank_partials
+from repro.service.shard import (
+    ShardPool,
+    shard_for_rank,
+    shard_for_variable,
+)
+
+
+class TestRouting:
+    def test_rank_round_robin(self):
+        assert [shard_for_rank(f"rank_{i:04d}", 4) for i in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3
+        ]
+
+    def test_single_shard_takes_everything(self):
+        assert all(
+            shard_for_rank(f"rank_{i:04d}", 1) == 0 for i in range(10)
+        )
+
+    def test_qualified_variable_follows_its_rank(self):
+        for n_shards in (1, 2, 4):
+            for rank in range(6):
+                assert shard_for_variable(
+                    f"rank_{rank:04d}/temperature", n_shards
+                ) == shard_for_rank(f"rank_{rank:04d}", n_shards)
+
+    def test_unqualified_variable_is_stable(self):
+        assert shard_for_variable("temperature", 4) == shard_for_variable(
+            "temperature", 4
+        )
+        assert 0 <= shard_for_variable("temperature", 4) < 4
+
+
+class TestShardPool:
+    @pytest.fixture(scope="class")
+    def pool(self, rank_store_env):
+        root, _, _ = rank_store_env
+        with ShardPool(root, 2) as pool:
+            yield pool
+
+    def test_partials_merge_to_oracle(self, pool, rank_store_env):
+        _, serial, _ = rank_store_env
+        sql = "SELECT MI FROM temperature, salinity WHERE temperature >= 3"
+        partials = [
+            pool.partial(sql, f"rank_{r:04d}", step=0) for r in range(3)
+        ]
+        value, mask = merge_rank_partials("MI", False, partials)
+        assert value == oracle_query(sql, serial[0])
+        assert mask is None
+
+    def test_mask_partials_splice_to_oracle_count(self, pool, rank_store_env):
+        _, serial, _ = rank_store_env
+        sql = (
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE salinity BETWEEN 25 AND 35"
+        )
+        partials = [
+            pool.partial(sql, f"rank_{r:04d}", step=0, want_mask=True)
+            for r in range(3)
+        ]
+        value, mask = merge_rank_partials("COUNT", True, partials)
+        assert value == oracle_query(sql, serial[0])
+        assert float(mask.count()) == value
+        assert mask.n_bits == serial[0]["temperature"].n_elements
+
+    def test_single_file_query(self, pool):
+        result = pool.query(
+            "SELECT COUNT FROM rank_0002/temperature, rank_0002/salinity",
+            "rank_0002/temperature",
+            step=0,
+        )
+        assert result.value == 155.0
+
+    def test_bad_query_comes_back_as_query_error(self, pool):
+        # ... and, crucially, the worker survives to answer again.
+        with pytest.raises(QueryError, match="unknown variable"):
+            pool.query("SELECT MI FROM nosuch, salinity", "nosuch")
+        result = pool.query(
+            "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity",
+            "rank_0000/temperature",
+            step=0,
+        )
+        assert result.value == 217.0
+
+    def test_stats_cover_every_shard(self, pool):
+        stats = pool.stats()
+        assert [s["shard"] for s in stats] == [0, 1]
+        assert all("cache" in s and "service" in s for s in stats)
+
+    def test_close_is_idempotent(self, rank_store_env):
+        root, _, _ = rank_store_env
+        pool = ShardPool(root, 2)
+        assert pool.query(
+            "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity",
+            "rank_0000/temperature",
+            step=0,
+        ).value == 217.0
+        pool.close()
+        pool.close()
+        assert all(not h.process.is_alive() for h in pool._handles)

@@ -142,6 +142,51 @@ class TestSqlQueryAndServe:
         assert rc == 0
         assert "step=0" in capsys.readouterr().out
 
+    def test_serve_batch_mode_requires_sql(self, capsys, store):
+        rc = main(["serve", str(store)])
+        assert rc == 2
+        assert "--sql" in capsys.readouterr().err
+
+    def test_serve_network_mode(self, store):
+        """`repro serve --port` end to end: subprocess server, real
+        client, clean SIGINT shutdown with a stats line."""
+        import signal
+        import subprocess
+        import sys as _sys
+
+        proc = subprocess.Popen(
+            [_sys.executable, "-c",
+             "from repro.cli import main; import sys; "
+             "sys.exit(main(sys.argv[1:]))",
+             "serve", str(store), "--port", "0", "--shards", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = None
+            for _ in range(50):
+                line = proc.stdout.readline()
+                if "listening on" in line:
+                    port = int(line.split(":")[-1].split()[0])
+                    break
+            assert port, "server never reported its port"
+            from repro.service import ServiceClient
+
+            with ServiceClient("127.0.0.1", port) as client:
+                response = client.query(
+                    "SELECT MI FROM temperature, salinity"
+                )
+                assert response["value"] >= 0.0
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+            assert "served=1" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
 
 class TestMineCommand:
     def test_mine(self, capsys):
