@@ -52,9 +52,10 @@ QUERIES = [
 
 
 def _build_rank_store(
-    root: Path, ranks: int, steps: int, per_rank: int, bins: int
+    root: Path, ranks: int, steps: int, per_rank: int, bins: int,
+    seed: int = 11,
 ) -> None:
-    rng = np.random.default_rng(11)
+    rng = np.random.default_rng(seed)
     binnings = {
         "temperature": EqualWidthBinning(5.0, 20.0, bins),
         "salinity": EqualWidthBinning(28.0, 38.0, bins),
@@ -186,7 +187,7 @@ def _overload_burst(
     return sum(served), sum(overloaded), sum(failed)
 
 
-def run(smoke: bool = False) -> None:
+def run(smoke: bool = False, seed: int = 11) -> None:
     ranks = 2 if smoke else 4
     steps = 2 if smoke else 3
     per_rank = 2_000 if smoke else 20_000
@@ -197,7 +198,7 @@ def run(smoke: bool = False) -> None:
 
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp) / "store"
-        _build_rank_store(root, ranks, steps, per_rank, bins)
+        _build_rank_store(root, ranks, steps, per_rank, bins, seed)
 
         rows = []
         open_rows = []
@@ -279,4 +280,9 @@ def test_load_service_smoke():
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="small and fast")
-    run(smoke=parser.parse_args().smoke)
+    parser.add_argument(
+        "--seed", type=int, default=11,
+        help="RNG seed for the generated store (reproducible results)",
+    )
+    args = parser.parse_args()
+    run(smoke=args.smoke, seed=args.seed)

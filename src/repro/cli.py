@@ -8,7 +8,10 @@ without writing Python:
 * ``repro query``   -- inspect stored indices, or run SQL against them;
 * ``repro serve``   -- serve SQL queries over a bitmap store: batch mode
   (``--sql``) through the query service, or a sharded network server
-  (``--port``/``--shards``) speaking length-prefixed JSON over TCP;
+  (``--port``/``--shards``) speaking length-prefixed JSON over TCP,
+  optionally with hot-set replication (``--replicate``);
+* ``repro serve-stats`` -- print a running network server's live
+  counters (admission, per-shard dispatch, cache hit rates, hot set);
 * ``repro mine``    -- correlation mining on the POP-like ocean data;
 * ``repro model``   -- print a modelled figure table (Figures 7-13/15);
 * ``repro cluster`` -- run the multi-rank cluster pipeline, optionally
@@ -131,6 +134,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="network mode: bind address")
     p.add_argument("--shards", type=int, default=1,
                    help="network mode: query worker process count")
+    p.add_argument("--replicate", action="store_true",
+                   help="network mode: enable hot-set replication -- "
+                        "access-driven replica placement on non-owner "
+                        "shards plus least-loaded adaptive routing")
+    p.add_argument("--hotset-budget", type=float, default=8.0,
+                   metavar="MIB",
+                   help="per-shard replica slot budget in MiB "
+                        "(with --replicate)")
+    p.add_argument("--rebalance-interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="seconds between replica placement cycles "
+                        "(with --replicate)")
+
+    p = sub.add_parser(
+        "serve-stats",
+        help="fetch and print live counters from a running network server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
 
     p = sub.add_parser("store", help="inspect a bitmap time-series store")
     p.add_argument("root", type=Path)
@@ -476,13 +498,23 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         cache_bytes=int(args.cache_mb * 2**20),
         layout=_parse_layout(args.zorder_shape),
+        replicate=args.replicate,
+        hotset_budget=int(args.hotset_budget * 2**20),
+        rebalance_interval=args.rebalance_interval,
     )
     try:
         server.launch()
+        replication = (
+            f" replicate(budget={args.hotset_budget:g}MiB "
+            f"every {args.rebalance_interval:g}s)"
+            if args.replicate
+            else ""
+        )
         print(
             f"serving {server.catalog!r}\n"
             f"listening on {server.host}:{server.port} "
-            f"shards={args.shards} max_pending={server.max_pending}",
+            f"shards={args.shards} max_pending={server.max_pending}"
+            f"{replication}",
             flush=True,
         )
         try:
@@ -499,6 +531,55 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
         )
     finally:
         server.close()
+    return 0
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    """Fetch the ``stats`` frame from a live server and pretty-print it."""
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        stats = client.stats()
+    server = stats["server"]
+    print(
+        f"server {args.host}:{args.port}: served={server['served']} "
+        f"rejected={server['rejected']} errors={server['errors']} "
+        f"pending={server['pending']}/{server['max_pending']} "
+        f"connections={server['connections']}"
+    )
+    replication = server.get("replication", {})
+    if replication.get("enabled"):
+        last = replication.get("last_cycle") or {}
+        print(
+            f"replication: epoch={replication['epoch']} "
+            f"cycles={replication['cycles']} "
+            f"routes={len(replication.get('routes', {}))} "
+            f"last(installed={last.get('installed', 0)} "
+            f"dropped={last.get('dropped', 0)} "
+            f"hot_keys={last.get('hot_keys', 0)})"
+        )
+        for rank, holders in sorted(replication.get("routes", {}).items()):
+            print(f"  route {rank} -> shards {holders}")
+    else:
+        print("replication: disabled")
+    dispatch = server.get("dispatch", [])
+    respawns = server.get("respawns", [])
+    for shard in stats.get("shards", []):
+        cache = shard["cache"]
+        hotset = shard.get("hotset", {})
+        replicas = hotset.get("replicas", {})
+        sid = shard["shard"]
+        print(
+            f"shard {sid}: dispatched="
+            f"{dispatch[sid] if sid < len(dispatch) else '?'} "
+            f"respawns={respawns[sid] if sid < len(respawns) else '?'} "
+            f"served={shard['service']['served']} "
+            f"cache_hit_rate={cache['hit_rate']:.1%} "
+            f"cached={cache['entries']} entries/{cache['bytes_cached']}B "
+            f"replicas={len(replicas.get('keys', []))} "
+            f"({replicas.get('bytes', 0)}B, hits={replicas.get('hits', 0)}) "
+            f"hot_keys={len(hotset.get('access', {}).get('keys', []))}"
+        )
     return 0
 
 
@@ -696,6 +777,7 @@ _HANDLERS = {
     "model": _cmd_model,
     "calibrate": _cmd_calibrate,
     "serve": _cmd_serve,
+    "serve-stats": _cmd_serve_stats,
     "store": _cmd_store,
     "cluster": _cmd_cluster,
 }

@@ -16,7 +16,14 @@ set of bitvector reads.  This package provides that serving path:
 * :class:`~repro.service.server.QueryServer` -- networked front end
   (length-prefixed JSON over TCP, :mod:`repro.service.protocol`)
   scatter-gathering across :class:`~repro.service.shard.ShardPool`
-  worker processes, exact w.r.t. the in-process service.
+  worker processes, exact w.r.t. the in-process service;
+* :mod:`repro.service.hotset` -- hot-set replication: decaying
+  :class:`~repro.service.hotset.AccessStats` accounting in the cache,
+  a :class:`~repro.service.hotset.ReplicaManager` policy loop placing
+  hot bitvectors into byte-budgeted replica slots on non-owner shards,
+  and an epoch-versioned :class:`~repro.service.hotset.RoutingTable`
+  the server consults so skewed workloads spread over replica holders
+  (``repro serve --replicate``).
 
 ``repro serve`` (:mod:`repro.cli`) is the command-line entry point for
 both the batch and the networked mode.
@@ -34,6 +41,13 @@ from repro.service.executor import (
     merge_rank_partials,
     resolve_global,
 )
+from repro.service.hotset import (
+    AccessStats,
+    ReplicaManager,
+    ReplicaStore,
+    ReplicationReport,
+    RoutingTable,
+)
 from repro.service.protocol import (
     ProtocolError,
     RemoteOverloadError,
@@ -44,6 +58,7 @@ from repro.service.server import QueryServer
 from repro.service.shard import ShardError, ShardPool
 
 __all__ = [
+    "AccessStats",
     "BitvectorCache",
     "CacheKey",
     "CacheStats",
@@ -52,6 +67,10 @@ __all__ = [
     "CatalogError",
     "GlobalQuery",
     "ProtocolError",
+    "ReplicaManager",
+    "ReplicaStore",
+    "ReplicationReport",
+    "RoutingTable",
     "QueryResult",
     "QueryServer",
     "QueryService",

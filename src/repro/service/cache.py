@@ -99,10 +99,13 @@ class BitvectorCache:
     bitvector cannot flush the working set.
     """
 
-    def __init__(self, budget_bytes: int = 64 << 20) -> None:
+    def __init__(self, budget_bytes: int = 64 << 20, *, access=None) -> None:
         if budget_bytes <= 0:
             raise ValueError(f"budget must be positive, got {budget_bytes}")
         self.budget_bytes = int(budget_bytes)
+        #: Optional :class:`repro.service.hotset.AccessStats` recording
+        #: every lookup (hit or miss) -- the hot-set accounting feed.
+        self.access = access
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, WAHBitVector] = OrderedDict()
         self._inflight: dict[CacheKey, _InFlightLoad] = {}
@@ -115,6 +118,8 @@ class BitvectorCache:
     # ------------------------------------------------------------- access
     def get(self, key: CacheKey) -> WAHBitVector | None:
         """Look up one bitvector, refreshing its recency on a hit."""
+        if self.access is not None:
+            self.access.record(key)
         with self._lock:
             vector = self._entries.get(key)
             if vector is None:
@@ -154,6 +159,8 @@ class BitvectorCache:
         to the leader only; waiters retry, and one of them becomes the
         next leader.
         """
+        if self.access is not None:
+            self.access.record(key)
         while True:
             with self._lock:
                 vector = self._entries.get(key)

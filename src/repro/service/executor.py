@@ -332,6 +332,14 @@ class QueryService:
         beyond it :meth:`submit` raises :class:`ServiceOverloadError`.
     layout:
         Optional :class:`ZOrderLayout` for ``REGION`` predicates.
+    access:
+        Optional :class:`~repro.service.hotset.AccessStats` recording
+        every bitvector lookup (threaded into the cache) -- the hot-set
+        replication subsystem's accounting feed.
+    replicas:
+        Optional :class:`~repro.service.hotset.ReplicaStore` consulted
+        before the cache; holds manager-placed copies of hot bitvectors
+        from rank slabs this service does not own.
     """
 
     def __init__(
@@ -343,6 +351,8 @@ class QueryService:
         max_workers: int = 4,
         max_pending: int = 32,
         layout: ZOrderLayout | None = None,
+        access=None,
+        replicas=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"need >= 1 worker, got {max_workers}")
@@ -352,6 +362,10 @@ class QueryService:
             catalog if isinstance(catalog, Catalog) else Catalog.open(catalog)
         )
         self.cache = cache if cache is not None else BitvectorCache(cache_bytes)
+        self.access = access
+        if access is not None and self.cache.access is None:
+            self.cache.access = access
+        self.replicas = replicas
         self.layout = layout
         self.max_pending = int(max_pending)
         self._pool = ThreadPoolExecutor(
@@ -363,6 +377,7 @@ class QueryService:
         self._files: dict[str, LazyBitmapIndex] = {}
         self._served = 0
         self._rejected = 0
+        self._busy_s = 0.0
         self._closed = False
 
     # ----------------------------------------------------------- admission
@@ -455,9 +470,12 @@ class QueryService:
             raise QueryError(
                 f"mask results require COUNT, not {query.metric}"
             )
+        t0 = time.thread_time()
         for attempt in (0, 1):
             try:
-                return self._rank_partial(query, rank, step, want_mask)
+                partial = self._rank_partial(query, rank, step, want_mask)
+                self._busy_s += time.thread_time() - t0
+                return partial
             except FileNotFoundError as exc:
                 if attempt:
                     raise QueryError(
@@ -470,6 +488,7 @@ class QueryService:
     def _run(
         self, sql: str, step: int | None, want_mask: bool = False
     ) -> QueryResult:
+        t0 = time.thread_time()
         stats = QueryStats()
         with _timed(stats, "parse_s"):
             query = parse_query(sql)
@@ -493,6 +512,7 @@ class QueryService:
                     ) from exc
                 self._refresh_catalog()
         self._served += 1
+        self._busy_s += time.thread_time() - t0
         return result
 
     def _attempt(
@@ -641,6 +661,16 @@ class QueryService:
             for bin_id in bins:
                 bin_id = int(bin_id)
                 key = CacheKey.for_bin(path, var, bin_id)
+                if self.replicas is not None:
+                    replica = self.replicas.get(key)
+                    if replica is not None:
+                        # Manager-placed copy: counts as a hit (no disk
+                        # touched) and still feeds the access accounting.
+                        if self.access is not None:
+                            self.access.record(key)
+                        stats.cache_hits += 1
+                        vectors[bin_id] = replica
+                        continue
                 vector, hit = self.cache.get_or_load(
                     key, lambda b=bin_id: lazy.get(b)
                 )
@@ -740,6 +770,29 @@ class QueryService:
         )
         return joint, index_a.binning == index_b.binning
 
+    def fetch_bitvector(
+        self, file: str, variable: str, bin_id: int, level: int = 0
+    ) -> WAHBitVector:
+        """Load one bitvector by cache identity -- the replication unit.
+
+        The owner-side half of a replica push: the manager asks the
+        owning shard for the raw vector (served from replica slot, cache,
+        or a single-record disk read) and forwards its word buffer to the
+        holders.  ``file`` must be a store file this service can open.
+        """
+        key = CacheKey.for_bin(file, variable, bin_id, level)
+        if self.replicas is not None:
+            replica = self.replicas.get(key)
+            if replica is not None:
+                return replica
+        with self._files_lock:
+            lazy = self._files.get(key.file)
+            if lazy is None:
+                lazy = LazyBitmapIndex(key.file)
+                self._files[key.file] = lazy
+        vector, _ = self.cache.get_or_load(key, lambda: lazy.get(key.bin))
+        return vector
+
     # ------------------------------------------------------------ backend
     def _open(self, entry: CatalogEntry) -> LazyBitmapIndex:
         """Shared per-file lazy reader (header parsed once, then reused)."""
@@ -768,6 +821,10 @@ class QueryService:
                 self._files.pop(path).close()
         for path in vanished:
             self.cache.invalidate_file(path)
+        if self.replicas is not None:
+            # Replica bytes were read from files that may have been
+            # rewritten; past a rebuild they are not trusted.
+            self.replicas.clear()
         self.catalog.refresh()
 
     def file_bytes_read(self) -> int:
@@ -788,6 +845,7 @@ class QueryService:
             "rejected": self._rejected,
             "pending": pending,
             "open_files": len(self._files),
+            "busy_s": self._busy_s,
         }
 
     # ---------------------------------------------------------- lifecycle

@@ -12,7 +12,12 @@ Requests are objects with an ``op``:
   scalar;
 * ``{"op": "mask", "sql": "...", "step": 40}`` -- COUNT queries only:
   also return the WHERE bitvector (compressed words, base64);
-* ``{"op": "stats"}`` -- server / shard / cache counters;
+* ``{"op": "stats"}`` -- live counters: the server block (served /
+  rejected / errors, per-shard dispatch counts and respawns, and the
+  replication state -- epoch, routes, last placement cycle) plus one
+  entry per shard worker (service counters, cache hit rates, and the
+  hot-set snapshot: access frequencies and replica inventory).
+  ``repro serve-stats`` renders this payload;
 * ``{"op": "ping"}`` -- liveness.
 
 Responses carry ``{"ok": true, ...}`` or a structured error

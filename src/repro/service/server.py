@@ -27,6 +27,17 @@ The front end owns three things and deliberately nothing else:
   answer is bit-identical to the in-process one; anything else routes
   whole to a single shard.
 
+With ``replicate=True`` (``repro serve --replicate``) a fourth concern
+is delegated to :mod:`repro.service.hotset`: a
+:class:`~repro.service.hotset.ReplicaManager` loop watches the workers'
+decayed access counters, pushes the hot bitvectors into byte-budgeted
+replica slots on non-owner workers, and publishes an epoch-stamped
+:class:`~repro.service.hotset.RoutingTable` this dispatcher consults --
+rank-targeted and hot-bin queries then land on the least-loaded replica
+holder instead of always the owner, and a stale route falls back to the
+owner.  Replication never changes a result (every worker reads the same
+store and runs the same code); it changes only where the work runs.
+
 Execution happens only in the shard workers; the front end's event loop
 never blocks on bitmap work (dispatch runs on a thread pool, shard fan-out
 on a second pool so a scatter cannot starve the dispatcher that issued
@@ -49,6 +60,7 @@ from repro.service.executor import (
     merge_rank_partials,
     resolve_global,
 )
+from repro.service.hotset import ReplicaManager, RoutingTable, rank_of_variable
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -78,6 +90,16 @@ class QueryServer:
     layout:
         Optional Z-order layout enabling REGION predicates (single-file
         queries only).
+    replicate:
+        Enable the hot-set replication loop: access-driven replica
+        placement plus adaptive (least-loaded replica holder) routing.
+    hotset_budget:
+        Per-worker replica slot budget in bytes (``replicate=True``).
+    rebalance_interval:
+        Seconds between :class:`~repro.service.hotset.ReplicaManager`
+        policy cycles on the background thread.
+    hotset_top_k:
+        How many globally hottest bitvectors each cycle may replicate.
     """
 
     def __init__(
@@ -91,6 +113,10 @@ class QueryServer:
         cache_bytes: int = 64 << 20,
         layout: ZOrderLayout | None = None,
         start_method: str | None = None,
+        replicate: bool = False,
+        hotset_budget: int = 8 << 20,
+        rebalance_interval: float = 2.0,
+        hotset_top_k: int = 16,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"need max_pending >= 1, got {max_pending}")
@@ -106,7 +132,18 @@ class QueryServer:
             cache_bytes=cache_bytes,
             layout=layout,
             start_method=start_method,
+            hotset_budget=hotset_budget,
         )
+        self.routing = RoutingTable()
+        self.replicator: ReplicaManager | None = None
+        if replicate:
+            self.replicator = ReplicaManager(
+                self.pool,
+                self.routing,
+                budget_bytes=hotset_budget,
+                top_k=hotset_top_k,
+                interval_s=rebalance_interval,
+            )
         self._dispatch = ThreadPoolExecutor(
             max_workers=max(4, 2 * shards), thread_name_prefix="repro-serve"
         )
@@ -188,8 +225,10 @@ class QueryServer:
             raise QueryError(f"mask results require COUNT, not {query.metric}")
         glob = resolve_global(self.catalog, query, step)
         if glob is None:
+            rank = rank_of_variable(query.var_a)
+            route = self.routing.lookup(rank) if rank is not None else None
             result = self.pool.query(
-                sql, query.var_a, step=step, want_mask=want_mask
+                sql, query.var_a, step=step, want_mask=want_mask, route=route
             )
             response = {
                 "ok": True,
@@ -210,7 +249,7 @@ class QueryServer:
         futures = [
             self._scatter.submit(
                 self.pool.partial, sql, rank, step=glob.step,
-                want_mask=want_mask,
+                want_mask=want_mask, route=self.routing.lookup(rank),
             )
             for rank in glob.ranks
         ]
@@ -275,8 +314,34 @@ class QueryServer:
                 # and completing normally keeps shutdown log-silent.
                 pass
 
+    # --------------------------------------------------------- replication
+    def rebalance(self):
+        """Force one replica-placement cycle now (tests, benchmarks).
+
+        Returns the :class:`~repro.service.hotset.ReplicationReport`, or
+        ``None`` when the server was built with ``replicate=False``.
+        """
+        if self.replicator is None:
+            return None
+        return self.replicator.rebalance()
+
+    def refresh_catalog(self) -> None:
+        """Re-scan the store and invalidate every adaptive structure.
+
+        The order matters: routes go stale *first* (dispatch falls back
+        to owners immediately), then worker replicas are dropped and
+        worker catalogs rebuilt, then the front-end catalog re-scans.
+        The next policy cycle rebuilds placement at the new epoch.
+        """
+        self.routing.invalidate()
+        self.pool.clear_replicas()
+        self.pool.refresh_workers()
+        self.catalog.refresh()
+
     async def run_async(self) -> None:
         """Serve until :meth:`stop` (or cancellation); asyncio-native."""
+        if self.replicator is not None:
+            self.replicator.start()
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         server = await asyncio.start_server(
@@ -330,6 +395,8 @@ class QueryServer:
         if self._closed:
             return
         self._closed = True
+        if self.replicator is not None:
+            self.replicator.stop()
         self.stop()
         self._dispatch.shutdown(wait=True)
         self._scatter.shutdown(wait=True)
@@ -342,7 +409,7 @@ class QueryServer:
         self.close()
 
     # -------------------------------------------------------------- stats
-    def server_stats(self) -> dict[str, int]:
+    def server_stats(self) -> dict:
         with self._admission:
             pending = self._pending
         return {
@@ -353,6 +420,16 @@ class QueryServer:
             "connections": self._connections,
             "shards": self.pool.n_shards,
             "max_pending": self.max_pending,
+            "dispatch": self.pool.dispatch_counts(),
+            "respawns": self.pool.respawn_counts(),
+            "replication": {
+                "enabled": self.replicator is not None,
+                **(
+                    self.replicator.stats()
+                    if self.replicator is not None
+                    else {"epoch": self.routing.epoch, "routes": {}}
+                ),
+            },
         }
 
     def __repr__(self) -> str:

@@ -14,9 +14,27 @@ names) hash to one worker.  Ownership is a routing policy, not a
 visibility boundary: every worker can read the whole store, which is what
 makes the policy free to change without data movement.
 
+Two adaptive layers sit on the static map:
+
+* **hot-set replication** (:mod:`repro.service.hotset`) -- each worker
+  keeps decaying access counters and byte-budgeted replica slots; the
+  pool exposes the pipe ops the :class:`~repro.service.hotset.ReplicaManager`
+  uses to snapshot accounting, fetch raw WAH word buffers from owners,
+  and install/drop replicas on holders.  Request methods accept a
+  ``route`` (candidate shards from the
+  :class:`~repro.service.hotset.RoutingTable`) and pick the least-loaded
+  holder, falling back to the owner on any shard fault.
+* **respawn on death** -- a worker that dies takes no state with it
+  (workers are stateless over the shared store), so a dead pipe is
+  detected at the next request, the worker is respawned on its rank
+  set, the in-flight request is retried once on the fresh process, and
+  nothing is replayed.  Its replica slots come back empty and are
+  re-filled by the manager's next reconciliation cycle.
+
 Transport is one :func:`multiprocessing.Pipe` per worker carrying pickled
 request dicts and replies (``RankPartial`` / ``QueryResult`` objects ride
-the pickle).  A per-handle lock serializes each pipe; cross-shard
+the pickle; replica pushes carry raw little-endian ``uint32`` word
+buffers as bytes).  A per-handle lock serializes each pipe; cross-shard
 parallelism comes from the front end fanning requests from different
 threads.  Workers are spawned *before* the asyncio loop starts (fork
 safety) and answer until told to stop.
@@ -24,18 +42,22 @@ safety) and answer until told to stop.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import re
 import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Sequence
+
+import numpy as np
 
 from repro.analysis.sql import QueryError
+from repro.bitmap.wah import WAHBitVector
 from repro.bitmap.zorder import ZOrderLayout
 from repro.insitu.parallel import _pick_context
+from repro.service.cache import CacheKey
 from repro.service.executor import QueryResult, QueryService, RankPartial
+from repro.service.hotset import AccessStats, ReplicaStore
 
 _RANK_RE = re.compile(r"^rank_(\d+)$")
 
@@ -75,6 +97,7 @@ def _worker_main(
     shard_id: int,
     cache_bytes: int,
     layout: ZOrderLayout | None,
+    hotset_budget: int,
 ) -> None:
     """Shard worker loop: serve pickled requests until ``stop``.
 
@@ -82,6 +105,8 @@ def _worker_main(
     query, so one malformed request cannot take a shard (and every rank it
     owns) out of rotation.
     """
+    access = AccessStats()
+    replicas = ReplicaStore(hotset_budget)
     service = QueryService(
         root,
         cache_bytes=cache_bytes,
@@ -90,6 +115,8 @@ def _worker_main(
         # at a time, so its own bound never binds.
         max_pending=1_000_000,
         layout=layout,
+        access=access,
+        replicas=replicas,
     )
     try:
         while True:
@@ -129,8 +156,63 @@ def _worker_main(
                             "cache": service.cache.stats().as_dict(),
                             "file_reads": service.file_reads(),
                             "file_bytes_read": service.file_bytes_read(),
+                            "hotset": {
+                                "access": access.snapshot(),
+                                "replicas": replicas.inventory(),
+                            },
                         },
                     })
+                elif op == "hotset":
+                    # Accounting snapshot + replica inventory, decaying
+                    # the counters once per policy cycle.
+                    factor = request.get("decay")
+                    if factor is not None:
+                        access.decay(float(factor))
+                    conn.send({
+                        "ok": True,
+                        "access": access.snapshot(),
+                        "replicas": replicas.inventory(),
+                    })
+                elif op == "fetch":
+                    vector = service.fetch_bitvector(
+                        request["file"],
+                        request["variable"],
+                        int(request["bin"]),
+                        int(request.get("level", 0)),
+                    )
+                    words = np.ascontiguousarray(vector.words, dtype="<u4")
+                    conn.send({
+                        "ok": True,
+                        "words": words.tobytes(),
+                        "n_bits": int(vector.n_bits),
+                    })
+                elif op == "install":
+                    installed = 0
+                    for f, v, b, lv, words, n_bits in request["replicas"]:
+                        buf = np.frombuffer(words, dtype="<u4").astype(
+                            np.uint32
+                        )
+                        key = CacheKey(f, v, int(b), int(lv))
+                        if replicas.install(
+                            key, WAHBitVector(buf, int(n_bits))
+                        ):
+                            installed += 1
+                    conn.send({
+                        "ok": True,
+                        "installed": installed,
+                        "bytes": replicas.bytes_held,
+                    })
+                elif op == "drop":
+                    keys = [
+                        CacheKey(f, v, int(b), int(lv))
+                        for f, v, b, lv in request["keys"]
+                    ]
+                    conn.send({"ok": True, "dropped": replicas.drop(keys)})
+                elif op == "clear_replicas":
+                    conn.send({"ok": True, "dropped": replicas.clear()})
+                elif op == "refresh":
+                    service._refresh_catalog()
+                    conn.send({"ok": True})
                 else:
                     conn.send({
                         "ok": False,
@@ -152,27 +234,60 @@ def _worker_main(
 
 @dataclass
 class _ShardHandle:
-    """One worker: its process, pipe end, and the pipe's serializer."""
+    """One worker: its process, pipe end, the pipe's serializer, and the
+    load/respawn bookkeeping the routed dispatch reads."""
 
     shard_id: int
     process: Any
     conn: Any
     lock: threading.Lock
+    pool: "ShardPool"
+    #: requests currently queued on / executing over this pipe
+    inflight: int = 0
+    #: lifetime requests dispatched to this shard (stats op)
+    dispatched: int = 0
+    #: times the worker was respawned after dying
+    respawns: int = 0
 
     def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request; detect a dead worker, respawn, retry once.
+
+        Workers are stateless over the shared store, so a respawn replays
+        nothing -- the fresh process answers the retried request from
+        disk.  A second failure surfaces as :class:`ShardError`.
+        """
         with self.lock:
-            if not self.process.is_alive():
-                raise ShardError(
-                    f"shard {self.shard_id} worker died "
-                    f"(exitcode {self.process.exitcode})"
-                )
-            self.conn.send(payload)
-            try:
-                return self.conn.recv()
-            except EOFError as exc:
-                raise ShardError(
-                    f"shard {self.shard_id} closed mid-request"
-                ) from exc
+            for attempt in (0, 1):
+                if not self.process.is_alive():
+                    self._respawn()
+                try:
+                    self.conn.send(payload)
+                    return self.conn.recv()
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    if attempt:
+                        raise ShardError(
+                            f"shard {self.shard_id} died mid-request and "
+                            f"its respawn failed too"
+                        ) from exc
+                    self._respawn()
+        raise AssertionError("unreachable")
+
+    def _respawn(self) -> None:
+        """Replace a dead worker with a fresh process on the same pipe
+        role (caller holds ``lock``)."""
+        if self.pool._closed:
+            raise ShardError(
+                f"shard {self.shard_id} worker died (pool closed)"
+            )
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        self.process, self.conn = self.pool._spawn(self.shard_id)
+        self.respawns += 1
 
 
 class ShardPool:
@@ -192,27 +307,38 @@ class ShardPool:
         cache_bytes: int = 64 << 20,
         layout: ZOrderLayout | None = None,
         start_method: str | None = None,
+        hotset_budget: int = 8 << 20,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"need >= 1 shard, got {n_shards}")
         self.root = str(root)
         self.n_shards = int(n_shards)
-        ctx = _pick_context(start_method)
+        self.cache_bytes = int(cache_bytes)
+        self.hotset_budget = int(hotset_budget)
+        self._layout = layout
+        self._ctx = _pick_context(start_method)
+        self._load_lock = threading.Lock()
+        self._closed = False
         self._handles: list[_ShardHandle] = []
         for shard_id in range(self.n_shards):
-            parent, child = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(child, self.root, shard_id, cache_bytes, layout),
-                name=f"repro-shard-{shard_id}",
-                daemon=True,
-            )
-            process.start()
-            child.close()
+            process, parent = self._spawn(shard_id)
             self._handles.append(
-                _ShardHandle(shard_id, process, parent, threading.Lock())
+                _ShardHandle(shard_id, process, parent, threading.Lock(), self)
             )
-        self._closed = False
+
+    def _spawn(self, shard_id: int):
+        """Start one worker process; returns (process, parent pipe end)."""
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self.root, shard_id, self.cache_bytes,
+                  self._layout, self.hotset_budget),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        return process, parent
 
     # ------------------------------------------------------------ routing
     def handle_for_rank(self, rank: str) -> _ShardHandle:
@@ -220,6 +346,51 @@ class ShardPool:
 
     def handle_for_variable(self, variable: str) -> _ShardHandle:
         return self._handles[shard_for_variable(variable, self.n_shards)]
+
+    def _pick(
+        self, owner: int, route: Sequence[int] | None
+    ) -> tuple[_ShardHandle, _ShardHandle]:
+        """Least-loaded candidate from ``route`` (owner always included);
+        returns ``(picked, owner_handle)`` for the fault fallback."""
+        owner_handle = self._handles[owner]
+        if not route:
+            return owner_handle, owner_handle
+        candidates = {owner}
+        candidates.update(
+            s for s in route if isinstance(s, int) and 0 <= s < self.n_shards
+        )
+        with self._load_lock:
+            picked = min(
+                (self._handles[s] for s in candidates),
+                key=lambda h: (h.inflight, h.shard_id),
+            )
+        return picked, owner_handle
+
+    def _tracked_request(
+        self, handle: _ShardHandle, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        with self._load_lock:
+            handle.inflight += 1
+            handle.dispatched += 1
+        try:
+            return handle.request(payload)
+        finally:
+            with self._load_lock:
+                handle.inflight -= 1
+
+    def _routed_request(
+        self, owner: int, route: Sequence[int] | None, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Dispatch to the least-loaded route candidate; a holder-side
+        shard fault falls back to the owner (stale routes degrade to the
+        static map, never to an error the owner could have avoided)."""
+        picked, owner_handle = self._pick(owner, route)
+        try:
+            return self._tracked_request(picked, payload)
+        except ShardError:
+            if picked is owner_handle:
+                raise
+            return self._tracked_request(owner_handle, payload)
 
     # ----------------------------------------------------------- requests
     @staticmethod
@@ -239,15 +410,20 @@ class ShardPool:
         *,
         step: int | None = None,
         want_mask: bool = False,
+        route: Sequence[int] | None = None,
     ) -> RankPartial:
-        """One rank's partial, computed on its owning shard."""
-        reply = self.handle_for_rank(rank).request({
-            "op": "partial",
-            "sql": sql,
-            "rank": rank,
-            "step": step,
-            "want_mask": want_mask,
-        })
+        """One rank's partial, computed on its owner or a replica holder."""
+        reply = self._routed_request(
+            shard_for_rank(rank, self.n_shards),
+            route,
+            {
+                "op": "partial",
+                "sql": sql,
+                "rank": rank,
+                "step": step,
+                "want_mask": want_mask,
+            },
+        )
         return self._unwrap(reply)["partial"]
 
     def query(
@@ -257,22 +433,121 @@ class ShardPool:
         *,
         step: int | None = None,
         want_mask: bool = False,
+        route: Sequence[int] | None = None,
     ) -> QueryResult:
-        """A single-file query, routed by ``var_a``'s stable hash."""
-        reply = self.handle_for_variable(variable).request({
-            "op": "query",
-            "sql": sql,
-            "step": step,
-            "want_mask": want_mask,
-        })
+        """A single-file query, routed by ``var_a``'s stable hash (or to
+        the least-loaded replica holder when ``route`` names some)."""
+        reply = self._routed_request(
+            shard_for_variable(variable, self.n_shards),
+            route,
+            {
+                "op": "query",
+                "sql": sql,
+                "step": step,
+                "want_mask": want_mask,
+            },
+        )
         return self._unwrap(reply)["result"]
 
     def stats(self) -> list[dict[str, Any]]:
-        """Per-shard service/cache counters, in shard order."""
+        """Per-shard service/cache/hot-set counters, in shard order."""
+        out = []
+        for handle in self._handles:
+            stats = self._unwrap(
+                self._tracked_request(handle, {"op": "stats"})
+            )["stats"]
+            stats["dispatched"] = handle.dispatched
+            stats["respawns"] = handle.respawns
+            out.append(stats)
+        return out
+
+    # ----------------------------------------------------------- hot set
+    def hotset(self, *, decay: float | None = None) -> list[dict[str, Any]]:
+        """Every worker's access snapshot + replica inventory (shard
+        order), optionally decaying the counters -- one policy gather."""
+        payload: dict[str, Any] = {"op": "hotset"}
+        if decay is not None:
+            payload["decay"] = float(decay)
         return [
-            self._unwrap(handle.request({"op": "stats"}))["stats"]
+            self._unwrap(self._tracked_request(handle, dict(payload)))
             for handle in self._handles
         ]
+
+    def fetch_vector(self, shard_id: int, key: CacheKey) -> tuple[bytes, int]:
+        """Raw WAH words of one bitvector from ``shard_id``'s service."""
+        reply = self._unwrap(
+            self._tracked_request(
+                self._handles[shard_id],
+                {
+                    "op": "fetch",
+                    "file": key.file,
+                    "variable": key.variable,
+                    "bin": key.bin,
+                    "level": key.level,
+                },
+            )
+        )
+        return reply["words"], reply["n_bits"]
+
+    def install_replicas(
+        self,
+        shard_id: int,
+        items: Sequence[tuple[CacheKey, bytes, int]],
+    ) -> int:
+        """Push ``(key, raw words, n_bits)`` replicas onto one worker."""
+        reply = self._unwrap(
+            self._tracked_request(
+                self._handles[shard_id],
+                {
+                    "op": "install",
+                    "replicas": [
+                        (k.file, k.variable, k.bin, k.level, words, n_bits)
+                        for k, words, n_bits in items
+                    ],
+                },
+            )
+        )
+        return reply["installed"]
+
+    def drop_replicas(
+        self, shard_id: int, keys: Iterable[CacheKey]
+    ) -> int:
+        reply = self._unwrap(
+            self._tracked_request(
+                self._handles[shard_id],
+                {
+                    "op": "drop",
+                    "keys": [
+                        (k.file, k.variable, k.bin, k.level) for k in keys
+                    ],
+                },
+            )
+        )
+        return reply["dropped"]
+
+    def clear_replicas(self) -> int:
+        """Drop every replica on every worker (epoch invalidation)."""
+        dropped = 0
+        for handle in self._handles:
+            reply = self._unwrap(
+                self._tracked_request(handle, {"op": "clear_replicas"})
+            )
+            dropped += reply["dropped"]
+        return dropped
+
+    def refresh_workers(self) -> None:
+        """Force every worker to rebuild its catalog view of the store."""
+        for handle in self._handles:
+            self._unwrap(self._tracked_request(handle, {"op": "refresh"}))
+
+    def dispatch_counts(self) -> list[int]:
+        """Lifetime per-shard dispatch counters, in shard order."""
+        with self._load_lock:
+            return [h.dispatched for h in self._handles]
+
+    def respawn_counts(self) -> list[int]:
+        """Per-shard worker respawns, in shard order."""
+        return [h.respawns for h in self._handles]
 
     # ---------------------------------------------------------- lifecycle
     def close(self, *, timeout: float = 5.0) -> None:

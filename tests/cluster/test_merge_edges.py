@@ -1,0 +1,195 @@
+"""Edge-case tests for the scatter-gather merge path.
+
+Direct unit coverage of :func:`merge_rank_partials` and the mask splice
+(:func:`splice_bitvectors`) at the boundaries the service path can hit
+but rarely does: slab lengths that are exact multiples of the 31-bit
+WAH group, zero-length partials, and single-shard degenerate merges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sql import QueryError
+from repro.bitmap.builder import splice_bitvectors
+from repro.bitmap.wah import GROUP_BITS, WAHBitVector
+from repro.cluster.merge import merge_query_counts
+from repro.service.executor import RankPartial, merge_rank_partials
+
+
+def vec(bits: np.ndarray) -> WAHBitVector:
+    return WAHBitVector.from_indices(np.flatnonzero(bits), bits.size)
+
+
+def mask_partial(rank: str, bits: np.ndarray) -> RankPartial:
+    return RankPartial(rank=rank, kind="mask", mask=vec(bits))
+
+
+class TestMaskSpliceAlignment:
+    """Slab seams at exact multiples of GROUP_BITS = 31."""
+
+    @pytest.mark.parametrize(
+        "lengths",
+        [
+            (31, 31),            # every seam group-aligned
+            (62, 31, 93),        # multiples of 31 throughout
+            (31 * 4, 31 * 4),
+            (31, 17),            # aligned seam, ragged tail
+            (17, 31),            # ragged seam exercises the slow path
+            (31, 0, 31),         # zero-length middle slab
+        ],
+    )
+    def test_splice_equals_direct_build(self, lengths):
+        rng = np.random.default_rng(sum(lengths) + len(lengths))
+        slabs = [rng.integers(0, 2, size=n).astype(bool) for n in lengths]
+        whole = np.concatenate(slabs) if slabs else np.zeros(0, bool)
+        spliced = splice_bitvectors([vec(s) for s in slabs])
+        direct = vec(whole)
+        assert spliced.n_bits == direct.n_bits
+        # Byte-identical, not just logically equal: the service's
+        # differential bar compares raw words.
+        assert np.array_equal(spliced.words, direct.words)
+
+    def test_all_aligned_uses_exact_fast_path(self):
+        # A dense and a sparse group-aligned slab: the seam-merge result
+        # must still be word-identical to the direct build.
+        a = np.ones(31 * 3, bool)
+        b = np.zeros(31 * 2, bool)
+        b[5] = True
+        spliced = splice_bitvectors([vec(a), vec(b)])
+        direct = vec(np.concatenate([a, b]))
+        assert np.array_equal(spliced.words, direct.words)
+
+    def test_single_part_is_identity(self):
+        bits = np.zeros(100, bool)
+        bits[[0, 31, 62, 99]] = True
+        v = vec(bits)
+        out = splice_bitvectors([v])
+        assert out.n_bits == v.n_bits
+        assert np.array_equal(out.words, v.words)
+
+    def test_empty_parts_list_is_empty_vector(self):
+        out = splice_bitvectors([])
+        assert out.n_bits == 0
+        assert out.count() == 0
+
+
+class TestMergeRankPartialsMasks:
+    def test_single_shard_degenerate_merge(self):
+        bits = np.zeros(31 * 2, bool)
+        bits[[3, 40]] = True
+        value, mask = merge_rank_partials(
+            "COUNT", True, [mask_partial("rank_0000", bits)]
+        )
+        assert value == 2.0
+        assert np.array_equal(mask.words, vec(bits).words)
+
+    def test_zero_length_partial_is_transparent(self):
+        left = np.zeros(31, bool)
+        left[7] = True
+        right = np.zeros(45, bool)
+        right[[0, 44]] = True
+        with_empty = merge_rank_partials(
+            "COUNT",
+            True,
+            [
+                mask_partial("rank_0000", left),
+                mask_partial("rank_0001", np.zeros(0, bool)),
+                mask_partial("rank_0002", right),
+            ],
+        )
+        without = merge_rank_partials(
+            "COUNT",
+            True,
+            [
+                mask_partial("rank_0000", left),
+                mask_partial("rank_0002", right),
+            ],
+        )
+        assert with_empty[0] == without[0] == 3.0
+        assert np.array_equal(with_empty[1].words, without[1].words)
+
+    def test_group_aligned_seam_matches_direct(self):
+        a = np.zeros(31 * 2, bool)
+        a[[0, 61]] = True
+        b = np.zeros(31 * 3, bool)
+        b[[30, 31]] = True
+        value, mask = merge_rank_partials(
+            "COUNT",
+            True,
+            [mask_partial("rank_0000", a), mask_partial("rank_0001", b)],
+        )
+        direct = vec(np.concatenate([a, b]))
+        assert value == 4.0
+        assert mask.n_bits == direct.n_bits
+        assert np.array_equal(mask.words, direct.words)
+
+    def test_no_partials_is_a_query_error(self):
+        with pytest.raises(QueryError, match="no rank partials"):
+            merge_rank_partials("COUNT", True, [])
+
+
+class TestMergeRankPartialsCounts:
+    def test_single_shard_count(self):
+        value, mask = merge_rank_partials(
+            "COUNT", False, [RankPartial("rank_0000", "count", count=5.0)]
+        )
+        assert value == 5.0
+        assert mask is None
+
+    def test_zero_count_partials_sum_exactly(self):
+        partials = [
+            RankPartial("rank_0000", "count", count=0.0),
+            RankPartial("rank_0001", "count", count=155.0),
+            RankPartial("rank_0002", "count", count=0.0),
+        ]
+        value, _ = merge_rank_partials("COUNT", False, partials)
+        assert value == 155.0
+
+    def test_joint_merge_single_shard_matches_input_metric(self):
+        joint = np.zeros((4, 4), dtype=np.int64)
+        joint[0, 0] = 10
+        joint[1, 2] = 5
+        one = merge_rank_partials(
+            "MI", False, [RankPartial("rank_0000", "joint", joint=joint)]
+        )
+        split = merge_rank_partials(
+            "MI",
+            False,
+            [
+                RankPartial("rank_0000", "joint", joint=joint // 2),
+                RankPartial("rank_0001", "joint", joint=joint - joint // 2),
+            ],
+        )
+        assert one[0] == split[0]  # exact: integers merge before the log
+
+    def test_emd_scale_mismatch_rejected(self):
+        joint = np.ones((2, 2), dtype=np.int64)
+        partials = [
+            RankPartial("rank_0000", "joint", joint=joint, same_scale=True),
+            RankPartial("rank_0001", "joint", joint=joint, same_scale=False),
+        ]
+        with pytest.raises(QueryError, match="binning scale"):
+            merge_rank_partials("EMD", False, partials)
+
+
+class TestMergeQueryCounts:
+    def test_single_part_identity(self):
+        part = np.arange(6, dtype=np.int64).reshape(2, 3)
+        merged = merge_query_counts([part])
+        assert merged.dtype == np.int64
+        assert np.array_equal(merged, part)
+
+    def test_sum_is_exact_int64(self):
+        big = np.full((2, 2), 2**40, dtype=np.int64)
+        merged = merge_query_counts([big, big, big])
+        assert np.array_equal(merged, big * 3)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="no partial count"):
+            merge_query_counts([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            merge_query_counts(
+                [np.zeros((2, 2), np.int64), np.zeros((3, 2), np.int64)]
+            )

@@ -1,0 +1,294 @@
+"""Tests for the hot-set replication subsystem (repro.service.hotset).
+
+Unit coverage for each layer (accounting, replica slots, routing table)
+plus integration of the :class:`ReplicaManager` policy loop over a real
+:class:`ShardPool` -- promotion of observed-hot bitvectors, demotion on
+cooldown, budget enforcement, and reconciliation after a worker respawn.
+"""
+
+import threading
+
+import pytest
+
+from repro.bitmap.wah import WAHBitVector
+from repro.service.cache import BitvectorCache, CacheKey
+from repro.service.hotset import (
+    AccessStats,
+    ReplicaManager,
+    ReplicaStore,
+    RoutingTable,
+    merge_snapshots,
+    rank_of_variable,
+)
+from repro.service.shard import ShardPool, shard_for_rank
+
+
+def key(variable: str, bin_id: int = 0, file: str = "/store/f.rbmp") -> CacheKey:
+    return CacheKey(file, variable, bin_id, 0)
+
+
+class TestAccessStats:
+    def test_record_counts_keys_and_ranks(self):
+        stats = AccessStats()
+        stats.record(key("rank_0003/temperature", 1))
+        stats.record(key("rank_0003/temperature", 1))
+        stats.record(key("rank_0001/salinity", 2))
+        stats.record(key("temperature", 4))  # unqualified: no rank bucket
+        snap = stats.snapshot()
+        assert snap["ranks"] == {"rank_0003": 2.0, "rank_0001": 1.0}
+        counts = {tuple(row[:4]): row[4] for row in snap["keys"]}
+        assert counts[("/store/f.rbmp", "rank_0003/temperature", 1, 0)] == 2.0
+
+    def test_top_keys_orders_by_frequency(self):
+        stats = AccessStats()
+        for _ in range(5):
+            stats.record(key("rank_0000/t", 1))
+        stats.record(key("rank_0000/t", 2))
+        top = stats.top_keys(1)
+        assert len(top) == 1
+        assert top[0][0].bin == 1 and top[0][1] == 5.0
+
+    def test_decay_ages_and_prunes(self):
+        stats = AccessStats(prune_below=0.3)
+        stats.record(key("rank_0000/t", 1), weight=4.0)
+        stats.record(key("rank_0000/t", 2), weight=1.0)
+        stats.decay(0.5)  # 2.0 and 0.5 survive
+        assert len(stats) == 2
+        stats.decay(0.5)  # 1.0 survives, 0.25 pruned
+        assert len(stats) == 1
+        assert stats.top_keys(5)[0][0].bin == 1
+
+    def test_decay_factor_validated(self):
+        with pytest.raises(ValueError):
+            AccessStats().decay(0.0)
+        with pytest.raises(ValueError):
+            AccessStats().decay(1.5)
+
+    def test_record_is_thread_safe(self):
+        stats = AccessStats()
+        k = key("rank_0000/t", 3)
+
+        def worker():
+            for _ in range(500):
+                stats.record(k)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.top_keys(1)[0][1] == 2000.0
+
+    def test_merge_snapshots_sums_workers(self):
+        a, b = AccessStats(), AccessStats()
+        a.record(key("rank_0000/t", 1), weight=2.0)
+        b.record(key("rank_0000/t", 1), weight=3.0)
+        b.record(key("rank_0001/t", 1))
+        keys, ranks = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert keys[key("rank_0000/t", 1)] == 5.0
+        assert ranks == {"rank_0000": 5.0, "rank_0001": 1.0}
+
+    def test_rank_of_variable(self):
+        assert rank_of_variable("rank_0042/temperature") == "rank_0042"
+        assert rank_of_variable("temperature") is None
+        assert rank_of_variable("ranked/temperature") is None
+
+
+class TestReplicaStore:
+    def test_install_get_drop(self):
+        store = ReplicaStore(1 << 20)
+        vec = WAHBitVector.ones(100)
+        assert store.install(key("rank_0000/t", 1), vec)
+        assert store.get(key("rank_0000/t", 1)) is vec
+        assert store.get(key("rank_0000/t", 2)) is None
+        assert store.hits == 1
+        assert store.drop([key("rank_0000/t", 1)]) == 1
+        assert store.get(key("rank_0000/t", 1)) is None
+
+    def test_budget_is_a_hard_cap(self):
+        vec = WAHBitVector.from_indices(list(range(0, 310, 2)), 310)
+        store = ReplicaStore(vec.nbytes + vec.nbytes // 2)
+        assert store.install(key("rank_0000/t", 1), vec)
+        assert not store.install(key("rank_0000/t", 2), vec)  # over budget
+        assert len(store) == 1
+        assert store.bytes_held == vec.nbytes
+        # Reinstall under an existing key replaces, not double-counts.
+        assert store.install(key("rank_0000/t", 1), vec)
+        assert store.bytes_held == vec.nbytes
+
+    def test_clear_returns_count(self):
+        store = ReplicaStore(1 << 20)
+        store.install(key("rank_0000/t", 1), WAHBitVector.ones(31))
+        store.install(key("rank_0000/t", 2), WAHBitVector.ones(31))
+        assert store.clear() == 2
+        assert store.bytes_held == 0
+
+    def test_inventory_round_trips_keys(self):
+        store = ReplicaStore(1 << 20)
+        store.install(key("rank_0007/t", 3), WAHBitVector.zeros(62))
+        inv = store.inventory()
+        assert inv["keys"] == [["/store/f.rbmp", "rank_0007/t", 3, 0]]
+        assert inv["bytes"] == store.bytes_held
+
+
+class TestRoutingTable:
+    def test_publish_and_lookup(self):
+        table = RoutingTable()
+        assert table.lookup("rank_0000") is None
+        assert table.publish({"rank_0000": [0, 1]}, table.epoch)
+        assert table.lookup("rank_0000") == (0, 1)
+        assert table.lookup("rank_0001") is None
+
+    def test_invalidate_bumps_epoch_and_drops_routes(self):
+        table = RoutingTable()
+        table.publish({"rank_0000": [0, 1]}, 0)
+        assert table.invalidate() == 1
+        assert table.lookup("rank_0000") is None
+
+    def test_stale_publish_discarded(self):
+        table = RoutingTable()
+        epoch = table.epoch
+        table.invalidate()  # a refresh races the policy cycle
+        assert not table.publish({"rank_0000": [0, 1]}, epoch)
+        assert table.lookup("rank_0000") is None
+        # The next cycle, computed at the new epoch, lands.
+        assert table.publish({"rank_0000": [0, 1]}, table.epoch)
+        assert table.lookup("rank_0000") == (0, 1)
+
+    def test_publish_dedupes_and_skips_empty(self):
+        table = RoutingTable()
+        table.publish({"rank_0000": [0, 1, 0, 1], "rank_0001": []}, 0)
+        assert table.lookup("rank_0000") == (0, 1)
+        assert table.lookup("rank_0001") is None
+
+
+HOT_SQL = (
+    "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity "
+    "WHERE rank_0000/temperature BETWEEN 2 AND 7"
+)
+
+
+class TestReplicaManager:
+    @pytest.fixture()
+    def pool(self, rank_store_env):
+        root, _, _ = rank_store_env
+        with ShardPool(root, 2) as pool:
+            yield pool
+
+    def _skew(self, pool, n=6):
+        for _ in range(n):
+            pool.query(HOT_SQL, "rank_0000/temperature", step=0)
+
+    def test_promotes_hot_keys_and_publishes_routes(self, pool):
+        routing = RoutingTable()
+        manager = ReplicaManager(pool, routing, top_k=8, min_count=1.0)
+        self._skew(pool)
+        report = manager.rebalance()
+        assert report.published
+        assert report.hot_keys > 0
+        assert report.installed > 0
+        owner = shard_for_rank("rank_0000", 2)
+        assert routing.lookup("rank_0000") == tuple(sorted({owner, 1 - owner}))
+        # The non-owner worker really holds the replicas.
+        inventories = [w["replicas"] for w in pool.hotset()]
+        assert len(inventories[1 - owner]["keys"]) == report.installed
+
+    def test_steady_state_reinstalls_nothing(self, pool):
+        routing = RoutingTable()
+        manager = ReplicaManager(pool, routing, top_k=8, min_count=1.0)
+        self._skew(pool)
+        first = manager.rebalance()
+        self._skew(pool)
+        second = manager.rebalance()
+        assert second.installed == 0  # already held: reconciled, not re-pushed
+        assert second.routes == first.routes
+
+    def test_demotes_on_cooldown(self, pool):
+        routing = RoutingTable()
+        manager = ReplicaManager(
+            pool, routing, top_k=8, min_count=1.0, decay=0.25
+        )
+        self._skew(pool, n=4)
+        assert manager.rebalance().installed > 0
+        # No further accesses: decayed cycles cool every counter below
+        # min_count and the placement empties (demote-on-cooldown).
+        reports = [manager.rebalance() for _ in range(3)]
+        assert sum(r.dropped for r in reports) > 0
+        assert reports[-1].hot_keys == 0
+        assert routing.lookup("rank_0000") is None
+        assert all(
+            len(w["replicas"]["keys"]) == 0 for w in pool.hotset()
+        )
+
+    def test_budget_bounds_placement(self, pool):
+        routing = RoutingTable()
+        tiny = ReplicaManager(
+            pool, routing, top_k=32, min_count=1.0, budget_bytes=1
+        )
+        self._skew(pool)
+        report = tiny.rebalance()
+        # Nothing fits in one byte: no installs, no routes published.
+        assert report.installed == 0
+        assert routing.lookup("rank_0000") is None
+
+    def test_reset_clears_replicas_and_invalidates(self, pool):
+        routing = RoutingTable()
+        manager = ReplicaManager(pool, routing, top_k=8, min_count=1.0)
+        self._skew(pool)
+        manager.rebalance()
+        epoch = routing.epoch
+        manager.reset()
+        assert routing.epoch == epoch + 1
+        assert routing.lookup("rank_0000") is None
+        assert all(len(w["replicas"]["keys"]) == 0 for w in pool.hotset())
+
+    def test_respawned_worker_is_refilled(self, pool):
+        routing = RoutingTable()
+        manager = ReplicaManager(pool, routing, top_k=8, min_count=1.0)
+        self._skew(pool)
+        first = manager.rebalance()
+        assert first.installed > 0
+        holder = 1 - shard_for_rank("rank_0000", 2)
+        pool._handles[holder].process.kill()
+        pool._handles[holder].process.join(timeout=5.0)
+        # Keep the keys hot so the next cycle still desires them; the
+        # gather itself respawns the dead worker (empty inventory) and
+        # the placement is re-pushed without any replay.
+        self._skew(pool)
+        second = manager.rebalance()
+        assert second.installed == first.installed
+        assert pool.respawn_counts()[holder] == 1
+
+    def test_start_stop_background_loop(self, pool):
+        routing = RoutingTable()
+        # decay=1.0: counters never cool, so the published route
+        # survives however many cycles run before stop().
+        manager = ReplicaManager(
+            pool, routing, top_k=8, min_count=1.0, interval_s=0.05, decay=1.0
+        )
+        self._skew(pool)
+        manager.start()
+        try:
+            deadline = threading.Event()
+            for _ in range(100):
+                if manager.cycles > 0:
+                    break
+                deadline.wait(0.05)
+            assert manager.cycles > 0
+            assert manager.cycle_errors == 0
+        finally:
+            manager.stop()
+        assert routing.lookup("rank_0000") is not None
+
+
+class TestCacheAccountingHook:
+    def test_cache_records_every_lookup(self, rank_store_env):
+        stats = AccessStats()
+        cache = BitvectorCache(1 << 20, access=stats)
+        k = key("rank_0000/t", 5)
+        cache.get(k)  # miss still counts: it is an access
+        cache.put(k, WAHBitVector.ones(31))
+        cache.get(k)
+        vec, hit = cache.get_or_load(k, lambda: WAHBitVector.ones(31))
+        assert hit
+        assert stats.top_keys(1)[0][1] == 3.0

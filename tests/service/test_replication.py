@@ -1,0 +1,223 @@
+"""Differential tests: replication must never change an answer.
+
+The acceptance bar for the hot-set subsystem: query values and mask
+words byte-identical with replication enabled vs disabled across shard
+counts {1, 2, 4} -- including across a forced catalog refresh that
+invalidates every replica mid-sequence -- while routed dispatch really
+does land work on replica holders under skew.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import QueryServer, QueryService, ServiceClient
+from repro.service.shard import shard_for_rank
+
+HOT_RANK = "rank_0000"
+
+# A skewed sequence: every query hammers rank_0000 the way a zipf
+# workload would, so its bins are the hot set by construction.
+SKEWED_QUERIES = [
+    "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity",
+    "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity "
+    "WHERE rank_0000/temperature BETWEEN 2 AND 7",
+    "SELECT MI FROM rank_0000/temperature, rank_0000/salinity",
+    "SELECT CE FROM rank_0000/temperature, rank_0000/salinity "
+    "WHERE rank_0000/salinity >= 30",
+]
+
+# Global + cold-rank queries mixed in: routing must not disturb these.
+MIXED_QUERIES = SKEWED_QUERIES + [
+    "SELECT MI FROM temperature, salinity",
+    "SELECT COUNT FROM temperature, salinity "
+    "WHERE temperature BETWEEN 2 AND 7",
+    "SELECT COUNT FROM rank_0002/temperature, rank_0002/salinity",
+]
+
+MASK_QUERIES = [
+    "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity "
+    "WHERE rank_0000/temperature <= 5",
+    "SELECT COUNT FROM temperature, salinity "
+    "WHERE temperature BETWEEN 2 AND 7 AND salinity >= 30",
+]
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4])
+def replicated(request, rank_store_env):
+    """A replicating server per shard count, plus the in-process oracle.
+
+    ``rebalance_interval`` is set far beyond the test runtime so every
+    placement cycle in here is an explicit ``server.rebalance()`` call
+    -- the tests control exactly when routes exist.
+    """
+    root, _, _ = rank_store_env
+    with QueryService(root, max_workers=2) as svc:
+        server = QueryServer(
+            root,
+            shards=request.param,
+            port=0,
+            replicate=True,
+            rebalance_interval=3600.0,
+            hotset_top_k=64,
+        )
+        with server.launch():
+            yield svc, server, request.param
+
+
+def _warm_and_place(server, steps=(0, 2)):
+    """Drive the skewed queries, then run one placement cycle."""
+    with ServiceClient("127.0.0.1", server.port) as client:
+        for sql in SKEWED_QUERIES:
+            for step in steps:
+                client.query(sql, step=step)
+    return server.rebalance()
+
+
+class TestDifferentialWithReplication:
+    def test_placement_happens_when_sharded(self, replicated):
+        _, server, shards = replicated
+        report = _warm_and_place(server)
+        assert report.published
+        if shards == 1:
+            # One worker: nothing to spread, no routes, no replicas.
+            assert report.installed == 0
+            assert server.routing.lookup(HOT_RANK) is None
+        else:
+            assert report.installed > 0
+            route = server.routing.lookup(HOT_RANK)
+            assert route is not None
+            assert shard_for_rank(HOT_RANK, shards) in route
+            assert len(route) == shards  # budget fits the whole hot set
+
+    @pytest.mark.parametrize("sql", MIXED_QUERIES)
+    @pytest.mark.parametrize("step", [0, 2])
+    def test_values_identical_with_routes_live(self, replicated, sql, step):
+        svc, server, _ = replicated
+        _warm_and_place(server)
+        local = svc.execute(sql, step=step)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            remote = client.query(sql, step=step)
+        assert remote["value"] == local.value  # ==, not approx
+        assert remote["metric"] == local.metric
+
+    @pytest.mark.parametrize("sql", MASK_QUERIES)
+    def test_masks_byte_identical_with_routes_live(self, replicated, sql):
+        svc, server, _ = replicated
+        _warm_and_place(server)
+        local = svc.execute_mask(sql, step=0)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            remote = client.mask(sql, step=0)
+        assert remote["value"] == local.value
+        assert remote["mask"].n_bits == local.mask.n_bits
+        assert np.array_equal(remote["mask"].words, local.mask.words)
+
+    def test_refresh_mid_sequence_stays_identical(self, replicated):
+        """Catalog refresh drops replicas + routes; answers never waver."""
+        svc, server, shards = replicated
+        _warm_and_place(server)
+        epoch = server.routing.epoch
+
+        def check_all():
+            with ServiceClient("127.0.0.1", server.port) as client:
+                for sql in MIXED_QUERIES:
+                    assert (
+                        client.query(sql, step=0)["value"]
+                        == svc.execute(sql, step=0).value
+                    )
+
+        check_all()
+        server.refresh_catalog()  # forced invalidation mid-sequence
+        assert server.routing.epoch == epoch + 1
+        assert server.routing.lookup(HOT_RANK) is None
+        if shards > 1:
+            inventories = server.pool.hotset()
+            assert all(
+                len(w["replicas"]["keys"]) == 0 for w in inventories
+            )
+        check_all()  # owner-fallback path: still byte-identical
+        report = _warm_and_place(server)  # placement recovers post-refresh
+        assert report.published
+        check_all()
+
+    def test_stale_route_falls_back_to_owner(self, replicated):
+        """A route invalidated between lookup sites must not error."""
+        svc, server, _ = replicated
+        _warm_and_place(server)
+        server.routing.invalidate()
+        with ServiceClient("127.0.0.1", server.port) as client:
+            remote = client.query(SKEWED_QUERIES[0], step=0)
+        assert remote["value"] == svc.execute(SKEWED_QUERIES[0], step=0).value
+
+
+class TestAdaptiveDispatch:
+    def test_skewed_load_spreads_over_holders(self, replicated):
+        """Under concurrency, routed queries land on non-owner shards."""
+        _, server, shards = replicated
+        if shards == 1:
+            pytest.skip("one shard: nothing to spread")
+        _warm_and_place(server)
+        owner = shard_for_rank(HOT_RANK, shards)
+        before = server.pool.dispatch_counts()
+
+        def hammer():
+            with ServiceClient("127.0.0.1", server.port) as client:
+                for _ in range(6):
+                    for sql in SKEWED_QUERIES:
+                        client.query(sql, step=0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        after = server.pool.dispatch_counts()
+        spread = [b - a for a, b in zip(before, after)]
+        assert sum(spread) >= 6 * 6 * len(SKEWED_QUERIES)
+        # At least one non-owner shard absorbed routed work.
+        assert any(
+            spread[s] > 0 for s in range(shards) if s != owner
+        ), f"no dispatch spread: {spread}"
+
+    def test_replica_hits_observed_on_holders(self, replicated):
+        """Routed reads really are served from replica slots."""
+        _, server, shards = replicated
+        if shards == 1:
+            pytest.skip("one shard: no replicas placed")
+        _warm_and_place(server)
+        # Force queries onto every holder by hammering concurrently.
+        def hammer():
+            with ServiceClient("127.0.0.1", server.port) as client:
+                for _ in range(8):
+                    client.query(SKEWED_QUERIES[1], step=0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        hits = sum(
+            w["replicas"]["hits"] for w in server.pool.hotset()
+        )
+        assert hits > 0
+
+
+class TestServerStats:
+    def test_replication_block_in_stats(self, replicated):
+        _, server, shards = replicated
+        _warm_and_place(server)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            stats = client.stats()
+        repl = stats["server"]["replication"]
+        assert repl["enabled"] is True
+        assert repl["cycles"] >= 1
+        assert "epoch" in repl
+        if shards > 1:
+            assert HOT_RANK in repl["routes"]
+        shard_stats = stats["shards"]
+        assert len(shard_stats) == shards
+        for entry in shard_stats:
+            assert "hotset" in entry
+            assert "dispatched" in entry
+            assert "respawns" in entry

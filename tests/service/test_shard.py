@@ -92,6 +92,24 @@ class TestShardPool:
         assert [s["shard"] for s in stats] == [0, 1]
         assert all("cache" in s and "service" in s for s in stats)
 
+    def test_routed_query_on_non_owner_matches_owner(self, pool):
+        sql = (
+            "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity"
+        )
+        owner = pool.query(sql, "rank_0000/temperature", step=0)
+        # Force the dispatch onto the non-owner shard (mark the owner
+        # busy so least-loaded picks shard 1): ownership is routing
+        # policy, not visibility -- same bytes, same answer.
+        pool._handles[0].inflight += 1
+        try:
+            routed = pool.query(
+                sql, "rank_0000/temperature", step=0, route=(1,)
+            )
+        finally:
+            pool._handles[0].inflight -= 1
+        assert routed.value == owner.value == 217.0
+        assert pool.dispatch_counts()[1] > 0
+
     def test_close_is_idempotent(self, rank_store_env):
         root, _, _ = rank_store_env
         pool = ShardPool(root, 2)
@@ -103,3 +121,48 @@ class TestShardPool:
         pool.close()
         pool.close()
         assert all(not h.process.is_alive() for h in pool._handles)
+
+
+class TestWorkerRespawn:
+    """Regression: a dead worker pipe must not wedge the pool."""
+
+    COUNT_SQL = "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity"
+
+    def test_query_survives_killed_worker(self, rank_store_env):
+        root, _, _ = rank_store_env
+        with ShardPool(root, 2) as pool:
+            assert pool.query(
+                self.COUNT_SQL, "rank_0000/temperature", step=0
+            ).value == 217.0
+            victim = pool._handles[shard_for_rank("rank_0000", 2)]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            # The very next request detects the dead pipe, respawns the
+            # worker in place, and retries -- the caller never sees it.
+            assert pool.query(
+                self.COUNT_SQL, "rank_0000/temperature", step=0
+            ).value == 217.0
+            assert victim.respawns == 1
+            assert victim.process.is_alive()
+
+    def test_every_shard_recovers_independently(self, rank_store_env):
+        root, _, _ = rank_store_env
+        with ShardPool(root, 2) as pool:
+            for handle in pool._handles:
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            sql = "SELECT COUNT FROM temperature, salinity"
+            partials = [
+                pool.partial(sql, f"rank_{r:04d}", step=0) for r in range(3)
+            ]
+            value, _ = merge_rank_partials("COUNT", False, partials)
+            assert value == 217.0 + 340.0 + 155.0
+            assert pool.respawn_counts() == [1, 1]
+
+    def test_closed_pool_does_not_respawn(self, rank_store_env):
+        root, _, _ = rank_store_env
+        pool = ShardPool(root, 2)
+        pool.close()
+        with pytest.raises(Exception):
+            pool.query(self.COUNT_SQL, "rank_0000/temperature", step=0)
+        assert all(h.respawns == 0 for h in pool._handles)

@@ -187,6 +187,48 @@ class TestSqlQueryAndServe:
                 proc.kill()
                 proc.communicate()
 
+    def test_serve_replicated_with_stats_command(self, capsys, store):
+        """`repro serve --replicate` + `repro serve-stats` end to end."""
+        import signal
+        import subprocess
+        import sys as _sys
+
+        proc = subprocess.Popen(
+            [_sys.executable, "-c",
+             "from repro.cli import main; import sys; "
+             "sys.exit(main(sys.argv[1:]))",
+             "serve", str(store), "--port", "0", "--shards", "2",
+             "--replicate", "--hotset-budget", "4",
+             "--rebalance-interval", "0.2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = None
+            for _ in range(50):
+                line = proc.stdout.readline()
+                if "listening on" in line:
+                    port = int(line.split(":")[-1].split()[0])
+                    break
+            assert port, "server never reported its port"
+            from repro.service import ServiceClient
+
+            with ServiceClient("127.0.0.1", port) as client:
+                client.query("SELECT MI FROM temperature, salinity")
+            rc = main(["serve-stats", "--port", str(port)])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "replication: epoch=" in out
+            assert "shard 0" in out and "shard 1" in out
+            proc.send_signal(signal.SIGINT)
+            _, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
 
 class TestMineCommand:
     def test_mine(self, capsys):
