@@ -7,23 +7,52 @@ Ablations:
   decompressed data (what "hardware-supported bitwise ops" buys);
 * count-only kernels vs materialising the result vector;
 * compressed-domain (run-merge) count kernels vs decompress-then-popcount
-  on well-compressed operands -- the dispatcher's streaming regime.
+  on well-compressed operands -- the dispatcher's streaming regime;
+* fused k-way reduction (``logical_op_many``) vs a pairwise
+  ``reduce(logical_or, ...)`` fold on executor-shaped multi-bin
+  operands -- what the kernels tier buys the range-query hot path.
+
+Run as a script (``python bench_kernels.py [--smoke]``) to sweep the
+k-way section over k in {2, 4, 8, 16}, assert the fused kernel's >= 2x
+win at k >= 8 (skipped under ``--smoke``, which only checks parity),
+and write ``results/kernels_kway.txt`` plus the machine-readable
+``results/BENCH_kernels.json``.
 """
 
+import argparse
+import json
+import sys
+import time
+from functools import reduce
+from pathlib import Path
+
 import numpy as np
+
 import pytest
 
-from repro.bitmap import WAHBitVector
+from repro.bitmap import BitmapIndex, EqualWidthBinning, WAHBitVector
+from repro.bitmap.kernels import (
+    KWAY_RUNMERGE_RATIO_THRESHOLD,
+    auto_count_many,
+    logical_op_many,
+    op_count_many,
+)
 from repro.bitmap.ops import (
     and_count,
     and_count_streaming,
     auto_count,
     logical_and,
     logical_op_streaming,
+    logical_or,
     logical_xor,
+    or_count,
     xor_count,
     xor_count_streaming,
 )
+from repro.util.bits import HAS_HARDWARE_POPCOUNT
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import RESULTS_DIR, format_table, save_table
 
 N = 31 * 40_000  # 1.24M bits
 
@@ -158,3 +187,153 @@ def test_kernel_compression(benchmark, vectors):
 def test_kernel_decompression(benchmark, vectors):
     _, _, va, _ = vectors
     benchmark(va.to_bools)
+
+
+# --------------------------------------------------------------------------
+# Fused k-way reduction vs pairwise fold (the executor's range-query path)
+# --------------------------------------------------------------------------
+
+#: Operand counts for the k-way sweep; 8 and 16 are the executor's
+#: typical multi-bin range widths, 2 isolates the fusion overhead.
+KWAY_SWEEP = [2, 4, 8, 16]
+
+
+def range_query_operands(k: int, n_bits: int = N) -> list[WAHBitVector]:
+    """``k`` adjacent bins of an equal-width index over gaussian data.
+
+    This is exactly what the executor's ``_resolve_range`` hands to the
+    OR reduction: disjoint bin bitvectors whose density tracks the value
+    histogram.  Run decodes are pre-warmed (steady-state serving).
+    """
+    rng = np.random.default_rng(31 * k + 5)
+    values = np.clip(rng.normal(0.0, 1.0, n_bits), -4.0, 4.0)
+    index = BitmapIndex.build(values, EqualWidthBinning(-4.0, 4.0, 32))
+    lo = (len(index.bitvectors) - k) // 2  # central (densest) bins
+    vecs = list(index.bitvectors[lo : lo + k])
+    for v in vecs:
+        v.runs()
+    return vecs
+
+
+def pairwise_or_reduce(vectors: list[WAHBitVector]) -> WAHBitVector:
+    """The pre-kernels executor path: a left fold of pairwise ORs."""
+    return reduce(logical_or, vectors)
+
+
+def pairwise_or_count(vectors: list[WAHBitVector]) -> int:
+    if len(vectors) == 1:
+        return vectors[0].count()
+    folded = reduce(logical_or, vectors[:-1])
+    return or_count(folded, vectors[-1])
+
+
+@pytest.fixture(scope="module")
+def kway_operands():
+    return range_query_operands(8)
+
+
+def test_kernel_kway_fused_or(benchmark, kway_operands):
+    out = benchmark(lambda: logical_op_many(kway_operands, "or"))
+    assert out == pairwise_or_reduce(kway_operands)
+
+
+def test_kernel_kway_pairwise_or(benchmark, kway_operands):
+    """The pairwise fold the fused kernel replaced (the loser at k=8)."""
+    benchmark(lambda: pairwise_or_reduce(kway_operands))
+
+
+def test_kernel_kway_fused_count(benchmark, kway_operands):
+    count = benchmark(lambda: op_count_many(kway_operands, "or"))
+    assert count == pairwise_or_reduce(kway_operands).count()
+    assert count == auto_count_many(kway_operands, "or")
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_kway_sweep(smoke: bool = False) -> dict:
+    """Sweep fused vs pairwise OR over k; return the JSON-able record."""
+    n_bits = 31 * 4_000 if smoke else N
+    repeats = 3 if smoke else 15
+    rows: list[list[object]] = []
+    record: list[dict] = []
+    for k in KWAY_SWEEP:
+        vecs = range_query_operands(k, n_bits)
+        fused = logical_op_many(vecs, "or")
+        folded = pairwise_or_reduce(vecs)
+        assert fused == folded, f"k-way OR diverged from pairwise at k={k}"
+        assert op_count_many(vecs, "or") == folded.count()
+        t_pair = _best_seconds(lambda: pairwise_or_reduce(vecs), repeats)
+        t_fused = _best_seconds(lambda: logical_op_many(vecs, "or"), repeats)
+        t_pair_count = _best_seconds(lambda: pairwise_or_count(vecs), repeats)
+        t_fused_count = _best_seconds(lambda: op_count_many(vecs, "or"), repeats)
+        op_speedup = t_pair / t_fused
+        count_speedup = t_pair_count / t_fused_count
+        ratio = max(v.compression_ratio() for v in vecs)
+        rows.append(
+            [
+                k,
+                ratio,
+                t_pair * 1e6,
+                t_fused * 1e6,
+                op_speedup,
+                count_speedup,
+            ]
+        )
+        record.append(
+            {
+                "k": k,
+                "max_compression_ratio": round(ratio, 4),
+                "pairwise_or_us": round(t_pair * 1e6, 1),
+                "fused_or_us": round(t_fused * 1e6, 1),
+                "or_speedup": round(op_speedup, 2),
+                "pairwise_count_us": round(t_pair_count * 1e6, 1),
+                "fused_count_us": round(t_fused_count * 1e6, 1),
+                "count_speedup": round(count_speedup, 2),
+            }
+        )
+    table = format_table(
+        f"Fused k-way OR vs pairwise fold (N={n_bits} bits, equal-width "
+        f"range-query operands{', SMOKE' if smoke else ''})",
+        ["k", "ratio", "pairwise_us", "fused_us", "or_speedup", "count_speedup"],
+        rows,
+    )
+    save_table("kernels_kway", table)
+    result = {
+        "n_bits": n_bits,
+        "smoke": smoke,
+        "hardware_popcount": HAS_HARDWARE_POPCOUNT,
+        "kway_runmerge_ratio_threshold": KWAY_RUNMERGE_RATIO_THRESHOLD,
+        "kway": record,
+    }
+    json_path = RESULTS_DIR / "BENCH_kernels.json"
+    json_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"[saved to {json_path}]")
+    if not smoke:
+        losers = {r["k"]: r["or_speedup"] for r in record if r["k"] >= 8}
+        assert all(s >= 2.0 for s in losers.values()), (
+            f"fused k-way OR under 2x vs pairwise fold at k >= 8: {losers}"
+        )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small operands, parity checks only (no speedup assertion)",
+    )
+    args = parser.parse_args(argv)
+    run_kway_sweep(smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

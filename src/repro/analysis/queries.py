@@ -108,11 +108,14 @@ def restricted_joint_counts(
     if mg.size and index_a.n_elements:
         mg = mg.copy()
         mg[-1] &= last_group_mask(index_a.n_elements)
-    ga = [v.to_groups() & mg for v in index_a.bitvectors]
-    gb = np.vstack([v.to_groups() for v in index_b.bitvectors])
+    # Fused decode: each side's bins live in one stacked matrix (the
+    # memoised group_matrix, built via repro.bitmap.kernels.stack_groups),
+    # then row ops + hardware popcount.
+    ga = index_a.group_matrix() & mg
+    gb = index_b.group_matrix()
     out = np.empty((index_a.n_bins, index_b.n_bins), dtype=np.int64)
-    for i, row in enumerate(ga):
-        out[i, :] = popcount_u32(row[None, :] & gb).sum(axis=1, dtype=np.int64)
+    for i in range(index_a.n_bins):
+        out[i, :] = popcount_u32(ga[i][None, :] & gb).sum(axis=1, dtype=np.int64)
     return out
 
 

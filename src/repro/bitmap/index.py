@@ -15,16 +15,15 @@ top-down to prune uncorrelated value subsets early.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import reduce
 from typing import Literal
 
 import numpy as np
 
 from repro.bitmap.binning import Binning
 from repro.bitmap.builder import OnlineBitmapBuilder, build_bitvectors
-from repro.bitmap.ops import logical_or
+from repro.bitmap.kernels import auto_op_many, stack_groups
 from repro.bitmap.wah import WAHBitVector
-from repro.util.bits import groups_needed, last_group_mask
+from repro.util.bits import groups_needed
 
 BuildMethod = Literal["vectorized", "online"]
 
@@ -98,11 +97,10 @@ class BitmapIndex:
         index.
         """
         if self._groups is None:
-            rows = [v.to_groups() for v in self.bitvectors]
-            mat = np.vstack(rows) if rows else np.empty((0, 0), dtype=np.uint32)
-            if mat.size and self.n_elements:
-                mat[:, -1] &= last_group_mask(self.n_elements)
-            self._groups = mat
+            # Fused decode: rows are written straight into one
+            # preallocated matrix (repro.bitmap.kernels.stack_groups) --
+            # no intermediate list-of-rows + vstack copy.
+            self._groups = stack_groups(self.bitvectors, self.n_elements)
         return self._groups
 
     def compression_ratio(self) -> float:
@@ -120,11 +118,15 @@ class BitmapIndex:
         return counts / total if total else counts.astype(np.float64)
 
     def query_bins(self, bin_ids: np.ndarray) -> WAHBitVector:
-        """OR of the chosen bins: elements whose value falls in any of them."""
+        """OR of the chosen bins: elements whose value falls in any of them.
+
+        Fused k-way OR (:func:`~repro.bitmap.kernels.auto_op_many`): one
+        decode per bin and one reduce sweep, not k - 1 pairwise merges.
+        """
         ids = np.atleast_1d(np.asarray(bin_ids, dtype=np.int64))
         if ids.size == 0:
             return WAHBitVector.zeros(self.n_elements)
-        return reduce(logical_or, (self.bitvectors[int(i)] for i in ids))
+        return auto_op_many([self.bitvectors[int(i)] for i in ids], "or")
 
     def query_value_range(self, lo: float, hi: float) -> WAHBitVector:
         """Elements whose *bin* overlaps [lo, hi] (bin-granular, like FastBit)."""
@@ -244,7 +246,7 @@ class MultiLevelBitmapIndex:
 
 
 def _rollup(index: BitmapIndex, fanout: int) -> BitmapIndex:
-    """Build a coarser index by OR-ing ``fanout`` consecutive bins."""
+    """Build a coarser index by fused k-way OR over ``fanout`` bins."""
     from repro.bitmap.binning import ExplicitBinning
 
     groups: list[WAHBitVector] = []
@@ -252,7 +254,7 @@ def _rollup(index: BitmapIndex, fanout: int) -> BitmapIndex:
     low_edges = getattr(index.binning, "edges", None)
     for start in range(0, index.n_bins, fanout):
         members = index.bitvectors[start : start + fanout]
-        groups.append(reduce(logical_or, members))
+        groups.append(auto_op_many(members, "or"))
         if low_edges is not None:
             edges.append(float(low_edges[start]))
     if low_edges is not None:

@@ -28,9 +28,17 @@ Three implementations are provided:
 operand density: when both vectors compress well (compression ratio at or
 below the calibrated thresholds below) the run-merge kernels win because
 they touch only O(runs) words; on dense, run-free vectors the numpy group
-kernels win because their per-word cost is lower.  The thresholds were
-calibrated with ``benchmarks/bench_kernel_dispatch.py`` (see DESIGN.md,
-"Kernel dispatch policy").
+kernels win because their per-word cost is lower.  The shared rule lives
+in :func:`prefers_runmerge` (also used by the fused k-way dispatchers of
+:mod:`repro.bitmap.kernels`); the thresholds were calibrated with
+``benchmarks/bench_kernel_dispatch.py`` under hardware popcount (see
+DESIGN.md, "Kernel dispatch policy").
+
+Multi-operand folds (OR-ing range-predicate bins, AND-ing per-variable
+masks, level rollups) should not ``reduce`` over these pairwise kernels:
+:mod:`repro.bitmap.kernels` fuses the whole fold into one decode + one
+ufunc sweep (``logical_op_many`` / ``op_count_many`` and their
+``auto_*_many`` dispatchers).
 
 All paths agree bit-for-bit / count-for-count (property-tested), and all
 support the four operations the paper's analyses need: AND (joint
@@ -281,17 +289,35 @@ def logical_op_runmerge(a: WAHBitVector, b: WAHBitVector, op: str) -> WAHBitVect
 #: Compression-ratio (words per group, <= 1.0) threshold at or below which
 #: ``op_count_streaming`` beats the decompress-then-popcount path.  The
 #: run-boundary merge does ~10 vectorised passes over O(runs) words versus
-#: the dense path's ~5 passes over O(groups) words, so the crossover sits
-#: near runs ~= groups / 4; calibrated with
-#: ``benchmarks/bench_kernel_dispatch.py`` on 1.24M-bit vectors (see
-#: DESIGN.md, "Kernel dispatch policy").
-STREAMING_COUNT_RATIO_THRESHOLD = 0.25
+#: the dense path's ~5 passes over O(groups) words -- and hardware popcount
+#: (``np.bitwise_count``) made the dense side ~4x cheaper, pulling the
+#: crossover down from ~0.42 (pre-hardware, threshold 0.25) to ~0.06;
+#: recalibrated with ``benchmarks/bench_kernel_dispatch.py`` on 1.24M-bit
+#: vectors (see DESIGN.md, "Kernel dispatch policy", for the
+#: before/after table).
+STREAMING_COUNT_RATIO_THRESHOLD = 0.05
 
 #: Threshold for the *materialising* run merge
 #: (:func:`logical_op_runmerge`): it additionally pays the run-domain
-#: re-encode while the dense path's re-compression is already cheap, so
-#: its crossover sits far below the count kernels'.
+#: re-encode while the dense path's re-compression is already cheap.
+#: Pre-hardware-popcount its crossover sat far below the count kernels';
+#: hardware popcount moved the *count* crossover down to meet it, so the
+#: two thresholds now coincide (recalibration table in DESIGN.md).
 STREAMING_OP_RATIO_THRESHOLD = 0.05
+
+
+def prefers_runmerge(vectors, threshold: float) -> bool:
+    """True when *every* operand compresses to at or below ``threshold``
+    words per group -- the shared dispatch rule of ``auto_count`` /
+    ``auto_op`` and the k-way ``auto_*_many`` dispatchers
+    (:mod:`repro.bitmap.kernels`).
+
+    One rule, one place: the run-merge kernels' cost is O(total runs),
+    so a single dense operand (ratio near 1.0) drags the merge to
+    O(groups) work at a higher per-word constant than the group kernels
+    -- *all* operands must compress for the compressed domain to win.
+    """
+    return all(v.compression_ratio() <= threshold for v in vectors)
 
 
 def prefers_streaming(
@@ -300,7 +326,7 @@ def prefers_streaming(
     """True when *both* operands compress well enough for the run-merge
     count kernels to win (ratio at or below ``threshold``)."""
     t = STREAMING_COUNT_RATIO_THRESHOLD if threshold is None else threshold
-    return a.compression_ratio() <= t and b.compression_ratio() <= t
+    return prefers_runmerge((a, b), t)
 
 
 def auto_count(
@@ -314,7 +340,8 @@ def auto_count(
     vectorised group kernel.  Both routes return identical counts
     (property-tested), so the dispatch is purely a performance decision.
     """
-    if prefers_streaming(a, b, threshold):
+    t = STREAMING_COUNT_RATIO_THRESHOLD if threshold is None else threshold
+    if prefers_runmerge((a, b), t):
         return op_count_streaming(a, b, op)
     return op_count(a, b, op)
 
@@ -330,7 +357,7 @@ def auto_op(
     path.  Results are bit-identical either way (property-tested).
     """
     t = STREAMING_OP_RATIO_THRESHOLD if threshold is None else threshold
-    if a.compression_ratio() <= t and b.compression_ratio() <= t:
+    if prefers_runmerge((a, b), t):
         return logical_op_runmerge(a, b, op)
     return logical_op(a, b, op)
 

@@ -66,14 +66,21 @@ class RangeBitmapIndex:
 
     @classmethod
     def from_equality_index(cls, index: BitmapIndex) -> "RangeBitmapIndex":
-        """Convert an equality-encoded index by cumulative OR."""
-        from repro.bitmap.ops import logical_or
+        """Convert an equality-encoded index by cumulative OR.
 
-        vectors: list[WAHBitVector] = []
-        acc: WAHBitVector | None = None
-        for v in index.bitvectors:
-            acc = v if acc is None else logical_or(acc, v)
-            vectors.append(acc)
+        Fused: one chunked ``bitwise_or.accumulate`` sweep over the
+        decoded bins (:func:`~repro.bitmap.kernels.logical_accumulate`)
+        produces every cumulative vector at once -- bit-identical to the
+        old one-OR-at-a-time loop, without its k - 1 intermediate
+        decode/encode round trips.
+        """
+        from repro.bitmap.kernels import logical_accumulate
+
+        vectors = (
+            logical_accumulate(index.bitvectors, "or")
+            if index.bitvectors
+            else []
+        )
         return cls(index.binning, vectors, index.n_elements)
 
     # ------------------------------------------------------------- queries

@@ -17,9 +17,10 @@ four phases, each timed into :class:`QueryStats`:
   :class:`~repro.service.cache.BitvectorCache`; misses fall through to
   :class:`~repro.bitmap.serialization.LazyBitmapIndex`, reading only that
   record's byte range;
-* **execute** -- combine masks with the density-dispatched kernels
-  (:func:`~repro.bitmap.ops.auto_op` / :func:`~repro.bitmap.ops.auto_count`)
-  and evaluate the metric.
+* **execute** -- combine masks with the fused k-way density-dispatched
+  kernels (:func:`~repro.bitmap.kernels.auto_op_many` /
+  :func:`~repro.bitmap.kernels.auto_count_many`: every operand decodes
+  once into a single reduce sweep) and evaluate the metric.
 
 Concurrency: queries run on a thread pool behind a *bounded* admission
 count -- both :meth:`QueryService.submit` and :meth:`QueryService.execute`
@@ -52,7 +53,6 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from functools import reduce
 from pathlib import Path
 
 import numpy as np
@@ -69,7 +69,7 @@ from repro.analysis.sql import (
 )
 from repro.bitmap.builder import splice_bitvectors
 from repro.bitmap.index import BitmapIndex, overlapping_bins
-from repro.bitmap.ops import auto_count, auto_op
+from repro.bitmap.kernels import auto_count_many, auto_op_many
 from repro.bitmap.serialization import LazyBitmapIndex
 from repro.bitmap.wah import WAHBitVector
 from repro.bitmap.zorder import ZOrderLayout
@@ -708,7 +708,10 @@ class QueryService:
         Matches ``execute_query``'s ``joint.sum()`` exactly -- the bins
         partition the element set, so the joint histogram's total is the
         popcount of the combined mask -- without ever touching bins the
-        predicates don't overlap.
+        predicates don't overlap.  Both folds run on the fused k-way
+        kernels (:mod:`repro.bitmap.kernels`): each bin vector decodes
+        once into one reduce sweep, and the final AND never materialises
+        a result vector at all (``auto_count_many``).
         """
         n = plan.n_elements
         masks: list[WAHBitVector] = []
@@ -716,7 +719,7 @@ class QueryService:
             if bins.size == 0:
                 return 0.0  # predicate overlaps no bin: empty result set
             vectors = [loaded[var][int(b)] for b in bins]
-            masks.append(reduce(lambda x, y: auto_op(x, y, "or"), vectors))
+            masks.append(auto_op_many(vectors, "or"))
         if plan.query.region is not None:
             masks.append(
                 spatial_subset_mask(n, plan.query.region, self.layout)
@@ -725,8 +728,7 @@ class QueryService:
             return float(n)
         if len(masks) == 1:
             return float(masks[0].count())
-        acc = reduce(lambda x, y: auto_op(x, y, "and"), masks[:-1])
-        return float(auto_count(acc, masks[-1], "and"))
+        return float(auto_count_many(masks, "and"))
 
     def _mask_vector(
         self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
@@ -744,12 +746,12 @@ class QueryService:
             if bins.size == 0:
                 return WAHBitVector.zeros(n)
             vectors = [loaded[var][int(b)] for b in bins]
-            masks.append(reduce(lambda x, y: auto_op(x, y, "or"), vectors))
+            masks.append(auto_op_many(vectors, "or"))
         if plan.query.region is not None:
             masks.append(spatial_subset_mask(n, plan.query.region, self.layout))
         if not masks:
             return WAHBitVector.ones(n)
-        return reduce(lambda x, y: auto_op(x, y, "and"), masks)
+        return auto_op_many(masks, "and")
 
     def _joint_partial(
         self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]

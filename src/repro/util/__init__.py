@@ -2,6 +2,7 @@
 
 from repro.util.bits import (
     GROUP_BITS,
+    HAS_HARDWARE_POPCOUNT,
     pack_bits_to_groups,
     popcount_u32,
     unpack_groups_to_bits,
@@ -16,6 +17,7 @@ from repro.util.validation import (
 
 __all__ = [
     "GROUP_BITS",
+    "HAS_HARDWARE_POPCOUNT",
     "pack_bits_to_groups",
     "unpack_groups_to_bits",
     "popcount_u32",

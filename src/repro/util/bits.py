@@ -26,29 +26,51 @@ GROUP_BITS = 31
 GROUP_FULL = np.uint32(0x7FFFFFFF)
 
 # 16-bit popcount lookup table.  Two table lookups per 32-bit word is the
-# fastest pure-numpy popcount for the array sizes we deal with (the
-# alternative, ``np.unpackbits``, allocates 8x the memory).
+# fastest pure-numpy popcount when ``np.bitwise_count`` (numpy >= 2.0) is
+# unavailable (the alternative, ``np.unpackbits``, allocates 8x the
+# memory).  Kept unconditionally as the bit-identical fallback and the
+# parity oracle for the hardware path.
 _POP16 = np.array(
     [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint16
 )
 
+#: True when this numpy exposes the hardware popcount ufunc.
+HAS_HARDWARE_POPCOUNT = hasattr(np, "bitwise_count")
 
-def popcount_u32(words: np.ndarray) -> np.ndarray:
-    """Per-element popcount of a ``uint32`` array.
 
-    Returns a ``uint32`` array of the same shape.  Works on any shape.
-    """
+def _popcount_u32_table(words: np.ndarray) -> np.ndarray:
+    """Table-lookup popcount (the pre-numpy-2.0 path; parity oracle)."""
     words = np.asarray(words, dtype=np.uint32)
     lo = _POP16[words & np.uint32(0xFFFF)]
     hi = _POP16[words >> np.uint32(16)]
     return lo.astype(np.uint32) + hi
 
 
+def popcount_u32(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint32`` array.
+
+    Returns a ``uint32`` array of the same shape.  Works on any shape.
+    Routed through ``np.bitwise_count`` (a single hardware ``popcnt``
+    sweep on numpy >= 2.0); older numpys fall back to the 16-bit lookup
+    table, bit-identically (property-tested).
+    """
+    words = np.asarray(words, dtype=np.uint32)
+    if HAS_HARDWARE_POPCOUNT:
+        return np.bitwise_count(words).astype(np.uint32)
+    return _popcount_u32_table(words)
+
+
 def popcount_total(words: np.ndarray) -> int:
     """Total number of set bits across a ``uint32`` array."""
     if len(words) == 0:
         return 0
-    return int(popcount_u32(words).sum(dtype=np.uint64))
+    if HAS_HARDWARE_POPCOUNT:
+        return int(
+            np.bitwise_count(np.asarray(words, dtype=np.uint32)).sum(
+                dtype=np.uint64
+            )
+        )
+    return int(_popcount_u32_table(words).sum(dtype=np.uint64))
 
 
 def pack_bits_to_groups(bits: np.ndarray) -> np.ndarray:

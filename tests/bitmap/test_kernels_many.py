@@ -1,0 +1,234 @@
+"""Property tests for the fused k-way kernel tier (`repro.bitmap.kernels`).
+
+Every k-way kernel must be bit-identical to a left fold of the pairwise
+reference kernels -- words AND counts -- no matter how the operands were
+produced.  Hypothesis drives:
+
+* operand groups mixing random, run-structured, all-zero-fill,
+  all-one-fill, and duplicated vectors, with ragged (non-multiple-of-31)
+  tails and k = 1 edge cases;
+* bin vectors drawn from real indices across the four binning families
+  (equal-width, precision, explicit, distinct-value) -- the operands the
+  executor actually hands to the fused tier;
+* both dispatch routes (dense sweep and multi-cursor run merge), forced
+  via the threshold override, plus tiny ``chunk_bytes`` to exercise the
+  chunk-seam logic;
+* hardware popcount (``np.bitwise_count``) vs the ``_POP16`` table.
+
+Canonical WAH encoding makes word-level ``==`` (words + n_bits) the
+right equality: any divergence in compression is a real bug, not an
+alternate encoding.
+"""
+
+from functools import reduce
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.binning import (
+    DistinctValueBinning,
+    EqualWidthBinning,
+    ExplicitBinning,
+    PrecisionBinning,
+)
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.kernels import (
+    auto_count_many,
+    auto_op_many,
+    logical_accumulate,
+    logical_op_many,
+    logical_op_runmerge_many,
+    op_count_many,
+    op_count_runmerge_many,
+    stack_groups,
+)
+from repro.bitmap.ops import logical_op
+from repro.bitmap.wah import GROUP_BITS, WAHBitVector
+from repro.util.bits import popcount_u32, popcount_total, _popcount_u32_table
+
+OPS = ("and", "or", "xor", "andnot")
+ASSOC_OPS = ("and", "or", "xor")
+STYLES = ("random", "runs", "zeros", "ones", "dup")
+
+
+def _pairwise(vectors, op):
+    """The reference: a left fold of the pairwise kernel."""
+    return reduce(lambda a, b: logical_op(a, b, op), vectors)
+
+
+@st.composite
+def operand_groups(draw):
+    """k same-length vectors mixing fills, runs, noise, and duplicates."""
+    # Ragged tails on purpose: lengths straddling group boundaries.
+    n = draw(
+        st.sampled_from([1, 30, 31, 32, 61, 62, 63, 93, 200, 961, 997, 1024])
+    )
+    k = draw(st.integers(min_value=1, max_value=7))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    vectors = []
+    for i in range(k):
+        style = draw(st.sampled_from(STYLES))
+        if style == "dup" and vectors:
+            vectors.append(vectors[rng.integers(0, len(vectors))])
+            continue
+        if style == "zeros":
+            bits = np.zeros(n, dtype=bool)
+        elif style == "ones":
+            bits = np.ones(n, dtype=bool)
+        elif style == "runs":
+            run = int(rng.integers(5, 200))
+            bits = np.resize(np.repeat(rng.random(n // run + 1) < 0.4, run), n)
+        else:
+            bits = rng.random(n) < rng.uniform(0.05, 0.95)
+        vectors.append(WAHBitVector.from_bools(bits))
+    return vectors
+
+
+@st.composite
+def bin_vector_groups(draw):
+    """Adjacent bin vectors of a real index, any binning family."""
+    kind = draw(st.sampled_from(("equal", "precision", "explicit", "distinct")))
+    n = draw(st.integers(min_value=1, max_value=500))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    if kind == "equal":
+        binning = EqualWidthBinning(-5.0, 5.0, draw(st.integers(2, 16)))
+        data = rng.uniform(-5.0, 5.0, n)
+    elif kind == "precision":
+        binning = PrecisionBinning(10.0, 12.0, digits=draw(st.integers(0, 2)))
+        data = rng.uniform(10.0, 12.0, n)
+    elif kind == "explicit":
+        edges = np.linspace(-1.0, 1.0, draw(st.integers(3, 9)))
+        binning = ExplicitBinning(edges)
+        data = rng.uniform(-1.0, 1.0, n)
+    else:
+        values = np.arange(draw(st.integers(2, 8)), dtype=float)
+        binning = DistinctValueBinning(values)
+        data = rng.choice(values, n)
+    index = BitmapIndex.build(data, binning)
+    k = draw(st.integers(1, len(index.bitvectors)))
+    lo = draw(st.integers(0, len(index.bitvectors) - k))
+    return list(index.bitvectors[lo : lo + k])
+
+
+@settings(max_examples=120, deadline=None)
+@given(vectors=operand_groups(), op=st.sampled_from(OPS))
+def test_kway_matches_pairwise_fold(vectors, op):
+    expected = _pairwise(vectors, op)
+    dense = logical_op_many(vectors, op)
+    merged = logical_op_runmerge_many(vectors, op)
+    assert dense == expected, "dense sweep diverged from pairwise fold"
+    assert merged == expected, "run merge diverged from pairwise fold"
+    # Word-identical, not just bit-identical: canonical WAH encoding.
+    assert np.array_equal(dense.words, expected.words)
+    assert np.array_equal(merged.words, expected.words)
+    assert op_count_many(vectors, op) == expected.count()
+    assert op_count_runmerge_many(vectors, op) == expected.count()
+
+
+@settings(max_examples=80, deadline=None)
+@given(vectors=operand_groups(), op=st.sampled_from(OPS))
+def test_dispatchers_match_on_both_routes(vectors, op):
+    expected = _pairwise(vectors, op)
+    # threshold=1.0 forces the run merge, threshold=0.0 the dense sweep.
+    assert auto_op_many(vectors, op, threshold=1.0) == expected
+    assert auto_op_many(vectors, op, threshold=0.0) == expected
+    assert auto_op_many(vectors, op) == expected
+    assert auto_count_many(vectors, op, threshold=1.0) == expected.count()
+    assert auto_count_many(vectors, op, threshold=0.0) == expected.count()
+    assert auto_count_many(vectors, op) == expected.count()
+
+
+@settings(max_examples=80, deadline=None)
+@given(vectors=bin_vector_groups(), op=st.sampled_from(OPS))
+def test_kway_matches_pairwise_on_real_bin_vectors(vectors, op):
+    expected = _pairwise(vectors, op)
+    assert logical_op_many(vectors, op) == expected
+    assert logical_op_runmerge_many(vectors, op) == expected
+    assert op_count_many(vectors, op) == expected.count()
+    assert op_count_runmerge_many(vectors, op) == expected.count()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    vectors=operand_groups(),
+    op=st.sampled_from(OPS),
+    chunk_bytes=st.sampled_from([64, 256, 4096]),
+)
+def test_kway_chunk_seams(vectors, op, chunk_bytes):
+    """Tiny chunks force many seams; results must not change."""
+    expected = logical_op_many(vectors, op)
+    assert logical_op_many(vectors, op, chunk_bytes=chunk_bytes) == expected
+    assert op_count_many(vectors, op, chunk_bytes=chunk_bytes) == expected.count()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    vectors=operand_groups(),
+    op=st.sampled_from(ASSOC_OPS),
+    chunk_bytes=st.sampled_from([128, 1024, 8 << 20]),
+)
+def test_accumulate_matches_cumulative_pairwise(vectors, op, chunk_bytes):
+    prefixes = logical_accumulate(vectors, op, chunk_bytes=chunk_bytes)
+    assert len(prefixes) == len(vectors)
+    for i, prefix in enumerate(prefixes):
+        assert prefix == _pairwise(vectors[: i + 1], op), f"prefix {i} diverged"
+
+
+@settings(max_examples=60, deadline=None)
+@given(vectors=operand_groups())
+def test_stack_groups_matches_vstack(vectors):
+    mat = stack_groups(vectors)
+    ref = np.vstack([v.to_groups() for v in vectors])
+    assert mat.dtype == np.uint32
+    assert np.array_equal(mat, ref)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_hardware_popcount_matches_table(data):
+    """``np.bitwise_count`` route vs the ``_POP16`` table, word by word."""
+    n = data.draw(st.integers(0, 200))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    words = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+    # Pin the boundary words the sweep may miss.
+    if n >= 2:
+        words[0], words[-1] = np.uint32(0), np.uint32(0xFFFFFFFF)
+    table = _popcount_u32_table(words)
+    assert np.array_equal(popcount_u32(words), table)
+    assert popcount_total(words) == int(table.sum())
+
+
+def test_kway_k1_identity():
+    v = WAHBitVector.from_bools(np.resize([True, False, True], 100))
+    for op in OPS:
+        assert logical_op_many([v], op) == v
+        assert logical_op_runmerge_many([v], op) == v
+        assert op_count_many([v], op) == v.count()
+    assert logical_accumulate([v], "or") == [v]
+
+
+def test_kway_all_fill_operands():
+    n = GROUP_BITS * 40 + 7
+    ones = WAHBitVector.from_bools(np.ones(n, dtype=bool))
+    zeros = WAHBitVector.from_bools(np.zeros(n, dtype=bool))
+    assert logical_op_many([ones, zeros, ones], "or") == ones
+    assert logical_op_many([ones, zeros, ones], "and") == zeros
+    assert op_count_runmerge_many([ones, ones, ones], "and") == n
+    assert logical_op_runmerge_many([zeros, zeros], "xor") == zeros
+    # andnot left fold: ones AND NOT (zeros OR zeros) == ones
+    assert logical_op_many([ones, zeros, zeros], "andnot") == ones
+
+
+def test_kway_rejects_mixed_lengths_and_bad_ops():
+    a = WAHBitVector.from_bools(np.ones(31, dtype=bool))
+    b = WAHBitVector.from_bools(np.ones(62, dtype=bool))
+    with pytest.raises(ValueError):
+        logical_op_many([a, b], "or")
+    with pytest.raises(ValueError):
+        logical_op_many([a], "nand")
+    with pytest.raises(ValueError):
+        logical_op_many([], "or")
+    with pytest.raises(ValueError):
+        logical_accumulate([a], "andnot")  # non-associative
