@@ -1,21 +1,55 @@
-"""Ablation: WAH vs BBC vs raw booleans (the §2.1 codec design space).
+"""Ablation: the codec design space (§2.1) over the pluggable codec layer.
 
-The paper picks WAH for its word-aligned operations; BBC [4] is the cited
-byte-aligned alternative.  This benchmark measures, on identical Heat3D
-bitmap data:
+The paper picks WAH for its word-aligned operations; BBC [4] is the
+cited byte-aligned alternative, and the codec registry
+(:mod:`repro.bitmap.codec`) adds Roaring and WAH64 as selectable
+backends.  Two measurement modes:
 
-* compressed sizes (per codec, plus the uncompressed bitset),
-* AND+count kernel times (WAH fast path, WAH streaming, BBC, numpy bool).
+* pytest-benchmark micro-benchmarks on identical Heat3D bitmap data --
+  sizes plus AND+count kernels per registered codec (and BBC / raw
+  numpy bools for the historical comparison);
+* a scriptable codec x density matrix (``python
+  bench_ablation_codec.py [--smoke]``) sweeping every registered codec
+  over {empty, sparse, mid, dense, full} bins, asserting cross-codec
+  parity on every cell, and writing size + op-throughput records to
+  ``results/BENCH_codec.json`` -- the artifact behind the
+  ``select_codec`` density thresholds.
 """
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from _tables import format_table, save_table
-from repro.bitmap import PrecisionBinning, WAHBitVector, build_bitvectors
+sys.path.insert(0, str(Path(__file__).parent))
+from _tables import RESULTS_DIR, format_table, save_table
+
+from repro.bitmap import (
+    CODECS,
+    PrecisionBinning,
+    build_bitvectors,
+    convert,
+    op_count_any,
+    select_codec,
+)
 from repro.bitmap.bbc import BBCBitVector, bbc_and_count
 from repro.bitmap.ops import and_count, logical_op_streaming
 from repro.sims import Heat3D
+
+CODEC_NAMES = tuple(CODECS)
+
+#: The density matrix: bin shapes the auto-selection policy discriminates.
+DENSITIES = {
+    "empty": 0.0,
+    "sparse": 0.001,
+    "mid": 0.02,
+    "dense": 0.3,
+    "full": 1.0,
+}
 
 
 @pytest.fixture(scope="module")
@@ -28,15 +62,17 @@ def codec_data():
     wah = build_bitvectors(data, binning)
     # The two densest bins exercise the op kernels hardest.
     by_count = sorted(wah, key=lambda v: -v.count())[:2]
-    a_bits, b_bits = by_count[0].to_bools(), by_count[1].to_bools()
+    pairs = {
+        name: (convert(by_count[0], name), convert(by_count[1], name))
+        for name in CODEC_NAMES
+    }
     return {
         "wah": wah,
-        "wah_a": by_count[0],
-        "wah_b": by_count[1],
-        "bbc_a": BBCBitVector.from_bools(a_bits),
-        "bbc_b": BBCBitVector.from_bools(b_bits),
-        "bool_a": a_bits,
-        "bool_b": b_bits,
+        "pairs": pairs,
+        "bbc_a": BBCBitVector.from_bools(by_count[0].to_bools()),
+        "bbc_b": BBCBitVector.from_bools(by_count[1].to_bools()),
+        "bool_a": by_count[0].to_bools(),
+        "bool_b": by_count[1].to_bools(),
         "n_bits": data.size,
         "n_bins": binning.n_bins,
     }
@@ -44,16 +80,19 @@ def codec_data():
 
 def test_codec_sizes(benchmark, codec_data):
     def table():
-        wah_total = sum(v.nbytes for v in codec_data["wah"])
-        bbc_total = sum(
-            BBCBitVector.from_bools(v.to_bools()).nbytes for v in codec_data["wah"]
-        )
         raw_total = codec_data["n_bins"] * (-(-codec_data["n_bits"] // 8))
-        return [
-            ["uncompressed bitset", raw_total, 1.0],
-            ["WAH", wah_total, wah_total / raw_total],
-            ["BBC", bbc_total, bbc_total / raw_total],
-        ]
+        rows = [["uncompressed bitset", raw_total, 1.0]]
+        for name in CODEC_NAMES:
+            total = sum(
+                convert(v, name).nbytes for v in codec_data["wah"]
+            )
+            rows.append([name, total, total / raw_total])
+        bbc_total = sum(
+            BBCBitVector.from_bools(v.to_bools()).nbytes
+            for v in codec_data["wah"]
+        )
+        rows.append(["bbc", bbc_total, bbc_total / raw_total])
+        return rows
 
     rows = benchmark.pedantic(table, rounds=1, iterations=1)
     text = format_table(
@@ -63,21 +102,24 @@ def test_codec_sizes(benchmark, codec_data):
     )
     save_table("ablation_codec_size", text)
     sizes = {r[0]: r[1] for r in rows}
-    # Both codecs crush the raw bitset; on long-run simulation data WAH's
-    # 30-bit fill counters beat BBC's 6-bit ones (BBC wins on short runs,
-    # see tests/bitmap/test_bbc.py::test_bbc_often_tighter_on_short_runs).
-    assert sizes["WAH"] < 0.05 * sizes["uncompressed bitset"]
-    assert sizes["BBC"] < 0.05 * sizes["uncompressed bitset"]
+    # Both word-aligned codecs crush the raw bitset; on long-run
+    # simulation data WAH's 30-bit fill counters beat BBC's 6-bit ones
+    # (BBC wins on short runs, see tests/bitmap/test_bbc.py).
+    assert sizes["wah"] < 0.05 * sizes["uncompressed bitset"]
+    assert sizes["bbc"] < 0.05 * sizes["uncompressed bitset"]
 
 
-def test_kernel_wah_and_count(benchmark, codec_data):
-    a, b = codec_data["wah_a"], codec_data["wah_b"]
-    count = benchmark(lambda: and_count(a, b))
+@pytest.mark.parametrize("name", CODEC_NAMES)
+def test_kernel_codec_and_count(benchmark, codec_data, name):
+    """Native same-codec AND+count through the codec interface."""
+    codec = CODECS[name]
+    a, b = codec_data["pairs"][name]
+    count = benchmark(lambda: codec.op_count(a, b, "and"))
     assert count == int((codec_data["bool_a"] & codec_data["bool_b"]).sum())
 
 
 def test_kernel_wah_streaming_and(benchmark, codec_data):
-    a, b = codec_data["wah_a"], codec_data["wah_b"]
+    a, b = codec_data["pairs"]["wah"]
     benchmark(lambda: logical_op_streaming(a, b, "and").count())
 
 
@@ -92,44 +134,112 @@ def test_kernel_numpy_bool_and(benchmark, codec_data):
     benchmark(lambda: int((a & b).sum()))
 
 
-def test_kernel_roaring_and_count(benchmark, codec_data):
-    from repro.bitmap.roaring import RoaringBitVector
-
-    a = RoaringBitVector.from_bools(codec_data["bool_a"])
-    b = RoaringBitVector.from_bools(codec_data["bool_b"])
-    count = benchmark(lambda: a.and_count(b))
-    assert count == int((codec_data["bool_a"] & codec_data["bool_b"]).sum())
-
-
-def test_roaring_size_comparison(benchmark, codec_data):
-    """Record Roaring sizes next to WAH/BBC on the same bitvectors."""
-    from repro.bitmap.roaring import RoaringBitVector
-
-    def table():
-        wah_total = sum(v.nbytes for v in codec_data["wah"])
-        roaring_total = sum(
-            RoaringBitVector.from_bools(v.to_bools()).nbytes
-            for v in codec_data["wah"]
-        )
-        return [["WAH", wah_total], ["Roaring", roaring_total]]
-
-    rows = benchmark.pedantic(table, rounds=1, iterations=1)
-    text = format_table(
-        "Ablation -- WAH vs Roaring sizes on Heat3D bitvectors (bytes)",
-        ["codec", "bytes"],
-        rows,
-    )
-    save_table("ablation_codec_roaring", text)
-    sizes = {r[0]: r[1] for r in rows}
-    raw = codec_data["n_bins"] * (-(-codec_data["n_bits"] // 8))
-    assert sizes["Roaring"] < raw  # both compress; relative order is data-dependent
-
-
 def test_all_codecs_agree(benchmark, codec_data):
     def check():
-        wah = and_count(codec_data["wah_a"], codec_data["wah_b"])
-        bbc = bbc_and_count(codec_data["bbc_a"], codec_data["bbc_b"])
         ref = int((codec_data["bool_a"] & codec_data["bool_b"]).sum())
-        return wah == bbc == ref
+        for name in CODEC_NAMES:
+            a, b = codec_data["pairs"][name]
+            if CODECS[name].op_count(a, b, "and") != ref:
+                return False
+        return bbc_and_count(codec_data["bbc_a"], codec_data["bbc_b"]) == ref
 
     assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------- codec x density matrix
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _density_bits(n_bits: int, density: float, rng) -> np.ndarray:
+    if density <= 0.0:
+        return np.zeros(n_bits, dtype=bool)
+    if density >= 1.0:
+        return np.ones(n_bits, dtype=bool)
+    return rng.random(n_bits) < density
+
+
+def run_codec_matrix(smoke: bool = False) -> dict:
+    """Sweep every codec over the density matrix; write BENCH_codec.json.
+
+    Every cell is parity-checked against the boolean oracle before it is
+    timed, so the artifact doubles as a codec-matrix smoke test (CI runs
+    it with ``--smoke``).
+    """
+    n_bits = 31 * 63 * (8 if smoke else 512)
+    repeats = 2 if smoke else 10
+    rng = np.random.default_rng(17)
+    rows: list[list[object]] = []
+    record: list[dict] = []
+    for shape, density in DENSITIES.items():
+        bits_a = _density_bits(n_bits, density, rng)
+        bits_b = _density_bits(n_bits, min(1.0, density + 0.01), rng)
+        oracle_and = int((bits_a & bits_b).sum())
+        oracle_or = int((bits_a | bits_b).sum())
+        selected = select_codec(CODECS["wah"].encode_bools(bits_a)).name
+        for name in CODEC_NAMES:
+            codec = CODECS[name]
+            a, b = codec.encode_bools(bits_a), codec.encode_bools(bits_b)
+            # Parity before timing: every cell must agree with the oracle
+            # and (via op_count_any) with the cross-codec WAH path.
+            assert codec.op_count(a, b, "and") == oracle_and, (shape, name)
+            assert codec.op_count(a, b, "or") == oracle_or, (shape, name)
+            assert op_count_any(a, convert(b, "wah"), "and") == oracle_and
+            payload = codec.payload_words(a)
+            assert codec.decode_payload(
+                payload.copy(), n_bits
+            ).count() == int(bits_a.sum()), (shape, name)
+            t_and = _best_seconds(lambda: codec.op_count(a, b, "and"), repeats)
+            size_bytes = 4 * int(payload.size)
+            rows.append([
+                shape, name, name == selected, size_bytes,
+                t_and * 1e6,
+            ])
+            record.append({
+                "shape": shape,
+                "density": density,
+                "codec": name,
+                "auto_selected": name == selected,
+                "payload_bytes": size_bytes,
+                "and_count_us": round(t_and * 1e6, 1),
+                "and_count_ops_per_s": round(1.0 / t_and, 1),
+            })
+    table = format_table(
+        f"Codec x density matrix (N={n_bits} bits{', SMOKE' if smoke else ''})",
+        ["shape", "codec", "selected", "payload_bytes", "and_count_us"],
+        rows,
+    )
+    save_table("ablation_codec_matrix", table)
+    result = {
+        "n_bits": n_bits,
+        "smoke": smoke,
+        "codecs": list(CODEC_NAMES),
+        "densities": DENSITIES,
+        "matrix": record,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_codec.json"
+    json_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"[saved to {json_path}]")
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small vectors, parity checks on every cell, fast timings",
+    )
+    args = parser.parse_args(argv)
+    run_codec_matrix(smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,11 @@ from typing import Literal
 import numpy as np
 
 from repro.bitmap.binning import Binning
-from repro.bitmap.builder import OnlineBitmapBuilder, build_bitvectors
+from repro.bitmap.builder import (
+    OnlineBitmapBuilder,
+    build_bitvectors,
+    encode_bitvectors,
+)
 from repro.bitmap.kernels import auto_op_many, stack_groups
 from repro.bitmap.wah import WAHBitVector
 from repro.util.bits import groups_needed
@@ -30,10 +34,15 @@ BuildMethod = Literal["vectorized", "online"]
 
 @dataclass
 class BitmapIndex:
-    """A compressed bitmap index over one variable's data."""
+    """A compressed bitmap index over one variable's data.
+
+    ``bitvectors`` may mix storage codecs (WAH, Roaring, WAH64 -- see
+    :mod:`repro.bitmap.codec`); every query path converts to the WAH word
+    domain at merge boundaries, so results are codec-independent.
+    """
 
     binning: Binning
-    bitvectors: list[WAHBitVector]
+    bitvectors: list
     n_elements: int
     _counts: np.ndarray | None = field(default=None, repr=False, compare=False)
     _groups: np.ndarray | None = field(default=None, repr=False, compare=False)
@@ -58,16 +67,25 @@ class BitmapIndex:
         *,
         method: BuildMethod = "vectorized",
         chunk_elements: int = 1 << 20,
+        codec: str = "wah",
     ) -> "BitmapIndex":
-        """Index ``data`` (any shape, flattened C-order) under ``binning``."""
+        """Index ``data`` (any shape, flattened C-order) under ``binning``.
+
+        ``codec`` picks the storage codec per bin: a registered codec
+        name, or ``"auto"`` for the density-driven policy
+        (:func:`repro.bitmap.codec.select_codec`).  The default
+        ``"wah"`` keeps word streams bit-identical to prior builds.
+        """
         flat = np.asarray(data).ravel()
         if method == "vectorized":
-            vectors = build_bitvectors(flat, binning, chunk_elements=chunk_elements)
+            vectors = build_bitvectors(
+                flat, binning, chunk_elements=chunk_elements, codec=codec
+            )
         elif method == "online":
             builder = OnlineBitmapBuilder(binning)
             for start in range(0, flat.size, chunk_elements):
                 builder.push(flat[start : start + chunk_elements])
-            vectors = builder.finalize()
+            vectors = encode_bitvectors(builder.finalize(), codec)
         else:
             raise ValueError(f"unknown build method {method!r}")
         return cls(binning, vectors, flat.size)
@@ -104,12 +122,18 @@ class BitmapIndex:
         return self._groups
 
     def compression_ratio(self) -> float:
-        """Mean compressed words per uncompressed group across all bins
-        (lower is better; the dispatch signal of :mod:`repro.bitmap.ops`)."""
+        """Mean serialised ``uint32`` words per uncompressed 31-bit group
+        across all bins (lower is better; for all-WAH indices this is the
+        dispatch signal of :mod:`repro.bitmap.ops`, unchanged)."""
         total_groups = self.n_bins * groups_needed(self.n_elements)
         if total_groups == 0:
             return 1.0
-        return sum(v.n_words for v in self.bitvectors) / total_groups
+        if all(isinstance(v, WAHBitVector) for v in self.bitvectors):
+            return sum(v.n_words for v in self.bitvectors) / total_groups
+        from repro.bitmap.codec import codec_of
+
+        total = sum(codec_of(v).payload_n_words(v) for v in self.bitvectors)
+        return total / total_groups
 
     def distribution(self) -> np.ndarray:
         """Normalised value distribution ``P(bin)``."""
@@ -146,7 +170,9 @@ class BitmapIndex:
     def check_invariants(self) -> None:
         """Every element is in exactly one bin: bitvectors partition the set."""
         for v in self.bitvectors:
-            v.check_invariants()
+            check = getattr(v, "check_invariants", None)
+            if check is not None:  # Roaring containers validate on decode
+                check()
         assert int(self.bin_counts().sum()) == self.n_elements, (
             "bin counts do not partition the element set"
         )

@@ -90,6 +90,21 @@ _UFUNCS = {
 }
 
 
+def _coerce_wah_many(vectors: Sequence) -> Sequence[WAHBitVector]:
+    """Convert a possibly-mixed-codec operand list to the WAH word domain.
+
+    The k-way merge boundary of the codec layer
+    (:mod:`repro.bitmap.codec`): all-WAH inputs pass through untouched;
+    any other codec's vectors are re-encoded as WAH so every fused fold
+    produces words independent of how the operands were stored.
+    """
+    if all(type(v) is WAHBitVector for v in vectors):
+        return vectors
+    from repro.bitmap.codec import as_wah_all
+
+    return as_wah_all(vectors)
+
+
 def _check_many(vectors: Sequence[WAHBitVector], op: str) -> None:
     if op not in _UFUNCS and op != "andnot":
         raise ValueError(
@@ -143,6 +158,7 @@ def stack_groups(
     """
     if not vectors:
         return np.empty((0, 0), dtype=np.uint32)
+    vectors = _coerce_wah_many(vectors)
     if n_bits is None:
         n_bits = vectors[0].n_bits
     n_groups = groups_needed(n_bits)
@@ -385,13 +401,16 @@ def auto_op_many(
     *,
     threshold: float | None = None,
 ) -> WAHBitVector:
-    """Fused k-way ``op`` routed by operand density.
+    """Fused k-way ``op`` routed by operand density (any codec).
 
     When *every* operand compresses to at or below
     :data:`KWAY_RUNMERGE_RATIO_THRESHOLD` the multi-cursor run merge
     wins; otherwise the chunked dense sweep runs.  Bit-identical either
     way (property-tested), so dispatch is purely a performance decision.
+    Non-WAH operands convert at this merge boundary, so the result words
+    never depend on the storage codec.
     """
+    vectors = _coerce_wah_many(vectors)
     t = KWAY_RUNMERGE_RATIO_THRESHOLD if threshold is None else threshold
     if prefers_runmerge(vectors, t):
         return logical_op_runmerge_many(vectors, op)
@@ -404,7 +423,9 @@ def auto_count_many(
     *,
     threshold: float | None = None,
 ) -> int:
-    """``popcount`` of the fused k-way ``op``, routed by operand density."""
+    """``popcount`` of the fused k-way ``op``, routed by operand density
+    (any codec; non-WAH operands convert at this merge boundary)."""
+    vectors = _coerce_wah_many(vectors)
     t = KWAY_RUNMERGE_RATIO_THRESHOLD if threshold is None else threshold
     if prefers_runmerge(vectors, t):
         return op_count_runmerge_many(vectors, op)

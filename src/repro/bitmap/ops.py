@@ -329,17 +329,35 @@ def prefers_streaming(
     return prefers_runmerge((a, b), t)
 
 
+def _coerce_wah_pair(a, b) -> tuple[WAHBitVector, WAHBitVector]:
+    """Convert a possibly-mixed-codec operand pair to the WAH word domain.
+
+    The merge-boundary convention of the codec layer
+    (:mod:`repro.bitmap.codec`): the pairwise dispatchers accept any
+    registered codec and converge on WAH, so results are byte-identical
+    regardless of how the operands were stored.  WAH pairs pass through
+    untouched (no import, no copy).
+    """
+    if type(a) is WAHBitVector and type(b) is WAHBitVector:
+        return a, b
+    from repro.bitmap.codec import to_wah
+
+    return to_wah(a), to_wah(b)
+
+
 def auto_count(
-    a: WAHBitVector, b: WAHBitVector, op: str = "and", *,
+    a, b, op: str = "and", *,
     threshold: float | None = None,
 ) -> int:
-    """popcount(op(a, b)) routed by operand density.
+    """popcount(op(a, b)) routed by operand density (any codec).
 
     The default hot path of the analysis layers: highly compressible
     operand pairs take :func:`op_count_streaming`; dense pairs take the
     vectorised group kernel.  Both routes return identical counts
     (property-tested), so the dispatch is purely a performance decision.
+    Non-WAH operands are converted at this merge boundary.
     """
+    a, b = _coerce_wah_pair(a, b)
     t = STREAMING_COUNT_RATIO_THRESHOLD if threshold is None else threshold
     if prefers_runmerge((a, b), t):
         return op_count_streaming(a, b, op)
@@ -347,15 +365,19 @@ def auto_count(
 
 
 def auto_op(
-    a: WAHBitVector, b: WAHBitVector, op: str, *,
+    a, b, op: str, *,
     threshold: float | None = None,
 ) -> WAHBitVector:
-    """op(a, b) routed by operand density (materialises the result).
+    """op(a, b) routed by operand density (any codec; materialises a WAH
+    result).
 
     Compressible pairs take the vectorised run merge
     (:func:`logical_op_runmerge`); dense pairs take the group-expansion
-    path.  Results are bit-identical either way (property-tested).
+    path.  Results are bit-identical either way (property-tested), and
+    non-WAH operands convert at this merge boundary so the result words
+    never depend on the storage codec.
     """
+    a, b = _coerce_wah_pair(a, b)
     t = STREAMING_OP_RATIO_THRESHOLD if threshold is None else threshold
     if prefers_runmerge((a, b), t):
         return logical_op_runmerge(a, b, op)

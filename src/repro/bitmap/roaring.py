@@ -29,6 +29,7 @@ import numpy as np
 CHUNK_BITS = 1 << 16  # 65536
 _ARRAY_MAX = 4096  # container flips to bitmap above this cardinality
 _WORDS_PER_CHUNK = CHUNK_BITS // 64
+_U32_PER_CHUNK = CHUNK_BITS // 32
 
 
 @dataclass(frozen=True)
@@ -111,6 +112,20 @@ class RoaringBitVector:
     def zeros(cls, n_bits: int) -> "RoaringBitVector":
         return cls({}, n_bits)
 
+    @classmethod
+    def ones(cls, n_bits: int) -> "RoaringBitVector":
+        containers: dict[int, Container] = {}
+        full = None
+        for cid in range(-(-n_bits // CHUNK_BITS)):
+            width = min(CHUNK_BITS, n_bits - (cid << 16))
+            if width == CHUNK_BITS:
+                if full is None:
+                    full = _make_container(np.arange(CHUNK_BITS, dtype=np.int64))
+                containers[cid] = full  # containers are immutable; sharing is safe
+            else:
+                containers[cid] = _make_container(np.arange(width, dtype=np.int64))
+        return cls(containers, n_bits)
+
     # ------------------------------------------------------------ content
     def to_indices(self) -> np.ndarray:
         parts = [
@@ -133,6 +148,17 @@ class RoaringBitVector:
     def nbytes(self) -> int:
         """Payload bytes plus 8 bytes of key/offset bookkeeping per chunk."""
         return sum(c.nbytes + 8 for c in self.containers.values())
+
+    @property
+    def n_words(self) -> int:
+        """Serialised size in ``uint32`` words (see :meth:`to_u32_payload`)."""
+        total = 1 + 2 * len(self.containers)
+        for c in self.containers.values():
+            if isinstance(c, ArrayContainer):
+                total += (c.cardinality + 1) // 2
+            else:
+                total += _U32_PER_CHUNK
+        return total
 
     def __contains__(self, position: int) -> bool:
         if not 0 <= position < self.n_bits:
@@ -171,12 +197,145 @@ class RoaringBitVector:
                 out[cid] = _make_container(_union(a, b))
         return RoaringBitVector(out, self.n_bits)
 
+    def __xor__(self, other: "RoaringBitVector") -> "RoaringBitVector":
+        self._check(other)
+        out: dict[int, Container] = {}
+        for cid in self.containers.keys() | other.containers.keys():
+            a = self.containers.get(cid)
+            b = other.containers.get(cid)
+            if a is None:
+                out[cid] = b
+            elif b is None:
+                out[cid] = a
+            else:
+                offsets = np.setxor1d(
+                    _container_positions(a), _container_positions(b)
+                )
+                if offsets.size:
+                    out[cid] = _make_container(offsets)
+        return RoaringBitVector(out, self.n_bits)
+
+    def andnot(self, other: "RoaringBitVector") -> "RoaringBitVector":
+        self._check(other)
+        out: dict[int, Container] = {}
+        for cid, a in self.containers.items():
+            b = other.containers.get(cid)
+            if b is None:
+                out[cid] = a
+            else:
+                offsets = np.setdiff1d(
+                    _container_positions(a), _container_positions(b)
+                )
+                if offsets.size:
+                    out[cid] = _make_container(offsets)
+        return RoaringBitVector(out, self.n_bits)
+
     def and_count(self, other: "RoaringBitVector") -> int:
         self._check(other)
         total = 0
         for cid in self.containers.keys() & other.containers.keys():
             total += _intersect(self.containers[cid], other.containers[cid]).size
         return total
+
+    def or_count(self, other: "RoaringBitVector") -> int:
+        return self.count() + other.count() - self.and_count(other)
+
+    def xor_count(self, other: "RoaringBitVector") -> int:
+        return self.count() + other.count() - 2 * self.and_count(other)
+
+    def andnot_count(self, other: "RoaringBitVector") -> int:
+        return self.count() - self.and_count(other)
+
+    # --------------------------------------------------------------- wire
+    def to_u32_payload(self) -> np.ndarray:
+        """Serialise to a flat little-endian ``uint32`` payload.
+
+        Layout: ``[n_containers]``, then per container (key order) a
+        ``[key, cardinality]`` pair, then the payloads in the same order --
+        array containers as ``uint16`` positions padded to a 4-byte
+        boundary, bitmap containers as 2048 ``uint32`` words.  The
+        container type is implied by the cardinality (< ``_ARRAY_MAX`` is
+        an array), which is an invariant of :func:`_make_container`.
+        """
+        keys = sorted(self.containers)
+        parts = [np.array([len(keys)], dtype="<u4")]
+        header = np.empty(2 * len(keys), dtype="<u4")
+        for i, cid in enumerate(keys):
+            header[2 * i] = cid
+            header[2 * i + 1] = self.containers[cid].cardinality
+        parts.append(header)
+        for cid in keys:
+            c = self.containers[cid]
+            if isinstance(c, ArrayContainer):
+                pos = c.positions.astype("<u2")
+                if pos.size % 2:
+                    pos = np.append(pos, np.uint16(0))
+                parts.append(pos.view("<u4"))
+            else:
+                parts.append(c.words.astype("<u8").view("<u4"))
+        return np.concatenate(parts).astype(np.uint32, copy=False)
+
+    @classmethod
+    def from_u32_payload(
+        cls, payload: np.ndarray, n_bits: int
+    ) -> "RoaringBitVector":
+        """Rebuild from :meth:`to_u32_payload` output, validating layout."""
+        payload = np.asarray(payload, dtype=np.uint32)
+        if payload.size < 1:
+            raise ValueError("Roaring payload truncated: missing container count")
+        n_containers = int(payload[0])
+        pos = 1 + 2 * n_containers
+        if payload.size < pos:
+            raise ValueError("Roaring payload truncated: container directory")
+        directory = payload[1:pos].reshape(n_containers, 2)
+        keys = directory[:, 0].astype(np.int64)
+        cards = directory[:, 1].astype(np.int64)
+        max_chunks = -(-n_bits // CHUNK_BITS)
+        if n_containers:
+            if np.any(np.diff(keys) <= 0):
+                raise ValueError("Roaring container keys not strictly increasing")
+            if keys[0] < 0 or keys[-1] >= max_chunks:
+                raise ValueError(
+                    f"Roaring container key out of range for n_bits={n_bits}"
+                )
+            if np.any(cards < 1) or np.any(cards > CHUNK_BITS):
+                raise ValueError("Roaring container cardinality out of [1, 65536]")
+        containers: dict[int, Container] = {}
+        for cid, card in zip(keys, cards):
+            if card < _ARRAY_MAX:
+                words = (card + 1) // 2
+                if payload.size < pos + words:
+                    raise ValueError("Roaring payload truncated: array container")
+                raw = payload[pos : pos + words].astype("<u4").view("<u2")[:card]
+                pos += words
+                positions = raw.astype(np.uint16)
+                if card > 1 and np.any(np.diff(positions.astype(np.int64)) <= 0):
+                    raise ValueError(
+                        "Roaring array container positions not sorted unique"
+                    )
+                containers[int(cid)] = ArrayContainer(positions)
+            else:
+                if payload.size < pos + _U32_PER_CHUNK:
+                    raise ValueError("Roaring payload truncated: bitmap container")
+                words = (
+                    payload[pos : pos + _U32_PER_CHUNK].astype("<u4").view("<u8")
+                ).astype(np.uint64)
+                pos += _U32_PER_CHUNK
+                container = BitmapContainer(words)
+                if container.cardinality != card:
+                    raise ValueError(
+                        "Roaring bitmap container cardinality mismatch"
+                    )
+                containers[int(cid)] = container
+        if pos != payload.size:
+            raise ValueError(
+                f"Roaring payload has {payload.size - pos} trailing words"
+            )
+        vec = cls(containers, n_bits)
+        idx = vec.to_indices()
+        if idx.size and idx[-1] >= n_bits:
+            raise ValueError("Roaring payload sets bits beyond n_bits")
+        return vec
 
     def _check(self, other: "RoaringBitVector") -> None:
         if self.n_bits != other.n_bits:

@@ -12,7 +12,7 @@ module defines that byte format:
 All integers are little-endian.  The format is versioned so stored bitmaps
 outlive code changes.
 
-Two record versions exist:
+Two record versions exist, the second with a tagged minor revision:
 
 * **V1** -- header + bitvector records, readable only front to back.
 * **V2** (default for new writes) -- V1's layout followed by an *offset
@@ -22,6 +22,20 @@ Two record versions exist:
   independently addressable, which is what :class:`LazyBitmapIndex` and
   the query service (:mod:`repro.service`) build on: a single-bin query
   against a stored index reads only that bin's bytes.
+* **V2.1 (codec-tagged)** -- V2 with bit 0 of the header's 16-bit flags
+  field set (the flags field was written as zero by every earlier
+  version, so old readers reject tagged files cleanly and old files
+  parse unchanged).  A *codec tag table* of ``n_bins`` ``uint8`` tags
+  follows the ``<qi n_elements n_bins>`` header, one per bitvector in
+  record order, naming the codec of each record's payload
+  (:mod:`repro.bitmap.codec`: 0 = WAH, 1 = Roaring, 2 = WAH64).  Record
+  framing is unchanged -- ``<qi n_bits payload_words>`` then
+  ``payload_words`` little-endian ``uint32`` words -- only the payload
+  encoding varies by tag.  Unknown tags and truncated tag tables raise
+  clear errors before any payload byte is read.  Writers emit the
+  tagged layout only when a non-WAH vector is present, so all-WAH
+  indices remain byte-identical to plain V2 (and V1/V2-untagged files
+  load bit-identically as WAH).
 
 Sequential readers consume V2 records exactly (table and footer
 included), so V2 indices still embed in containers with trailing data;
@@ -47,9 +61,15 @@ from repro.bitmap.binning import (
     ExplicitBinning,
     PrecisionBinning,
 )
+from repro.bitmap.codec import (
+    WAH as WAH_CODEC,
+    BitVectorAny,
+    Codec,
+    codec_for_tag,
+    codec_of,
+)
 from repro.bitmap.index import BitmapIndex
 from repro.bitmap.wah import WAHBitVector
-from repro.util.bits import groups_needed
 
 MAGIC = b"RBMP"
 FOOTER_MAGIC = b"RBOT"
@@ -58,6 +78,10 @@ VERSION_V2 = 2
 #: Version used for new writes (V1 remains fully readable).
 DEFAULT_VERSION = VERSION_V2
 _SUPPORTED_VERSIONS = (VERSION, VERSION_V2)
+
+#: Header-flags bit marking the V2.1 codec-tagged layout.
+FLAG_CODEC_TAGS = 0x0001
+_KNOWN_FLAGS = FLAG_CODEC_TAGS
 
 _FOOTER_SIZE = 12  # <q table_offset> + FOOTER_MAGIC
 
@@ -89,20 +113,31 @@ _BINNING_TAGS: dict[type, int] = {
 
 
 # ------------------------------------------------------------- bitvectors
-def write_bitvector(fh: BinaryIO, vector: WAHBitVector) -> int:
-    """Append one bitvector record; returns bytes written."""
-    header = struct.pack("<qi", vector.n_bits, vector.n_words)
+def write_bitvector(fh: BinaryIO, vector: BitVectorAny) -> int:
+    """Append one bitvector record; returns bytes written.
+
+    The record frame is codec-uniform: ``<qi n_bits payload_words>``
+    followed by the payload as little-endian ``uint32`` words.  *Which*
+    codec the payload belongs to is not part of the record -- V1/V2
+    records are always WAH; the V2.1 tag table carries it otherwise.
+    """
+    codec = codec_of(vector)
+    payload = codec.payload_words(vector)
+    header = struct.pack("<qi", vector.n_bits, payload.size)
     fh.write(header)
-    payload = vector.words.astype("<u4").tobytes()
-    fh.write(payload)
-    return len(header) + len(payload)
+    raw = payload.astype("<u4").tobytes()
+    fh.write(raw)
+    return len(header) + len(raw)
 
 
-def _check_bitvector_header(n_bits: int, n_words: int) -> None:
-    """Reject word counts no valid WAH stream of ``n_bits`` can have.
+def _check_bitvector_header(
+    n_bits: int, n_words: int, codec: Codec = WAH_CODEC
+) -> None:
+    """Reject word counts no valid stream of ``n_bits`` can have.
 
-    Every WAH word covers at least one 31-bit group, so a stream can never
-    hold more words than groups.  Checking this *before* reading the
+    Every codec has a hard upper bound on payload words for a given bit
+    count (:meth:`~repro.bitmap.codec.Codec.max_payload_words`; for WAH,
+    one word per 31-bit group).  Checking this *before* reading the
     payload means a corrupt header cannot demand gigabytes from
     ``_read_exact``.
     """
@@ -110,18 +145,19 @@ def _check_bitvector_header(n_bits: int, n_words: int) -> None:
         raise ValueError(
             f"corrupt bitvector header: n_bits={n_bits}, n_words={n_words}"
         )
-    if n_words > groups_needed(n_bits):
+    if n_words > codec.max_payload_words(n_bits):
         raise ValueError(
             f"corrupt bitvector header: {n_words} words cannot encode "
-            f"{n_bits} bits ({groups_needed(n_bits)} groups max)"
+            f"{n_bits} bits ({codec.max_payload_words(n_bits)} {codec.name} "
+            f"payload words max)"
         )
 
 
-def read_bitvector(fh: BinaryIO) -> WAHBitVector:
-    """Read one bitvector record."""
+def read_bitvector(fh: BinaryIO, codec: Codec = WAH_CODEC) -> BitVectorAny:
+    """Read one bitvector record, decoding its payload with ``codec``."""
     header = _read_exact(fh, 12, "bitvector header")
     n_bits, n_words = struct.unpack("<qi", header)
-    _check_bitvector_header(n_bits, n_words)
+    _check_bitvector_header(n_bits, n_words, codec)
     remaining = _bytes_remaining(fh)
     if remaining is not None and 4 * n_words > remaining:
         # Checked *before* the read so a corrupt word count can never
@@ -134,7 +170,7 @@ def read_bitvector(fh: BinaryIO) -> WAHBitVector:
     words = np.frombuffer(raw, dtype="<u4")
     if words.dtype != np.uint32:  # big-endian host: byte-swapped copy
         words = words.astype(np.uint32)
-    return WAHBitVector(words, n_bits)
+    return codec.decode_payload(words, n_bits)
 
 
 # ---------------------------------------------------------------- binning
@@ -188,8 +224,12 @@ def read_binning(fh: BinaryIO) -> Binning:
 
 # ------------------------------------------------------------------ index
 def _header_size(binning: Binning) -> int:
-    """Bytes before the first bitvector record."""
+    """Bytes before the codec tag table (or the first record, untagged)."""
     return 4 + 4 + _binning_size(binning) + 12
+
+
+def _index_codecs(index: BitmapIndex) -> list[Codec]:
+    return [codec_of(v) for v in index.bitvectors]
 
 
 def write_index(
@@ -199,16 +239,30 @@ def write_index(
 
     ``version=2`` (the default) appends the per-bitvector offset table and
     footer enabling random access; ``version=1`` writes the legacy layout.
+    Indices holding any non-WAH bitvector are written in the V2.1
+    codec-tagged layout (flags bit 0 + per-bin tag table); all-WAH
+    indices stay byte-identical to plain V2.  V1 cannot carry codec tags,
+    so writing a non-WAH index as V1 is an error.
     """
     if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"cannot write index version {version}")
+    codecs = _index_codecs(index)
+    tagged = any(c is not WAH_CODEC for c in codecs)
+    if tagged and version != VERSION_V2:
+        raise ValueError(
+            "V1 records cannot carry codec tags; write version=2 or "
+            "convert the index to WAH"
+        )
     start = fh.tell()
     fh.write(MAGIC)
-    fh.write(struct.pack("<HH", version, 0))
+    fh.write(struct.pack("<HH", version, FLAG_CODEC_TAGS if tagged else 0))
     write_binning(fh, index.binning)
     fh.write(struct.pack("<qi", index.n_elements, index.n_bins))
-    offsets = np.empty(index.n_bins + 1, dtype=np.int64)
     pos = _header_size(index.binning)
+    if tagged:
+        fh.write(np.array([c.tag for c in codecs], dtype=np.uint8).tobytes())
+        pos += index.n_bins
+    offsets = np.empty(index.n_bins + 1, dtype=np.int64)
     for b, vector in enumerate(index.bitvectors):
         offsets[b] = pos
         pos += write_bitvector(fh, vector)
@@ -217,6 +271,24 @@ def write_index(
         fh.write(offsets.astype("<i8").tobytes())
         fh.write(struct.pack("<q", pos) + FOOTER_MAGIC)
     return fh.tell() - start
+
+
+def _parse_flags(version: int, flags: int) -> bool:
+    """Validate header flags; returns True for the codec-tagged layout."""
+    if flags & ~_KNOWN_FLAGS:
+        raise ValueError(f"unsupported format flags 0x{flags:04x}")
+    tagged = bool(flags & FLAG_CODEC_TAGS)
+    if tagged and version != VERSION_V2:
+        raise ValueError(
+            f"codec-tagged layout requires a V2 record, got version {version}"
+        )
+    return tagged
+
+
+def _read_tag_table(fh: BinaryIO, n_bins: int) -> list[Codec]:
+    """Read and resolve the V2.1 codec tag table (one uint8 per bin)."""
+    raw = _read_exact(fh, n_bins, "codec tag table")
+    return [codec_for_tag(t) for t in raw]
 
 
 def _read_offset_table(fh: BinaryIO, n_bins: int, expected: np.ndarray) -> None:
@@ -237,26 +309,32 @@ def _read_offset_table(fh: BinaryIO, n_bins: int, expected: np.ndarray) -> None:
 
 
 def read_index(fh: BinaryIO) -> BitmapIndex:
-    """Inverse of :func:`write_index` (reads V1 and V2 records)."""
+    """Inverse of :func:`write_index` (reads V1, V2 and V2.1 records)."""
     magic = fh.read(4)
     if magic != MAGIC:
         raise ValueError(f"bad magic {magic!r}; not a repro bitmap index")
-    version, _flags = struct.unpack("<HH", _read_exact(fh, 4, "index version"))
+    version, flags = struct.unpack("<HH", _read_exact(fh, 4, "index version"))
     if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported index version {version}")
+    tagged = _parse_flags(version, flags)
     binning = read_binning(fh)
     n_elements, n_bins = struct.unpack("<qi", _read_exact(fh, 12, "index header"))
     if n_elements < 0 or n_bins < 0:
         raise ValueError(
             f"corrupt index header: n_elements={n_elements}, n_bins={n_bins}"
         )
-    offsets = np.empty(n_bins + 1, dtype=np.int64)
     pos = _header_size(binning)
+    if tagged:
+        codecs = _read_tag_table(fh, n_bins)
+        pos += n_bins
+    else:
+        codecs = [WAH_CODEC] * n_bins
+    offsets = np.empty(n_bins + 1, dtype=np.int64)
     vectors = []
     for b in range(n_bins):
         offsets[b] = pos
-        vector = read_bitvector(fh)
-        pos += 12 + 4 * vector.n_words
+        vector = read_bitvector(fh, codecs[b])
+        pos += 12 + 4 * codecs[b].payload_n_words(vector)
         vectors.append(vector)
     offsets[n_bins] = pos
     if version == VERSION_V2:
@@ -292,9 +370,12 @@ def serialized_size(index: BitmapIndex, *, version: int = DEFAULT_VERSION) -> in
     """Exact on-disk size without materialising the bytes."""
     if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"cannot size index version {version}")
+    codecs = _index_codecs(index)
     size = _header_size(index.binning)
-    for v in index.bitvectors:
-        size += 12 + 4 * v.n_words
+    if any(c is not WAH_CODEC for c in codecs):
+        size += index.n_bins  # codec tag table
+    for c, v in zip(codecs, index.bitvectors):
+        size += 12 + 4 * c.payload_n_words(v)
     if version == VERSION_V2:
         size += 8 * (index.n_bins + 1) + _FOOTER_SIZE
     return size
@@ -315,12 +396,13 @@ class LazyBitmapIndex:
     """Random access to one stored index without materialising it.
 
     Opens an index *file* (memory-mapped when possible), parses only the
-    header, and resolves each bin's byte range from the V2 offset table --
-    or, for V1 files and V2 records whose footer cannot be trusted (e.g.
-    trailing bytes appended to the file), from a one-pass scan of the
-    bitvector *headers* that never touches payload bytes.  Individual
-    :class:`~repro.bitmap.wah.WAHBitVector`\\ s are decoded on demand by
-    :meth:`get`.
+    header (plus the V2.1 codec tag table when present), and resolves
+    each bin's byte range from the V2 offset table -- or, for V1 files
+    and V2 records whose footer cannot be trusted (e.g. trailing bytes
+    appended to the file), from a one-pass scan of the bitvector
+    *headers* that never touches payload bytes.  Individual bitvectors
+    are decoded on demand by :meth:`get`, each with its bin's codec
+    (``codecs[bin_id]``; always WAH for untagged files).
 
     ``bytes_read`` / ``reads`` count the record bytes actually decoded,
     which is the accounting the query service's cold/warm assertions and
@@ -358,10 +440,11 @@ class LazyBitmapIndex:
         magic = fh.read(4)
         if magic != MAGIC:
             raise ValueError(f"bad magic {magic!r}; not a repro bitmap index")
-        version, _flags = struct.unpack("<HH", _read_exact(fh, 4, "index version"))
+        version, flags = struct.unpack("<HH", _read_exact(fh, 4, "index version"))
         if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported index version {version}")
         self.version = int(version)
+        tagged = _parse_flags(self.version, flags)
         self.binning = read_binning(fh)
         n_elements, n_bins = struct.unpack(
             "<qi", _read_exact(fh, 12, "index header")
@@ -373,6 +456,11 @@ class LazyBitmapIndex:
         self.n_elements = int(n_elements)
         self.n_bins = int(n_bins)
         self._data_start = _header_size(self.binning)
+        if tagged:
+            self.codecs = _read_tag_table(fh, self.n_bins)
+            self._data_start += self.n_bins
+        else:
+            self.codecs = [WAH_CODEC] * self.n_bins
         self.offsets = None
         if self.version == VERSION_V2:
             self.offsets = self._offsets_from_footer()
@@ -415,7 +503,7 @@ class LazyBitmapIndex:
             n_bits, n_words = struct.unpack(
                 "<qi", _read_exact(fh, 12, "bitvector header")
             )
-            _check_bitvector_header(n_bits, n_words)
+            _check_bitvector_header(n_bits, n_words, self.codecs[b])
             if n_bits != self.n_elements:
                 raise ValueError(
                     f"bitvector {b} covers {n_bits} bits, index covers "
@@ -443,12 +531,13 @@ class LazyBitmapIndex:
         self._check_bin(bin_id)
         return int(self.offsets[bin_id + 1] - self.offsets[bin_id])
 
-    def get(self, bin_id: int) -> WAHBitVector:
-        """Decode one bin's bitvector, reading only its byte range."""
+    def get(self, bin_id: int) -> BitVectorAny:
+        """Decode one bin's bitvector (with its codec), reading only its
+        byte range."""
         self._check_bin(bin_id)
         lo, hi = int(self.offsets[bin_id]), int(self.offsets[bin_id + 1])
         raw = self._read_range(lo, hi, f"bitvector record {bin_id}")
-        vector = read_bitvector(io.BytesIO(raw))
+        vector = read_bitvector(io.BytesIO(raw), self.codecs[bin_id])
         if vector.n_bits != self.n_elements:
             raise ValueError(
                 f"bitvector {bin_id} covers {vector.n_bits} bits, index "

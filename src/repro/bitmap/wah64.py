@@ -1,0 +1,390 @@
+"""64-bit Word-Aligned Hybrid (WAH64) compressed bitvectors.
+
+The 64-bit sibling of :mod:`repro.bitmap.wah`: the same run-length scheme
+with twice the word width, so each literal carries a 63-bit *group* and
+mid-density data that defeats 31-bit run detection needs roughly half the
+words.  Layout, mirroring the 32-bit constants:
+
+* **Literal word** -- bit 63 is 0; the low 63 bits hold one 63-bit group of
+  the bitvector, LSB-first.
+* **Fill word** -- bit 63 is 1; bit 62 is the fill value; the low 62 bits
+  hold the run length **in bits** (always a multiple of 63).
+
+The logical length ``n_bits`` need not be a multiple of 63; trailing
+padding bits of the final group are always zero.
+
+On disk a WAH64 payload is stored as little-endian ``uint32`` pairs (low
+word first) so the record framing of :mod:`repro.bitmap.serialization`
+stays uniform across codecs; see :meth:`WAH64BitVector.to_u32_payload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.bits import HAS_HARDWARE_POPCOUNT, _popcount_u32_table
+
+#: Number of payload bits per WAH64 group / literal word.
+GROUP_BITS64 = 63
+
+#: All 63 payload bits set -- a group that is entirely ones.
+GROUP_FULL64 = np.uint64(0x7FFFFFFFFFFFFFFF)
+
+#: Fill-word flag (MSB of the 64-bit word).
+FILL_FLAG64 = np.uint64(1 << 63)
+#: Fill-value flag (bit 62): set for 1-fills.
+FILL_VALUE_FLAG64 = np.uint64(1 << 62)
+#: Low 62 bits of a fill word: run length in bits (multiple of 63).
+FILL_COUNT_MASK64 = np.uint64((1 << 62) - 1)
+#: Largest bit count representable by one fill word, rounded down to a
+#: multiple of 63.
+MAX_FILL_BITS64 = int(FILL_COUNT_MASK64) - int(FILL_COUNT_MASK64) % GROUP_BITS64
+
+ONE_FILL_HEADER64 = FILL_FLAG64 | FILL_VALUE_FLAG64
+ZERO_FILL_HEADER64 = FILL_FLAG64
+
+
+def groups_needed64(n_bits: int) -> int:
+    """Number of 63-bit groups required to hold ``n_bits`` bits."""
+    return -(-n_bits // GROUP_BITS64)
+
+
+def last_group_mask64(n_bits: int) -> np.uint64:
+    """Mask of *valid* (non-padding) bits in the final group."""
+    rem = n_bits % GROUP_BITS64
+    if rem == 0:
+        return GROUP_FULL64
+    return np.uint64((1 << rem) - 1)
+
+
+def popcount_total64(words: np.ndarray) -> int:
+    """Total number of set bits across a ``uint64`` array."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.size == 0:
+        return 0
+    if HAS_HARDWARE_POPCOUNT:
+        return int(np.bitwise_count(words).sum(dtype=np.uint64))
+    halves = words.view(np.uint32)
+    return int(_popcount_u32_table(halves).sum(dtype=np.uint64))
+
+
+def pack_bits_to_groups64(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into 63-bit groups (``uint64`` array).
+
+    Same trick as the 31-bit packer: rows of 64 bits with the top bit of
+    every row forced to zero, packed little-endian and viewed as one
+    ``uint64`` per group.
+    """
+    bits = np.asarray(bits, dtype=bool).ravel()
+    n = bits.size
+    n_groups = groups_needed64(n) if n else 0
+    if n_groups == 0:
+        return np.empty(0, dtype=np.uint64)
+    payload = np.zeros(n_groups * GROUP_BITS64, dtype=np.uint8)
+    payload[:n] = bits
+    padded = np.zeros((n_groups, 64), dtype=np.uint8)
+    padded[:, :GROUP_BITS64] = payload.reshape(n_groups, GROUP_BITS64)
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    return packed.reshape(n_groups, 8).view("<u8").reshape(n_groups).astype(np.uint64)
+
+
+def unpack_groups_to_bits64(groups: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack 63-bit groups back into a boolean array of length ``n_bits``."""
+    groups = np.asarray(groups, dtype=np.uint64)
+    if n_bits == 0:
+        return np.empty(0, dtype=bool)
+    need = groups_needed64(n_bits)
+    if groups.size < need:
+        raise ValueError(
+            f"need {need} groups to produce {n_bits} bits, got {groups.size}"
+        )
+    raw = groups[:need].astype("<u8").view(np.uint8).reshape(need, 8)
+    bits = np.unpackbits(raw, axis=1, bitorder="little")[:, :GROUP_BITS64]
+    return bits.reshape(-1)[:n_bits].astype(bool)
+
+
+def make_fill64(value: int, n_bits: int) -> int:
+    """Construct a fill word for ``n_bits`` bits of ``value``."""
+    if n_bits % GROUP_BITS64 != 0 or not 0 < n_bits <= MAX_FILL_BITS64:
+        raise ValueError(
+            f"fill length must be a multiple of 63 in (0, {MAX_FILL_BITS64}], got {n_bits}"
+        )
+    header = ONE_FILL_HEADER64 if value else ZERO_FILL_HEADER64
+    return int(header | np.uint64(n_bits))
+
+
+def compress_groups64(groups: np.ndarray) -> np.ndarray:
+    """Run-length encode an array of 63-bit groups into WAH64 words.
+
+    The vectorised change-point scan of :func:`repro.bitmap.wah.compress_groups`
+    at 64-bit width.  Giant runs exceeding :data:`MAX_FILL_BITS64` cannot
+    occur for any realistic ``n_bits`` (2^62 bits) so no splitting loop is
+    needed, but the bound is still asserted.
+    """
+    groups = np.asarray(groups, dtype=np.uint64)
+    m = groups.size
+    if m == 0:
+        return np.empty(0, dtype=np.uint64)
+
+    fillable = (groups == 0) | (groups == GROUP_FULL64)
+    starts = np.empty(m, dtype=bool)
+    starts[0] = True
+    starts[1:] = (groups[1:] != groups[:-1]) | ~fillable[1:] | ~fillable[:-1]
+    start_idx = np.flatnonzero(starts)
+    run_len = np.diff(np.append(start_idx, m))
+    if int(run_len.max(initial=0)) * GROUP_BITS64 > MAX_FILL_BITS64:  # pragma: no cover
+        raise ValueError("run exceeds the 62-bit fill counter")
+
+    run_val = groups[start_idx]
+    run_fill = fillable[start_idx]
+    out = np.empty(start_idx.size, dtype=np.uint64)
+    lit = ~run_fill
+    out[lit] = run_val[lit]
+    header = np.where(
+        run_val[run_fill] == GROUP_FULL64, ONE_FILL_HEADER64, ZERO_FILL_HEADER64
+    ).astype(np.uint64)
+    out[run_fill] = header | (
+        run_len[run_fill].astype(np.uint64) * np.uint64(GROUP_BITS64)
+    )
+    return out
+
+
+def decompress_words64(words: np.ndarray) -> np.ndarray:
+    """Expand WAH64 words into the flat array of 63-bit groups they encode."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    fills = (words & FILL_FLAG64) != 0
+    counts = np.where(
+        fills, (words & FILL_COUNT_MASK64) // np.uint64(GROUP_BITS64), np.uint64(1)
+    ).astype(np.int64)
+    values = np.where(
+        fills,
+        np.where((words & FILL_VALUE_FLAG64) != 0, GROUP_FULL64, np.uint64(0)),
+        words & GROUP_FULL64,
+    ).astype(np.uint64)
+    return np.repeat(values, counts)
+
+
+@dataclass(frozen=True)
+class WAH64BitVector:
+    """An immutable WAH64-compressed bitvector of logical length ``n_bits``.
+
+    ``words`` is the compressed ``uint64`` stream; it always encodes exactly
+    ``ceil(n_bits / 63)`` groups, and padding bits beyond ``n_bits`` in the
+    final group are zero.
+    """
+
+    words: np.ndarray
+    n_bits: int
+
+    # ---------------------------------------------------------------- ctor
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "words", np.ascontiguousarray(self.words, dtype=np.uint64)
+        )
+        if self.n_bits < 0:
+            raise ValueError(f"n_bits must be >= 0, got {self.n_bits}")
+
+    @classmethod
+    def from_bools(cls, bits: np.ndarray) -> "WAH64BitVector":
+        """Compress a boolean (or 0/1) array."""
+        bits = np.asarray(bits, dtype=bool).ravel()
+        return cls(compress_groups64(pack_bits_to_groups64(bits)), bits.size)
+
+    @classmethod
+    def from_groups(cls, groups: np.ndarray, n_bits: int) -> "WAH64BitVector":
+        """Compress an already-packed array of 63-bit groups."""
+        if np.asarray(groups).size != groups_needed64(n_bits):
+            raise ValueError(
+                f"{np.asarray(groups).size} groups cannot encode {n_bits} bits"
+            )
+        return cls(compress_groups64(groups), n_bits)
+
+    @classmethod
+    def from_indices(cls, indices: np.ndarray, n_bits: int) -> "WAH64BitVector":
+        """Build a bitvector with ones at the given positions."""
+        bits = np.zeros(n_bits, dtype=bool)
+        bits[np.asarray(indices, dtype=np.int64)] = True
+        return cls.from_bools(bits)
+
+    @classmethod
+    def zeros(cls, n_bits: int) -> "WAH64BitVector":
+        """An all-zero bitvector."""
+        return cls.from_groups(
+            np.zeros(groups_needed64(n_bits), dtype=np.uint64), n_bits
+        )
+
+    @classmethod
+    def ones(cls, n_bits: int) -> "WAH64BitVector":
+        """An all-one bitvector (padding bits still zero)."""
+        g = np.full(groups_needed64(n_bits), GROUP_FULL64, dtype=np.uint64)
+        if n_bits:
+            g[-1] = np.uint64(g[-1] & last_group_mask64(n_bits))
+        return cls.from_groups(g, n_bits)
+
+    # ------------------------------------------------------------ content
+    def to_groups(self) -> np.ndarray:
+        """Decompress to the flat array of 63-bit groups."""
+        return decompress_words64(self.words)
+
+    def to_bools(self) -> np.ndarray:
+        """Decompress to a boolean array of length ``n_bits``."""
+        return unpack_groups_to_bits64(self.to_groups(), self.n_bits)
+
+    def to_indices(self) -> np.ndarray:
+        """Positions of the set bits."""
+        return np.flatnonzero(self.to_bools())
+
+    def count(self) -> int:
+        """Number of set bits, computed on the *compressed* form."""
+        words = self.words
+        if words.size == 0:
+            return 0
+        fills = (words & FILL_FLAG64) != 0
+        lit_total = popcount_total64(words[~fills] & GROUP_FULL64)
+        one_fills = words[fills & ((words & FILL_VALUE_FLAG64) != 0)]
+        fill_total = int((one_fills & FILL_COUNT_MASK64).astype(np.int64).sum())
+        return lit_total + fill_total
+
+    def density(self) -> float:
+        """Fraction of set bits (0 for the empty vector)."""
+        return self.count() / self.n_bits if self.n_bits else 0.0
+
+    # ------------------------------------------------------------ algebra
+    def _binary(self, other: "WAH64BitVector", op) -> "WAH64BitVector":
+        if self.n_bits != other.n_bits:
+            raise ValueError(
+                f"operand length mismatch: {self.n_bits} != {other.n_bits}"
+            )
+        groups = op(self.to_groups(), other.to_groups())
+        if self.n_bits and groups.size:
+            groups[-1] &= last_group_mask64(self.n_bits)
+        return WAH64BitVector(compress_groups64(groups), self.n_bits)
+
+    def __and__(self, other: "WAH64BitVector") -> "WAH64BitVector":
+        return self._binary(other, np.bitwise_and)
+
+    def __or__(self, other: "WAH64BitVector") -> "WAH64BitVector":
+        return self._binary(other, np.bitwise_or)
+
+    def __xor__(self, other: "WAH64BitVector") -> "WAH64BitVector":
+        return self._binary(other, np.bitwise_xor)
+
+    def andnot(self, other: "WAH64BitVector") -> "WAH64BitVector":
+        return self._binary(other, lambda a, b: a & ~b)
+
+    # ----------------------------------------------------------- geometry
+    @property
+    def n_words(self) -> int:
+        return int(self.words.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size in bytes."""
+        return int(self.words.nbytes)
+
+    @property
+    def n_groups(self) -> int:
+        return groups_needed64(self.n_bits)
+
+    def compression_ratio(self) -> float:
+        """Compressed words / uncompressed groups (lower is better)."""
+        g = self.n_groups
+        return self.n_words / g if g else 1.0
+
+    # -------------------------------------------------------------- wire
+    def to_u32_payload(self) -> np.ndarray:
+        """Serialise the word stream as little-endian ``uint32`` pairs.
+
+        Each 64-bit word contributes its low half then its high half, so
+        the payload length is always even and the on-disk record framing
+        (which counts ``uint32`` words) stays codec-uniform.
+        """
+        return (
+            self.words.astype("<u8", copy=False).view("<u4").astype(np.uint32)
+        )
+
+    @classmethod
+    def from_u32_payload(cls, payload: np.ndarray, n_bits: int) -> "WAH64BitVector":
+        """Rebuild from the ``uint32``-pair payload of :meth:`to_u32_payload`.
+
+        This is the untrusted-input boundary (disk records, replica
+        pushes), so the word stream is validated *before* anything
+        decompresses it: the 62-bit fill counters of a corrupt stream
+        could otherwise demand an arbitrarily large group allocation.
+        """
+        payload = np.asarray(payload, dtype=np.uint32)
+        if payload.size % 2 != 0:
+            raise ValueError(
+                f"WAH64 payload must have an even uint32 count, got {payload.size}"
+            )
+        words = payload.astype("<u4", copy=False).view("<u8").astype(np.uint64)
+        n_groups = groups_needed64(n_bits)
+        if words.size > n_groups:
+            raise ValueError(
+                f"corrupt WAH64 stream: {words.size} words cannot encode "
+                f"{n_bits} bits ({n_groups} groups max)"
+            )
+        fills = (words & FILL_FLAG64) != 0
+        counts = words[fills] & FILL_COUNT_MASK64
+        if counts.size and (
+            np.any(counts == np.uint64(0))
+            or np.any(counts % np.uint64(GROUP_BITS64) != 0)
+        ):
+            raise ValueError(
+                "corrupt WAH64 stream: fill count not a positive multiple of 63"
+            )
+        # Safe uint64 sum: every term is <= n_groups (words.size is too),
+        # so overflow would need a physically impossible payload size.
+        total = int(
+            (counts // np.uint64(GROUP_BITS64)).sum(dtype=np.uint64)
+        ) + int(np.count_nonzero(~fills))
+        if total != n_groups:
+            raise ValueError(
+                f"corrupt WAH64 stream: encodes {total} groups, "
+                f"{n_bits} bits need {n_groups}"
+            )
+        return cls(words, n_bits)
+
+    # ------------------------------------------------------------- checks
+    def check_invariants(self) -> None:
+        """Validate the word stream; raises ``AssertionError`` on corruption."""
+        words = self.words
+        fills = (words & FILL_FLAG64) != 0
+        counts = words[fills] & FILL_COUNT_MASK64
+        assert np.all(counts % np.uint64(GROUP_BITS64) == 0), (
+            "fill count not a multiple of 63"
+        )
+        assert np.all(counts > 0), "empty fill word"
+        fill_groups = int(counts.astype(np.int64).sum()) // GROUP_BITS64
+        groups_encoded = fill_groups + int((~fills).sum())
+        assert groups_encoded == self.n_groups, (
+            f"words encode {groups_encoded} groups, expected {self.n_groups}"
+        )
+        if self.n_bits % GROUP_BITS64 != 0 and words.size:
+            groups = self.to_groups()
+            pad_mask = np.uint64(
+                ~int(last_group_mask64(self.n_bits)) & int(GROUP_FULL64)
+            )
+            assert groups[-1] & pad_mask == 0, "padding bits set in final group"
+
+    # ------------------------------------------------------------ dunders
+    def __len__(self) -> int:
+        return self.n_bits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WAH64BitVector):
+            return NotImplemented
+        return self.n_bits == other.n_bits and np.array_equal(self.words, other.words)
+
+    def __hash__(self) -> int:
+        return hash((self.n_bits, self.words.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"WAH64BitVector(n_bits={self.n_bits}, n_words={self.n_words}, "
+            f"count={self.count()})"
+        )

@@ -1,11 +1,12 @@
 """Byte-budget LRU cache for individually loaded bitvectors.
 
 Sits directly under every lazy load the query service performs: keys are
-``(file, variable, bin, level)``, values are decoded
-:class:`~repro.bitmap.wah.WAHBitVector`\\ s, and the budget is expressed
-in *compressed bytes held* so a server's memory footprint is bounded by
-configuration, not by query history.  Hits, misses, and evictions are
-counted -- the service surfaces them per query (``QueryStats``) and
+``(file, variable, bin, level)``, values are decoded bitvectors of any
+registered codec (WAH, Roaring, WAH64 -- see :mod:`repro.bitmap.codec`),
+and the budget is expressed in *compressed bytes held* so a server's
+memory footprint is bounded by configuration, not by query history.
+Hits, misses, and evictions are counted -- the service surfaces them per
+query (``QueryStats``) and
 globally (``repro serve`` prints the totals).
 
 Thread-safe: the service executes queries on a pool and all queries share
@@ -20,7 +21,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, NamedTuple
 
-from repro.bitmap.wah import WAHBitVector
+from repro.bitmap.codec import BitVectorAny
 
 
 class CacheKey(NamedTuple):
@@ -87,7 +88,7 @@ class _InFlightLoad:
 
     def __init__(self) -> None:
         self.event = threading.Event()
-        self.vector: WAHBitVector | None = None
+        self.vector: BitVectorAny | None = None
 
 
 class BitvectorCache:
@@ -107,7 +108,7 @@ class BitvectorCache:
         #: every lookup (hit or miss) -- the hot-set accounting feed.
         self.access = access
         self._lock = threading.Lock()
-        self._entries: OrderedDict[CacheKey, WAHBitVector] = OrderedDict()
+        self._entries: OrderedDict[CacheKey, BitVectorAny] = OrderedDict()
         self._inflight: dict[CacheKey, _InFlightLoad] = {}
         self._bytes = 0
         self._hits = 0
@@ -116,7 +117,7 @@ class BitvectorCache:
         self._coalesced = 0
 
     # ------------------------------------------------------------- access
-    def get(self, key: CacheKey) -> WAHBitVector | None:
+    def get(self, key: CacheKey) -> BitVectorAny | None:
         """Look up one bitvector, refreshing its recency on a hit."""
         if self.access is not None:
             self.access.record(key)
@@ -129,7 +130,7 @@ class BitvectorCache:
             self._hits += 1
             return vector
 
-    def put(self, key: CacheKey, vector: WAHBitVector) -> None:
+    def put(self, key: CacheKey, vector: BitVectorAny) -> None:
         """Insert (or refresh) one bitvector, evicting LRU past budget."""
         cost = vector.nbytes
         with self._lock:
@@ -146,8 +147,8 @@ class BitvectorCache:
                 self._evictions += 1
 
     def get_or_load(
-        self, key: CacheKey, loader: Callable[[], WAHBitVector]
-    ) -> tuple[WAHBitVector, bool]:
+        self, key: CacheKey, loader: Callable[[], BitVectorAny]
+    ) -> tuple[BitVectorAny, bool]:
         """Fetch from cache or ``loader`` -- returns ``(vector, was_hit)``.
 
         Single-flight per key: concurrent misses on the same key elect one

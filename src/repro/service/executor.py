@@ -68,6 +68,7 @@ from repro.analysis.sql import (
     query_joint_counts,
 )
 from repro.bitmap.builder import splice_bitvectors
+from repro.bitmap.codec import BitVectorAny
 from repro.bitmap.index import BitmapIndex, overlapping_bins
 from repro.bitmap.kernels import auto_count_many, auto_op_many
 from repro.bitmap.serialization import LazyBitmapIndex
@@ -651,13 +652,13 @@ class QueryService:
 
     def _load(
         self, plan: _Plan, stats: QueryStats
-    ) -> dict[str, dict[int, WAHBitVector]]:
-        loaded: dict[str, dict[int, WAHBitVector]] = {}
+    ) -> dict[str, dict[int, BitVectorAny]]:
+        loaded: dict[str, dict[int, BitVectorAny]] = {}
         for var, bins in plan.needed.items():
             entry = plan.entries[var]
             lazy = plan.lazies[var]
             path = str(self.catalog.path_of(entry))
-            vectors: dict[int, WAHBitVector] = {}
+            vectors: dict[int, BitVectorAny] = {}
             for bin_id in bins:
                 bin_id = int(bin_id)
                 key = CacheKey.for_bin(path, var, bin_id)
@@ -685,7 +686,7 @@ class QueryService:
         return loaded
 
     def _execute(
-        self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
+        self, plan: _Plan, loaded: dict[str, dict[int, BitVectorAny]]
     ) -> float:
         query = plan.query
         if plan.count_only:
@@ -701,7 +702,7 @@ class QueryService:
         return execute_query(query, indices, layout=self.layout)
 
     def _execute_count(
-        self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
+        self, plan: _Plan, loaded: dict[str, dict[int, BitVectorAny]]
     ) -> float:
         """COUNT from the minimal bin set: OR within a predicate, AND across.
 
@@ -731,7 +732,7 @@ class QueryService:
         return float(auto_count_many(masks, "and"))
 
     def _mask_vector(
-        self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
+        self, plan: _Plan, loaded: dict[str, dict[int, BitVectorAny]]
     ) -> WAHBitVector:
         """The combined WHERE bitvector from the minimal COUNT plan.
 
@@ -754,7 +755,7 @@ class QueryService:
         return auto_op_many(masks, "and")
 
     def _joint_partial(
-        self, plan: _Plan, loaded: dict[str, dict[int, WAHBitVector]]
+        self, plan: _Plan, loaded: dict[str, dict[int, BitVectorAny]]
     ) -> tuple[np.ndarray, bool]:
         """One slab's restricted joint histogram (+ binning-scale flag)."""
         indices = {
@@ -774,7 +775,7 @@ class QueryService:
 
     def fetch_bitvector(
         self, file: str, variable: str, bin_id: int, level: int = 0
-    ) -> WAHBitVector:
+    ) -> BitVectorAny:
         """Load one bitvector by cache identity -- the replication unit.
 
         The owner-side half of a replica push: the manager asks the

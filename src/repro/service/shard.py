@@ -19,7 +19,8 @@ Two adaptive layers sit on the static map:
 * **hot-set replication** (:mod:`repro.service.hotset`) -- each worker
   keeps decaying access counters and byte-budgeted replica slots; the
   pool exposes the pipe ops the :class:`~repro.service.hotset.ReplicaManager`
-  uses to snapshot accounting, fetch raw WAH word buffers from owners,
+  uses to snapshot accounting, fetch codec-tagged payload buffers from
+  owners,
   and install/drop replicas on holders.  Request methods accept a
   ``route`` (candidate shards from the
   :class:`~repro.service.hotset.RoutingTable`) and pick the least-loaded
@@ -52,7 +53,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.analysis.sql import QueryError
-from repro.bitmap.wah import WAHBitVector
+from repro.bitmap.codec import codec_for_name, codec_of
 from repro.bitmap.zorder import ZOrderLayout
 from repro.insitu.parallel import _pick_context
 from repro.service.cache import CacheKey
@@ -180,21 +181,27 @@ def _worker_main(
                         int(request["bin"]),
                         int(request.get("level", 0)),
                     )
-                    words = np.ascontiguousarray(vector.words, dtype="<u4")
+                    codec = codec_of(vector)
+                    payload = np.ascontiguousarray(
+                        codec.payload_words(vector), dtype="<u4"
+                    )
                     conn.send({
                         "ok": True,
-                        "words": words.tobytes(),
+                        "words": payload.tobytes(),
                         "n_bits": int(vector.n_bits),
+                        "codec": codec.name,
                     })
                 elif op == "install":
                     installed = 0
-                    for f, v, b, lv, words, n_bits in request["replicas"]:
+                    for item in request["replicas"]:
+                        f, v, b, lv, words, n_bits, codec_name = item
+                        codec = codec_for_name(codec_name)
                         buf = np.frombuffer(words, dtype="<u4").astype(
                             np.uint32
                         )
                         key = CacheKey(f, v, int(b), int(lv))
                         if replicas.install(
-                            key, WAHBitVector(buf, int(n_bits))
+                            key, codec.decode_payload(buf, int(n_bits))
                         ):
                             installed += 1
                     conn.send({
@@ -473,8 +480,11 @@ class ShardPool:
             for handle in self._handles
         ]
 
-    def fetch_vector(self, shard_id: int, key: CacheKey) -> tuple[bytes, int]:
-        """Raw WAH words of one bitvector from ``shard_id``'s service."""
+    def fetch_vector(
+        self, shard_id: int, key: CacheKey
+    ) -> tuple[bytes, int, str]:
+        """One bitvector's codec payload (raw ``uint32`` words as bytes,
+        bit length, codec name) from ``shard_id``'s service."""
         reply = self._unwrap(
             self._tracked_request(
                 self._handles[shard_id],
@@ -487,22 +497,24 @@ class ShardPool:
                 },
             )
         )
-        return reply["words"], reply["n_bits"]
+        return reply["words"], reply["n_bits"], reply["codec"]
 
     def install_replicas(
         self,
         shard_id: int,
-        items: Sequence[tuple[CacheKey, bytes, int]],
+        items: Sequence[tuple[CacheKey, bytes, int, str]],
     ) -> int:
-        """Push ``(key, raw words, n_bits)`` replicas onto one worker."""
+        """Push ``(key, raw words, n_bits, codec name)`` replicas onto one
+        worker."""
         reply = self._unwrap(
             self._tracked_request(
                 self._handles[shard_id],
                 {
                     "op": "install",
                     "replicas": [
-                        (k.file, k.variable, k.bin, k.level, words, n_bits)
-                        for k, words, n_bits in items
+                        (k.file, k.variable, k.bin, k.level, words, n_bits,
+                         codec_name)
+                        for k, words, n_bits, codec_name in items
                     ],
                 },
             )

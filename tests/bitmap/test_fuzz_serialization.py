@@ -6,6 +6,7 @@ segfault-adjacent numpy error or silent corruption.
 """
 
 import io
+import struct
 
 import numpy as np
 import pytest
@@ -14,6 +15,8 @@ from hypothesis import strategies as st
 
 from repro.bitmap import BitmapIndex, EqualWidthBinning
 from repro.bitmap.serialization import (
+    FLAG_CODEC_TAGS,
+    _header_size,
     index_from_bytes,
     index_to_bytes,
     read_bitvector,
@@ -24,6 +27,16 @@ def _sample_blob(rng) -> bytes:
     data = rng.normal(0, 1, 500)
     index = BitmapIndex.build(data, EqualWidthBinning.from_data(data, 8))
     return index_to_bytes(index)
+
+
+def _tagged_index(rng, codec: str = "auto") -> BitmapIndex:
+    """An index whose blob carries the V2.1 codec tag table."""
+    data = np.concatenate(
+        [rng.normal(0, 0.1, 800), rng.uniform(-4, 4, 200)]
+    )
+    return BitmapIndex.build(
+        data, EqualWidthBinning.from_data(data, 8), codec=codec
+    )
 
 
 class TestTruncation:
@@ -67,6 +80,94 @@ class TestBitflips:
         # enough to decompress every vector without numpy errors.
         for v in index.bitvectors:
             v.to_groups()
+
+
+class TestTaggedRecords:
+    """V2.1 codec-tagged records: corrupt tag metadata fails loudly
+    *before* any payload byte is interpreted."""
+
+    def _blob_and_tag_offset(self, rng, codec="roaring"):
+        index = _tagged_index(rng, codec)
+        blob = index_to_bytes(index)
+        flags = struct.unpack("<HH", blob[4:8])[1]
+        assert flags & FLAG_CODEC_TAGS, "fixture must produce a tagged blob"
+        return index, blob, _header_size(index.binning)
+
+    def test_unknown_tag_rejected(self, rng):
+        index, blob, tag_off = self._blob_and_tag_offset(rng)
+        for b in range(index.n_bins):
+            corrupt = bytearray(blob)
+            corrupt[tag_off + b] = 99
+            with pytest.raises(ValueError, match="unknown codec tag 99"):
+                index_from_bytes(bytes(corrupt))
+
+    def test_unknown_tag_rejected_lazy(self, rng, tmp_path):
+        _, blob, tag_off = self._blob_and_tag_offset(rng)
+        corrupt = bytearray(blob)
+        corrupt[tag_off] = 200
+        path = tmp_path / "badtag.rbmp"
+        path.write_bytes(bytes(corrupt))
+        from repro.bitmap.serialization import LazyBitmapIndex
+
+        with pytest.raises(ValueError, match="unknown codec tag 200"):
+            LazyBitmapIndex.open(path)
+
+    def test_truncated_tag_table_rejected(self, rng):
+        index, blob, tag_off = self._blob_and_tag_offset(rng)
+        for keep in range(index.n_bins):
+            with pytest.raises((ValueError, EOFError)):
+                index_from_bytes(blob[: tag_off + keep])
+
+    def test_unknown_flag_bits_rejected(self, rng):
+        _, blob, _ = self._blob_and_tag_offset(rng)
+        corrupt = bytearray(blob)
+        corrupt[6] |= 0x02  # an undefined flags bit
+        with pytest.raises(ValueError, match="unsupported format flags"):
+            index_from_bytes(bytes(corrupt))
+
+    def test_tagged_v1_unwritable(self, rng):
+        index = _tagged_index(rng, "roaring")
+        with pytest.raises(ValueError, match="V1 records cannot carry"):
+            index_to_bytes(index, version=1)
+
+    def test_untagged_blob_has_zero_flags(self, rng):
+        """All-WAH writes stay byte-identical to the pre-codec format:
+        the flags field is zero and no tag table is emitted."""
+        index = _tagged_index(rng, "wah")
+        blob = index_to_bytes(index)
+        assert struct.unpack("<HH", blob[4:8])[1] == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        position_frac=st.floats(0.0, 0.999),
+        flip=st.integers(0, 7),
+    )
+    def test_tagged_single_bitflip_never_crashes(
+        self, seed, position_frac, flip
+    ):
+        """The bitflip fuzz of ``TestBitflips``, over a tagged blob: a
+        flip in the tag table, a Roaring directory, or a WAH64 fill word
+        is either rejected cleanly or yields a decodable index."""
+        local = np.random.default_rng(seed)
+        blob = bytearray(index_to_bytes(_tagged_index(local, "auto")))
+        pos = int(position_frac * len(blob))
+        blob[pos] ^= 1 << flip
+        try:
+            index = index_from_bytes(bytes(blob))
+        except (ValueError, EOFError, AssertionError):
+            return  # clean rejection
+        for v in index.bitvectors:
+            v.to_bools()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_tagged_every_truncation_fails_cleanly(self, seed):
+        local = np.random.default_rng(seed)
+        blob = index_to_bytes(_tagged_index(local, "wah64"))
+        for cut in range(0, len(blob) - 1, max(1, len(blob) // 60)):
+            with pytest.raises((ValueError, EOFError)):
+                index_from_bytes(blob[:cut])
 
 
 class TestRandomNoise:

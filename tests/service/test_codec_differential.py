@@ -1,0 +1,167 @@
+"""Service-level codec differential: auto-selected codecs never change
+an answer.
+
+Twin cluster stores are built from identical data -- one forced-WAH,
+one with density-driven codec auto-selection (so its records carry the
+V2.1 tag table and mix WAH, Roaring, and WAH64 bins).  Scatter-gather
+global queries, rank-qualified queries, and mask queries over shard
+counts {1, 2, 4} must return values and mask words byte-identical
+between the two stores, with the forced-WAH in-process service as the
+oracle.  With replication enabled, the codec-tagged replica wire
+(fetch/install) must move non-WAH payloads between workers without
+disturbing a single byte of any answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import BitmapIndex, EqualWidthBinning, save_index
+from repro.bitmap.wah import WAHBitVector
+from repro.service import QueryServer, QueryService, ServiceClient
+
+RANKS = 3
+#: Unequal, non-word-aligned slab sizes: splice boundaries land
+#: mid-group for both 31-bit and 63-bit group codecs.
+RANK_ELEMENTS = [217, 340, 155]
+STEPS = (0, 2)
+BINS = 16
+
+QUERIES = [
+    "SELECT COUNT FROM temperature, salinity",
+    "SELECT COUNT FROM temperature, salinity "
+    "WHERE temperature BETWEEN 2 AND 7",
+    "SELECT MI FROM temperature, salinity",
+    "SELECT CE FROM temperature, salinity WHERE salinity >= 30",
+    "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity "
+    "WHERE rank_0000/temperature <= 5",
+    "SELECT MI FROM rank_0001/temperature, rank_0001/salinity",
+]
+
+MASK_QUERIES = [
+    "SELECT COUNT FROM temperature, salinity "
+    "WHERE temperature BETWEEN 2 AND 7 AND salinity >= 30",
+    "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity "
+    "WHERE rank_0000/temperature <= 5",
+]
+
+#: Skewed warm-up driving rank_0000 hot (the replica placement target).
+SKEWED_QUERIES = [
+    "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity",
+    "SELECT COUNT FROM rank_0000/temperature, rank_0000/salinity "
+    "WHERE rank_0000/temperature BETWEEN 2 AND 7",
+    "SELECT MI FROM rank_0000/temperature, rank_0000/salinity",
+]
+
+
+def _build_store(root, codec: str) -> None:
+    """A rank-sharded store; data is a fixed function of (rank, step, var)
+    so the wah and auto stores index byte-for-byte identical values."""
+    binnings = {
+        "temperature": EqualWidthBinning(0.0, 10.0, BINS),
+        "salinity": EqualWidthBinning(20.0, 40.0, BINS),
+    }
+    for step in STEPS:
+        for rank in range(RANKS):
+            d = root / f"rank_{rank:04d}" / f"step_{step:05d}"
+            d.mkdir(parents=True, exist_ok=True)
+            n = RANK_ELEMENTS[rank]
+            for var, binning in binnings.items():
+                rng = np.random.default_rng(
+                    hash((rank, step, var)) % (2**32)
+                )
+                lo, hi = float(binning.edges[0]), float(binning.edges[-1])
+                # Mixture: a dense spike in one bin plus a uniform tail,
+                # so auto-selection diversifies even on small slabs.
+                data = np.where(
+                    rng.random(n) < 0.4,
+                    rng.uniform(lo, lo + (hi - lo) / BINS, n),
+                    rng.uniform(lo, hi, n),
+                )
+                index = BitmapIndex.build(data, binning, codec=codec)
+                save_index(d / f"{var}.rbmp", index)
+
+
+@pytest.fixture(scope="module")
+def twin_roots(tmp_path_factory):
+    base = tmp_path_factory.mktemp("codec_diff")
+    root_wah, root_auto = base / "store_wah", base / "store_auto"
+    _build_store(root_wah, "wah")
+    _build_store(root_auto, "auto")
+    # The differential is vacuous unless auto actually diversified.
+    from repro.bitmap.serialization import load_index
+
+    kinds = set()
+    for path in sorted(root_auto.rglob("*.rbmp")):
+        kinds |= {type(v) for v in load_index(path).bitvectors}
+    assert len(kinds) >= 2, f"auto store is single-codec: {kinds}"
+    assert WAHBitVector not in kinds or len(kinds) > 1
+    return root_wah, root_auto
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4])
+def auto_server(request, twin_roots):
+    """A sharded, replicating server over the auto-codec store, plus the
+    forced-WAH in-process oracle."""
+    root_wah, root_auto = twin_roots
+    with QueryService(root_wah, max_workers=2) as oracle:
+        server = QueryServer(
+            root_auto,
+            shards=request.param,
+            port=0,
+            replicate=True,
+            rebalance_interval=3600.0,
+            hotset_top_k=64,
+        )
+        with server.launch():
+            yield oracle, server, request.param
+
+
+class TestAutoVsForcedWAH:
+    @pytest.mark.parametrize("sql", QUERIES)
+    @pytest.mark.parametrize("step", list(STEPS))
+    def test_values_identical(self, auto_server, sql, step):
+        oracle, server, _ = auto_server
+        local = oracle.execute(sql, step=step)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            remote = client.query(sql, step=step)
+        assert remote["value"] == local.value  # ==, not approx
+        assert remote["metric"] == local.metric
+
+    @pytest.mark.parametrize("sql", MASK_QUERIES)
+    def test_masks_byte_identical(self, auto_server, sql):
+        """The wire mask from the auto-codec sharded path matches the
+        forced-WAH single-process mask word for word."""
+        oracle, server, _ = auto_server
+        local = oracle.execute_mask(sql, step=0)
+        with ServiceClient("127.0.0.1", server.port) as client:
+            remote = client.mask(sql, step=0)
+        assert remote["value"] == local.value
+        assert isinstance(remote["mask"], WAHBitVector)
+        assert remote["mask"].n_bits == local.mask.n_bits
+        assert np.array_equal(remote["mask"].words, local.mask.words)
+
+
+class TestCodecReplicaWire:
+    def test_replication_moves_tagged_payloads(self, auto_server):
+        """Warm a skewed workload, rebalance, and re-check answers: the
+        replica wire ships codec-tagged (possibly non-WAH) payloads and
+        results stay byte-identical with routes live."""
+        oracle, server, shards = auto_server
+        with ServiceClient("127.0.0.1", server.port) as client:
+            for sql in SKEWED_QUERIES:
+                for step in STEPS:
+                    client.query(sql, step=step)
+        report = server.rebalance()
+        assert report.published
+        if shards > 1:
+            assert report.installed > 0
+        for sql in QUERIES:
+            local = oracle.execute(sql, step=0)
+            with ServiceClient("127.0.0.1", server.port) as client:
+                remote = client.query(sql, step=0)
+            assert remote["value"] == local.value
+        for sql in MASK_QUERIES:
+            local = oracle.execute_mask(sql, step=0)
+            with ServiceClient("127.0.0.1", server.port) as client:
+                remote = client.mask(sql, step=0)
+            assert np.array_equal(remote["mask"].words, local.mask.words)
