@@ -1,14 +1,20 @@
 #!/usr/bin/env python
-"""Docs-freshness gate: every ``repro.*`` dotted name the docs mention
-must actually import.
+"""Docs-freshness gate, both directions.
 
-Scans ``docs/*.md``, ``README.md``, and ``DESIGN.md`` for dotted names
-rooted at the package (``repro.cluster.run_rank``, ``repro.service``,
-...), resolves each by importing the longest module prefix and walking
-the remainder with ``getattr``, and exits non-zero listing every name
-that no longer resolves.  Renaming an API without updating its docs —
-or documenting an API that never existed — fails CI here instead of
-rotting silently.
+Forward: every ``repro.*`` dotted name the docs mention must actually
+import.  Scans ``docs/*.md``, ``README.md``, and ``DESIGN.md`` for
+dotted names rooted at the package (``repro.cluster.run_rank``,
+``repro.service``, ...), resolves each by importing the longest module
+prefix and walking the remainder with ``getattr``, and exits non-zero
+listing every name that no longer resolves.  Renaming an API without
+updating its docs — or documenting an API that never existed — fails CI
+here instead of rotting silently.
+
+Inverse: every public ``repro.*`` module under ``src/`` (no underscore
+segments) must be *mentioned* by at least one doc page — either its own
+dotted name or a longer name inside it (``repro.bitmap.codec.CODECS``
+mentions ``repro.bitmap.codec``).  A new subsystem cannot ship without
+at least one line of documentation.
 
 Usage: ``python scripts/check_docs_freshness.py [--verbose]``
 (run from the repo root; ``src/`` is put on ``sys.path`` automatically).
@@ -37,6 +43,30 @@ def doc_files() -> list[Path]:
 
 def extract_names(text: str) -> set[str]:
     return {m.group(0).rstrip(".") for m in DOTTED_NAME.finditer(text)}
+
+
+def public_modules() -> list[str]:
+    """Every importable public module under ``src/repro`` (packages and
+    any path segment starting with ``_`` excluded)."""
+    src = REPO_ROOT / "src"
+    modules = []
+    for path in sorted((src / "repro").rglob("*.py")):
+        rel = path.relative_to(src).with_suffix("")
+        parts = rel.parts
+        if any(p.startswith("_") for p in parts):
+            continue
+        modules.append(".".join(parts))
+    return modules
+
+
+def undocumented(documented: set[str], modules: list[str]) -> list[str]:
+    """Modules no documented name mentions, even as a prefix."""
+    prefixes = set()
+    for name in documented:
+        parts = name.split(".")
+        for cut in range(2, len(parts) + 1):
+            prefixes.add(".".join(parts[:cut]))
+    return [m for m in modules if m not in prefixes]
 
 
 def resolve(name: str) -> bool:
@@ -84,7 +114,17 @@ def main(argv: list[str] | None = None) -> int:
             where = ", ".join(str(p.relative_to(REPO_ROOT)) for p in paths)
             print(f"  {name}  ({where})")
         return 1
-    print(f"docs-freshness: all {len(found)} documented repro.* names import")
+
+    modules = public_modules()
+    missing = undocumented(set(found), modules)
+    if missing:
+        print(f"docs-freshness: {len(missing)} public module(s) appear in "
+              f"no doc page:")
+        for name in missing:
+            print(f"  {name}")
+        return 1
+    print(f"docs-freshness: all {len(found)} documented repro.* names "
+          f"import; all {len(modules)} public modules are documented")
     return 0
 
 

@@ -41,6 +41,7 @@ from repro.analysis.queries import (
 )
 from repro.bitmap.index import BitmapIndex
 from repro.bitmap.ops import logical_and
+from repro.bitmap.ordering import orderings_compatible
 from repro.bitmap.wah import WAHBitVector
 from repro.bitmap.zorder import ZOrderLayout
 from repro.metrics.entropy import (
@@ -218,7 +219,21 @@ def predicate_mask(
     region mask; all-ones when there is no WHERE clause.  Public because
     the query service's scatter-gather path computes this per rank slab
     and splices the parts (`repro.service.shard`).
+
+    The mask lives in the *indices'* row space: for row-ordered indices
+    (:mod:`repro.bitmap.ordering`) the region predicate -- built from
+    the simulation-order grid layout -- is permuted into ordered space
+    before the AND, and callers that need the result in simulation order
+    de-permute it with ``index_a.ordering.unpermute_mask``.  Both
+    indices must share one row ordering, else bit ``i`` would name two
+    different elements.
     """
+    ordering_a = getattr(index_a, "ordering", None)
+    if not orderings_compatible(ordering_a, getattr(index_b, "ordering", None)):
+        raise QueryError(
+            "FROM variables are stored under different row orderings; "
+            "joint results would not be row-aligned"
+        )
     n = index_a.n_elements
     mask = WAHBitVector.ones(n)
     for var, subset in query.value_predicates.items():
@@ -231,7 +246,10 @@ def predicate_mask(
     if query.region is not None:
         if layout is None:
             raise QueryError("REGION clause requires a ZOrderLayout")
-        mask = logical_and(mask, spatial_subset_mask(n, query.region, layout))
+        region = spatial_subset_mask(n, query.region, layout)
+        if ordering_a is not None:
+            region = ordering_a.permute_mask(region)
+        mask = logical_and(mask, region)
     return mask
 
 

@@ -15,7 +15,10 @@ top-down to prune uncorrelated value subsets early.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.bitmap.ordering import RowOrdering
 
 import numpy as np
 
@@ -39,11 +42,19 @@ class BitmapIndex:
     ``bitvectors`` may mix storage codecs (WAH, Roaring, WAH64 -- see
     :mod:`repro.bitmap.codec`); every query path converts to the WAH word
     domain at merge boundaries, so results are codec-independent.
+
+    ``ordering`` (optional) records the row permutation applied before
+    encoding (:mod:`repro.bitmap.ordering`): bit ``i`` of every
+    bitvector covers simulation row ``ordering.permutation[i]``.  Bin
+    counts and joint histograms are ordering-invariant; element masks
+    must be mapped back with ``ordering.unpermute_mask`` before they are
+    compared or spliced with simulation-order data.
     """
 
     binning: Binning
     bitvectors: list
     n_elements: int
+    ordering: "RowOrdering | None" = None
     _counts: np.ndarray | None = field(default=None, repr=False, compare=False)
     _groups: np.ndarray | None = field(default=None, repr=False, compare=False)
 
@@ -57,6 +68,11 @@ class BitmapIndex:
                 raise ValueError(
                     f"bitvector length {v.n_bits} != n_elements {self.n_elements}"
                 )
+        if self.ordering is not None and self.ordering.n_rows != self.n_elements:
+            raise ValueError(
+                f"ordering covers {self.ordering.n_rows} rows, index covers "
+                f"{self.n_elements} elements"
+            )
 
     # ------------------------------------------------------------ building
     @classmethod
@@ -68,6 +84,7 @@ class BitmapIndex:
         method: BuildMethod = "vectorized",
         chunk_elements: int = 1 << 20,
         codec: str = "wah",
+        ordering: "RowOrdering | str | None" = None,
     ) -> "BitmapIndex":
         """Index ``data`` (any shape, flattened C-order) under ``binning``.
 
@@ -75,8 +92,22 @@ class BitmapIndex:
         name, or ``"auto"`` for the density-driven policy
         (:func:`repro.bitmap.codec.select_codec`).  The default
         ``"wah"`` keeps word streams bit-identical to prior builds.
+
+        ``ordering`` optionally permutes rows before encoding
+        (:mod:`repro.bitmap.ordering`): a method name ("lex", "gray",
+        "hist") computes the permutation from this data's bin ids; a
+        prebuilt :class:`~repro.bitmap.ordering.RowOrdering` (e.g. one
+        shared across several variables) is applied as-is.  The
+        permutation rides with the index and its serialized record, so
+        masks map back to simulation order exactly.
         """
         flat = np.asarray(data).ravel()
+        if ordering is not None:
+            if isinstance(ordering, str):
+                from repro.bitmap.ordering import compute_ordering
+
+                ordering = compute_ordering([flat], binning, ordering)
+            flat = ordering.apply(flat)
         if method == "vectorized":
             vectors = build_bitvectors(
                 flat, binning, chunk_elements=chunk_elements, codec=codec
@@ -88,7 +119,7 @@ class BitmapIndex:
             vectors = encode_bitvectors(builder.finalize(), codec)
         else:
             raise ValueError(f"unknown build method {method!r}")
-        return cls(binning, vectors, flat.size)
+        return cls(binning, vectors, flat.size, ordering)
 
     # ------------------------------------------------------------- queries
     @property

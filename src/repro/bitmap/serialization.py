@@ -36,6 +36,19 @@ Two record versions exist, the second with a tagged minor revision:
   tagged layout only when a non-WAH vector is present, so all-WAH
   indices remain byte-identical to plain V2 (and V1/V2-untagged files
   load bit-identically as WAH).
+* **V2.1 (row-ordered)** -- flags bit 1 marks an index whose rows were
+  permuted before encoding (:mod:`repro.bitmap.ordering`).  A
+  *permutation sidecar* follows the codec tag table (or the
+  ``<qi n_elements n_bins>`` header when untagged):
+  ``<B method_tag> <B width> <q n_rows>`` then ``n_rows`` little-endian
+  unsigned integers of ``width`` bytes each (1/2/4/8 -- the minimal
+  width for ``n_rows - 1``, which is the "compression" relative to a
+  naive int64 dump).  ``ordered_row[i] = simulation_row[perm[i]]``; the
+  sidecar is validated as a bijection on read, so spatial/region
+  queries and mask results can be mapped back to simulation order
+  *exactly*.  Both flags compose (tag table first, then sidecar).
+  Writers emit the sidecar only when the index carries an ordering, so
+  unordered records stay byte-identical to pre-ordering output.
 
 Sequential readers consume V2 records exactly (table and footer
 included), so V2 indices still embed in containers with trailing data;
@@ -69,6 +82,11 @@ from repro.bitmap.codec import (
     codec_of,
 )
 from repro.bitmap.index import BitmapIndex
+from repro.bitmap.ordering import (
+    ORDERING_METHOD_TAGS,
+    RowOrdering,
+    method_for_tag,
+)
 from repro.bitmap.wah import WAHBitVector
 
 MAGIC = b"RBMP"
@@ -81,9 +99,13 @@ _SUPPORTED_VERSIONS = (VERSION, VERSION_V2)
 
 #: Header-flags bit marking the V2.1 codec-tagged layout.
 FLAG_CODEC_TAGS = 0x0001
-_KNOWN_FLAGS = FLAG_CODEC_TAGS
+#: Header-flags bit marking a row-ordered index (permutation sidecar).
+FLAG_ORDERING = 0x0002
+_KNOWN_FLAGS = FLAG_CODEC_TAGS | FLAG_ORDERING
 
 _FOOTER_SIZE = 12  # <q table_offset> + FOOTER_MAGIC
+_ORDERING_HEADER = struct.Struct("<BBq")  # method_tag, byte width, n_rows
+_ORDERING_WIDTHS = (1, 2, 4, 8)
 
 
 def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
@@ -222,6 +244,58 @@ def read_binning(fh: BinaryIO) -> Binning:
     raise ValueError(f"unknown binning tag {tag}")
 
 
+# ------------------------------------------------------- ordering sidecar
+def _ordering_width(n_rows: int) -> int:
+    """Minimal byte width able to hold every index in ``[0, n_rows)``."""
+    hi = max(n_rows - 1, 0)
+    for width in _ORDERING_WIDTHS:
+        if hi < 1 << (8 * width):
+            return width
+    raise ValueError(f"permutation of {n_rows} rows exceeds uint64")
+
+
+def _ordering_size(ordering: RowOrdering) -> int:
+    return _ORDERING_HEADER.size + ordering.n_rows * _ordering_width(
+        ordering.n_rows
+    )
+
+
+def write_ordering(fh: BinaryIO, ordering: RowOrdering) -> int:
+    """Append the permutation sidecar section; returns bytes written."""
+    width = _ordering_width(ordering.n_rows)
+    fh.write(
+        _ORDERING_HEADER.pack(
+            ORDERING_METHOD_TAGS[ordering.method], width, ordering.n_rows
+        )
+    )
+    fh.write(ordering.permutation.astype(f"<u{width}").tobytes())
+    return _ORDERING_HEADER.size + ordering.n_rows * width
+
+
+def read_ordering(fh: BinaryIO, n_elements: int) -> RowOrdering:
+    """Read and validate the permutation sidecar section."""
+    tag, width, n_rows = _ORDERING_HEADER.unpack(
+        _read_exact(fh, _ORDERING_HEADER.size, "ordering sidecar header")
+    )
+    method = method_for_tag(tag)
+    if width not in _ORDERING_WIDTHS:
+        raise ValueError(f"corrupt ordering sidecar: byte width {width}")
+    if n_rows != n_elements:
+        raise ValueError(
+            f"ordering sidecar covers {n_rows} rows, index covers "
+            f"{n_elements} elements"
+        )
+    if n_rows > 0 and n_rows - 1 >= 1 << (8 * width):
+        raise ValueError(
+            f"corrupt ordering sidecar: width {width} cannot index "
+            f"{n_rows} rows"
+        )
+    raw = _read_exact(fh, n_rows * width, "ordering sidecar permutation")
+    perm = np.frombuffer(raw, dtype=f"<u{width}").astype(np.int64)
+    # RowOrdering validates the bijection; corrupt bytes raise here.
+    return RowOrdering(method, perm)
+
+
 # ------------------------------------------------------------------ index
 def _header_size(binning: Binning) -> int:
     """Bytes before the codec tag table (or the first record, untagged)."""
@@ -241,27 +315,41 @@ def write_index(
     footer enabling random access; ``version=1`` writes the legacy layout.
     Indices holding any non-WAH bitvector are written in the V2.1
     codec-tagged layout (flags bit 0 + per-bin tag table); all-WAH
-    indices stay byte-identical to plain V2.  V1 cannot carry codec tags,
-    so writing a non-WAH index as V1 is an error.
+    indices stay byte-identical to plain V2.  Indices carrying a
+    :class:`~repro.bitmap.ordering.RowOrdering` additionally set flags
+    bit 1 and write the permutation sidecar after the tag table.  V1
+    cannot carry codec tags or an ordering, so writing either as V1 is
+    an error.
     """
     if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"cannot write index version {version}")
     codecs = _index_codecs(index)
     tagged = any(c is not WAH_CODEC for c in codecs)
+    ordering = index.ordering
     if tagged and version != VERSION_V2:
         raise ValueError(
             "V1 records cannot carry codec tags; write version=2 or "
             "convert the index to WAH"
         )
+    if ordering is not None and version != VERSION_V2:
+        raise ValueError(
+            "V1 records cannot carry a row ordering; write version=2 or "
+            "strip the ordering"
+        )
+    flags = (FLAG_CODEC_TAGS if tagged else 0) | (
+        FLAG_ORDERING if ordering is not None else 0
+    )
     start = fh.tell()
     fh.write(MAGIC)
-    fh.write(struct.pack("<HH", version, FLAG_CODEC_TAGS if tagged else 0))
+    fh.write(struct.pack("<HH", version, flags))
     write_binning(fh, index.binning)
     fh.write(struct.pack("<qi", index.n_elements, index.n_bins))
     pos = _header_size(index.binning)
     if tagged:
         fh.write(np.array([c.tag for c in codecs], dtype=np.uint8).tobytes())
         pos += index.n_bins
+    if ordering is not None:
+        pos += write_ordering(fh, ordering)
     offsets = np.empty(index.n_bins + 1, dtype=np.int64)
     for b, vector in enumerate(index.bitvectors):
         offsets[b] = pos
@@ -273,16 +361,21 @@ def write_index(
     return fh.tell() - start
 
 
-def _parse_flags(version: int, flags: int) -> bool:
-    """Validate header flags; returns True for the codec-tagged layout."""
+def _parse_flags(version: int, flags: int) -> tuple[bool, bool]:
+    """Validate header flags; returns ``(codec_tagged, row_ordered)``."""
     if flags & ~_KNOWN_FLAGS:
         raise ValueError(f"unsupported format flags 0x{flags:04x}")
     tagged = bool(flags & FLAG_CODEC_TAGS)
+    ordered = bool(flags & FLAG_ORDERING)
     if tagged and version != VERSION_V2:
         raise ValueError(
             f"codec-tagged layout requires a V2 record, got version {version}"
         )
-    return tagged
+    if ordered and version != VERSION_V2:
+        raise ValueError(
+            f"row-ordered layout requires a V2 record, got version {version}"
+        )
+    return tagged, ordered
 
 
 def _read_tag_table(fh: BinaryIO, n_bins: int) -> list[Codec]:
@@ -316,7 +409,7 @@ def read_index(fh: BinaryIO) -> BitmapIndex:
     version, flags = struct.unpack("<HH", _read_exact(fh, 4, "index version"))
     if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported index version {version}")
-    tagged = _parse_flags(version, flags)
+    tagged, ordered = _parse_flags(version, flags)
     binning = read_binning(fh)
     n_elements, n_bins = struct.unpack("<qi", _read_exact(fh, 12, "index header"))
     if n_elements < 0 or n_bins < 0:
@@ -329,6 +422,10 @@ def read_index(fh: BinaryIO) -> BitmapIndex:
         pos += n_bins
     else:
         codecs = [WAH_CODEC] * n_bins
+    ordering = None
+    if ordered:
+        ordering = read_ordering(fh, n_elements)
+        pos += _ordering_size(ordering)
     offsets = np.empty(n_bins + 1, dtype=np.int64)
     vectors = []
     for b in range(n_bins):
@@ -339,7 +436,7 @@ def read_index(fh: BinaryIO) -> BitmapIndex:
     offsets[n_bins] = pos
     if version == VERSION_V2:
         _read_offset_table(fh, n_bins, offsets)
-    return BitmapIndex(binning, vectors, n_elements)
+    return BitmapIndex(binning, vectors, n_elements, ordering)
 
 
 def index_to_bytes(index: BitmapIndex, *, version: int = DEFAULT_VERSION) -> bytes:
@@ -374,6 +471,8 @@ def serialized_size(index: BitmapIndex, *, version: int = DEFAULT_VERSION) -> in
     size = _header_size(index.binning)
     if any(c is not WAH_CODEC for c in codecs):
         size += index.n_bins  # codec tag table
+    if index.ordering is not None:
+        size += _ordering_size(index.ordering)  # permutation sidecar
     for c, v in zip(codecs, index.bitvectors):
         size += 12 + 4 * c.payload_n_words(v)
     if version == VERSION_V2:
@@ -444,7 +543,7 @@ class LazyBitmapIndex:
         if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported index version {version}")
         self.version = int(version)
-        tagged = _parse_flags(self.version, flags)
+        tagged, ordered = _parse_flags(self.version, flags)
         self.binning = read_binning(fh)
         n_elements, n_bins = struct.unpack(
             "<qi", _read_exact(fh, 12, "index header")
@@ -461,6 +560,15 @@ class LazyBitmapIndex:
             self._data_start += self.n_bins
         else:
             self.codecs = [WAH_CODEC] * self.n_bins
+        self.ordering: RowOrdering | None = None
+        if ordered:
+            # Decoded eagerly: the executor needs the permutation to
+            # de-permute masks and permute region predicates, and the
+            # bijection check must reject corrupt sidecars before any
+            # payload byte is trusted.
+            fh.seek(self._data_start)
+            self.ordering = read_ordering(fh, self.n_elements)
+            self._data_start += _ordering_size(self.ordering)
         self.offsets = None
         if self.version == VERSION_V2:
             self.offsets = self._offsets_from_footer()
@@ -550,7 +658,7 @@ class LazyBitmapIndex:
     def materialize(self) -> BitmapIndex:
         """Load every bin into a regular :class:`BitmapIndex`."""
         vectors = [self.get(b) for b in range(self.n_bins)]
-        return BitmapIndex(self.binning, vectors, self.n_elements)
+        return BitmapIndex(self.binning, vectors, self.n_elements, self.ordering)
 
     def _check_bin(self, bin_id: int) -> None:
         if not 0 <= bin_id < self.n_bins:

@@ -65,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         "multi-core; threads = GIL-bound escape hatch)")
     p.add_argument("--queue-mb", type=float, default=64.0,
                    help="separate-cores data-queue capacity in MiB")
+    p.add_argument("--ordering", choices=["lex", "gray", "hist"], default=None,
+                   help="row-order every step's payload before encoding "
+                        "(compression-maximizing; permutation persisted as "
+                        "a sidecar so queries map back exactly)")
 
     p = sub.add_parser("index", help="build a bitmap index from a .npy file")
     p.add_argument("input", type=Path)
@@ -75,6 +79,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fixed-decimal binning instead of equal-width")
     p.add_argument("--zorder", action="store_true",
                    help="linearise multi-dimensional input in Z-order")
+    p.add_argument("--ordering", choices=["lex", "gray", "hist"], default=None,
+                   help="reorder rows for compression before encoding; the "
+                        "inverse permutation rides with the index record")
+    p.add_argument("--codec", choices=["wah", "roaring", "wah64", "auto"],
+                   default="wah",
+                   help="storage codec per bin (auto = density-driven)")
 
     p = sub.add_parser(
         "query", help="inspect stored bitmap indices or run SQL against them"
@@ -244,7 +254,7 @@ def _cmd_insitu(args: argparse.Namespace) -> int:
     )
     pipe = InSituPipeline(
         sim, binning, get_metric(metric_name), mode=args.mode,
-        sampler=sampler, writer=writer,
+        sampler=sampler, writer=writer, ordering=args.ordering,
     )
     if args.workers > 1:
         if args.mode != "bitmap":
@@ -287,11 +297,14 @@ def _cmd_index(args: argparse.Namespace) -> int:
         binning = PrecisionBinning.from_data(flat, digits=args.digits)
     else:
         binning = EqualWidthBinning.from_data(flat, args.bins)
-    index = BitmapIndex.build(flat, binning)
+    index = BitmapIndex.build(
+        flat, binning, codec=args.codec, ordering=args.ordering
+    )
     written = save_index(args.output, index)
     ratio = index.size_ratio(data.dtype.itemsize)
+    ordered = f", ordering={args.ordering}" if args.ordering else ""
     print(
-        f"indexed {data.size} elements into {binning.n_bins} bins; "
+        f"indexed {data.size} elements into {binning.n_bins} bins{ordered}; "
         f"wrote {written} bytes ({ratio:.1%} of raw) to {args.output}"
     )
     return 0

@@ -114,6 +114,7 @@ class InSituPipeline:
         partitioning: Partitioning = "fixed",
         build_method: Literal["vectorized", "online"] = "vectorized",
         adaptive_digits: int = 1,
+        ordering: str | None = None,
     ) -> None:
         if mode == "sampling" and sampler is None:
             raise ValueError("sampling mode needs a Sampler")
@@ -122,6 +123,27 @@ class InSituPipeline:
                 "adaptive binning (binning=None) is only defined for bitmap "
                 "mode; full-data/sampling metrics need a declared scale"
             )
+        if ordering is not None:
+            from repro.bitmap.ordering import ORDERING_METHODS
+
+            if ordering not in ORDERING_METHODS:
+                raise ValueError(
+                    f"unknown ordering method {ordering!r} "
+                    f"(known: {list(ORDERING_METHODS)})"
+                )
+            if mode != "bitmap":
+                raise ValueError(
+                    "row ordering reorders bitmap encoding; it is only "
+                    "defined for bitmap mode"
+                )
+            if metric.name == "emd_spatial":
+                # Spatial-unit popcounts are not invariant under a row
+                # permutation; every other built-in metric (count-based
+                # EMD, MI, CE) is, because all steps share one ordering.
+                raise ValueError(
+                    "emd_spatial is not permutation-invariant; pick a "
+                    "count-based metric or drop ordering"
+                )
         self.simulation = simulation
         self.binning = binning
         self.mode: ReductionMode = mode
@@ -130,6 +152,14 @@ class InSituPipeline:
         self.payload_fn = payload_fn
         self.partitioning: Partitioning = partitioning
         self.build_method = build_method
+        self.ordering_method = ordering
+        #: Run-level row ordering, computed from the *first* step's
+        #: payload and reused for every later step: a permutation shared
+        #: by all steps leaves cross-step joint popcounts (the selection
+        #: metrics) exactly invariant, while a per-step permutation would
+        #: silently break row alignment between steps.
+        self._ordering = None
+        self._ordering_lock = threading.Lock()
         if binning is None:
             # Per-step tick-aligned binning (§5.1's 64-206 bins regime):
             # each step is indexed under its own minimal range; selection
@@ -321,6 +351,11 @@ class InSituPipeline:
     ) -> PipelineResult:
         """Multi-core execution of either §2.3 core-allocation strategy.
 
+        Row ordering is not supported here: the shared-memory engines
+        build from spatially-partitioned slabs whose stitching assumes
+        simulation order.  Use :meth:`run` / :meth:`run_threaded` with
+        ``ordering=``, or build ordered indices directly.
+
         ``allocation`` picks the strategy: a
         :class:`~repro.insitu.allocation.SharedCores` runs every step's
         build spatially partitioned across all workers, a
@@ -344,6 +379,11 @@ class InSituPipeline:
         """
         if self.mode != "bitmap":
             raise ValueError("parallel execution is defined for bitmap mode")
+        if self.ordering_method is not None:
+            raise ValueError(
+                "row ordering is not supported by the parallel engines; "
+                "use run()/run_threaded() or BitmapIndex.build(ordering=...)"
+            )
         if executor not in ("threads", "processes"):
             raise ValueError(f"unknown executor {executor!r}")
         prebuilt: list[tuple[int, BitmapIndex]] = []
@@ -625,9 +665,33 @@ class InSituPipeline:
 
     # -------------------------------------------------------------- phases
     def _build_index(self, payload: np.ndarray) -> BitmapIndex:
+        if self.ordering_method is not None:
+            return self._build_ordered_index(payload)
         if self._indexer is not None:
             return self._indexer.index(payload)
         return BitmapIndex.build(payload, self.binning, method=self.build_method)
+
+    def _build_ordered_index(self, payload: np.ndarray) -> BitmapIndex:
+        from repro.bitmap.ordering import compute_ordering
+
+        flat = np.asarray(payload).ravel()
+        binning = (
+            self._indexer.binning_for(flat)
+            if self._indexer is not None
+            else self.binning
+        )
+        # Locked: run_threaded builds steps concurrently, and two racing
+        # first-steps would compute *different* permutations -- which
+        # breaks the row alignment the selection metrics rely on.
+        with self._ordering_lock:
+            if self._ordering is None or self._ordering.n_rows != flat.size:
+                self._ordering = compute_ordering(
+                    [flat], binning, self.ordering_method
+                )
+            ordering = self._ordering
+        return BitmapIndex.build(
+            flat, binning, method=self.build_method, ordering=ordering
+        )
 
     def _reduce(self, payload: np.ndarray, timings: TimeBreakdown):
         if self.mode == "bitmap":

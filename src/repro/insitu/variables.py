@@ -52,27 +52,73 @@ class MultiVariableIndexer:
     ``binnings`` maps variable name -> binning; variables absent from the
     map are skipped (the paper indexes analysis variables, not every
     internal array).
+
+    ``ordering`` ("lex" / "gray" / "hist", :mod:`repro.bitmap.ordering`)
+    computes **one** row permutation from *all* variables' bin ids
+    jointly (variables in sorted-name order) on the first reduced step,
+    then applies that same permutation to every variable of every later
+    step.  This is where multi-column Gray-code and histogram-aware
+    ordering earn their keep -- a shared permutation compresses
+    secondary variables too -- and sharing it across steps keeps
+    cross-step joint popcounts (the selection metrics) exactly
+    invariant; a per-step permutation would silently misalign rows
+    between steps.
     """
 
     binnings: Mapping[str, Binning]
     method: str = "vectorized"
+    ordering: str | None = None
 
     def __post_init__(self) -> None:
         if not self.binnings:
             raise ValueError("need at least one variable binning")
+        if self.ordering is not None:
+            from repro.bitmap.ordering import ORDERING_METHODS
+
+            if self.ordering not in ORDERING_METHODS:
+                raise ValueError(
+                    f"unknown ordering method {self.ordering!r} "
+                    f"(known: {list(ORDERING_METHODS)})"
+                )
 
     def reduce(self, step: TimeStepData) -> MultiVariableStep:
+        shared = self._shared_ordering(step)
         indices: dict[str, BitmapIndex] = {}
         for name, binning in self.binnings.items():
-            if name not in step.fields:
-                raise KeyError(
-                    f"step {step.step} lacks variable {name!r}; "
-                    f"has {sorted(step.fields)}"
-                )
             indices[name] = BitmapIndex.build(
-                step.fields[name], binning, method=self.method  # type: ignore[arg-type]
+                self._field(step, name),
+                binning,
+                method=self.method,  # type: ignore[arg-type]
+                ordering=shared,
             )
         return MultiVariableStep(step.step, indices)
+
+    def _shared_ordering(self, step: TimeStepData):
+        """Run-level ordering: computed once, reused for every step."""
+        if self.ordering is None:
+            return None
+        cached = getattr(self, "_ordering_cache", None)
+        names = sorted(self.binnings)
+        n_rows = np.asarray(self._field(step, names[0])).size
+        if cached is not None and cached.n_rows == n_rows:
+            return cached
+        from repro.bitmap.ordering import compute_ordering
+
+        shared = compute_ordering(
+            [self._field(step, n) for n in names],
+            [self.binnings[n] for n in names],
+            self.ordering,
+        )
+        object.__setattr__(self, "_ordering_cache", shared)  # frozen dataclass
+        return shared
+
+    def _field(self, step: TimeStepData, name: str) -> np.ndarray:
+        if name not in step.fields:
+            raise KeyError(
+                f"step {step.step} lacks variable {name!r}; "
+                f"has {sorted(step.fields)}"
+            )
+        return step.fields[name]
 
     @classmethod
     def from_probe(
@@ -82,6 +128,7 @@ class MultiVariableIndexer:
         bins: int,
         variables: Sequence[str] | None = None,
         method: str = "vectorized",
+        ordering: str | None = None,
     ) -> "MultiVariableIndexer":
         """Derive per-variable equal-width binnings from probe steps."""
         from repro.bitmap.binning import common_binning
@@ -95,7 +142,7 @@ class MultiVariableIndexer:
             name: common_binning([s.fields[name] for s in steps], bins=bins)
             for name in names
         }
-        return cls(binnings, method=method)
+        return cls(binnings, method=method, ordering=ordering)
 
 
 def combined_metric(metric, *, weights: Mapping[str, float] | None = None):

@@ -71,6 +71,7 @@ from repro.bitmap.builder import splice_bitvectors
 from repro.bitmap.codec import BitVectorAny
 from repro.bitmap.index import BitmapIndex, overlapping_bins
 from repro.bitmap.kernels import auto_count_many, auto_op_many
+from repro.bitmap.ordering import RowOrdering, orderings_compatible
 from repro.bitmap.serialization import LazyBitmapIndex
 from repro.bitmap.wah import WAHBitVector
 from repro.bitmap.zorder import ZOrderLayout
@@ -314,6 +315,10 @@ class _Plan:
     predicate_bins: dict[str, np.ndarray]
     count_only: bool = False
     n_elements: int = 0
+    #: shared row ordering of the stored files (None = simulation order).
+    #: Bin vectors live in ordered space; result masks are de-permuted
+    #: back to simulation order before they cross any boundary.
+    ordering: RowOrdering | None = None
 
 
 class QueryService:
@@ -624,6 +629,13 @@ class QueryService:
             raise QueryError("REGION clause requires a ZOrderLayout")
 
         lazies = {var: self._open(entries[var]) for var in entries}
+        ordering_a = lazies[query.var_a].ordering
+        ordering_b = lazies[query.var_b].ordering
+        if not orderings_compatible(ordering_a, ordering_b):
+            raise QueryError(
+                "FROM variables are stored under different row orderings; "
+                "joint results would not be row-aligned"
+            )
         predicate_bins: dict[str, np.ndarray] = {}
         for var, subset in query.value_predicates.items():
             clamped = clamp_subset(subset, lazies[var].binning)
@@ -648,6 +660,7 @@ class QueryService:
             predicate_bins=predicate_bins,
             count_only=count_only,
             n_elements=entry_a.n_elements,
+            ordering=ordering_a if ordering_a is not None else ordering_b,
         )
 
     def _load(
@@ -696,6 +709,7 @@ class QueryService:
                 plan.lazies[var].binning,
                 [loaded[var][b] for b in range(plan.lazies[var].n_bins)],
                 plan.n_elements,
+                plan.lazies[var].ordering,
             )
             for var in plan.entries
         }
@@ -722,9 +736,13 @@ class QueryService:
             vectors = [loaded[var][int(b)] for b in bins]
             masks.append(auto_op_many(vectors, "or"))
         if plan.query.region is not None:
-            masks.append(
-                spatial_subset_mask(n, plan.query.region, self.layout)
-            )
+            region = spatial_subset_mask(n, plan.query.region, self.layout)
+            if plan.ordering is not None:
+                # Bin vectors live in ordered space; the grid layout
+                # lives in simulation order.  Move the region predicate
+                # into ordered space (counts are space-invariant).
+                region = plan.ordering.permute_mask(region)
+            masks.append(region)
         if not masks:
             return float(n)
         if len(masks) == 1:
@@ -740,6 +758,12 @@ class QueryService:
         variable's predicate bins, AND across variables and the region)
         but materialising the vector instead of short-circuiting to a
         popcount.
+
+        The returned mask is always in *simulation* order: when the
+        stored file was row-ordered, the combined ordered-space vector is
+        de-permuted here, rank-locally -- so splice, the wire protocol,
+        and every caller stay ordering-agnostic, even when a store mixes
+        ordered and unordered ranks.
         """
         n = plan.n_elements
         masks: list[WAHBitVector] = []
@@ -749,10 +773,16 @@ class QueryService:
             vectors = [loaded[var][int(b)] for b in bins]
             masks.append(auto_op_many(vectors, "or"))
         if plan.query.region is not None:
-            masks.append(spatial_subset_mask(n, plan.query.region, self.layout))
+            region = spatial_subset_mask(n, plan.query.region, self.layout)
+            if plan.ordering is not None:
+                region = plan.ordering.permute_mask(region)
+            masks.append(region)
         if not masks:
             return WAHBitVector.ones(n)
-        return auto_op_many(masks, "and")
+        mask = auto_op_many(masks, "and") if len(masks) > 1 else masks[0]
+        if plan.ordering is not None:
+            mask = plan.ordering.unpermute_mask(mask)
+        return mask
 
     def _joint_partial(
         self, plan: _Plan, loaded: dict[str, dict[int, BitVectorAny]]
@@ -763,6 +793,7 @@ class QueryService:
                 plan.lazies[var].binning,
                 [loaded[var][b] for b in range(plan.lazies[var].n_bins)],
                 plan.n_elements,
+                plan.lazies[var].ordering,
             )
             for var in plan.entries
         }

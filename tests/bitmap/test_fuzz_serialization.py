@@ -121,8 +121,17 @@ class TestTaggedRecords:
     def test_unknown_flag_bits_rejected(self, rng):
         _, blob, _ = self._blob_and_tag_offset(rng)
         corrupt = bytearray(blob)
-        corrupt[6] |= 0x02  # an undefined flags bit
+        corrupt[6] |= 0x04  # an undefined flags bit
         with pytest.raises(ValueError, match="unsupported format flags"):
+            index_from_bytes(bytes(corrupt))
+
+    def test_spurious_ordering_flag_rejected(self, rng):
+        """Flipping the (defined) ordering bit on a record that carries
+        no sidecar must fail parsing, not silently misread payloads."""
+        _, blob, _ = self._blob_and_tag_offset(rng)
+        corrupt = bytearray(blob)
+        corrupt[6] |= 0x02  # FLAG_ORDERING without a sidecar section
+        with pytest.raises((ValueError, EOFError)):
             index_from_bytes(bytes(corrupt))
 
     def test_tagged_v1_unwritable(self, rng):

@@ -1,0 +1,281 @@
+"""Service-layer tests for row-ordered stores.
+
+Twin stores hold identical data, one plain and one row-ordered under a
+shared per-step permutation; every query class (COUNT, MI, CE, EMD,
+REGION, masks) must return exactly the same answer from both, and masks
+must come back in *simulation* order word-for-word.  Mixed clusters
+(only some ranks reordered) must scatter-gather to the serial oracle,
+and incompatible per-variable orderings must be rejected at plan time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sql import QueryError, query as oracle_query
+from repro.bitmap import (
+    BitmapIndex,
+    EqualWidthBinning,
+    ZOrderLayout,
+    compute_ordering,
+    save_index,
+)
+from repro.io.timeseries import BitmapStore
+from repro.service import QueryService
+
+SHAPE = (8, 8, 16)
+BINS = 12
+STEPS = (0, 1)
+
+
+@pytest.fixture(scope="module")
+def twin_env(tmp_path_factory):
+    """Two stores with byte-for-byte identical data: ``plain`` unordered,
+    ``ordered`` with one shared Gray-code permutation per step."""
+    layout = ZOrderLayout.for_shape(SHAPE)
+    rng = np.random.default_rng(31)
+    n = int(np.prod(SHAPE))
+    binnings = {
+        "temperature": EqualWidthBinning(0.0, 10.0, BINS),
+        "salinity": EqualWidthBinning(20.0, 40.0, BINS),
+    }
+    roots = {
+        kind: tmp_path_factory.mktemp(f"twin_{kind}") / "store"
+        for kind in ("plain", "ordered")
+    }
+    stores = {kind: BitmapStore(root) for kind, root in roots.items()}
+    oracle: dict[int, dict[str, BitmapIndex]] = {}
+    for step in STEPS:
+        t = rng.uniform(0.0, 10.0, n)
+        s = np.where(rng.random(n) < 0.6, 20.0 + 2 * t, rng.uniform(20, 40, n))
+        fields = {"temperature": t, "salinity": s}
+        # One permutation per step, computed from BOTH variables, so
+        # joint (MI/CE/EMD) results stay row-aligned.
+        shared = compute_ordering(
+            [t, s],
+            [binnings["temperature"], binnings["salinity"]],
+            "gray",
+        )
+        oracle[step] = {}
+        for var, data in fields.items():
+            plain = BitmapIndex.build(data, binnings[var])
+            stores["plain"].write(step, var, plain)
+            stores["ordered"].write(
+                step,
+                var,
+                BitmapIndex.build(data, binnings[var], ordering=shared),
+            )
+            oracle[step][var] = plain
+    return roots, oracle, binnings, layout
+
+
+QUERIES = [
+    "SELECT COUNT FROM temperature, salinity",
+    "SELECT COUNT FROM temperature, salinity WHERE temperature >= 4",
+    "SELECT COUNT FROM temperature, salinity "
+    "WHERE temperature BETWEEN 2 AND 7 AND salinity <= 33",
+    "SELECT MI FROM temperature, salinity",
+    "SELECT CE FROM temperature, salinity",
+    "SELECT EMD FROM temperature, temperature",
+    "SELECT MI FROM temperature, salinity WHERE salinity >= 28",
+    "SELECT COUNT FROM temperature, salinity WHERE REGION(0:4, 0:4, 0:8)",
+    "SELECT COUNT FROM temperature, salinity "
+    "WHERE temperature >= 3 AND REGION(0:8, 0:4, 0:16)",
+]
+
+
+class TestOrderedStoreParity:
+    @pytest.fixture(scope="class")
+    def services(self, twin_env):
+        roots, _, _, layout = twin_env
+        with QueryService(roots["plain"], layout=layout) as plain:
+            with QueryService(roots["ordered"], layout=layout) as ordered:
+                yield plain, ordered
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    @pytest.mark.parametrize("step", STEPS)
+    def test_every_query_class_matches_plain_store(
+        self, services, twin_env, sql, step
+    ):
+        _, oracle, _, layout = twin_env
+        plain, ordered = services
+        expect = oracle_query(sql, oracle[step], layout=layout)
+        assert ordered.execute(sql, step=step).value == pytest.approx(expect)
+        assert plain.execute(sql, step=step).value == pytest.approx(expect)
+
+    def test_masks_return_in_simulation_order(self, services, twin_env):
+        """The de-permutation contract: masks from the ordered store are
+        word-identical to the plain store's, i.e. simulation order."""
+        plain, ordered = services
+        for sql in (
+            "SELECT COUNT FROM temperature, salinity WHERE temperature >= 4",
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE temperature BETWEEN 2 AND 7 AND salinity <= 33",
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE salinity >= 30 AND REGION(0:4, 0:8, 0:8)",
+        ):
+            a = plain.execute_mask(sql, step=0)
+            b = ordered.execute_mask(sql, step=0)
+            assert b.mask.n_bits == a.mask.n_bits
+            assert np.array_equal(b.mask.words, a.mask.words)
+            assert b.value == a.value
+
+    def test_lazy_catalog_preserves_ordering(self, twin_env):
+        from repro.bitmap import LazyBitmapIndex
+
+        roots, _, _, _ = twin_env
+        path = roots["ordered"] / "step_00000" / "temperature.rbmp"
+        with LazyBitmapIndex(path) as lazy:
+            assert lazy.ordering is not None
+            assert lazy.ordering.method == "gray"
+            assert not lazy.ordering.is_identity
+
+
+class TestIncompatibleOrderings:
+    def test_divergent_per_variable_orderings_rejected(self, tmp_path):
+        """Each variable sorted by its *own* values produces different
+        permutations; a joint query over them is not row-aligned and
+        must fail at plan time, before any payload is read."""
+        rng = np.random.default_rng(7)
+        binning = EqualWidthBinning(0.0, 1.0, 8)
+        a, b = rng.random(500), rng.random(500)
+        d = tmp_path / "store" / "step_00000"
+        d.mkdir(parents=True)
+        save_index(
+            d / "temperature.rbmp",
+            BitmapIndex.build(a, binning, ordering="lex"),
+        )
+        save_index(
+            d / "salinity.rbmp",
+            BitmapIndex.build(b, binning, ordering="lex"),
+        )
+        with QueryService(tmp_path / "store") as svc:
+            with pytest.raises(QueryError, match="different row orderings"):
+                svc.execute("SELECT MI FROM temperature, salinity", step=0)
+            with pytest.raises(QueryError, match="different row orderings"):
+                svc.execute(
+                    "SELECT COUNT FROM temperature, salinity "
+                    "WHERE temperature >= 0.5",
+                    step=0,
+                )
+
+    def test_identity_ordering_is_compatible_with_none(self, tmp_path):
+        """An identity permutation carries no row movement, so mixing it
+        with an unordered variable stays exact."""
+        from repro.bitmap import RowOrdering
+
+        rng = np.random.default_rng(8)
+        binning = EqualWidthBinning(0.0, 1.0, 8)
+        a, b = rng.random(400), rng.random(400)
+        d = tmp_path / "store" / "step_00000"
+        d.mkdir(parents=True)
+        ident = RowOrdering("custom", np.arange(400))
+        save_index(
+            d / "temperature.rbmp", BitmapIndex.build(a, binning, ordering=ident)
+        )
+        save_index(d / "salinity.rbmp", BitmapIndex.build(b, binning))
+        indices = {
+            "temperature": BitmapIndex.build(a, binning),
+            "salinity": BitmapIndex.build(b, binning),
+        }
+        sql = "SELECT MI FROM temperature, salinity WHERE temperature >= 0.3"
+        with QueryService(tmp_path / "store") as svc:
+            assert svc.execute(sql, step=0).value == pytest.approx(
+                oracle_query(sql, indices)
+            )
+
+
+RANKS = 3
+#: Non-word-aligned slab sizes: splice boundaries land mid-word.
+RANK_ELEMENTS = [217, 340, 155]
+
+
+@pytest.fixture(scope="module")
+def mixed_rank_env(tmp_path_factory):
+    """A cluster store where only rank 1 reordered its slab: the global
+    scatter-gather path must de-permute rank-locally before splicing."""
+    root = tmp_path_factory.mktemp("mixed") / "store"
+    rng = np.random.default_rng(41)
+    binnings = {
+        "temperature": EqualWidthBinning(0.0, 10.0, BINS),
+        "salinity": EqualWidthBinning(20.0, 40.0, BINS),
+    }
+    step = 0
+    slabs: dict[str, list[np.ndarray]] = {v: [] for v in binnings}
+    for rank in range(RANKS):
+        d = root / f"rank_{rank:04d}" / f"step_{step:05d}"
+        d.mkdir(parents=True)
+        n = RANK_ELEMENTS[rank]
+        fields = {
+            var: rng.uniform(float(b.edges[0]), float(b.edges[-1]), n)
+            for var, b in binnings.items()
+        }
+        shared = (
+            compute_ordering(
+                [fields["temperature"], fields["salinity"]],
+                [binnings["temperature"], binnings["salinity"]],
+                "hist",
+            )
+            if rank == 1
+            else None
+        )
+        for var, data in fields.items():
+            slabs[var].append(data)
+            save_index(
+                d / f"{var}.rbmp",
+                BitmapIndex.build(data, binnings[var], ordering=shared),
+            )
+    serial = {
+        var: BitmapIndex.build(np.concatenate(parts), binnings[var])
+        for var, parts in slabs.items()
+    }
+    return root, serial
+
+
+class TestMixedOrderedCluster:
+    @pytest.fixture(scope="class")
+    def service(self, mixed_rank_env):
+        root, _ = mixed_rank_env
+        with QueryService(root, max_workers=2) as svc:
+            yield svc
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT COUNT FROM temperature, salinity",
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE temperature BETWEEN 2 AND 7",
+            "SELECT MI FROM temperature, salinity",
+            "SELECT CE FROM temperature, salinity "
+            "WHERE salinity >= 28 AND temperature <= 8",
+        ],
+    )
+    def test_global_matches_serial_oracle(self, service, mixed_rank_env, sql):
+        _, serial = mixed_rank_env
+        assert service.execute(sql, step=0).value == pytest.approx(
+            oracle_query(sql, serial)
+        )
+
+    def test_global_mask_splices_in_simulation_order(
+        self, service, mixed_rank_env
+    ):
+        from repro.analysis.sql import parse_query, predicate_mask
+
+        _, serial = mixed_rank_env
+        sql = (
+            "SELECT COUNT FROM temperature, salinity "
+            "WHERE temperature BETWEEN 2 AND 7 AND salinity >= 30"
+        )
+        result = service.execute_mask(sql, step=0)
+        oracle = predicate_mask(
+            parse_query(sql), serial["temperature"], serial["salinity"]
+        )
+        assert result.mask.n_bits == oracle.n_bits
+        assert np.array_equal(result.mask.words, oracle.words)
+        assert result.value == float(oracle.count())
+
+    def test_qualified_ordered_rank_answers_directly(self, service):
+        result = service.execute(
+            "SELECT COUNT FROM rank_0001/temperature, rank_0001/salinity",
+            step=0,
+        )
+        assert result.value == float(RANK_ELEMENTS[1])
